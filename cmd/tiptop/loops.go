@@ -1,0 +1,203 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"tiptop"
+	"tiptop/internal/term"
+)
+
+// buildMonitor selects the backend: a named simulated scenario, or the
+// real machine with automatic fallback to the quickstart scenario when
+// perf_event is unavailable (the common case inside containers).
+func buildMonitor(simName string, scale float64, cfg tiptop.Config) (*tiptop.Monitor, error) {
+	if simName == "" {
+		mon, err := tiptop.NewRealMonitor(cfg)
+		if err == nil {
+			return mon, nil
+		}
+		fmt.Fprintf(os.Stderr, "tiptop: %v; falling back to -sim spec\n", err)
+		simName = "spec"
+	}
+	sc, err := buildScenario(simName, scale)
+	if err != nil {
+		return nil, err
+	}
+	return tiptop.NewSimMonitor(sc, cfg)
+}
+
+// buildScenario constructs the named simulated scenario.
+func buildScenario(name string, scale float64) (*tiptop.Scenario, error) {
+	switch name {
+	case "spec":
+		sc, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range []string{"mcf", "astar", "gromacs", "hmmer-gcc"} {
+			if _, err := sc.StartWorkload("user", w, scale); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
+	case "revolution":
+		sc, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.StartWorkload("biologist", "r-evolution", scale); err != nil {
+			return nil, err
+		}
+		return sc, nil
+	case "conflict":
+		sc, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
+		if err != nil {
+			return nil, err
+		}
+		// Three mcf copies pinned to distinct physical cores, the
+		// Figure 11 taskset setup.
+		for i := 0; i < 3; i++ {
+			if _, err := sc.StartWorkload("user", "mcf", scale, i); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
+	case "datacenter":
+		sc, err := tiptop.NewScenario(tiptop.MachineE5640)
+		if err != nil {
+			return nil, err
+		}
+		ipcs := []float64{1.97, 1.32, 2.27, 2.36, 1.17, 0.66, 1.73, 1.44, 1.39, 1.39, 1.62}
+		users := []string{"user1", "user3", "user1", "user1", "user3", "user2",
+			"user1", "user1", "user1", "user1", "user1"}
+		for i, ipc := range ipcs {
+			name := fmt.Sprintf("process%d", i+1)
+			if _, err := sc.StartSynthetic(users[i], name, ipc); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
+	}
+	return nil, fmt.Errorf("unknown scenario %q (want spec, revolution, conflict or datacenter)", name)
+}
+
+// batchLoop streams samples as text (tiptop -b).
+func batchLoop(mon *tiptop.Monitor, iterations int) error {
+	if _, err := mon.SampleNow(); err != nil { // attach pass
+		return err
+	}
+	interrupted := interruptChan()
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		select {
+		case <-interrupted:
+			return nil
+		default:
+		}
+		sample, err := mon.Sample()
+		if err != nil {
+			return err
+		}
+		if err := mon.Render(os.Stdout, sample); err != nil {
+			return err
+		}
+		if len(sample.Rows) == 0 && iterations <= 0 {
+			// Simulated scenario drained.
+			return nil
+		}
+	}
+	return nil
+}
+
+// liveLoop repaints an ANSI screen every interval. Keyboard handling is
+// line-based (press q then Enter) to stay within the standard library;
+// Ctrl-C always works.
+func liveLoop(mon *tiptop.Monitor, iterations int) error {
+	screen, err := term.NewScreen(os.Stdout, 40, 160)
+	if err != nil {
+		return err
+	}
+	defer screen.Close()
+
+	keys := make(chan term.Key, 8)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			n, err := os.Stdin.Read(buf)
+			if err != nil {
+				return
+			}
+			for _, k := range term.DecodeKeys(buf[:n]) {
+				keys <- k
+			}
+		}
+	}()
+	interrupted := interruptChan()
+
+	if _, err := mon.SampleNow(); err != nil {
+		return err
+	}
+	for i := 0; iterations <= 0 || i < iterations; i++ {
+		sample, err := mon.Sample()
+		if err != nil {
+			return err
+		}
+		paint(screen, mon, sample)
+		select {
+		case <-interrupted:
+			return nil
+		case k := <-keys:
+			if k == term.KeyQuit {
+				return nil
+			}
+		default:
+		}
+		if len(sample.Rows) == 0 && iterations <= 0 {
+			return nil
+		}
+	}
+	return nil
+}
+
+func paint(screen *term.Screen, mon *tiptop.Monitor, sample *tiptop.Sample) {
+	rows, _ := screen.Size()
+	screen.Clear()
+	status := fmt.Sprintf("tiptop - %s - %d tasks - t=%s (q<Enter> or Ctrl-C quits)",
+		mon.Machine(), len(sample.Rows), sample.Time.Truncate(time.Millisecond))
+	screen.SetLine(0, term.Reverse(status))
+	header := fmt.Sprintf("%7s %-8s %5s", "PID", "USER", "%CPU")
+	for _, h := range mon.Headers() {
+		header += fmt.Sprintf(" %8s", h)
+	}
+	header += " COMMAND"
+	screen.SetLine(1, term.Bold(header))
+	for i, row := range sample.Rows {
+		if 2+i >= rows {
+			break
+		}
+		line := fmt.Sprintf("%7d %-8.8s %5.1f", row.PID, row.User, row.CPUPct)
+		for _, v := range row.Columns {
+			if row.Monitored {
+				line += fmt.Sprintf(" %8.2f", v)
+			} else {
+				line += fmt.Sprintf(" %8s", "-")
+			}
+		}
+		line += " " + row.Command
+		screen.SetLine(2+i, line)
+	}
+	_ = screen.Flush()
+}
+
+func interruptChan() <-chan os.Signal {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	return ch
+}
+
+// newTestScreen builds a small off-screen terminal for tests.
+func newTestScreen(w interface{ Write([]byte) (int, error) }) (*term.Screen, error) {
+	return term.NewScreen(w, 30, 140)
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tiptop"
+)
+
+func TestBuildScenarioAll(t *testing.T) {
+	for _, name := range []string{"spec", "revolution", "conflict", "datacenter"} {
+		sc, err := buildScenario(name, 0.001)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc == nil {
+			t.Fatalf("%s: nil scenario", name)
+		}
+	}
+	if _, err := buildScenario("wargames", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestBuildScenarioDatacenterShape(t *testing.T) {
+	sc, err := buildScenario("datacenter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	mon.SampleNow()
+	sample, err := mon.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample.Rows) != 11 {
+		t.Fatalf("datacenter rows = %d, want the 11 Figure 1 processes", len(sample.Rows))
+	}
+}
+
+func TestBuildMonitorFallsBack(t *testing.T) {
+	// In environments without perf_event this exercises the fallback;
+	// where perf works, it exercises the real path. Either way a
+	// usable monitor must come back.
+	mon, err := buildMonitor("", 0.001, tiptop.Config{Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if mon.Machine() == "" {
+		t.Fatal("machine description empty")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDumpConfig(t *testing.T) {
+	if err := run([]string{"-dump-config"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBatchSim(t *testing.T) {
+	err := run([]string{"-b", "-n", "2", "-d", "1", "-sim", "spec", "-scale", "0.001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-sim", "nope"}); err == nil {
+		t.Fatal("unknown scenario must fail")
+	}
+	if err := run([]string{"-screen", "nope", "-sim", "spec"}); err == nil {
+		t.Fatal("unknown screen must fail")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Fatal("unknown flag must fail")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiptop.xml")
+	content := `<tiptop><options delay="1" sort="pid" max_tasks="2"/></tiptop>`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-b", "-n", "1", "-sim", "spec", "-scale", "0.001", "-config", path}); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid config file.
+	bad := filepath.Join(dir, "bad.xml")
+	os.WriteFile(bad, []byte("<tiptop><screen name='s'/></tiptop>"), 0o644)
+	if err := run([]string{"-b", "-config", bad, "-sim", "spec"}); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+	if err := run([]string{"-b", "-config", filepath.Join(dir, "missing.xml"), "-sim", "spec"}); err == nil {
+		t.Fatal("missing config must fail")
+	}
+}
+
+func TestPaintDoesNotPanic(t *testing.T) {
+	sc, err := buildScenario("spec", 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	mon.SampleNow()
+	sample, err := mon.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	screen, err := newTestScreen(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paint(screen, mon, sample)
+	if !strings.Contains(sb.String(), "tiptop") {
+		t.Fatal("status bar missing")
+	}
+}

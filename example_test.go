@@ -1,0 +1,113 @@
+package tiptop_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tiptop"
+)
+
+// The basic loop: build a scenario, start something, watch it. The same
+// code drives real machines via NewRealMonitor where perf_event_open is
+// permitted.
+func ExampleNewSimMonitor() {
+	scenario, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := scenario.StartWorkload("alice", "gromacs", 0.01); err != nil {
+		log.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(scenario, tiptop.Config{Interval: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+
+	mon.SampleNow() // attach counters to the already-running task
+	sample, err := mon.Sample()
+	if err != nil {
+		log.Fatal(err)
+	}
+	row := sample.Rows[0]
+	fmt.Printf("%s owned by %s, healthy IPC: %v\n",
+		row.Command, row.User, row.IPC > 1.5)
+	// Output:
+	// 435.gromacs owned by alice, healthy IPC: true
+}
+
+// The Table 1 experiment through the public API: the x87 micro-benchmark
+// with NaN operands collapses; the SSE version does not.
+func ExampleScenario_StartFPMicro() {
+	measure := func(mode string) float64 {
+		scenario, _ := tiptop.NewScenario(tiptop.MachineXeonW3550)
+		// 5M iterations keep the instruction-accurate VM fast while
+		// outliving the short sampling interval in both modes.
+		if _, err := scenario.StartFPMicro("user", mode, "nan", 5_000_000); err != nil {
+			log.Fatal(err)
+		}
+		mon, err := tiptop.NewSimMonitor(scenario, tiptop.Config{
+			Screen: "fp", Interval: 2 * time.Millisecond,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mon.Close()
+		mon.SampleNow()
+		sample, err := mon.Sample()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sample.Rows[0].IPC
+	}
+	x87 := measure("x87")
+	sse := measure("sse")
+	fmt.Printf("x87 collapses below 0.02: %v\n", x87 < 0.02)
+	fmt.Printf("SSE stays above 1.3:     %v\n", sse > 1.3)
+	fmt.Printf("slowdown is an order of 87x: %v\n", sse/x87 > 70)
+	// Output:
+	// x87 collapses below 0.02: true
+	// SSE stays above 1.3:     true
+	// slowdown is an order of 87x: true
+}
+
+// Pinning workloads reproduces the paper's taskset experiments: co-located
+// mcf copies interfere through the shared L3 while %CPU stays at 100.
+func ExampleScenario_StartWorkload() {
+	ipcOf := func(copies int) float64 {
+		scenario, _ := tiptop.NewScenario(tiptop.MachineXeonW3550)
+		for i := 0; i < copies; i++ {
+			if _, err := scenario.StartWorkload("user", "mcf", 0.05, i); err != nil {
+				log.Fatal(err)
+			}
+		}
+		mon, err := tiptop.NewSimMonitor(scenario, tiptop.Config{Interval: 5 * time.Second})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mon.Close()
+		mon.SampleNow()
+		var sum float64
+		var n int
+		for i := 0; i < 3; i++ {
+			sample, err := mon.Sample()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, row := range sample.Rows {
+				if row.IPC > 0 {
+					sum += row.IPC
+					n++
+					break
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	solo := ipcOf(1)
+	crowded := ipcOf(3)
+	fmt.Printf("3 co-running copies are slower: %v\n", crowded < solo*0.95)
+	// Output:
+	// 3 co-running copies are slower: true
+}

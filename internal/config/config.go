@@ -1,0 +1,203 @@
+// Package config reads and writes tiptop configuration files: an XML
+// document describing global options and custom screens, mirroring the
+// configurability of the original tool ("The collected events and
+// displayed ratios are fully customizable"). A screen is a list of
+// columns, each with a header, a printf format and a metric expression
+// over counter names.
+//
+// Example:
+//
+//	<tiptop>
+//	  <options delay="5" batch="true" sort="ipc" max_tasks="20"/>
+//	  <screen name="fpstudy" desc="IPC next to FP assists">
+//	    <column name="ipc"  header="IPC"   format="%5.2f" width="5"
+//	            expr="ratio(INSTRUCTIONS, CYCLES)" desc="instructions per cycle"/>
+//	    <column name="asst" header="%ASST" format="%6.2f" width="6"
+//	            expr="per100(FP_ASSIST, INSTRUCTIONS)"/>
+//	  </screen>
+//	</tiptop>
+package config
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"time"
+
+	"tiptop/internal/metrics"
+)
+
+// File is the root XML document.
+type File struct {
+	XMLName xml.Name    `xml:"tiptop"`
+	Options OptionsXML  `xml:"options"`
+	Screens []ScreenXML `xml:"screen"`
+}
+
+// OptionsXML carries global tool options.
+type OptionsXML struct {
+	// DelaySeconds is the refresh interval in seconds (fractional
+	// values allowed).
+	DelaySeconds float64 `xml:"delay,attr,omitempty"`
+	// Batch selects batch mode.
+	Batch bool `xml:"batch,attr,omitempty"`
+	// Sort names the sort key ("cpu", "pid", or a column name).
+	Sort string `xml:"sort,attr,omitempty"`
+	// MaxTasks truncates the display.
+	MaxTasks int `xml:"max_tasks,attr,omitempty"`
+	// OnlyUser restricts monitoring to one user.
+	OnlyUser string `xml:"user,attr,omitempty"`
+}
+
+// Interval converts the delay to a duration (0 if unset).
+func (o *OptionsXML) Interval() time.Duration {
+	return time.Duration(o.DelaySeconds * float64(time.Second))
+}
+
+// ScreenXML is one custom screen.
+type ScreenXML struct {
+	Name    string      `xml:"name,attr"`
+	Desc    string      `xml:"desc,attr,omitempty"`
+	Columns []ColumnXML `xml:"column"`
+}
+
+// ColumnXML is one column definition.
+type ColumnXML struct {
+	Name   string `xml:"name,attr"`
+	Header string `xml:"header,attr"`
+	Format string `xml:"format,attr,omitempty"`
+	Width  int    `xml:"width,attr,omitempty"`
+	Expr   string `xml:"expr,attr"`
+	Desc   string `xml:"desc,attr,omitempty"`
+}
+
+// Parse reads and validates a configuration document, compiling every
+// column expression.
+func Parse(r io.Reader) (*File, error) {
+	var f File
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Validate checks structural constraints and expression syntax.
+func (f *File) Validate() error {
+	if f.Options.DelaySeconds < 0 {
+		return fmt.Errorf("config: negative delay")
+	}
+	if f.Options.MaxTasks < 0 {
+		return fmt.Errorf("config: negative max_tasks")
+	}
+	seen := map[string]bool{}
+	for _, s := range f.Screens {
+		if s.Name == "" {
+			return fmt.Errorf("config: screen without name")
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("config: duplicate screen %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Columns) == 0 {
+			return fmt.Errorf("config: screen %q has no columns", s.Name)
+		}
+		cols := map[string]bool{}
+		for _, c := range s.Columns {
+			if c.Name == "" || c.Header == "" {
+				return fmt.Errorf("config: screen %q: column needs name and header", s.Name)
+			}
+			if cols[c.Name] {
+				return fmt.Errorf("config: screen %q: duplicate column %q", s.Name, c.Name)
+			}
+			cols[c.Name] = true
+			if _, err := metrics.Compile(c.Expr); err != nil {
+				return fmt.Errorf("config: screen %q column %q: %w", s.Name, c.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// BuildScreens converts the parsed document into engine screens.
+func (f *File) BuildScreens() (map[string]*metrics.Screen, error) {
+	out := map[string]*metrics.Screen{}
+	for _, sx := range f.Screens {
+		s := &metrics.Screen{Name: sx.Name}
+		for _, cx := range sx.Columns {
+			expr, err := metrics.Compile(cx.Expr)
+			if err != nil {
+				return nil, fmt.Errorf("config: %w", err)
+			}
+			format := cx.Format
+			if format == "" {
+				format = "%8.2f"
+			}
+			width := cx.Width
+			if width == 0 {
+				width = len(cx.Header)
+				if width < 6 {
+					width = 6
+				}
+			}
+			s.Columns = append(s.Columns, &metrics.Column{
+				Name:   cx.Name,
+				Header: cx.Header,
+				Width:  width,
+				Format: format,
+				Expr:   expr,
+				Desc:   cx.Desc,
+			})
+		}
+		out[s.Name] = s
+	}
+	return out, nil
+}
+
+// Write serializes a configuration document.
+func Write(w io.Writer, f *File) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Default returns the built-in configuration document: the paper's
+// default screen plus the FP, branch, and memory screens, at a 2-second
+// refresh.
+func Default() *File {
+	f := &File{
+		Options: OptionsXML{DelaySeconds: 2},
+	}
+	for _, s := range []*metrics.Screen{
+		metrics.DefaultScreen(), metrics.BranchScreen(),
+		metrics.FPScreen(), metrics.MemoryScreen(),
+		metrics.LatencyScreen(), metrics.RooflineScreen(),
+	} {
+		sx := ScreenXML{Name: s.Name}
+		for _, c := range s.Columns {
+			sx.Columns = append(sx.Columns, ColumnXML{
+				Name:   c.Name,
+				Header: c.Header,
+				Format: c.Format,
+				Width:  c.Width,
+				Expr:   c.Expr.Source(),
+				Desc:   c.Desc,
+			})
+		}
+		f.Screens = append(f.Screens, sx)
+	}
+	return f
+}

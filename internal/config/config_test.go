@@ -1,0 +1,146 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tiptop/internal/metrics"
+)
+
+const sampleXML = `
+<tiptop>
+  <options delay="5" batch="true" sort="ipc" max_tasks="20" user="alice"/>
+  <screen name="fpstudy" desc="IPC and assists">
+    <column name="ipc" header="IPC" format="%5.2f" width="5"
+            expr="ratio(INSTRUCTIONS, CYCLES)" desc="instructions per cycle"/>
+    <column name="asst" header="%ASST"
+            expr="per100(FP_ASSIST, INSTRUCTIONS)"/>
+  </screen>
+</tiptop>
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Options.Interval() != 5*time.Second {
+		t.Fatalf("interval = %v", f.Options.Interval())
+	}
+	if !f.Options.Batch || f.Options.Sort != "ipc" || f.Options.MaxTasks != 20 {
+		t.Fatalf("options = %+v", f.Options)
+	}
+	if f.Options.OnlyUser != "alice" {
+		t.Fatalf("user = %q", f.Options.OnlyUser)
+	}
+	if len(f.Screens) != 1 || f.Screens[0].Name != "fpstudy" {
+		t.Fatalf("screens = %+v", f.Screens)
+	}
+}
+
+func TestBuildScreens(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	screens, err := f.BuildScreens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := screens["fpstudy"]
+	if s == nil {
+		t.Fatal("screen missing")
+	}
+	if len(s.Columns) != 2 {
+		t.Fatalf("columns = %d", len(s.Columns))
+	}
+	// Defaults: format and width filled in.
+	asst := s.Column("asst")
+	if asst.Format != "%8.2f" || asst.Width != 6 {
+		t.Fatalf("defaults: %+v", asst)
+	}
+	// The expression works.
+	v, err := asst.Expr.Eval(metrics.MapEnv{"FP_ASSIST": 25, "INSTRUCTIONS": 100})
+	if err != nil || v != 25 {
+		t.Fatalf("eval = %v, %v", v, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"not xml at all <",
+		`<tiptop><options delay="-1"/></tiptop>`,
+		`<tiptop><options max_tasks="-2"/></tiptop>`,
+		`<tiptop><screen><column name="a" header="A" expr="1"/></screen></tiptop>`,
+		`<tiptop><screen name="s"/></tiptop>`,
+		`<tiptop><screen name="s"><column header="A" expr="1"/></screen></tiptop>`,
+		`<tiptop><screen name="s"><column name="a" header="A" expr="1+"/></screen></tiptop>`,
+		`<tiptop><screen name="s"><column name="a" header="A" expr="1"/><column name="a" header="B" expr="2"/></screen></tiptop>`,
+		`<tiptop><screen name="s"><column name="a" header="A" expr="1"/></screen><screen name="s"><column name="b" header="B" expr="2"/></screen></tiptop>`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should fail: %s", i, src)
+		}
+	}
+}
+
+func TestDefaultRoundTrip(t *testing.T) {
+	f := Default()
+	var sb strings.Builder
+	if err := Write(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<tiptop>", `name="default"`, `name="fp"`, "ratio(INSTRUCTIONS, CYCLES)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("serialized config missing %q", want)
+		}
+	}
+	// Re-parse and rebuild: same screens as the built-ins.
+	f2, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, out)
+	}
+	screens, err := f2.BuildScreens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	builtin := metrics.BuiltinScreens()
+	if len(screens) != len(builtin) {
+		t.Fatalf("screens = %d, want %d", len(screens), len(builtin))
+	}
+	for name, want := range builtin {
+		got := screens[name]
+		if got == nil {
+			t.Fatalf("screen %q lost in round trip", name)
+		}
+		if len(got.Columns) != len(want.Columns) {
+			t.Fatalf("screen %q: %d columns, want %d", name, len(got.Columns), len(want.Columns))
+		}
+		for i := range want.Columns {
+			env := metrics.MapEnv{
+				"CYCLES": 100, "INSTRUCTIONS": 150, "CACHE_MISSES": 5,
+				"BRANCHES": 20, "BRANCH_MISSES": 1, "FP_ASSIST": 2,
+				"FP_OPS": 30, "LOADS": 40, "L2_MISSES": 3,
+				"MEM_STALL_CYCLES": 250, "CACHE_REFERENCES": 9,
+				"STORES": 11,
+			}
+			v1, err1 := want.Columns[i].Expr.Eval(env)
+			v2, err2 := got.Columns[i].Expr.Eval(env)
+			if err1 != nil || err2 != nil || v1 != v2 {
+				t.Fatalf("screen %q column %q: %v/%v vs %v/%v",
+					name, want.Columns[i].Name, v1, err1, v2, err2)
+			}
+		}
+	}
+}
+
+func TestWriteInvalid(t *testing.T) {
+	f := &File{Screens: []ScreenXML{{Name: ""}}}
+	var sb strings.Builder
+	if err := Write(&sb, f); err == nil {
+		t.Fatal("invalid file must not serialize")
+	}
+}

@@ -1,0 +1,413 @@
+// Package core implements the tiptop engine: periodic sampling of
+// hardware performance counters for every visible task, computation of
+// the derived metric columns, and production of display-ready samples for
+// the live and batch front ends.
+//
+// The engine is backend-agnostic: it monitors real processes through the
+// perf_event backend and /proc, or simulated ones through the virtual PMU
+// and the simulated process table. Its behaviour follows the paper's §2:
+// counters are attached to already-running tasks the first time they are
+// seen (no restart needed), the engine sleeps between refreshes, and each
+// refresh displays the number of occurrences of each event since the
+// previous refresh.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/metrics"
+)
+
+// TaskInfo is one process-table entry delivered by a ProcSource.
+type TaskInfo struct {
+	ID        hpm.TaskID
+	User      string
+	Comm      string
+	State     string // R, S, Z, ...
+	CPUTime   time.Duration
+	StartTime time.Duration
+	LastCPU   int
+}
+
+// ProcSource enumerates monitorable tasks. Implementations exist for the
+// real /proc filesystem and for the simulated kernel.
+type ProcSource interface {
+	// Snapshot returns the current task list.
+	Snapshot() ([]TaskInfo, error)
+}
+
+// Clock abstracts the passage of time so that the same engine drives
+// both live monitoring (sleeping wall-clock seconds) and simulation
+// (advancing the simulated kernel).
+type Clock interface {
+	// Now returns the time since the clock's origin.
+	Now() time.Duration
+	// Advance lets d elapse.
+	Advance(d time.Duration)
+}
+
+// RealClock is the wall-clock implementation of Clock.
+type RealClock struct{ origin time.Time }
+
+// NewRealClock returns a Clock anchored at the current instant.
+func NewRealClock() *RealClock { return &RealClock{origin: time.Now()} }
+
+// Now implements Clock.
+func (c *RealClock) Now() time.Duration { return time.Since(c.origin) }
+
+// Advance implements Clock by sleeping.
+func (c *RealClock) Advance(d time.Duration) { time.Sleep(d) }
+
+// Options configure a Session.
+type Options struct {
+	// Screen selects the displayed columns; nil means the default
+	// Figure 1 screen.
+	Screen *metrics.Screen
+	// Interval is the refresh period (paper: "we typically take
+	// samples every few seconds"). Default 2 s.
+	Interval time.Duration
+	// FreqHz is the nominal clock frequency, exposed to expressions as
+	// FREQ_HZ. Optional.
+	FreqHz float64
+	// NumCPUs is exposed to expressions as NUM_CPUS. Optional.
+	NumCPUs int
+	// FilterUser restricts monitoring to one user's tasks ("" = all).
+	// Mirrors the non-privileged case: users may only watch their own
+	// processes.
+	FilterUser string
+	// MaxRows truncates the sorted display (0 = unlimited).
+	MaxRows int
+	// SortBy names the sort key: "cpu" (default), "pid", or any column
+	// name of the screen (sorted descending).
+	SortBy string
+}
+
+// Row is one displayed task with its computed metrics.
+type Row struct {
+	Info   TaskInfo
+	CPUPct float64
+	// Values holds one entry per screen column.
+	Values []float64
+	// Events holds the raw per-event deltas for this refresh interval.
+	Events map[hpm.EventID]uint64
+	// Valid is false when counters could not be attached or read; the
+	// renderer shows dashes and the %CPU column only.
+	Valid bool
+}
+
+// Sample is the result of one refresh.
+type Sample struct {
+	Time    time.Duration // clock time at the refresh
+	Rows    []Row
+	Dropped int // tasks that disappeared since the previous refresh
+}
+
+// IPC is a convenience accessor returning instructions/cycles for a row,
+// 0 when unavailable.
+func (r *Row) IPC() float64 {
+	c := r.Events[hpm.EventCycles]
+	if c == 0 {
+		return 0
+	}
+	return float64(r.Events[hpm.EventInstructions]) / float64(c)
+}
+
+// taskState is the engine's book-keeping for one monitored task.
+type taskState struct {
+	info        TaskInfo
+	counter     hpm.TaskCounter
+	prevCounts  []hpm.Count
+	prevCPUTime time.Duration
+	prevSeenAt  time.Duration
+	everSampled bool
+}
+
+// Session is a running tiptop engine.
+type Session struct {
+	backend hpm.Backend
+	proc    ProcSource
+	clock   Clock
+	opt     Options
+	events  []hpm.EventID
+	states  map[hpm.TaskID]*taskState
+	failed  map[hpm.TaskID]bool // attach permanently failed (permissions)
+	closed  bool
+}
+
+// NewSession validates the configuration and creates an engine. The
+// backend is probed once; an unusable backend fails fast so callers can
+// fall back (e.g. from perf_event to the simulator).
+func NewSession(backend hpm.Backend, proc ProcSource, clock Clock, opt Options) (*Session, error) {
+	if backend == nil || proc == nil || clock == nil {
+		return nil, errors.New("core: backend, proc source and clock are required")
+	}
+	if err := backend.Probe(); err != nil {
+		return nil, fmt.Errorf("core: backend %s unusable: %w", backend.Name(), err)
+	}
+	if opt.Screen == nil {
+		opt.Screen = metrics.DefaultScreen()
+	}
+	if opt.Interval <= 0 {
+		opt.Interval = 2 * time.Second
+	}
+	events := opt.Screen.Events()
+	if len(events) == 0 {
+		return nil, errors.New("core: screen references no counter events")
+	}
+	for _, e := range events {
+		if !backend.Supported(e) {
+			return nil, fmt.Errorf("core: backend %s cannot count %v: %w",
+				backend.Name(), e, hpm.ErrUnsupportedEvent)
+		}
+	}
+	return &Session{
+		backend: backend,
+		proc:    proc,
+		clock:   clock,
+		opt:     opt,
+		events:  events,
+		states:  make(map[hpm.TaskID]*taskState),
+		failed:  make(map[hpm.TaskID]bool),
+	}, nil
+}
+
+// Screen returns the active screen.
+func (s *Session) Screen() *metrics.Screen { return s.opt.Screen }
+
+// Events returns the counter events the session attaches to every task.
+func (s *Session) Events() []hpm.EventID { return s.events }
+
+// Update performs one refresh: it rescans the process table, attaches
+// counters to newly discovered tasks, reads deltas for known ones, and
+// returns the computed sample.
+func (s *Session) Update() (*Sample, error) {
+	if s.closed {
+		return nil, errors.New("core: session closed")
+	}
+	now := s.clock.Now()
+	infos, err := s.proc.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("core: process snapshot: %w", err)
+	}
+	sample := &Sample{Time: now}
+	// Book-keeping is keyed by the full TaskID, so per-thread rows,
+	// per-process leader rows and group-scope rows never collide.
+	seen := make(map[hpm.TaskID]bool, len(infos))
+
+	for _, info := range infos {
+		if s.opt.FilterUser != "" && info.User != s.opt.FilterUser {
+			continue
+		}
+		seen[info.ID] = true
+		st, ok := s.states[info.ID]
+		if !ok {
+			st = s.admit(info, now)
+			if st == nil {
+				// Attach failed; show an unmonitored row.
+				sample.Rows = append(sample.Rows, s.cpuOnlyRow(info, now, nil))
+				continue
+			}
+			s.states[info.ID] = st
+		}
+		row := s.sampleTask(st, info, now)
+		sample.Rows = append(sample.Rows, row)
+		st.info = info
+		st.prevCPUTime = info.CPUTime
+		st.prevSeenAt = now
+		st.everSampled = true
+	}
+
+	// Reap tasks that disappeared.
+	for id, st := range s.states {
+		if !seen[id] {
+			if st.counter != nil {
+				_ = st.counter.Close()
+			}
+			delete(s.states, id)
+			sample.Dropped++
+		}
+	}
+	s.sortRows(sample.Rows)
+	if s.opt.MaxRows > 0 && len(sample.Rows) > s.opt.MaxRows {
+		sample.Rows = sample.Rows[:s.opt.MaxRows]
+	}
+	return sample, nil
+}
+
+// admit starts monitoring a newly seen task. Returns nil when counters
+// cannot be attached (and remembers hard failures so they are not
+// retried on every refresh).
+func (s *Session) admit(info TaskInfo, now time.Duration) *taskState {
+	if s.failed[info.ID] {
+		return nil
+	}
+	ctr, err := s.backend.Attach(info.ID, s.events)
+	if err != nil {
+		if errors.Is(err, hpm.ErrPermission) || errors.Is(err, hpm.ErrUnsupportedEvent) {
+			s.failed[info.ID] = true
+		}
+		return nil
+	}
+	counts, err := ctr.Read()
+	if err != nil {
+		_ = ctr.Close()
+		return nil
+	}
+	return &taskState{
+		info:        info,
+		counter:     ctr,
+		prevCounts:  counts,
+		prevCPUTime: info.CPUTime,
+		prevSeenAt:  now,
+	}
+}
+
+// sampleTask reads counter deltas and evaluates the screen columns.
+func (s *Session) sampleTask(st *taskState, info TaskInfo, now time.Duration) Row {
+	counts, err := st.counter.Read()
+	if err != nil {
+		return s.cpuOnlyRow(info, now, st)
+	}
+	deltas := hpm.Deltas(st.prevCounts, counts)
+	st.prevCounts = counts
+
+	events := make(map[hpm.EventID]uint64, len(s.events))
+	env := metrics.MapEnv{}
+	for i, e := range s.events {
+		events[e] = deltas[i]
+		env[e.String()] = float64(deltas[i])
+	}
+	wall := now - st.prevSeenAt
+	env[metrics.VarDeltaNS] = float64(wall)
+	env[metrics.VarFreqHz] = s.opt.FreqHz
+	env[metrics.VarCPUPct] = s.cpuPct(st, info, now)
+	env[metrics.VarNumCPU] = float64(s.opt.NumCPUs)
+
+	row := Row{
+		Info:   info,
+		CPUPct: s.cpuPct(st, info, now),
+		Events: events,
+		Valid:  true,
+	}
+	row.Values = make([]float64, len(s.opt.Screen.Columns))
+	for i, col := range s.opt.Screen.Columns {
+		v, err := col.Expr.Eval(env)
+		if err != nil {
+			v = 0
+		}
+		row.Values[i] = v
+	}
+	return row
+}
+
+// cpuPct computes OS CPU usage over the refresh interval, or since task
+// start on the first observation (as top does on its first screen).
+func (s *Session) cpuPct(st *taskState, info TaskInfo, now time.Duration) float64 {
+	var used, wall time.Duration
+	if st != nil && st.everSampled {
+		used = info.CPUTime - st.prevCPUTime
+		wall = now - st.prevSeenAt
+	} else {
+		used = info.CPUTime
+		wall = now - info.StartTime
+	}
+	if wall <= 0 {
+		return 0
+	}
+	pct := float64(used) / float64(wall) * 100
+	if pct < 0 {
+		pct = 0
+	}
+	return pct
+}
+
+// cpuOnlyRow builds an unmonitored row (no counters available).
+func (s *Session) cpuOnlyRow(info TaskInfo, now time.Duration, st *taskState) Row {
+	return Row{
+		Info:   info,
+		CPUPct: s.cpuPct(st, info, now),
+		Values: make([]float64, len(s.opt.Screen.Columns)),
+		Events: map[hpm.EventID]uint64{},
+		Valid:  false,
+	}
+}
+
+// sortRows orders the display.
+func (s *Session) sortRows(rows []Row) {
+	key := s.opt.SortBy
+	if key == "" {
+		key = "cpu"
+	}
+	colIdx := -1
+	if key != "cpu" && key != "pid" {
+		for i, c := range s.opt.Screen.Columns {
+			if c.Name == key {
+				colIdx = i
+				break
+			}
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := &rows[i], &rows[j]
+		switch {
+		case key == "pid":
+			return a.Info.ID.PID < b.Info.ID.PID
+		case colIdx >= 0:
+			if a.Values[colIdx] != b.Values[colIdx] {
+				return a.Values[colIdx] > b.Values[colIdx]
+			}
+		default:
+			if a.CPUPct != b.CPUPct {
+				return a.CPUPct > b.CPUPct
+			}
+		}
+		return a.Info.ID.PID < b.Info.ID.PID
+	})
+}
+
+// Run performs n refresh cycles (n <= 0 means run until the callback
+// returns false), invoking each after every update. The callback may be
+// nil. Between refreshes the clock advances by the configured interval.
+func (s *Session) Run(n int, each func(*Sample) bool) error {
+	for i := 0; n <= 0 || i < n; i++ {
+		s.clock.Advance(s.opt.Interval)
+		sample, err := s.Update()
+		if err != nil {
+			return err
+		}
+		if each != nil && !each(sample) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// AdvanceClock advances the session's clock by one refresh interval
+// without taking a sample. Experiment drivers use it to interleave their
+// own bookkeeping between refreshes.
+func (s *Session) AdvanceClock() { s.clock.Advance(s.opt.Interval) }
+
+// Interval returns the configured refresh period.
+func (s *Session) Interval() time.Duration { return s.opt.Interval }
+
+// Close releases all attached counters.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for pid, st := range s.states {
+		if st.counter != nil {
+			if err := st.counter.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		delete(s.states, pid)
+	}
+	return first
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiptop/internal/hpm"
+)
+
+// readFailCounter fails reads after a configurable number of successes.
+type readFailCounter struct {
+	fakeCounter
+	failAfter int
+	reads     int
+}
+
+func (c *readFailCounter) Read() ([]hpm.Count, error) {
+	c.reads++
+	if c.reads > c.failAfter {
+		return nil, errors.New("transient read failure")
+	}
+	return c.fakeCounter.Read()
+}
+
+// readFailBackend hands out counters that fail mid-flight.
+type readFailBackend struct {
+	*fakeBackend
+	failAfter int
+}
+
+func (b *readFailBackend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+	inner, err := b.fakeBackend.Attach(task, events)
+	if err != nil {
+		return nil, err
+	}
+	fc := inner.(*fakeCounter)
+	return &readFailCounter{fakeCounter: *fc, failAfter: b.failAfter}, nil
+}
+
+func TestCounterReadFailureDegradesToCPUOnly(t *testing.T) {
+	b, p, c := fixture()
+	addTask(b, p, 1, "u", 1.5, 1e9)
+	// The first Update performs two reads (attach baseline + first
+	// sample); allow one more refresh before injecting failures.
+	rb := &readFailBackend{fakeBackend: b, failAfter: 3}
+	s, err := NewSession(rb, p, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First two reads succeed (attach + first sample)...
+	if _, err := s.Update(); err != nil {
+		t.Fatal(err)
+	}
+	c.Advance(time.Second)
+	sam, err := s.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sam.Rows[0].Valid {
+		t.Fatal("row should be valid while reads work")
+	}
+	// ...then the counter starts failing: the engine must keep the row
+	// visible with %CPU only, never error the whole refresh.
+	c.Advance(time.Second)
+	sam, err = s.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sam.Rows) != 1 {
+		t.Fatalf("rows = %d", len(sam.Rows))
+	}
+	if sam.Rows[0].Valid {
+		t.Fatal("row must degrade to cpu-only on read failure")
+	}
+	if sam.Rows[0].CPUPct < 0 {
+		t.Fatal("cpu percentage still computed")
+	}
+}
+
+func TestManyTasksChurn(t *testing.T) {
+	// Tasks appearing and disappearing across refreshes must never leak
+	// counters: every attach is balanced by a close when the task goes.
+	b, p, c := fixture()
+	s, err := NewSession(b, p, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		p.infos = nil
+		for i := 0; i < 5; i++ {
+			pid := round*10 + i + 1
+			addTask(b, p, pid, "u", 1, 1e9)
+		}
+		if _, err := s.Update(); err != nil {
+			t.Fatal(err)
+		}
+		c.Advance(time.Second)
+	}
+	p.infos = nil
+	if _, err := s.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if b.closeCount != len(b.attachLog) {
+		t.Fatalf("leaked counters: %d attached, %d closed", len(b.attachLog), b.closeCount)
+	}
+}

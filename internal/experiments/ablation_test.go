@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAblationContention(t *testing.T) {
+	with, without, err := AblationContention(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("3-copy mcf slowdown: %.1f%% with sharing, %.1f%% without", with, without)
+	if with < 8 {
+		t.Errorf("with sharing, the slowdown should be substantial: %.1f%%", with)
+	}
+	// Without the contention model the co-run effect disappears (only
+	// run-to-run noise remains).
+	if math.Abs(without) > 3 {
+		t.Errorf("without sharing, the slowdown should vanish: %.1f%%", without)
+	}
+	if with < without+5 {
+		t.Errorf("the contention model must be load-bearing: %.1f%% vs %.1f%%", with, without)
+	}
+}
+
+func TestAblationAssistPenalty(t *testing.T) {
+	sweep, err := AblationAssistPenalty([]int{0, 64, 128, 264, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("assist-penalty sweep (penalty -> slowdown): %v", sweep)
+	// No mechanism: no slowdown.
+	if math.Abs(sweep[0]-1) > 0.01 {
+		t.Errorf("penalty 0 slowdown = %.2f, want 1", sweep[0])
+	}
+	// Monotone in the penalty.
+	prev := 0.0
+	for _, p := range []int{0, 64, 128, 264, 400} {
+		if sweep[p] < prev {
+			t.Errorf("slowdown must grow with penalty: %v", sweep)
+		}
+		prev = sweep[p]
+	}
+	// The calibrated 264 lands the paper's 87x.
+	if sweep[264] < 80 || sweep[264] > 100 {
+		t.Errorf("penalty 264 slowdown = %.0fx, want ~87x", sweep[264])
+	}
+	// Slowdown ~ (3 + penalty)/3: check the physics at one other point.
+	want := (3.0 + 128) / 3
+	if math.Abs(sweep[128]-want)/want > 0.1 {
+		t.Errorf("penalty 128 slowdown = %.1f, analytic %.1f", sweep[128], want)
+	}
+}
+
+func BenchmarkAblationContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with, without, err := AblationContention(Config{Scale: 0.01, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(with, "slowdown-with-%")
+			b.ReportMetric(without, "slowdown-without-%")
+		}
+	}
+}
+
+func BenchmarkAblationAssistPenalty(b *testing.B) {
+	var last map[int]float64
+	for i := 0; i < b.N; i++ {
+		sweep, err := AblationAssistPenalty([]int{128, 264})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = sweep
+	}
+	b.ReportMetric(last[264], "slowdown-at-264")
+}

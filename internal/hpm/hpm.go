@@ -1,0 +1,237 @@
+// Package hpm defines the hardware-performance-monitoring abstraction that
+// the tiptop engine is written against. Two backends implement it:
+//
+//   - internal/perfevent wraps the Linux perf_event_open(2) system call and
+//     counts events on real hardware (paper §2.3);
+//   - internal/sim/pmu exposes the simulated machine's virtual PMU, used to
+//     regenerate the paper's experiments deterministically.
+//
+// The interface mirrors the perf_event semantics the paper relies on: a
+// counter is attached to an already-running task at an arbitrary point in
+// time, counts only events that occur after the attach, survives context
+// switches, and is read periodically by the monitoring process.
+package hpm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EventID identifies a generic, architecture-independent countable event.
+// The set corresponds to the "generic events" exposed by
+// linux/perf_event.h that the paper's default configuration uses, plus the
+// architecture-specific events needed by the use cases (FP assists for
+// §3.1, L2 misses for §3.4, load/store/FP-op counts for the §2.6 metrics).
+type EventID int
+
+// Generic events. Cycles and Instructions are the two counters behind IPC,
+// the paper's headline metric.
+const (
+	EventInvalid EventID = iota
+	EventCycles
+	EventInstructions
+	EventCacheReferences // last-level cache references
+	EventCacheMisses     // last-level cache misses
+	EventBranches
+	EventBranchMisses
+	// Architecture-specific events (paper §2.2: "the tool is very
+	// flexible and lets users monitor any target-specific event").
+	EventFPAssist // micro-code assisted FP operations (Intel specific)
+	EventL2Misses
+	EventLoads
+	EventStores
+	EventFPOps
+	// EventMemStallCycles counts cycles stalled on memory (LLC-miss
+	// latency). The paper's §3.4 names memory-access-latency counters
+	// as future work for detecting DRAM-level contention; this event
+	// implements that extension.
+	EventMemStallCycles
+	eventMax
+)
+
+var eventNames = [...]string{
+	EventInvalid:         "INVALID",
+	EventCycles:          "CYCLES",
+	EventInstructions:    "INSTRUCTIONS",
+	EventCacheReferences: "CACHE_REFERENCES",
+	EventCacheMisses:     "CACHE_MISSES",
+	EventBranches:        "BRANCHES",
+	EventBranchMisses:    "BRANCH_MISSES",
+	EventFPAssist:        "FP_ASSIST",
+	EventL2Misses:        "L2_MISSES",
+	EventLoads:           "LOADS",
+	EventStores:          "STORES",
+	EventFPOps:           "FP_OPS",
+	EventMemStallCycles:  "MEM_STALL_CYCLES",
+}
+
+// String returns the canonical upper-case event name used in metric
+// expressions and configuration files.
+func (e EventID) String() string {
+	if e <= EventInvalid || int(e) >= len(eventNames) {
+		return fmt.Sprintf("EVENT(%d)", int(e))
+	}
+	return eventNames[e]
+}
+
+// Valid reports whether e names a known event.
+func (e EventID) Valid() bool { return e > EventInvalid && e < eventMax }
+
+// AllEvents returns every valid event ID in declaration order.
+func AllEvents() []EventID {
+	out := make([]EventID, 0, int(eventMax)-1)
+	for e := EventCycles; e < eventMax; e++ {
+		out = append(out, e)
+	}
+	return out
+}
+
+// ParseEvent resolves a canonical event name (as produced by String) back
+// to its ID.
+func ParseEvent(name string) (EventID, error) {
+	for e := EventCycles; e < eventMax; e++ {
+		if eventNames[e] == name {
+			return e, nil
+		}
+	}
+	return EventInvalid, fmt.Errorf("hpm: unknown event %q", name)
+}
+
+// Generic reports whether the event is one of the portable generic events
+// every backend must support. Backends may reject non-generic events with
+// ErrUnsupportedEvent.
+func (e EventID) Generic() bool {
+	switch e {
+	case EventCycles, EventInstructions, EventCacheReferences,
+		EventCacheMisses, EventBranches, EventBranchMisses:
+		return true
+	}
+	return false
+}
+
+// Errors shared by backends.
+var (
+	// ErrUnsupportedEvent is returned when the backend (or underlying
+	// hardware) cannot count the requested event.
+	ErrUnsupportedEvent = errors.New("hpm: unsupported event")
+	// ErrNoSuchTask is returned when attaching to a task that does not
+	// exist (any more).
+	ErrNoSuchTask = errors.New("hpm: no such task")
+	// ErrPermission is returned when the backend exists but the caller
+	// may not monitor the target task (paper footnote 1: non-privileged
+	// users can only watch processes they own).
+	ErrPermission = errors.New("hpm: permission denied")
+	// ErrUnavailable is returned by Probe when the backend cannot work
+	// at all in this environment (e.g. perf_event_open masked by a
+	// container seccomp policy).
+	ErrUnavailable = errors.New("hpm: backend unavailable")
+)
+
+// TaskID identifies a monitorable entity: a single kernel task (thread),
+// or — with TID zero — a whole thread group. The paper's tool can count
+// per thread or per process (§2.2 "Events can be counted per thread, or
+// per process"); the group scope corresponds to perf_event's inherit
+// counting.
+type TaskID struct {
+	PID int // process (thread group) id
+	TID int // thread id; equal to PID for the main thread, 0 for group scope
+}
+
+// IsProcess reports whether the task is a thread-group leader.
+func (t TaskID) IsProcess() bool { return t.PID == t.TID }
+
+// IsGroup reports whether the ID addresses the whole thread group
+// (process-scope counting) rather than one task.
+func (t TaskID) IsGroup() bool { return t.TID == 0 }
+
+// Group returns the group-scope ID for the same process.
+func (t TaskID) Group() TaskID { return TaskID{PID: t.PID} }
+
+func (t TaskID) String() string {
+	if t.IsGroup() {
+		return fmt.Sprintf("pid %d (group)", t.PID)
+	}
+	if t.IsProcess() {
+		return fmt.Sprintf("pid %d", t.PID)
+	}
+	return fmt.Sprintf("pid %d/tid %d", t.PID, t.TID)
+}
+
+// Count is one counter reading. Enabled and Running carry the
+// time-multiplexing information perf_event exposes via
+// PERF_FORMAT_TOTAL_TIME_{ENABLED,RUNNING}: when the PMU has fewer
+// hardware counters than requested events the kernel time-slices them and
+// the raw value must be scaled by Enabled/Running.
+type Count struct {
+	Raw     uint64 // raw counter value since attach
+	Enabled uint64 // ns the event was enabled
+	Running uint64 // ns the event was actually counting
+}
+
+// Scaled returns the multiplex-corrected estimate of the count. When the
+// event ran whenever it was enabled the raw value is returned unchanged.
+func (c Count) Scaled() uint64 {
+	if c.Running == 0 {
+		return 0
+	}
+	if c.Running >= c.Enabled {
+		return c.Raw
+	}
+	return uint64(float64(c.Raw) * float64(c.Enabled) / float64(c.Running))
+}
+
+// Exact reports whether the count needed no multiplex scaling.
+func (c Count) Exact() bool { return c.Running >= c.Enabled }
+
+// TaskCounter is a set of counters attached to one task. It is the
+// file-descriptor analogue: Close must be called to release it.
+type TaskCounter interface {
+	// Task returns the task the counters are attached to.
+	Task() TaskID
+	// Read returns the current value of every attached event, in the
+	// order the events were given at attach time.
+	Read() ([]Count, error)
+	// Close detaches and releases the counters.
+	Close() error
+}
+
+// Backend creates counters. Implementations must be safe for use from a
+// single monitoring goroutine; they are not required to be safe for
+// concurrent use, matching the single-threaded sampling loop of the tool.
+type Backend interface {
+	// Name returns a short human-readable backend name ("perf_event",
+	// "sim").
+	Name() string
+	// Probe reports whether the backend can be used at all, returning
+	// ErrUnavailable (possibly wrapped) when it cannot.
+	Probe() error
+	// Supported reports whether the backend can count the given event.
+	Supported(e EventID) bool
+	// Attach opens counters for the events on the given task. Counting
+	// starts at the time of the call: events that happened before are
+	// not observed (paper §2.2).
+	Attach(task TaskID, events []EventID) (TaskCounter, error)
+}
+
+// Deltas computes per-event deltas between two readings taken from the
+// same TaskCounter, applying multiplex scaling to both endpoints. A
+// negative delta (counter re-created, task died and pid reused) is clamped
+// to zero: the tool displays occurrences since the previous refresh and
+// must never show garbage.
+func Deltas(prev, cur []Count) []uint64 {
+	n := len(cur)
+	if len(prev) < n {
+		n = len(prev)
+	}
+	out := make([]uint64, len(cur))
+	for i := 0; i < n; i++ {
+		p, c := prev[i].Scaled(), cur[i].Scaled()
+		if c > p {
+			out[i] = c - p
+		}
+	}
+	for i := n; i < len(cur); i++ {
+		out[i] = cur[i].Scaled()
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package hpm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventStringRoundTrip(t *testing.T) {
+	for _, e := range AllEvents() {
+		name := e.String()
+		got, err := ParseEvent(name)
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", name, err)
+		}
+		if got != e {
+			t.Fatalf("round trip %v -> %q -> %v", e, name, got)
+		}
+	}
+}
+
+func TestEventValidity(t *testing.T) {
+	if EventInvalid.Valid() {
+		t.Fatal("EventInvalid must not be valid")
+	}
+	if !EventCycles.Valid() || !EventFPOps.Valid() {
+		t.Fatal("known events must be valid")
+	}
+	if EventID(999).Valid() {
+		t.Fatal("out-of-range event must not be valid")
+	}
+	if got := EventID(999).String(); got != "EVENT(999)" {
+		t.Fatalf("String of unknown = %q", got)
+	}
+}
+
+func TestParseEventUnknown(t *testing.T) {
+	if _, err := ParseEvent("NOT_AN_EVENT"); err == nil {
+		t.Fatal("expected error for unknown event name")
+	}
+}
+
+func TestGenericClassification(t *testing.T) {
+	generic := []EventID{EventCycles, EventInstructions, EventCacheReferences,
+		EventCacheMisses, EventBranches, EventBranchMisses}
+	for _, e := range generic {
+		if !e.Generic() {
+			t.Errorf("%v should be generic", e)
+		}
+	}
+	specific := []EventID{EventFPAssist, EventL2Misses, EventLoads, EventStores, EventFPOps}
+	for _, e := range specific {
+		if e.Generic() {
+			t.Errorf("%v should not be generic", e)
+		}
+	}
+}
+
+func TestTaskID(t *testing.T) {
+	p := TaskID{PID: 10, TID: 10}
+	if !p.IsProcess() {
+		t.Fatal("leader must be a process")
+	}
+	th := TaskID{PID: 10, TID: 11}
+	if th.IsProcess() {
+		t.Fatal("thread must not be a process")
+	}
+	if p.String() == "" || th.String() == "" || p.String() == th.String() {
+		t.Fatalf("String: %q vs %q", p, th)
+	}
+}
+
+func TestGroupScope(t *testing.T) {
+	leader := TaskID{PID: 10, TID: 10}
+	g := leader.Group()
+	if !g.IsGroup() || g.PID != 10 || g.TID != 0 {
+		t.Fatalf("Group() = %+v", g)
+	}
+	if leader.IsGroup() {
+		t.Fatal("a leader is not group scope")
+	}
+	if g.IsProcess() {
+		t.Fatal("group scope is not a concrete leader task")
+	}
+	if !strings.Contains(g.String(), "group") {
+		t.Fatalf("group String = %q", g)
+	}
+}
+
+func TestCountScaled(t *testing.T) {
+	// Counter ran whenever enabled: no scaling.
+	c := Count{Raw: 1000, Enabled: 50, Running: 50}
+	if c.Scaled() != 1000 || !c.Exact() {
+		t.Fatalf("exact count scaled to %d", c.Scaled())
+	}
+	// Counter ran half the time: value doubles.
+	c = Count{Raw: 1000, Enabled: 100, Running: 50}
+	if got := c.Scaled(); got != 2000 {
+		t.Fatalf("multiplexed count = %d, want 2000", got)
+	}
+	if c.Exact() {
+		t.Fatal("multiplexed count must not be exact")
+	}
+	// Never ran: zero, not division by zero.
+	c = Count{Raw: 1000, Enabled: 100, Running: 0}
+	if got := c.Scaled(); got != 0 {
+		t.Fatalf("never-ran count = %d, want 0", got)
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	prev := []Count{{Raw: 100, Enabled: 1, Running: 1}, {Raw: 50, Enabled: 1, Running: 1}}
+	cur := []Count{{Raw: 180, Enabled: 2, Running: 2}, {Raw: 40, Enabled: 2, Running: 2}}
+	d := Deltas(prev, cur)
+	if d[0] != 80 {
+		t.Fatalf("delta[0] = %d, want 80", d[0])
+	}
+	// Regressing counter clamps to zero.
+	if d[1] != 0 {
+		t.Fatalf("delta[1] = %d, want 0 (clamped)", d[1])
+	}
+}
+
+func TestDeltasLengthMismatch(t *testing.T) {
+	// New events appended since last read: their full value is the delta.
+	prev := []Count{{Raw: 10, Enabled: 1, Running: 1}}
+	cur := []Count{{Raw: 15, Enabled: 1, Running: 1}, {Raw: 7, Enabled: 1, Running: 1}}
+	d := Deltas(prev, cur)
+	if len(d) != 2 || d[0] != 5 || d[1] != 7 {
+		t.Fatalf("deltas = %v", d)
+	}
+}
+
+// Property: deltas are never negative (they are uint64 but must also never
+// be produced by wrap-around) and monotone counters give exact diffs.
+func TestPropDeltasMonotone(t *testing.T) {
+	f := func(a, b uint64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		prev := []Count{{Raw: lo, Enabled: 1, Running: 1}}
+		cur := []Count{{Raw: hi, Enabled: 1, Running: 1}}
+		d := Deltas(prev, cur)
+		return d[0] == hi-lo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling never shrinks a count (Enabled >= Running by
+// construction) and is the identity when exact.
+func TestPropScaledMonotone(t *testing.T) {
+	f := func(raw uint64, running, extra uint32) bool {
+		run := uint64(running)
+		en := run + uint64(extra)
+		c := Count{Raw: raw % (1 << 40), Enabled: en, Running: run}
+		s := c.Scaled()
+		if run == 0 {
+			return s == 0
+		}
+		return s >= c.Raw
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Env resolves identifiers during evaluation. The engine provides an Env
+// mapping event names to counter deltas for the current refresh interval
+// plus context variables such as DELTA_NS.
+type Env interface {
+	// Lookup returns the value of the named variable and whether it is
+	// defined.
+	Lookup(name string) (float64, bool)
+}
+
+// MapEnv is an Env backed by a plain map, convenient for tests and for
+// one-shot evaluations.
+type MapEnv map[string]float64
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (float64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// EvalError describes an evaluation failure (undefined identifier).
+type EvalError struct {
+	Expr string
+	Msg  string
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("metrics: %s evaluating %q", e.Msg, e.Expr)
+}
+
+// Eval computes the expression in env. Division by zero yields 0 rather
+// than an error or Inf: a task that retired no instructions during an
+// interval simply shows an empty/zero ratio in the table, exactly as a
+// freshly attached counter pair would in the original tool.
+func (e *Expr) Eval(env Env) (float64, error) {
+	return e.root.eval(env)
+}
+
+func (n *numberNode) eval(Env) (float64, error) { return n.val, nil }
+
+func (n *identNode) eval(env Env) (float64, error) {
+	v, ok := env.Lookup(n.name)
+	if !ok {
+		return 0, &EvalError{Expr: n.name, Msg: "undefined identifier " + n.name}
+	}
+	return v, nil
+}
+
+func (n *unaryNode) eval(env Env) (float64, error) {
+	v, err := n.expr.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return -v, nil
+}
+
+func (n *binaryNode) eval(env Env) (float64, error) {
+	l, err := n.l.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := n.r.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case tokPlus:
+		return l + r, nil
+	case tokMinus:
+		return l - r, nil
+	case tokStar:
+		return l * r, nil
+	case tokSlash:
+		if r == 0 {
+			return 0, nil
+		}
+		return l / r, nil
+	case tokPercent:
+		if r == 0 {
+			return 0, nil
+		}
+		return math.Mod(l, r), nil
+	case tokEQ:
+		return boolVal(l == r), nil
+	case tokNE:
+		return boolVal(l != r), nil
+	case tokLT:
+		return boolVal(l < r), nil
+	case tokGT:
+		return boolVal(l > r), nil
+	case tokLE:
+		return boolVal(l <= r), nil
+	case tokGE:
+		return boolVal(l >= r), nil
+	}
+	return 0, &EvalError{Expr: "?", Msg: "internal: unknown operator"}
+}
+
+func (n *condNode) eval(env Env) (float64, error) {
+	c, err := n.cond.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if c != 0 {
+		return n.then.eval(env)
+	}
+	return n.els.eval(env)
+}
+
+func (n *callNode) eval(env Env) (float64, error) {
+	args := make([]float64, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(env)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	return n.fn.impl(args), nil
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// builtin is a pure function callable from expressions.
+type builtin struct {
+	arity int
+	impl  func(args []float64) float64
+	doc   string
+}
+
+// builtins is the function table. All functions are total: they return 0
+// instead of NaN/Inf on degenerate inputs, keeping table cells printable.
+var builtins = map[string]*builtin{
+	"ratio": {2, func(a []float64) float64 {
+		if a[1] == 0 {
+			return 0
+		}
+		return a[0] / a[1]
+	}, "ratio(a,b) = a/b, 0 when b==0"},
+	"per100": {2, func(a []float64) float64 {
+		if a[1] == 0 {
+			return 0
+		}
+		return 100 * a[0] / a[1]
+	}, "per100(a,b) = occurrences of a per hundred b (e.g. misses per 100 instructions)"},
+	"per1000": {2, func(a []float64) float64 {
+		if a[1] == 0 {
+			return 0
+		}
+		return 1000 * a[0] / a[1]
+	}, "per1000(a,b) = occurrences of a per thousand b"},
+	"min": {2, func(a []float64) float64 { return math.Min(a[0], a[1]) },
+		"min(a,b)"},
+	"max": {2, func(a []float64) float64 { return math.Max(a[0], a[1]) },
+		"max(a,b)"},
+	"abs": {1, func(a []float64) float64 { return math.Abs(a[0]) },
+		"abs(a)"},
+	"sqrt": {1, func(a []float64) float64 {
+		if a[0] < 0 {
+			return 0
+		}
+		return math.Sqrt(a[0])
+	}, "sqrt(a), 0 for negative input"},
+	"log2": {1, func(a []float64) float64 {
+		if a[0] <= 0 {
+			return 0
+		}
+		return math.Log2(a[0])
+	}, "log2(a), 0 for non-positive input"},
+	"clamp": {3, func(a []float64) float64 {
+		v := a[0]
+		if v < a[1] {
+			v = a[1]
+		}
+		if v > a[2] {
+			v = a[2]
+		}
+		return v
+	}, "clamp(x,lo,hi)"},
+	"mega": {1, func(a []float64) float64 { return a[0] / 1e6 },
+		"mega(a) = a/1e6 (counts in millions, as the Mcycle/Minst columns)"},
+	"giga": {1, func(a []float64) float64 { return a[0] / 1e9 },
+		"giga(a) = a/1e9"},
+}
+
+// Builtins returns the names and one-line docs of all expression
+// functions, for --help output.
+func Builtins() map[string]string {
+	out := make(map[string]string, len(builtins))
+	for name, b := range builtins {
+		out[name] = b.doc
+	}
+	return out
+}

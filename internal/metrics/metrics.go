@@ -1,0 +1,286 @@
+package metrics
+
+import (
+	"fmt"
+
+	"tiptop/internal/hpm"
+)
+
+// Context variable names provided by the sampling engine in addition to
+// event deltas.
+const (
+	VarDeltaNS = "DELTA_NS" // nanoseconds since previous refresh
+	VarFreqHz  = "FREQ_HZ"  // nominal core clock of the machine
+	VarCPUPct  = "CPU_PCT"  // OS-reported %CPU over the interval
+	VarNumCPU  = "NUM_CPUS" // logical CPUs on the machine
+)
+
+// Column describes one displayed metric column: a header, a printf format
+// for the cell, a fixed width, and the expression that computes the value
+// from the current sample.
+type Column struct {
+	Name   string // internal name, unique within a screen
+	Header string // column heading
+	Width  int    // minimum cell width
+	Format string // fmt verb for the value, e.g. "%5.2f"
+	Expr   *Expr  // value expression
+	Desc   string // one-line description for help output
+}
+
+// Cell formats a value for display in this column.
+func (c *Column) Cell(v float64) string {
+	s := fmt.Sprintf(c.Format, v)
+	if len(s) < c.Width {
+		s = fmt.Sprintf("%*s", c.Width, s)
+	}
+	return s
+}
+
+// Events returns the counter events the column's expression references.
+// Context variables and unknown identifiers are skipped; the engine
+// reports unknown identifiers at evaluation time instead.
+func (c *Column) Events() []hpm.EventID {
+	var out []hpm.EventID
+	for _, id := range c.Expr.Identifiers() {
+		if isContextVar(id) {
+			continue
+		}
+		if e, err := hpm.ParseEvent(id); err == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func isContextVar(name string) bool {
+	switch name {
+	case VarDeltaNS, VarFreqHz, VarCPUPct, VarNumCPU:
+		return true
+	}
+	return false
+}
+
+// Screen is a named set of columns, mirroring tiptop's configurable
+// screens. The default screen reproduces Figure 1 of the paper.
+type Screen struct {
+	Name    string
+	Columns []*Column
+}
+
+// Events returns the union of counter events required by all columns, in
+// first-use order.
+func (s *Screen) Events() []hpm.EventID {
+	seen := make(map[hpm.EventID]bool)
+	var out []hpm.EventID
+	for _, col := range s.Columns {
+		for _, e := range col.Events() {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Column returns the column with the given name, or nil.
+func (s *Screen) Column(name string) *Column {
+	for _, c := range s.Columns {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// DefaultScreen returns the paper's Figure 1 screen: million cycles,
+// million instructions, IPC, and last-level cache misses per hundred
+// instructions.
+func DefaultScreen() *Screen {
+	return &Screen{
+		Name: "default",
+		Columns: []*Column{
+			{
+				Name: "mcycle", Header: "Mcycle", Width: 8, Format: "%8.0f",
+				Expr: MustCompile("mega(CYCLES)"),
+				Desc: "execution cycles since last refresh, in millions",
+			},
+			{
+				Name: "minst", Header: "Minst", Width: 8, Format: "%8.0f",
+				Expr: MustCompile("mega(INSTRUCTIONS)"),
+				Desc: "instructions retired since last refresh, in millions",
+			},
+			{
+				Name: "ipc", Header: "IPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+				Desc: "executed instructions per cycle",
+			},
+			{
+				Name: "dmis", Header: "DMIS", Width: 5, Format: "%5.1f",
+				Expr: MustCompile("per100(CACHE_MISSES, INSTRUCTIONS)"),
+				Desc: "last-level cache misses per hundred instructions",
+			},
+		},
+	}
+}
+
+// BranchScreen returns a screen focused on control flow.
+func BranchScreen() *Screen {
+	return &Screen{
+		Name: "branch",
+		Columns: []*Column{
+			{
+				Name: "ipc", Header: "IPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+				Desc: "executed instructions per cycle",
+			},
+			{
+				Name: "bpi", Header: "BPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(BRANCHES, INSTRUCTIONS)"),
+				Desc: "branches per instruction (instruction-mix metric, paper §2.6)",
+			},
+			{
+				Name: "misp", Header: "%MISP", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(BRANCH_MISSES, BRANCHES)"),
+				Desc: "branch misprediction ratio, percent",
+			},
+		},
+	}
+}
+
+// FPScreen returns the screen used in the §3.1 investigation: IPC next to
+// micro-coded FP assists per hundred instructions ("We added a new column
+// to tiptop in order to trace simultaneously IPC and FP assist events").
+func FPScreen() *Screen {
+	return &Screen{
+		Name: "fp",
+		Columns: []*Column{
+			{
+				Name: "ipc", Header: "IPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+				Desc: "executed instructions per cycle",
+			},
+			{
+				Name: "assist", Header: "%ASST", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(FP_ASSIST, INSTRUCTIONS)"),
+				Desc: "FP operations needing micro-code assist, per hundred instructions",
+			},
+			{
+				Name: "fpi", Header: "FPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(FP_OPS, INSTRUCTIONS)"),
+				Desc: "floating-point operations per instruction (paper §2.6)",
+			},
+		},
+	}
+}
+
+// MemoryScreen returns a screen for the memory subsystem, used by the
+// §3.4 interference study (L2 and L3 misses per hundred instructions).
+func MemoryScreen() *Screen {
+	return &Screen{
+		Name: "mem",
+		Columns: []*Column{
+			{
+				Name: "ipc", Header: "IPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+				Desc: "executed instructions per cycle",
+			},
+			{
+				Name: "lpi", Header: "LPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(LOADS, INSTRUCTIONS)"),
+				Desc: "loads per instruction (paper §2.6)",
+			},
+			{
+				Name: "l2m", Header: "L2M", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(L2_MISSES, INSTRUCTIONS)"),
+				Desc: "L2 cache misses per hundred instructions",
+			},
+			{
+				Name: "l3m", Header: "L3M", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(CACHE_MISSES, INSTRUCTIONS)"),
+				Desc: "last-level cache misses per hundred instructions",
+			},
+		},
+	}
+}
+
+// LatencyScreen implements the paper's stated future work (§3.4):
+// "recent processors have counters for the latency of memory accesses.
+// We plan to use them in the future to detect similar situations." It
+// shows the average exposed DRAM latency per LLC miss and the fraction
+// of cycles stalled on memory — rising latency under constant miss
+// counts is the signature of DRAM-level contention (Moscibroda & Mutlu).
+func LatencyScreen() *Screen {
+	return &Screen{
+		Name: "lat",
+		Columns: []*Column{
+			{
+				Name: "ipc", Header: "IPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+				Desc: "executed instructions per cycle",
+			},
+			{
+				Name: "l3m", Header: "L3M", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(CACHE_MISSES, INSTRUCTIONS)"),
+				Desc: "last-level cache misses per hundred instructions",
+			},
+			{
+				Name: "lat", Header: "LAT", Width: 6, Format: "%6.1f",
+				Expr: MustCompile("ratio(MEM_STALL_CYCLES, CACHE_MISSES)"),
+				Desc: "average exposed memory latency per LLC miss, cycles",
+			},
+			{
+				Name: "stall", Header: "%STL", Width: 5, Format: "%5.1f",
+				Expr: MustCompile("per100(MEM_STALL_CYCLES, CYCLES)"),
+				Desc: "fraction of cycles stalled on memory, percent",
+			},
+		},
+	}
+}
+
+// RooflineScreen returns the §2.6 characterization metrics: FPC and LPC
+// (Diamond et al.'s CPU- and memory-subsystem indicators) plus the
+// instruction-mix ratios FPI/LPI/BPI the paper recommends for selecting
+// the most appropriate processor in a binary-compatible family via the
+// Roofline methodology.
+func RooflineScreen() *Screen {
+	return &Screen{
+		Name: "roofline",
+		Columns: []*Column{
+			{
+				Name: "fpc", Header: "FPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(FP_OPS, CYCLES)"),
+				Desc: "floating-point operations per cycle (CPU subsystem)",
+			},
+			{
+				Name: "lpc", Header: "LPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(LOADS, CYCLES)"),
+				Desc: "loads per cycle (memory subsystem)",
+			},
+			{
+				Name: "fpi", Header: "FPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(FP_OPS, INSTRUCTIONS)"),
+				Desc: "floating-point operations per instruction",
+			},
+			{
+				Name: "lpi", Header: "LPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(LOADS, INSTRUCTIONS)"),
+				Desc: "loads per instruction",
+			},
+			{
+				Name: "bpi", Header: "BPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(BRANCHES, INSTRUCTIONS)"),
+				Desc: "branches per instruction",
+			},
+		},
+	}
+}
+
+// BuiltinScreens returns all predefined screens keyed by name.
+func BuiltinScreens() map[string]*Screen {
+	out := map[string]*Screen{}
+	for _, s := range []*Screen{DefaultScreen(), BranchScreen(), FPScreen(), MemoryScreen(), LatencyScreen(), RooflineScreen()} {
+		out[s.Name] = s
+	}
+	return out
+}

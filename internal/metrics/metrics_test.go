@@ -1,0 +1,433 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tiptop/internal/hpm"
+)
+
+func mustEval(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	e, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	env := MapEnv{}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1+2", 3},
+		{"2*3+4", 10},
+		{"2+3*4", 14},
+		{"(2+3)*4", 20},
+		{"10/4", 2.5},
+		{"10/0", 0}, // guarded division
+		{"7%3", 1},
+		{"7%0", 0}, // guarded modulo
+		{"-3+5", 2},
+		{"--3", 3},
+		{"+5", 5},
+		{"2*-3", -6},
+		{"1e3", 1000},
+		{"1.5e-2", 0.015},
+		{"2e2+1", 201},
+		{".5*4", 2},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, env); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisonAndConditional(t *testing.T) {
+	env := MapEnv{"X": 5}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"X > 3", 1},
+		{"X < 3", 0},
+		{"X >= 5", 1},
+		{"X <= 4", 0},
+		{"X == 5", 1},
+		{"X != 5", 0},
+		{"X > 3 ? 10 : 20", 10},
+		{"X < 3 ? 10 : 20", 20},
+		{"X > 3 ? X > 4 ? 1 : 2 : 3", 1}, // nested right-assoc
+		{"1 ? 2 : 0 ? 3 : 4", 2},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, env); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestIdentifiers(t *testing.T) {
+	env := MapEnv{"CYCLES": 200, "INSTRUCTIONS": 400}
+	if got := mustEval(t, "INSTRUCTIONS / CYCLES", env); got != 2 {
+		t.Fatalf("IPC = %v, want 2", got)
+	}
+	e := MustCompile("per100(CACHE_MISSES, INSTRUCTIONS) + CYCLES*0 + DELTA_NS*0")
+	ids := e.Identifiers()
+	want := []string{"CACHE_MISSES", "INSTRUCTIONS", "CYCLES", "DELTA_NS"}
+	if len(ids) != len(want) {
+		t.Fatalf("Identifiers = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Identifiers[%d] = %q, want %q", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestUndefinedIdentifier(t *testing.T) {
+	e := MustCompile("FOO + 1")
+	_, err := e.Eval(MapEnv{})
+	if err == nil {
+		t.Fatal("expected error for undefined identifier")
+	}
+	var ee *EvalError
+	if !asEvalError(err, &ee) {
+		t.Fatalf("error type = %T", err)
+	}
+	if !strings.Contains(err.Error(), "FOO") {
+		t.Fatalf("error should name the identifier: %v", err)
+	}
+}
+
+func asEvalError(err error, target **EvalError) bool {
+	if e, ok := err.(*EvalError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	env := MapEnv{"A": 3, "B": 12}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"ratio(A, B)", 0.25},
+		{"ratio(A, 0)", 0},
+		{"per100(A, B)", 25},
+		{"per100(A, 0)", 0},
+		{"per1000(A, B)", 250},
+		{"min(A, B)", 3},
+		{"max(A, B)", 12},
+		{"abs(-4)", 4},
+		{"sqrt(16)", 4},
+		{"sqrt(-1)", 0},
+		{"log2(8)", 3},
+		{"log2(0)", 0},
+		{"clamp(5, 0, 3)", 3},
+		{"clamp(-5, 0, 3)", 0},
+		{"clamp(2, 0, 3)", 2},
+		{"mega(3e6)", 3},
+		{"giga(2e9)", 2},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.src, env); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"", "1+", "(1", "1)", "foo(1)", "ratio(1)", "ratio(1,2,3)",
+		"min(", "1 ? 2", "1 ? 2 :", "@", "=", "!", "1..2", ".", "1e",
+		"1e+", "2 3", "a b",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Compile("1 + @")
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type = %T", err)
+	}
+	if se.Pos != 4 {
+		t.Fatalf("Pos = %d, want 4", se.Pos)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile of bad source must panic")
+		}
+	}()
+	MustCompile("1 +")
+}
+
+func TestCanonicalRendering(t *testing.T) {
+	e := MustCompile("1+2*3")
+	if got := e.String(); got != "(1 + (2 * 3))" {
+		t.Fatalf("String = %q", got)
+	}
+	if e.Source() != "1+2*3" {
+		t.Fatalf("Source = %q", e.Source())
+	}
+	// Rendered form must re-parse to an equivalent expression.
+	e2, err := Compile(e.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	v1, _ := e.Eval(MapEnv{})
+	v2, _ := e2.Eval(MapEnv{})
+	if v1 != v2 {
+		t.Fatalf("reparse changed value: %v vs %v", v1, v2)
+	}
+}
+
+// Property: rendering then re-parsing preserves the value for random
+// arithmetic expressions built from a tiny generator.
+func TestPropRenderRoundTrip(t *testing.T) {
+	ops := []string{"+", "-", "*", "/"}
+	f := func(a, b, c uint8, opIdx1, opIdx2 uint8) bool {
+		src := ""
+		src += itoa(int(a)%100) + ops[int(opIdx1)%4] + itoa(int(b)%100) + ops[int(opIdx2)%4] + itoa(int(c)%99+1)
+		e1, err := Compile(src)
+		if err != nil {
+			return false
+		}
+		e2, err := Compile(e1.String())
+		if err != nil {
+			return false
+		}
+		v1, err1 := e1.Eval(MapEnv{})
+		v2, err2 := e2.Eval(MapEnv{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if math.IsNaN(v1) {
+			return math.IsNaN(v2)
+		}
+		return math.Abs(v1-v2) <= 1e-9*(1+math.Abs(v1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Property: precedence — a+b*c equals a+(b*c) for arbitrary values.
+func TestPropPrecedence(t *testing.T) {
+	f := func(a, b, c int16) bool {
+		env := MapEnv{"A": float64(a), "B": float64(b), "C": float64(c)}
+		v1 := mustEvalQuiet("A+B*C", env)
+		v2 := mustEvalQuiet("A+(B*C)", env)
+		v3 := mustEvalQuiet("(A+B)*C", env)
+		if v1 != v2 {
+			return false
+		}
+		// If they happen to coincide that's fine; only check the
+		// common case where grouping matters.
+		if float64(a) != 0 && float64(c) != 1 && v1 == v3 && float64(a)+float64(b)*float64(c) != (float64(a)+float64(b))*float64(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEvalQuiet(src string, env Env) float64 {
+	e, err := Compile(src)
+	if err != nil {
+		return math.NaN()
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+func TestColumnCellFormatting(t *testing.T) {
+	col := &Column{
+		Name: "ipc", Header: "IPC", Width: 7, Format: "%5.2f",
+		Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+	}
+	cell := col.Cell(1.975)
+	if cell != "   1.98" {
+		t.Fatalf("Cell = %q", cell)
+	}
+}
+
+func TestColumnEvents(t *testing.T) {
+	col := &Column{
+		Name: "dmis", Header: "DMIS", Width: 5, Format: "%5.1f",
+		Expr: MustCompile("per100(CACHE_MISSES, INSTRUCTIONS) + DELTA_NS*0"),
+	}
+	evs := col.Events()
+	if len(evs) != 2 || evs[0] != hpm.EventCacheMisses || evs[1] != hpm.EventInstructions {
+		t.Fatalf("Events = %v", evs)
+	}
+}
+
+func TestDefaultScreenMatchesFigure1(t *testing.T) {
+	s := DefaultScreen()
+	headers := []string{"Mcycle", "Minst", "IPC", "DMIS"}
+	if len(s.Columns) != len(headers) {
+		t.Fatalf("columns = %d", len(s.Columns))
+	}
+	for i, h := range headers {
+		if s.Columns[i].Header != h {
+			t.Fatalf("column %d header = %q, want %q", i, s.Columns[i].Header, h)
+		}
+	}
+	// Figure 1 row: 26456 Mcycle, 52125 Minst -> IPC 1.97
+	env := MapEnv{"CYCLES": 26456e6, "INSTRUCTIONS": 52125e6, "CACHE_MISSES": 0}
+	ipc, err := s.Column("ipc").Expr.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ipc-1.97) > 0.005 {
+		t.Fatalf("IPC = %v, want 1.97", ipc)
+	}
+	mc, _ := s.Column("mcycle").Expr.Eval(env)
+	if mc != 26456 {
+		t.Fatalf("Mcycle = %v", mc)
+	}
+}
+
+func TestScreenEventsUnion(t *testing.T) {
+	s := DefaultScreen()
+	evs := s.Events()
+	want := []hpm.EventID{hpm.EventCycles, hpm.EventInstructions, hpm.EventCacheMisses}
+	if len(evs) != len(want) {
+		t.Fatalf("Events = %v", evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("Events[%d] = %v, want %v", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestScreenColumnLookup(t *testing.T) {
+	s := DefaultScreen()
+	if s.Column("ipc") == nil {
+		t.Fatal("ipc column missing")
+	}
+	if s.Column("nope") != nil {
+		t.Fatal("unexpected column")
+	}
+}
+
+func TestBuiltinScreens(t *testing.T) {
+	all := BuiltinScreens()
+	for _, name := range []string{"default", "branch", "fp", "mem", "lat"} {
+		s, ok := all[name]
+		if !ok {
+			t.Fatalf("screen %q missing", name)
+		}
+		if len(s.Columns) == 0 {
+			t.Fatalf("screen %q has no columns", name)
+		}
+		for _, c := range s.Columns {
+			if c.Expr == nil {
+				t.Fatalf("screen %q column %q has nil expr", name, c.Name)
+			}
+		}
+	}
+}
+
+func TestBuiltinsDoc(t *testing.T) {
+	docs := Builtins()
+	if len(docs) == 0 {
+		t.Fatal("no builtins documented")
+	}
+	for name, doc := range docs {
+		if doc == "" {
+			t.Fatalf("builtin %q lacks doc", name)
+		}
+	}
+}
+
+func TestLatencyScreenFutureWork(t *testing.T) {
+	// §3.4 future work: average memory latency per LLC miss. 5000
+	// stall cycles over 100 misses -> 50 cycles average; 5000 of
+	// 100000 cycles -> 5% stalled.
+	s := LatencyScreen()
+	env := MapEnv{
+		"MEM_STALL_CYCLES": 5000, "CACHE_MISSES": 100,
+		"CYCLES": 100000, "INSTRUCTIONS": 120000,
+	}
+	lat, err := s.Column("lat").Expr.Eval(env)
+	if err != nil || lat != 50 {
+		t.Fatalf("LAT = %v, %v; want 50", lat, err)
+	}
+	stall, err := s.Column("stall").Expr.Eval(env)
+	if err != nil || stall != 5 {
+		t.Fatalf("%%STL = %v, %v; want 5", stall, err)
+	}
+	evs := s.Events()
+	found := false
+	for _, e := range evs {
+		if e == hpm.EventMemStallCycles {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("latency screen must request MEM_STALL_CYCLES")
+	}
+}
+
+func TestFPScreenAssistColumn(t *testing.T) {
+	s := FPScreen()
+	// Table 1: x87 with non-finite operands -> 25% of instructions are
+	// assisted (1 fadd per 4-instruction loop body).
+	env := MapEnv{"FP_ASSIST": 25, "INSTRUCTIONS": 100, "CYCLES": 6667, "FP_OPS": 25}
+	got, err := s.Column("assist").Expr.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 25 {
+		t.Fatalf("%%ASST = %v, want 25", got)
+	}
+}

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ReuseProfile is a compact description of a workload's temporal
+// locality: the cumulative distribution of LRU stack distances of its
+// memory references, measured in bytes. By the classic stack-distance
+// property, a reference hits in a fully-associative LRU cache of capacity
+// C exactly when its stack distance is below C, so the miss-rate curve of
+// the workload is
+//
+//	miss(C) = 1 - CDF(C).
+//
+// Points must be sorted by ascending distance with non-decreasing
+// cumulative probability. A final ColdFraction accounts for compulsory
+// (infinite-distance) misses that no cache capacity can remove.
+type ReuseProfile struct {
+	Points       []ReusePoint
+	ColdFraction float64 // fraction of references that always miss
+	// Step selects exact step-function CDF semantics (a reference with
+	// stack distance d hits iff d <= capacity, no interpolation).
+	// Profiles measured by StackDistance use it; hand-written catalog
+	// profiles keep the default smooth interpolation between points.
+	Step bool
+}
+
+// ReusePoint is one point of the reuse CDF: CumProb of all references
+// have stack distance <= DistBytes.
+type ReusePoint struct {
+	DistBytes float64
+	CumProb   float64
+}
+
+// Validate checks monotonicity and range invariants.
+func (p *ReuseProfile) Validate() error {
+	if p.ColdFraction < 0 || p.ColdFraction > 1 {
+		return fmt.Errorf("cache: cold fraction %v out of [0,1]", p.ColdFraction)
+	}
+	prevD, prevP := -1.0, 0.0
+	for i, pt := range p.Points {
+		if pt.DistBytes < 0 || math.IsNaN(pt.DistBytes) {
+			return fmt.Errorf("cache: point %d has negative distance", i)
+		}
+		if pt.CumProb < 0 || pt.CumProb > 1 || math.IsNaN(pt.CumProb) {
+			return fmt.Errorf("cache: point %d has probability %v out of [0,1]", i, pt.CumProb)
+		}
+		if pt.DistBytes <= prevD {
+			return fmt.Errorf("cache: point %d distance not increasing", i)
+		}
+		if pt.CumProb < prevP {
+			return fmt.Errorf("cache: point %d probability decreasing", i)
+		}
+		prevD, prevP = pt.DistBytes, pt.CumProb
+	}
+	if len(p.Points) > 0 {
+		last := p.Points[len(p.Points)-1].CumProb
+		if last+p.ColdFraction > 1+1e-9 {
+			return fmt.Errorf("cache: CDF max %v plus cold %v exceeds 1", last, p.ColdFraction)
+		}
+	}
+	return nil
+}
+
+// cdf returns the fraction of references with stack distance <= c bytes,
+// with linear interpolation between points (or exact steps when Step is
+// set).
+func (p *ReuseProfile) cdf(c float64) float64 {
+	if len(p.Points) == 0 {
+		return 0
+	}
+	if c <= 0 {
+		return 0
+	}
+	pts := p.Points
+	if c >= pts[len(pts)-1].DistBytes {
+		return pts[len(pts)-1].CumProb
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].DistBytes >= c })
+	if p.Step {
+		// Exact semantics: count every point with distance <= c.
+		if i < len(pts) && pts[i].DistBytes == c {
+			return pts[i].CumProb
+		}
+		if i == 0 {
+			return 0
+		}
+		return pts[i-1].CumProb
+	}
+	if i == 0 {
+		// Interpolate from the origin (distance 0, probability 0).
+		return pts[0].CumProb * c / pts[0].DistBytes
+	}
+	a, b := pts[i-1], pts[i]
+	frac := (c - a.DistBytes) / (b.DistBytes - a.DistBytes)
+	return a.CumProb + frac*(b.CumProb-a.CumProb)
+}
+
+// MissRatio returns the predicted miss ratio of the workload in an LRU
+// cache of capacityBytes. It is monotonically non-increasing in capacity
+// and never drops below ColdFraction.
+func (p *ReuseProfile) MissRatio(capacityBytes float64) float64 {
+	hit := p.cdf(capacityBytes)
+	miss := 1 - hit
+	if miss < p.ColdFraction {
+		miss = p.ColdFraction
+	}
+	if miss < 0 {
+		miss = 0
+	}
+	if miss > 1 {
+		miss = 1
+	}
+	return miss
+}
+
+// Footprint returns the total data footprint: the distance beyond which
+// extra capacity no longer helps (the largest profile point).
+func (p *ReuseProfile) Footprint() float64 {
+	if len(p.Points) == 0 {
+		return 0
+	}
+	return p.Points[len(p.Points)-1].DistBytes
+}
+
+// UniformProfile builds a simple working-set profile: hits grow linearly
+// with capacity until the footprint is covered, at which point the miss
+// ratio bottoms out at cold. Handy for synthetic workloads and tests.
+func UniformProfile(footprintBytes float64, cold float64) ReuseProfile {
+	return ReuseProfile{
+		Points: []ReusePoint{
+			{DistBytes: footprintBytes, CumProb: 1 - cold},
+		},
+		ColdFraction: cold,
+	}
+}
+
+// TwoLevelProfile models the common "hot working set + large cold
+// footprint" shape: hotProb of references hit once hotBytes fit, and the
+// remainder require fullBytes. 429.mcf's pointer-chasing behaviour is
+// approximated this way.
+func TwoLevelProfile(hotBytes, fullBytes, hotProb, cold float64) ReuseProfile {
+	return ReuseProfile{
+		Points: []ReusePoint{
+			{DistBytes: hotBytes, CumProb: hotProb},
+			{DistBytes: fullBytes, CumProb: 1 - cold},
+		},
+		ColdFraction: cold,
+	}
+}
+
+// StackDistance computes the exact LRU stack-distance histogram of an
+// address trace at line granularity. It returns a ReuseProfile (distances
+// converted to bytes) suitable for the analytic model, enabling
+// cross-validation between the exact and analytic cache models. The
+// implementation maintains the LRU stack as a slice; complexity is
+// O(n * distinct lines), fine for the trace sizes used in tests.
+func StackDistance(addrs []uint64, lineBytes int) ReuseProfile {
+	type stackEntry = uint64
+	var stack []stackEntry // stack[0] is MRU
+	distCount := make(map[int]int)
+	cold := 0
+	for _, a := range addrs {
+		line := a / uint64(lineBytes)
+		found := -1
+		for i, l := range stack {
+			if l == line {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			cold++
+			stack = append(stack, 0)
+			copy(stack[1:], stack)
+			stack[0] = line
+			continue
+		}
+		distCount[found+1]++ // lines needed to hold this reuse
+		copy(stack[1:found+1], stack[:found])
+		stack[0] = line
+	}
+	total := len(addrs)
+	if total == 0 {
+		return ReuseProfile{}
+	}
+	dists := make([]int, 0, len(distCount))
+	for d := range distCount {
+		dists = append(dists, d)
+	}
+	sort.Ints(dists)
+	var pts []ReusePoint
+	cum := 0.0
+	for _, d := range dists {
+		cum += float64(distCount[d]) / float64(total)
+		pts = append(pts, ReusePoint{
+			DistBytes: float64(d * lineBytes),
+			CumProb:   cum,
+		})
+	}
+	return ReuseProfile{
+		Points:       pts,
+		ColdFraction: float64(cold) / float64(total),
+		Step:         true,
+	}
+}

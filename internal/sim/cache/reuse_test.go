@@ -1,0 +1,171 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReuseProfileValidate(t *testing.T) {
+	good := TwoLevelProfile(64<<10, 8<<20, 0.7, 0.02)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	bad := []ReuseProfile{
+		{ColdFraction: -0.1},
+		{ColdFraction: 1.1},
+		{Points: []ReusePoint{{DistBytes: -1, CumProb: 0.5}}},
+		{Points: []ReusePoint{{DistBytes: 10, CumProb: 1.5}}},
+		{Points: []ReusePoint{{DistBytes: 10, CumProb: 0.5}, {DistBytes: 5, CumProb: 0.6}}},
+		{Points: []ReusePoint{{DistBytes: 10, CumProb: 0.5}, {DistBytes: 20, CumProb: 0.4}}},
+		{Points: []ReusePoint{{DistBytes: 10, CumProb: 0.9}}, ColdFraction: 0.2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+func TestMissRatioMonotone(t *testing.T) {
+	p := TwoLevelProfile(64<<10, 8<<20, 0.7, 0.02)
+	prev := 1.0
+	for c := 1.0; c <= 16<<20; c *= 2 {
+		m := p.MissRatio(c)
+		if m > prev+1e-12 {
+			t.Fatalf("miss ratio increased with capacity at %v: %v > %v", c, m, prev)
+		}
+		if m < 0 || m > 1 {
+			t.Fatalf("miss ratio out of range: %v", m)
+		}
+		prev = m
+	}
+	// Infinite capacity bottoms out at the cold fraction.
+	if got := p.MissRatio(1e18); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("asymptotic miss ratio = %v, want 0.02", got)
+	}
+	// Zero capacity misses everything.
+	if got := p.MissRatio(0); got != 1 {
+		t.Fatalf("zero-capacity miss ratio = %v, want 1", got)
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	p := UniformProfile(1<<20, 0.05)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Half the footprint: half the capturable hits.
+	got := p.MissRatio(512 << 10)
+	want := 1 - 0.95/2
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MissRatio(half) = %v, want %v", got, want)
+	}
+	if p.Footprint() != 1<<20 {
+		t.Fatalf("Footprint = %v", p.Footprint())
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	var p ReuseProfile
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MissRatio(1 << 20); got != 1 {
+		t.Fatalf("empty profile must always miss, got %v", got)
+	}
+	if p.Footprint() != 0 {
+		t.Fatal("empty footprint")
+	}
+}
+
+func TestStackDistanceSimpleTrace(t *testing.T) {
+	// Trace: A B A -> A's reuse needs 2 lines (B was touched between).
+	const line = 64
+	trace := []uint64{0, 64, 0}
+	p := StackDistance(trace, line)
+	if math.Abs(p.ColdFraction-2.0/3) > 1e-12 {
+		t.Fatalf("cold fraction = %v, want 2/3", p.ColdFraction)
+	}
+	if len(p.Points) != 1 {
+		t.Fatalf("points = %v", p.Points)
+	}
+	if p.Points[0].DistBytes != 2*line {
+		t.Fatalf("distance = %v, want %d", p.Points[0].DistBytes, 2*line)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackDistanceEmpty(t *testing.T) {
+	p := StackDistance(nil, 64)
+	if len(p.Points) != 0 || p.ColdFraction != 0 {
+		t.Fatalf("empty trace profile = %+v", p)
+	}
+}
+
+// Cross-validation: the analytic model fed with the exact stack-distance
+// profile of a trace must predict the same miss count as a
+// fully-associative LRU simulator of the same capacity run over that
+// trace. This is the theorem the phase-model simulation rests on.
+func TestAnalyticMatchesExactFullyAssociative(t *testing.T) {
+	const line = 64
+	rng := rand.New(rand.NewSource(7))
+	// A trace with a hot set (16 lines) and a cold tail (256 lines).
+	var trace []uint64
+	for i := 0; i < 4000; i++ {
+		if rng.Intn(100) < 75 {
+			trace = append(trace, uint64(rng.Intn(16))*line)
+		} else {
+			trace = append(trace, uint64(16+rng.Intn(256))*line)
+		}
+	}
+	profile := StackDistance(trace, line)
+	if err := profile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ways := range []int{4, 16, 64} {
+		sim, err := NewSetAssoc(int64(ways*line), ways, line) // 1 set => fully associative
+		if err != nil {
+			t.Fatal(err)
+		}
+		var misses int
+		for _, a := range trace {
+			if !sim.Access(a) {
+				misses++
+			}
+		}
+		gotRatio := float64(misses) / float64(len(trace))
+		wantRatio := profile.MissRatio(float64(ways * line))
+		// The analytic CDF uses <= capacity; the simulator hits when
+		// distance <= ways. They agree exactly at line-multiple
+		// capacities.
+		if math.Abs(gotRatio-wantRatio) > 1e-9 {
+			t.Fatalf("ways=%d: exact %v vs analytic %v", ways, gotRatio, wantRatio)
+		}
+	}
+}
+
+// Property: StackDistance always yields a valid profile, and its
+// predicted miss ratio at infinite capacity equals the cold-miss
+// fraction.
+func TestPropStackDistanceValid(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		trace := make([]uint64, int(n)+1)
+		for i := range trace {
+			trace[i] = uint64(rng.Intn(64)) * 64
+		}
+		p := StackDistance(trace, 64)
+		if p.Validate() != nil {
+			return false
+		}
+		inf := p.MissRatio(1e18)
+		return math.Abs(inf-p.ColdFraction) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package cache implements the memory-hierarchy substrate of the machine
+// simulator. It provides two complementary models:
+//
+//   - an exact set-associative LRU cache simulator (SetAssoc), driven
+//     address by address by the micro-kernel VM;
+//   - an analytic model based on reuse-distance profiles and miss-rate
+//     curves (ReuseProfile), used by the coarse-grain phase workloads,
+//     together with a fixed-point capacity-sharing model that predicts how
+//     co-running processes divide a shared last-level cache — the
+//     mechanism behind the paper's §3.4 interference study.
+package cache
+
+import (
+	"fmt"
+)
+
+// SetAssoc is an exact set-associative cache with true-LRU replacement.
+// It models a single cache instance; the ukernel VM stacks several to
+// form a hierarchy.
+type SetAssoc struct {
+	sizeBytes int64
+	lineBytes int
+	assoc     int
+	numSets   int
+
+	// sets[s] holds the tags resident in set s in LRU order:
+	// sets[s][0] is the most recently used way.
+	sets [][]uint64
+
+	accesses uint64
+	misses   uint64
+}
+
+// NewSetAssoc builds a cache of the given geometry. sizeBytes must be a
+// multiple of assoc*lineBytes and the resulting set count must be a power
+// of two (as in real hardware).
+func NewSetAssoc(sizeBytes int64, assoc, lineBytes int) (*SetAssoc, error) {
+	if sizeBytes <= 0 || assoc <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry (%d,%d,%d)", sizeBytes, assoc, lineBytes)
+	}
+	if sizeBytes%int64(assoc*lineBytes) != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible by assoc*line %d", sizeBytes, assoc*lineBytes)
+	}
+	numSets := int(sizeBytes / int64(assoc*lineBytes))
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", numSets)
+	}
+	c := &SetAssoc{
+		sizeBytes: sizeBytes,
+		lineBytes: lineBytes,
+		assoc:     assoc,
+		numSets:   numSets,
+		sets:      make([][]uint64, numSets),
+	}
+	return c, nil
+}
+
+// SizeBytes returns the cache capacity.
+func (c *SetAssoc) SizeBytes() int64 { return c.sizeBytes }
+
+// LineBytes returns the line size.
+func (c *SetAssoc) LineBytes() int { return c.lineBytes }
+
+// Assoc returns the associativity.
+func (c *SetAssoc) Assoc() int { return c.assoc }
+
+// NumSets returns the number of sets.
+func (c *SetAssoc) NumSets() int { return c.numSets }
+
+// Access touches the byte address and returns true on a hit. On a miss
+// the line is installed, evicting the LRU way if the set is full.
+func (c *SetAssoc) Access(addr uint64) bool {
+	c.accesses++
+	line := addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.numSets))
+	ways := c.sets[set]
+	for i, tag := range ways {
+		if tag == line {
+			// Hit: move to MRU position.
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = line
+			return true
+		}
+	}
+	c.misses++
+	if len(ways) < c.assoc {
+		ways = append(ways, 0)
+	}
+	copy(ways[1:], ways)
+	ways[0] = line
+	c.sets[set] = ways
+	return false
+}
+
+// Contains reports whether the line holding addr is resident, without
+// touching LRU state.
+func (c *SetAssoc) Contains(addr uint64) bool {
+	line := addr / uint64(c.lineBytes)
+	set := int(line % uint64(c.numSets))
+	for _, tag := range c.sets[set] {
+		if tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative accesses and misses.
+func (c *SetAssoc) Stats() (accesses, misses uint64) {
+	return c.accesses, c.misses
+}
+
+// MissRatio returns misses/accesses, or 0 before any access.
+func (c *SetAssoc) MissRatio() float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(c.accesses)
+}
+
+// Reset empties the cache and clears statistics.
+func (c *SetAssoc) Reset() {
+	for i := range c.sets {
+		c.sets[i] = nil
+	}
+	c.accesses, c.misses = 0, 0
+}
+
+// ResetStats clears counters but keeps cache contents (used to measure
+// steady-state miss ratios after warm-up).
+func (c *SetAssoc) ResetStats() { c.accesses, c.misses = 0, 0 }
+
+// Hierarchy chains private cache levels: an access that misses level i is
+// forwarded to level i+1. It returns per-level miss indications so the VM
+// can charge latencies.
+type Hierarchy struct {
+	Levels []*SetAssoc
+}
+
+// NewHierarchy builds a hierarchy from inner (L1) to outer (LLC).
+func NewHierarchy(levels ...*SetAssoc) *Hierarchy {
+	return &Hierarchy{Levels: levels}
+}
+
+// Access walks the hierarchy. It returns the deepest level that hit:
+// 0 means L1 hit, len(Levels) means a miss in every level (memory
+// access). Lines are installed in every level that missed (inclusive
+// hierarchy).
+func (h *Hierarchy) Access(addr uint64) int {
+	for i, c := range h.Levels {
+		if c.Access(addr) {
+			return i
+		}
+	}
+	return len(h.Levels)
+}
+
+// MissesAt returns the cumulative miss count of level i (0-based).
+func (h *Hierarchy) MissesAt(i int) uint64 {
+	_, m := h.Levels[i].Stats()
+	return m
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+}

@@ -1,0 +1,256 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCache(t *testing.T, size int64, assoc, line int) *SetAssoc {
+	t.Helper()
+	c, err := NewSetAssoc(size, assoc, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewSetAssocGeometry(t *testing.T) {
+	c := mustCache(t, 32<<10, 8, 64)
+	if c.NumSets() != 64 {
+		t.Fatalf("NumSets = %d, want 64", c.NumSets())
+	}
+	if c.SizeBytes() != 32<<10 || c.Assoc() != 8 || c.LineBytes() != 64 {
+		t.Fatal("geometry accessors wrong")
+	}
+}
+
+func TestNewSetAssocErrors(t *testing.T) {
+	cases := []struct {
+		size        int64
+		assoc, line int
+	}{
+		{0, 8, 64},
+		{-64, 8, 64},
+		{1024, 0, 64},
+		{1024, 8, 0},
+		{1000, 8, 64},       // not divisible
+		{3 * 8 * 64, 8, 64}, // 3 sets: not a power of two
+	}
+	for _, c := range cases {
+		if _, err := NewSetAssoc(c.size, c.assoc, c.line); err == nil {
+			t.Errorf("NewSetAssoc(%d,%d,%d) should fail", c.size, c.assoc, c.line)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mustCache(t, 1024, 2, 64)
+	if c.Access(0) {
+		t.Fatal("first access must miss")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access must hit")
+	}
+	if !c.Access(63) {
+		t.Fatal("same line must hit")
+	}
+	if c.Access(64) {
+		t.Fatal("next line must miss")
+	}
+	acc, miss := c.Stats()
+	if acc != 4 || miss != 2 {
+		t.Fatalf("stats = %d/%d, want 4/2", acc, miss)
+	}
+	if got := c.MissRatio(); got != 0.5 {
+		t.Fatalf("MissRatio = %v", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, line 64, 2 sets -> size 256. Lines 0,2,4 map to set 0.
+	c := mustCache(t, 256, 2, 64)
+	addr := func(line int) uint64 { return uint64(line * 64) }
+	c.Access(addr(0)) // set0: [0]
+	c.Access(addr(2)) // set0: [2,0]
+	c.Access(addr(0)) // hit, set0: [0,2]
+	c.Access(addr(4)) // evicts LRU=2, set0: [4,0]
+	if c.Contains(addr(2)) {
+		t.Fatal("line 2 should have been evicted (LRU)")
+	}
+	if !c.Contains(addr(0)) || !c.Contains(addr(4)) {
+		t.Fatal("lines 0 and 4 should be resident")
+	}
+	if !c.Access(addr(0)) {
+		t.Fatal("line 0 must still hit")
+	}
+}
+
+func TestContainsDoesNotTouchLRU(t *testing.T) {
+	c := mustCache(t, 256, 2, 64)
+	addr := func(line int) uint64 { return uint64(line * 64) }
+	c.Access(addr(0))
+	c.Access(addr(2)) // LRU order: [2,0]
+	// Peek at 0 (would make it MRU if Contains touched LRU state).
+	if !c.Contains(addr(0)) {
+		t.Fatal("0 resident")
+	}
+	c.Access(addr(4)) // must evict 0 (true LRU), not 2
+	if c.Contains(addr(0)) {
+		t.Fatal("Contains must not refresh LRU position")
+	}
+	if !c.Contains(addr(2)) {
+		t.Fatal("2 should survive")
+	}
+}
+
+func TestWorkingSetFitsHasOnlyColdMisses(t *testing.T) {
+	c := mustCache(t, 32<<10, 8, 64)
+	// 16 KB working set, swept 10 times.
+	lines := 16 * 1024 / 64
+	for pass := 0; pass < 10; pass++ {
+		for l := 0; l < lines; l++ {
+			c.Access(uint64(l * 64))
+		}
+	}
+	acc, miss := c.Stats()
+	if acc != uint64(10*lines) {
+		t.Fatalf("accesses = %d", acc)
+	}
+	if miss != uint64(lines) {
+		t.Fatalf("misses = %d, want %d cold misses only", miss, lines)
+	}
+}
+
+func TestThrashingSweepMissesEverywhere(t *testing.T) {
+	// A cyclic sweep of 2x the cache size under LRU misses on every
+	// access after warm-up (the classic LRU pathological case).
+	c := mustCache(t, 1<<10, 2, 64) // 1 KB, 8 sets
+	lines := 2 * (1 << 10) / 64     // 32 lines
+	for pass := 0; pass < 3; pass++ {
+		for l := 0; l < lines; l++ {
+			c.Access(uint64(l * 64))
+		}
+	}
+	c.ResetStats()
+	for pass := 0; pass < 3; pass++ {
+		for l := 0; l < lines; l++ {
+			c.Access(uint64(l * 64))
+		}
+	}
+	if got := c.MissRatio(); got != 1 {
+		t.Fatalf("steady-state cyclic sweep miss ratio = %v, want 1", got)
+	}
+}
+
+func TestResetAndResetStats(t *testing.T) {
+	c := mustCache(t, 1024, 2, 64)
+	c.Access(0)
+	c.Access(0)
+	c.ResetStats()
+	acc, miss := c.Stats()
+	if acc != 0 || miss != 0 {
+		t.Fatal("ResetStats must clear counters")
+	}
+	if !c.Access(0) {
+		t.Fatal("contents must survive ResetStats")
+	}
+	c.Reset()
+	if c.Contains(0) {
+		t.Fatal("Reset must clear contents")
+	}
+}
+
+func TestHierarchyInclusive(t *testing.T) {
+	l1 := mustCache(t, 256, 2, 64)  // 2 sets
+	l2 := mustCache(t, 2048, 2, 64) // 16 sets: lines 0..16 conflict-free except 0 vs 16
+	h := NewHierarchy(l1, l2)
+	// First access: misses everywhere.
+	if lvl := h.Access(0); lvl != 2 {
+		t.Fatalf("cold access level = %d, want 2 (memory)", lvl)
+	}
+	// Immediately again: L1 hit.
+	if lvl := h.Access(0); lvl != 0 {
+		t.Fatalf("hot access level = %d, want 0", lvl)
+	}
+	// Evict from tiny L1 by touching conflicting lines, then access
+	// again: should hit in L2.
+	h.Access(256)  // set 0 of L1 (4 sets? 256B/2way/64B = 2 sets); line 4 -> set 0
+	h.Access(512)  // line 8 -> set 0, evicts line 0 from L1
+	h.Access(1024) // line 16 -> set 0
+	if lvl := h.Access(0); lvl != 1 {
+		t.Fatalf("L2 hit level = %d, want 1", lvl)
+	}
+	if h.MissesAt(0) == 0 || h.MissesAt(1) == 0 {
+		t.Fatal("miss counters must be populated")
+	}
+	h.Reset()
+	if lvl := h.Access(0); lvl != 2 {
+		t.Fatal("Reset must clear hierarchy")
+	}
+}
+
+// Property: miss count never exceeds access count and hit+miss accounting
+// is exact under random access streams.
+func TestPropStatsAccounting(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewSetAssoc(4<<10, 4, 64)
+		if err != nil {
+			return false
+		}
+		hits := 0
+		total := int(n) + 1
+		for i := 0; i < total; i++ {
+			if c.Access(uint64(rng.Intn(1 << 14))) {
+				hits++
+			}
+		}
+		acc, miss := c.Stats()
+		return acc == uint64(total) && miss == uint64(total-hits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a fully-associative SetAssoc (one set) agrees exactly with
+// the reference stack-distance computation: an access hits iff its stack
+// distance (in lines) is <= associativity.
+func TestPropFullyAssocMatchesStackDistance(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		const assoc, line = 8, 64
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewSetAssoc(assoc*line, assoc, line)
+		if err != nil || c.NumSets() != 1 {
+			return false
+		}
+		// Reference LRU stack.
+		var stack []uint64
+		for i := 0; i <= int(n); i++ {
+			a := uint64(rng.Intn(32)) * line
+			ln := a / line
+			// Compute reference expectation.
+			pos := -1
+			for j, l := range stack {
+				if l == ln {
+					pos = j
+					break
+				}
+			}
+			wantHit := pos >= 0 && pos < assoc
+			// Update reference stack.
+			if pos >= 0 {
+				stack = append(stack[:pos], stack[pos+1:]...)
+			}
+			stack = append([]uint64{ln}, stack...)
+			if got := c.Access(a); got != wantHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

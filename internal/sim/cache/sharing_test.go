@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShareCapacitySingle(t *testing.T) {
+	shares := ShareCapacity(8<<20, []Sharer{
+		{RefRate: 1e9, Profile: TwoLevelProfile(1<<20, 16<<20, 0.6, 0.01)},
+	})
+	if len(shares) != 1 || shares[0] != 8<<20 {
+		t.Fatalf("single sharer gets whole cache, got %v", shares)
+	}
+}
+
+func TestShareCapacityEmpty(t *testing.T) {
+	if got := ShareCapacity(8<<20, nil); len(got) != 0 {
+		t.Fatalf("empty sharers = %v", got)
+	}
+	got := ShareCapacity(0, []Sharer{{RefRate: 1, Profile: UniformProfile(1, 0)}})
+	if got[0] != 0 {
+		t.Fatal("zero capacity yields zero shares")
+	}
+}
+
+func TestShareCapacitySymmetric(t *testing.T) {
+	// Two identical sharers split the cache evenly.
+	p := TwoLevelProfile(1<<20, 16<<20, 0.6, 0.01)
+	shares := ShareCapacity(8<<20, []Sharer{
+		{RefRate: 1e9, Profile: p},
+		{RefRate: 1e9, Profile: p},
+	})
+	if math.Abs(shares[0]-shares[1]) > 1 {
+		t.Fatalf("symmetric sharers should split evenly: %v", shares)
+	}
+	if math.Abs(shares[0]+shares[1]-8<<20) > 1 {
+		t.Fatalf("shares must sum to capacity: %v", shares)
+	}
+}
+
+func TestShareCapacityAggressorWins(t *testing.T) {
+	// A high-rate, cache-hungry process takes more than a quiet one.
+	hungry := Sharer{RefRate: 5e9, Profile: TwoLevelProfile(6<<20, 64<<20, 0.5, 0.05)}
+	quiet := Sharer{RefRate: 1e8, Profile: TwoLevelProfile(256<<10, 1<<20, 0.95, 0.01)}
+	shares := ShareCapacity(8<<20, []Sharer{hungry, quiet})
+	if shares[0] <= shares[1] {
+		t.Fatalf("aggressor should hold more capacity: %v", shares)
+	}
+}
+
+func TestSharedMissRatiosDegradeWithCompany(t *testing.T) {
+	// The §3.4 experiment in miniature: each extra copy of a
+	// memory-hungry workload raises everyone's miss ratio.
+	mcf := Sharer{RefRate: 2e9, Profile: TwoLevelProfile(2<<20, 100<<20, 0.55, 0.08)}
+	var prev float64
+	for copies := 1; copies <= 3; copies++ {
+		sharers := make([]Sharer, copies)
+		for i := range sharers {
+			sharers[i] = mcf
+		}
+		ratios := SharedMissRatios(8<<20, sharers)
+		if copies > 1 && ratios[0] <= prev {
+			t.Fatalf("%d copies: miss ratio %v did not increase over %v",
+				copies, ratios[0], prev)
+		}
+		prev = ratios[0]
+	}
+}
+
+// Property: shares are non-negative and sum to the capacity for arbitrary
+// sharer populations.
+func TestPropSharesSumToCapacity(t *testing.T) {
+	f := func(rates []uint32, hotKB []uint16) bool {
+		n := len(rates)
+		if len(hotKB) < n {
+			n = len(hotKB)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 6 {
+			n = 6
+		}
+		const capacity = 8 << 20
+		sharers := make([]Sharer, n)
+		for i := 0; i < n; i++ {
+			rate := float64(rates[i]%1000+1) * 1e6
+			hot := float64(hotKB[i]%8192+64) * 1024
+			sharers[i] = Sharer{
+				RefRate: rate,
+				Profile: TwoLevelProfile(hot, hot*16, 0.7, 0.02),
+			}
+		}
+		shares := ShareCapacity(capacity, sharers)
+		var sum float64
+		for _, s := range shares {
+			if s < 0 {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-capacity) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding an identical competitor never increases my equilibrium
+// share.
+func TestPropMoreSharersLessCapacity(t *testing.T) {
+	f := func(rate uint32, hotKB uint16, extra uint8) bool {
+		base := Sharer{
+			RefRate: float64(rate%1000+1) * 1e6,
+			Profile: TwoLevelProfile(float64(hotKB%4096+64)*1024, 64<<20, 0.7, 0.02),
+		}
+		const capacity = 8 << 20
+		prev := math.Inf(1)
+		for n := 1; n <= int(extra%4)+2; n++ {
+			sharers := make([]Sharer, n)
+			for i := range sharers {
+				sharers[i] = base
+			}
+			share := ShareCapacity(capacity, sharers)[0]
+			if share > prev+1 {
+				return false
+			}
+			prev = share
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

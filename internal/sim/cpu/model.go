@@ -1,0 +1,336 @@
+// Package cpu implements the analytic core timing model of the machine
+// simulator. Given a workload phase's instruction mix and reuse profile,
+// plus the execution context for the current scheduler quantum (effective
+// cache capacities after contention, SMT co-residency), it predicts the
+// effective CPI and the per-instruction event rates that feed the virtual
+// PMU.
+//
+// The model is a classic additive stall model:
+//
+//	CPI = BaseCPI * archScale * smtFactor
+//	    + missL1/instr * exposed L2 hit latency
+//	    + missL2/instr * exposed L3 hit latency  (3-level machines)
+//	    + missLLC/instr * memLatency / MLP
+//	    + branchMiss/instr * branchMissPenalty
+//	    + assist/instr * fpAssistPenalty
+//
+// Cache-hit latencies are "exposed" values: the part of the architectural
+// latency that out-of-order execution cannot hide. The DRAM term is
+// divided by the phase's memory-level parallelism.
+//
+// Cache miss rates come from the phase's reuse-distance profile evaluated
+// at the *effective* capacity of each level, which is where shared-cache
+// contention (paper §3.4) enters: co-runners shrink the effective LLC and
+// the CPI rises even though CPU usage stays at 100 %.
+package cpu
+
+import (
+	"fmt"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/sim/cache"
+	"tiptop/internal/sim/machine"
+)
+
+// PhaseParams describes the execution characteristics of one workload
+// phase. Rates are expressed per thousand instructions (PKI) as is
+// conventional in architecture papers.
+type PhaseParams struct {
+	// BaseCPI is the cycles per instruction with a perfect memory
+	// hierarchy and perfect branch prediction; it captures the
+	// workload's intrinsic ILP on the reference micro-architecture.
+	BaseCPI float64
+
+	LoadsPKI    float64 // loads per 1000 instructions
+	StoresPKI   float64 // stores per 1000 instructions
+	BranchesPKI float64 // branches per 1000 instructions
+	FPPKI       float64 // floating-point ops per 1000 instructions
+
+	BranchMissRatio  float64 // mispredicted fraction of branches
+	FPAssistFraction float64 // fraction of FP ops hitting the micro-code assist path
+
+	// MLP is the memory-level parallelism: the average number of
+	// outstanding LLC misses that overlap. The effective memory
+	// penalty per miss is memLatency/MLP. 1 means fully serialized
+	// pointer chasing.
+	MLP float64
+
+	// Prefetch is the fraction of cache-miss latency hidden by the
+	// hardware prefetchers (0..1). Streaming workloads such as
+	// 410.bwaves run near full speed despite missing constantly; the
+	// counters still report the misses, only the stall cost shrinks.
+	Prefetch float64
+
+	// Reuse is the temporal-locality profile driving cache miss rates.
+	Reuse cache.ReuseProfile
+}
+
+// Validate checks parameter sanity.
+func (p *PhaseParams) Validate() error {
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("cpu: BaseCPI %v must be positive", p.BaseCPI)
+	}
+	if p.LoadsPKI < 0 || p.StoresPKI < 0 || p.BranchesPKI < 0 || p.FPPKI < 0 {
+		return fmt.Errorf("cpu: negative event rate")
+	}
+	if p.LoadsPKI+p.StoresPKI > 1000 {
+		return fmt.Errorf("cpu: more than 1000 memory ops per 1000 instructions")
+	}
+	if p.BranchMissRatio < 0 || p.BranchMissRatio > 1 {
+		return fmt.Errorf("cpu: branch miss ratio %v out of [0,1]", p.BranchMissRatio)
+	}
+	if p.FPAssistFraction < 0 || p.FPAssistFraction > 1 {
+		return fmt.Errorf("cpu: assist fraction %v out of [0,1]", p.FPAssistFraction)
+	}
+	if p.MLP < 1 {
+		return fmt.Errorf("cpu: MLP %v must be >= 1", p.MLP)
+	}
+	if p.Prefetch < 0 || p.Prefetch > 1 {
+		return fmt.Errorf("cpu: prefetch factor %v out of [0,1]", p.Prefetch)
+	}
+	return p.Reuse.Validate()
+}
+
+// Context is the per-quantum execution environment, computed by the
+// scheduler from the machine topology and the set of co-running tasks.
+type Context struct {
+	M *machine.Machine
+	// Effective capacities of each private/shared level for this task
+	// during the quantum, after contention partitioning.
+	L1Bytes  float64
+	L2Bytes  float64
+	LLCBytes float64 // equals L2Bytes on two-level machines
+	// SMTBusy reports whether the sibling hardware thread was running
+	// another task during the quantum.
+	SMTBusy bool
+}
+
+// DefaultContext returns the uncontended context for a machine: every
+// cache at its full capacity, no SMT sibling activity.
+func DefaultContext(m *machine.Machine) Context {
+	ctx := Context{M: m}
+	if l1, ok := m.CacheAt(1); ok {
+		ctx.L1Bytes = float64(l1.SizeBytes)
+	}
+	if l2, ok := m.CacheAt(2); ok {
+		ctx.L2Bytes = float64(l2.SizeBytes)
+	}
+	ctx.LLCBytes = float64(m.LLC().SizeBytes)
+	return ctx
+}
+
+// Result is the model's prediction for a phase in a context.
+type Result struct {
+	CPI float64
+	// Per-instruction event rates.
+	LoadsPerInstr      float64
+	StoresPerInstr     float64
+	BranchesPerInstr   float64
+	FPPerInstr         float64
+	BranchMissPerInstr float64
+	AssistPerInstr     float64
+	L1MissPerInstr     float64
+	L2MissPerInstr     float64
+	LLCRefPerInstr     float64
+	LLCMissPerInstr    float64
+	// MemStallPerInstr is the exposed DRAM stall in cycles per
+	// instruction — the model's source for the MEM_STALL_CYCLES event.
+	MemStallPerInstr float64
+}
+
+// IPC returns 1/CPI.
+func (r Result) IPC() float64 {
+	if r.CPI == 0 {
+		return 0
+	}
+	return 1 / r.CPI
+}
+
+// Evaluate runs the timing model.
+func Evaluate(p PhaseParams, ctx Context) Result {
+	m := ctx.M
+	refsPerInstr := (p.LoadsPKI + p.StoresPKI) / 1000
+
+	// Capacities must be hierarchy-ordered for the miss rates to nest;
+	// contention can shrink an outer level below an inner one, in
+	// which case the inner level's capacity dominates.
+	l1 := ctx.L1Bytes
+	l2 := ctx.L2Bytes
+	if l2 < l1 {
+		l2 = l1
+	}
+	llc := ctx.LLCBytes
+	if llc < l2 {
+		llc = l2
+	}
+
+	missL1 := refsPerInstr * p.Reuse.MissRatio(l1)
+	threeLevel := false
+	if _, ok := m.CacheAt(3); ok {
+		threeLevel = true
+	}
+
+	var missL2, missLLC, llcRefs float64
+	if threeLevel {
+		missL2 = refsPerInstr * p.Reuse.MissRatio(l2)
+		missLLC = refsPerInstr * p.Reuse.MissRatio(llc)
+		llcRefs = missL2
+	} else {
+		// Two-level hierarchy: L2 is the LLC.
+		missL2 = refsPerInstr * p.Reuse.MissRatio(llc)
+		missLLC = missL2
+		llcRefs = missL1
+	}
+
+	branchesPerInstr := p.BranchesPKI / 1000
+	brMissPerInstr := branchesPerInstr * p.BranchMissRatio
+	fpPerInstr := p.FPPKI / 1000
+	assistPerInstr := 0.0
+	if m.FPAssistPenalty > 0 {
+		assistPerInstr = fpPerInstr * p.FPAssistFraction
+	}
+
+	cpi := p.BaseCPI * m.CPIScale
+	if ctx.SMTBusy {
+		cpi *= m.SMTSlowdown
+	}
+	exposed := 1 - p.Prefetch
+	if l2cache, ok := m.CacheAt(2); ok {
+		cpi += missL1 * float64(l2cache.LatencyCycles) * exposed
+	}
+	if threeLevel {
+		cpi += missL2 * float64(m.LLC().LatencyCycles) * exposed
+	}
+	mlp := p.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	memStall := missLLC * float64(m.MemLatencyCycles) / mlp * exposed
+	cpi += memStall
+	cpi += brMissPerInstr * float64(m.BranchMissPenalty)
+	cpi += assistPerInstr * float64(m.FPAssistPenalty)
+
+	// The pipeline cannot retire faster than the issue width allows.
+	if minCPI := 1 / float64(m.IssueWidth); cpi < minCPI {
+		cpi = minCPI
+	}
+
+	return Result{
+		CPI:                cpi,
+		LoadsPerInstr:      p.LoadsPKI / 1000,
+		StoresPerInstr:     p.StoresPKI / 1000,
+		BranchesPerInstr:   branchesPerInstr,
+		FPPerInstr:         fpPerInstr,
+		BranchMissPerInstr: brMissPerInstr,
+		AssistPerInstr:     assistPerInstr,
+		L1MissPerInstr:     missL1,
+		L2MissPerInstr:     missL2,
+		LLCRefPerInstr:     llcRefs,
+		LLCMissPerInstr:    missLLC,
+		MemStallPerInstr:   memStall,
+	}
+}
+
+// Delta is the bundle of architectural event counts produced by executing
+// some instructions. It is the currency between workload instances, the
+// scheduler, and the virtual PMU.
+type Delta struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	BranchMisses uint64
+	FPOps        uint64
+	FPAssists    uint64
+	L1Misses     uint64
+	L2Misses     uint64
+	LLCRefs      uint64
+	LLCMisses    uint64
+	// MemStallCycles is the cycles spent waiting on DRAM (exposed
+	// LLC-miss latency), the §3.4 future-work latency counter.
+	MemStallCycles uint64
+}
+
+// Add accumulates o into d.
+func (d *Delta) Add(o Delta) {
+	d.Instructions += o.Instructions
+	d.Cycles += o.Cycles
+	d.Loads += o.Loads
+	d.Stores += o.Stores
+	d.Branches += o.Branches
+	d.BranchMisses += o.BranchMisses
+	d.FPOps += o.FPOps
+	d.FPAssists += o.FPAssists
+	d.L1Misses += o.L1Misses
+	d.L2Misses += o.L2Misses
+	d.LLCRefs += o.LLCRefs
+	d.LLCMisses += o.LLCMisses
+	d.MemStallCycles += o.MemStallCycles
+}
+
+// EventCount maps a generic or architecture-specific event ID to the
+// corresponding count in the delta.
+func (d Delta) EventCount(e hpm.EventID) uint64 {
+	switch e {
+	case hpm.EventCycles:
+		return d.Cycles
+	case hpm.EventInstructions:
+		return d.Instructions
+	case hpm.EventCacheReferences:
+		return d.LLCRefs
+	case hpm.EventCacheMisses:
+		return d.LLCMisses
+	case hpm.EventBranches:
+		return d.Branches
+	case hpm.EventBranchMisses:
+		return d.BranchMisses
+	case hpm.EventFPAssist:
+		return d.FPAssists
+	case hpm.EventL2Misses:
+		return d.L2Misses
+	case hpm.EventLoads:
+		return d.Loads
+	case hpm.EventStores:
+		return d.Stores
+	case hpm.EventFPOps:
+		return d.FPOps
+	case hpm.EventMemStallCycles:
+		return d.MemStallCycles
+	}
+	return 0
+}
+
+// Emit converts a Result plus an instruction count into integral event
+// counts, carrying fractional remainders in acc so that long runs of
+// small quanta do not systematically under-count (the remainders of each
+// rate are accumulated across calls).
+func Emit(r Result, instructions uint64, cycles uint64, acc *Accumulator) Delta {
+	d := Delta{Instructions: instructions, Cycles: cycles}
+	n := float64(instructions)
+	d.Loads = acc.take(0, n*r.LoadsPerInstr)
+	d.Stores = acc.take(1, n*r.StoresPerInstr)
+	d.Branches = acc.take(2, n*r.BranchesPerInstr)
+	d.BranchMisses = acc.take(3, n*r.BranchMissPerInstr)
+	d.FPOps = acc.take(4, n*r.FPPerInstr)
+	d.FPAssists = acc.take(5, n*r.AssistPerInstr)
+	d.L1Misses = acc.take(6, n*r.L1MissPerInstr)
+	d.L2Misses = acc.take(7, n*r.L2MissPerInstr)
+	d.LLCRefs = acc.take(8, n*r.LLCRefPerInstr)
+	d.LLCMisses = acc.take(9, n*r.LLCMissPerInstr)
+	d.MemStallCycles = acc.take(10, n*r.MemStallPerInstr)
+	return d
+}
+
+// Accumulator carries the fractional event remainders of one task across
+// scheduler quanta.
+type Accumulator struct {
+	frac [11]float64
+}
+
+func (a *Accumulator) take(slot int, amount float64) uint64 {
+	total := a.frac[slot] + amount
+	whole := uint64(total)
+	a.frac[slot] = total - float64(whole)
+	return whole
+}

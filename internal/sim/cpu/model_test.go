@@ -1,0 +1,260 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/sim/cache"
+	"tiptop/internal/sim/machine"
+)
+
+func simpleParams() PhaseParams {
+	return PhaseParams{
+		BaseCPI:         0.5,
+		LoadsPKI:        250,
+		StoresPKI:       100,
+		BranchesPKI:     150,
+		FPPKI:           50,
+		BranchMissRatio: 0.02,
+		MLP:             4,
+		Reuse:           cache.TwoLevelProfile(24<<10, 4<<20, 0.9, 0.01),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := simpleParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*PhaseParams){
+		func(p *PhaseParams) { p.BaseCPI = 0 },
+		func(p *PhaseParams) { p.LoadsPKI = -1 },
+		func(p *PhaseParams) { p.LoadsPKI = 900; p.StoresPKI = 200 },
+		func(p *PhaseParams) { p.BranchMissRatio = 1.5 },
+		func(p *PhaseParams) { p.FPAssistFraction = -0.1 },
+		func(p *PhaseParams) { p.MLP = 0 },
+	}
+	for i, mutate := range bad {
+		q := simpleParams()
+		mutate(&q)
+		if err := q.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultContext(t *testing.T) {
+	m := machine.XeonW3550()
+	ctx := DefaultContext(m)
+	if ctx.L1Bytes != 32<<10 || ctx.L2Bytes != 256<<10 || ctx.LLCBytes != 8<<20 {
+		t.Fatalf("ctx = %+v", ctx)
+	}
+	c2 := DefaultContext(machine.Core2())
+	if c2.LLCBytes != 4<<20 || c2.L2Bytes != 4<<20 {
+		t.Fatalf("Core2 ctx = %+v", c2)
+	}
+}
+
+func TestCPIFloorIsIssueWidth(t *testing.T) {
+	m := machine.XeonW3550()
+	p := PhaseParams{BaseCPI: 0.01, MLP: 1, Reuse: cache.UniformProfile(1024, 0)}
+	r := Evaluate(p, DefaultContext(m))
+	if got, want := r.CPI, 0.25; got != want {
+		t.Fatalf("CPI floor = %v, want %v (issue width 4)", got, want)
+	}
+	if r.IPC() != 4 {
+		t.Fatalf("IPC = %v", r.IPC())
+	}
+}
+
+func TestSMTSlowdown(t *testing.T) {
+	m := machine.XeonW3550()
+	p := simpleParams()
+	solo := Evaluate(p, DefaultContext(m))
+	ctx := DefaultContext(m)
+	ctx.SMTBusy = true
+	shared := Evaluate(p, ctx)
+	if shared.CPI <= solo.CPI {
+		t.Fatalf("SMT-busy CPI %v must exceed solo %v", shared.CPI, solo.CPI)
+	}
+}
+
+func TestCacheContentionRaisesCPI(t *testing.T) {
+	m := machine.XeonW3550()
+	p := PhaseParams{
+		BaseCPI: 0.8, LoadsPKI: 300, MLP: 2,
+		Reuse: cache.TwoLevelProfile(512<<10, 16<<20, 0.6, 0.02),
+	}
+	full := Evaluate(p, DefaultContext(m))
+	squeezed := DefaultContext(m)
+	squeezed.LLCBytes = 2 << 20
+	r := Evaluate(p, squeezed)
+	if r.CPI <= full.CPI {
+		t.Fatalf("shrunken LLC must raise CPI: %v vs %v", r.CPI, full.CPI)
+	}
+	if r.LLCMissPerInstr <= full.LLCMissPerInstr {
+		t.Fatal("shrunken LLC must raise LLC misses")
+	}
+}
+
+func TestFPAssistPenaltyArchDependent(t *testing.T) {
+	p := PhaseParams{
+		BaseCPI: 0.75, FPPKI: 300, FPAssistFraction: 1, MLP: 4,
+		Reuse: cache.UniformProfile(1024, 0),
+	}
+	nehalem := Evaluate(p, DefaultContext(machine.XeonW3550()))
+	ppc := Evaluate(p, DefaultContext(machine.PPC970()))
+	// On Nehalem the assists dominate: IPC collapses (paper Figure 3a).
+	if nehalem.IPC() > 0.05 {
+		t.Fatalf("Nehalem assisted IPC = %v, want < 0.05", nehalem.IPC())
+	}
+	if nehalem.AssistPerInstr != 0.3 {
+		t.Fatalf("assist rate = %v", nehalem.AssistPerInstr)
+	}
+	// On PPC970 there is no assist path at all (Figure 3d).
+	if ppc.AssistPerInstr != 0 {
+		t.Fatalf("PPC970 assists = %v, want 0", ppc.AssistPerInstr)
+	}
+	if ppc.IPC() < 0.3 {
+		t.Fatalf("PPC970 IPC = %v, should be unaffected by non-finite values", ppc.IPC())
+	}
+}
+
+func TestTwoLevelLLCSemantics(t *testing.T) {
+	m := machine.Core2() // L2 is the LLC
+	p := PhaseParams{
+		BaseCPI: 0.6, LoadsPKI: 300, MLP: 2,
+		Reuse: cache.TwoLevelProfile(64<<10, 8<<20, 0.7, 0.02),
+	}
+	r := Evaluate(p, DefaultContext(m))
+	// On a two-level machine, LLC references are L1 misses.
+	if r.LLCRefPerInstr != r.L1MissPerInstr {
+		t.Fatalf("two-level LLC refs %v != L1 misses %v", r.LLCRefPerInstr, r.L1MissPerInstr)
+	}
+	if r.L2MissPerInstr != r.LLCMissPerInstr {
+		t.Fatal("two-level: L2 misses are LLC misses")
+	}
+}
+
+func TestCapacityOrderingClamp(t *testing.T) {
+	m := machine.XeonW3550()
+	p := simpleParams()
+	ctx := DefaultContext(m)
+	// Pathological contention: shared L3 squeezed below the private L2.
+	ctx.LLCBytes = 64 << 10
+	r := Evaluate(p, ctx)
+	// Miss rates must still nest: missL1 >= missL2 >= missLLC.
+	if r.L1MissPerInstr < r.L2MissPerInstr || r.L2MissPerInstr < r.LLCMissPerInstr {
+		t.Fatalf("miss rates must nest: %v %v %v",
+			r.L1MissPerInstr, r.L2MissPerInstr, r.LLCMissPerInstr)
+	}
+}
+
+func TestDeltaAddAndEventCount(t *testing.T) {
+	a := Delta{Instructions: 10, Cycles: 20, Loads: 3, LLCMisses: 1, FPAssists: 2}
+	b := Delta{Instructions: 5, Cycles: 10, Loads: 2, Branches: 7}
+	a.Add(b)
+	if a.Instructions != 15 || a.Cycles != 30 || a.Loads != 5 || a.Branches != 7 {
+		t.Fatalf("Add result %+v", a)
+	}
+	cases := map[hpm.EventID]uint64{
+		hpm.EventCycles:          30,
+		hpm.EventInstructions:    15,
+		hpm.EventLoads:           5,
+		hpm.EventBranches:        7,
+		hpm.EventCacheMisses:     1,
+		hpm.EventFPAssist:        2,
+		hpm.EventStores:          0,
+		hpm.EventInvalid:         0,
+		hpm.EventCacheReferences: 0,
+		hpm.EventBranchMisses:    0,
+		hpm.EventL2Misses:        0,
+		hpm.EventFPOps:           0,
+	}
+	for e, want := range cases {
+		if got := a.EventCount(e); got != want {
+			t.Errorf("EventCount(%v) = %d, want %d", e, got, want)
+		}
+	}
+}
+
+func TestEmitConservesRates(t *testing.T) {
+	m := machine.XeonW3550()
+	p := simpleParams()
+	r := Evaluate(p, DefaultContext(m))
+	var acc Accumulator
+	var total Delta
+	// Many small quanta: fractional carry must prevent undercounting.
+	const per = 7
+	const rounds = 10000
+	for i := 0; i < rounds; i++ {
+		d := Emit(r, per, uint64(float64(per)*r.CPI), &acc)
+		total.Add(d)
+	}
+	n := float64(per * rounds)
+	// Tolerance 2: one count of quantization plus accumulated FP drift.
+	wantLoads := n * r.LoadsPerInstr
+	if math.Abs(float64(total.Loads)-wantLoads) > 2 {
+		t.Fatalf("loads = %d, want ~%v", total.Loads, wantLoads)
+	}
+	wantBrMiss := n * r.BranchMissPerInstr
+	if math.Abs(float64(total.BranchMisses)-wantBrMiss) > 2 {
+		t.Fatalf("branch misses = %d, want ~%v", total.BranchMisses, wantBrMiss)
+	}
+	wantLLC := n * r.LLCMissPerInstr
+	if math.Abs(float64(total.LLCMisses)-wantLLC) > 2 {
+		t.Fatalf("LLC misses = %d, want ~%v", total.LLCMisses, wantLLC)
+	}
+}
+
+// Property: CPI is monotone non-increasing in LLC capacity.
+func TestPropCPIMonotoneInCapacity(t *testing.T) {
+	m := machine.XeonW3550()
+	f := func(hotKB uint16, loads uint16) bool {
+		p := PhaseParams{
+			BaseCPI:  0.7,
+			LoadsPKI: float64(loads%500) + 1,
+			MLP:      2,
+			Reuse:    cache.TwoLevelProfile(float64(hotKB%8192+64)*1024, 64<<20, 0.7, 0.02),
+		}
+		ctx := DefaultContext(m)
+		prev := math.Inf(1)
+		for _, c := range []float64{1 << 20, 2 << 20, 4 << 20, 8 << 20} {
+			ctx.LLCBytes = c
+			r := Evaluate(p, ctx)
+			if r.CPI > prev+1e-12 {
+				return false
+			}
+			prev = r.CPI
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Emit never produces more events than rate*instructions+1 and
+// total counts are within 1 of the exact expectation after accumulation.
+func TestPropEmitBounded(t *testing.T) {
+	m := machine.XeonW3550()
+	p := simpleParams()
+	r := Evaluate(p, DefaultContext(m))
+	f := func(quanta []uint16) bool {
+		var acc Accumulator
+		var total Delta
+		var n float64
+		for _, q := range quanta {
+			instr := uint64(q % 1000)
+			total.Add(Emit(r, instr, uint64(float64(instr)*r.CPI), &acc))
+			n += float64(instr)
+		}
+		return math.Abs(float64(total.Loads)-n*r.LoadsPerInstr) <= 2 &&
+			math.Abs(float64(total.FPOps)-n*r.FPPerInstr) <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

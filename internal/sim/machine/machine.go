@@ -1,0 +1,371 @@
+// Package machine models the hardware platforms of the paper: socket /
+// core / SMT-thread topology, the cache hierarchy, clock frequency, and
+// the micro-architectural parameters the timing model needs (issue width,
+// miss penalties, the Intel micro-code FP-assist penalty). Presets are
+// provided for the four machines the paper measures on: the Intel Xeon
+// W3550 (Nehalem) workstation, the bi-Xeon E5640 (Westmere) data-center
+// node, an Intel Core 2 machine, and the PowerPC PPC970.
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sharing describes which set of logical CPUs share one cache instance.
+type Sharing int
+
+const (
+	// SharedPerThread means one cache instance per logical CPU.
+	SharedPerThread Sharing = iota
+	// SharedPerCore means the SMT threads of one physical core share it.
+	SharedPerCore
+	// SharedPerSocket means all cores of one socket share it.
+	SharedPerSocket
+)
+
+func (s Sharing) String() string {
+	switch s {
+	case SharedPerThread:
+		return "thread"
+	case SharedPerCore:
+		return "core"
+	case SharedPerSocket:
+		return "socket"
+	}
+	return "unknown"
+}
+
+// CacheLevel describes one level of the hierarchy.
+type CacheLevel struct {
+	Level     int     // 1, 2, 3
+	SizeBytes int64   // total capacity of one instance
+	Assoc     int     // associativity (ways)
+	LineBytes int     // cache line size
+	Shared    Sharing // scope of one instance
+	// LatencyCycles is the *exposed* stall cost, in cycles, of a hit
+	// at this level as seen by the out-of-order pipeline: the fraction
+	// of the architectural latency that dynamic scheduling cannot
+	// hide. The timing model charges it per miss at the level above.
+	LatencyCycles int
+}
+
+// CPUID is a logical CPU number, in Linux enumeration order: on a
+// hyper-threaded Intel machine, CPU k and CPU k+NumCores() are the two
+// hardware threads of physical core k (this is the numbering the paper
+// uses in §3.4: "logical cores 0 and 4" share a physical core on the
+// quad-core Nehalem).
+type CPUID int
+
+// Machine is an immutable hardware description.
+type Machine struct {
+	Name           string
+	MicroArch      string // "Nehalem", "Core", "PPC970", ...
+	Sockets        int
+	CoresPerSocket int
+	ThreadsPerCore int
+	FreqHz         float64
+	MemoryBytes    int64
+	Caches         []CacheLevel // ordered L1 data, L2, [L3]
+
+	// Timing-model parameters.
+	IssueWidth        int     // maximum instructions retired per cycle
+	MemLatencyCycles  int     // DRAM access latency
+	BranchMissPenalty int     // pipeline refill cycles
+	FPAssistPenalty   int     // extra cycles per micro-code assisted FP op (0: no assist pathology)
+	SMTSlowdown       float64 // multiplicative base-CPI factor when the sibling thread is busy
+	// CPIScale multiplies every workload's base CPI to model the
+	// sustained-ILP difference between micro-architectures (workload
+	// base CPIs are calibrated on Nehalem, scale 1.0; the older Core
+	// and PPC970 retire the same code more slowly).
+	CPIScale float64
+
+	// NumCounters is how many events the PMU can count concurrently
+	// (paper §2.6: "Our Intel Xeon W3550 supports up to sixteen
+	// simultaneous events"). Requests beyond this are time-multiplexed.
+	NumCounters int
+}
+
+// Validate checks internal consistency.
+func (m *Machine) Validate() error {
+	if m.Sockets <= 0 || m.CoresPerSocket <= 0 || m.ThreadsPerCore <= 0 {
+		return fmt.Errorf("machine %q: non-positive topology", m.Name)
+	}
+	if m.FreqHz <= 0 {
+		return fmt.Errorf("machine %q: non-positive frequency", m.Name)
+	}
+	if m.IssueWidth <= 0 {
+		return fmt.Errorf("machine %q: non-positive issue width", m.Name)
+	}
+	if m.NumCounters <= 0 {
+		return fmt.Errorf("machine %q: need at least one hardware counter", m.Name)
+	}
+	if len(m.Caches) == 0 {
+		return fmt.Errorf("machine %q: no caches", m.Name)
+	}
+	for i, c := range m.Caches {
+		if c.Level != i+1 {
+			return fmt.Errorf("machine %q: cache %d has level %d", m.Name, i, c.Level)
+		}
+		if c.SizeBytes <= 0 || c.Assoc <= 0 || c.LineBytes <= 0 {
+			return fmt.Errorf("machine %q: degenerate cache L%d", m.Name, c.Level)
+		}
+		if c.SizeBytes%int64(c.LineBytes*c.Assoc) != 0 {
+			return fmt.Errorf("machine %q: L%d size not divisible by assoc*line", m.Name, c.Level)
+		}
+	}
+	if m.SMTSlowdown < 1 {
+		return fmt.Errorf("machine %q: SMT slowdown must be >= 1", m.Name)
+	}
+	if m.CPIScale <= 0 {
+		return fmt.Errorf("machine %q: CPIScale must be positive", m.Name)
+	}
+	return nil
+}
+
+// NumCores returns the number of physical cores.
+func (m *Machine) NumCores() int { return m.Sockets * m.CoresPerSocket }
+
+// NumLogical returns the number of logical CPUs.
+func (m *Machine) NumLogical() int { return m.NumCores() * m.ThreadsPerCore }
+
+// LLC returns the last-level cache.
+func (m *Machine) LLC() CacheLevel { return m.Caches[len(m.Caches)-1] }
+
+// CacheAt returns the cache description for the given level, or false.
+func (m *Machine) CacheAt(level int) (CacheLevel, bool) {
+	for _, c := range m.Caches {
+		if c.Level == level {
+			return c, true
+		}
+	}
+	return CacheLevel{}, false
+}
+
+// Core returns the physical core index of a logical CPU.
+func (m *Machine) Core(cpu CPUID) int { return int(cpu) % m.NumCores() }
+
+// Socket returns the socket index of a logical CPU.
+func (m *Machine) Socket(cpu CPUID) int { return m.Core(cpu) / m.CoresPerSocket }
+
+// Thread returns the SMT thread index (0-based) of a logical CPU within
+// its physical core.
+func (m *Machine) Thread(cpu CPUID) int { return int(cpu) / m.NumCores() }
+
+// Siblings returns all logical CPUs sharing the physical core of cpu,
+// including cpu itself, in ascending order.
+func (m *Machine) Siblings(cpu CPUID) []CPUID {
+	core := m.Core(cpu)
+	out := make([]CPUID, 0, m.ThreadsPerCore)
+	for t := 0; t < m.ThreadsPerCore; t++ {
+		out = append(out, CPUID(core+t*m.NumCores()))
+	}
+	return out
+}
+
+// SameDomain reports whether two logical CPUs share a cache instance with
+// the given sharing scope.
+func (m *Machine) SameDomain(a, b CPUID, s Sharing) bool {
+	switch s {
+	case SharedPerThread:
+		return a == b
+	case SharedPerCore:
+		return m.Core(a) == m.Core(b)
+	case SharedPerSocket:
+		return m.Socket(a) == m.Socket(b)
+	}
+	return false
+}
+
+// DomainOf returns a small integer identifying the cache-sharing domain a
+// logical CPU belongs to for the given scope. CPUs with equal domain IDs
+// share one cache instance.
+func (m *Machine) DomainOf(cpu CPUID, s Sharing) int {
+	switch s {
+	case SharedPerThread:
+		return int(cpu)
+	case SharedPerCore:
+		return m.Core(cpu)
+	case SharedPerSocket:
+		return m.Socket(cpu)
+	}
+	return -1
+}
+
+// AffinityMask is a set of logical CPUs a task may run on; the empty mask
+// means "any CPU" (no affinity, the default). It models the Linux
+// taskset(1) utility the paper uses to pin mcf copies to cores.
+type AffinityMask map[CPUID]bool
+
+// Allows reports whether cpu is permitted by the mask.
+func (a AffinityMask) Allows(cpu CPUID) bool {
+	return len(a) == 0 || a[cpu]
+}
+
+// MaskOf builds an affinity mask from an explicit CPU list.
+func MaskOf(cpus ...CPUID) AffinityMask {
+	m := make(AffinityMask, len(cpus))
+	for _, c := range cpus {
+		m[c] = true
+	}
+	return m
+}
+
+// RenderTopology produces an hwloc-like ASCII drawing of the machine, as
+// in Figure 11 (c) of the paper.
+func (m *Machine) RenderTopology() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Machine (%dMB)\n", m.MemoryBytes/(1<<20))
+	for s := 0; s < m.Sockets; s++ {
+		fmt.Fprintf(&b, "  Socket#%d\n", s)
+		if llc := m.LLC(); llc.Shared == SharedPerSocket {
+			fmt.Fprintf(&b, "    L%d (%dKB)\n", llc.Level, llc.SizeBytes/1024)
+		}
+		for c := 0; c < m.CoresPerSocket; c++ {
+			core := s*m.CoresPerSocket + c
+			for _, cl := range m.Caches {
+				if cl.Shared == SharedPerCore {
+					fmt.Fprintf(&b, "      L%d (%dKB)\n", cl.Level, cl.SizeBytes/1024)
+				}
+			}
+			fmt.Fprintf(&b, "      Core#%d\n", core)
+			for t := 0; t < m.ThreadsPerCore; t++ {
+				fmt.Fprintf(&b, "        PU#%d\n", core+t*m.NumCores())
+			}
+		}
+	}
+	return b.String()
+}
+
+// --- Presets: the paper's machines ---
+
+// XeonW3550 returns the Intel Xeon W3550 of §3.1–3.3: Nehalem, 4 cores,
+// 2-way SMT, 3.07 GHz, 32 KB L1d + 256 KB L2 per core, 8 MB shared L3,
+// sixteen simultaneous counters.
+func XeonW3550() *Machine {
+	m := &Machine{
+		Name:           "Intel Xeon W3550",
+		MicroArch:      "Nehalem",
+		Sockets:        1,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 2,
+		FreqHz:         3.07e9,
+		MemoryBytes:    5965 << 20, // as in Figure 11 (c)
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, Assoc: 8, LineBytes: 64, Shared: SharedPerCore, LatencyCycles: 1},
+			{Level: 2, SizeBytes: 256 << 10, Assoc: 8, LineBytes: 64, Shared: SharedPerCore, LatencyCycles: 2},
+			{Level: 3, SizeBytes: 8 << 20, Assoc: 16, LineBytes: 64, Shared: SharedPerSocket, LatencyCycles: 15},
+		},
+		IssueWidth:        4,
+		MemLatencyCycles:  200,
+		BranchMissPenalty: 17,
+		FPAssistPenalty:   264, // "extremely slow compared to regular FP execution"
+		SMTSlowdown:       1.25,
+		CPIScale:          1.0,
+		NumCounters:       16,
+	}
+	mustValid(m)
+	return m
+}
+
+// XeonE5640x2 returns the bi-Xeon E5640 node of Figures 1 and 10:
+// 2 sockets x 4 cores x 2 threads = 16 logical CPUs at 2.67 GHz
+// (Westmere), 12 MB shared L3 per socket.
+func XeonE5640x2() *Machine {
+	m := &Machine{
+		Name:           "2x Intel Xeon E5640",
+		MicroArch:      "Westmere",
+		Sockets:        2,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 2,
+		FreqHz:         2.67e9,
+		MemoryBytes:    24 << 30,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, Assoc: 8, LineBytes: 64, Shared: SharedPerCore, LatencyCycles: 1},
+			{Level: 2, SizeBytes: 256 << 10, Assoc: 8, LineBytes: 64, Shared: SharedPerCore, LatencyCycles: 2},
+			{Level: 3, SizeBytes: 12 << 20, Assoc: 16, LineBytes: 64, Shared: SharedPerSocket, LatencyCycles: 16},
+		},
+		IssueWidth:        4,
+		MemLatencyCycles:  210,
+		BranchMissPenalty: 17,
+		FPAssistPenalty:   264,
+		SMTSlowdown:       1.25,
+		CPIScale:          1.05,
+		NumCounters:       16,
+	}
+	mustValid(m)
+	return m
+}
+
+// Core2 returns an Intel Core-microarchitecture machine (the "Core"
+// series of Figures 6–8): 2 cores, no SMT, 2.4 GHz, 4 MB shared L2 as the
+// last-level cache.
+func Core2() *Machine {
+	m := &Machine{
+		Name:           "Intel Core 2 Duo",
+		MicroArch:      "Core",
+		Sockets:        1,
+		CoresPerSocket: 2,
+		ThreadsPerCore: 1,
+		FreqHz:         2.4e9,
+		MemoryBytes:    4 << 30,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, Assoc: 8, LineBytes: 64, Shared: SharedPerCore, LatencyCycles: 1},
+			{Level: 2, SizeBytes: 4 << 20, Assoc: 16, LineBytes: 64, Shared: SharedPerSocket, LatencyCycles: 4},
+		},
+		IssueWidth:        4,
+		MemLatencyCycles:  240,
+		BranchMissPenalty: 15,
+		FPAssistPenalty:   240,
+		SMTSlowdown:       1,
+		CPIScale:          1.18,
+		NumCounters:       4,
+	}
+	mustValid(m)
+	return m
+}
+
+// PPC970 returns the PowerPC PPC970 of Figure 3 (d): 1.8 GHz, no SMT,
+// 512 KB L2 last-level cache, and crucially no micro-code FP-assist
+// pathology ("it does not exhibit the Nehalem behavior related to
+// floating point values").
+func PPC970() *Machine {
+	m := &Machine{
+		Name:           "PowerPC PPC970",
+		MicroArch:      "PPC970",
+		Sockets:        1,
+		CoresPerSocket: 2,
+		ThreadsPerCore: 1,
+		FreqHz:         1.8e9,
+		MemoryBytes:    2 << 30,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, Assoc: 2, LineBytes: 128, Shared: SharedPerCore, LatencyCycles: 2},
+			{Level: 2, SizeBytes: 512 << 10, Assoc: 8, LineBytes: 128, Shared: SharedPerCore, LatencyCycles: 6},
+		},
+		IssueWidth:        4, // wide dispatch but poor sustained ILP: modelled via workload base CPI scaling
+		MemLatencyCycles:  300,
+		BranchMissPenalty: 12,
+		FPAssistPenalty:   0, // no assist pathology
+		SMTSlowdown:       1,
+		CPIScale:          2.0,
+		NumCounters:       8,
+	}
+	mustValid(m)
+	return m
+}
+
+// Presets returns all machine presets keyed by a short name.
+func Presets() map[string]*Machine {
+	return map[string]*Machine{
+		"w3550":  XeonW3550(),
+		"e5640":  XeonE5640x2(),
+		"core2":  Core2(),
+		"ppc970": PPC970(),
+	}
+}
+
+func mustValid(m *Machine) {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,177 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, m := range Presets() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestW3550Topology(t *testing.T) {
+	m := XeonW3550()
+	if m.NumCores() != 4 || m.NumLogical() != 8 {
+		t.Fatalf("cores/logical = %d/%d", m.NumCores(), m.NumLogical())
+	}
+	// Paper §3.4: "logical cores 0 and 4" are the two threads of one
+	// physical core on the quad-core Nehalem.
+	if m.Core(0) != m.Core(4) {
+		t.Fatal("CPU 0 and CPU 4 must share a physical core")
+	}
+	if m.Core(0) == m.Core(1) {
+		t.Fatal("CPU 0 and CPU 1 must be distinct cores")
+	}
+	sib := m.Siblings(0)
+	if len(sib) != 2 || sib[0] != 0 || sib[1] != 4 {
+		t.Fatalf("Siblings(0) = %v", sib)
+	}
+	if m.Thread(0) != 0 || m.Thread(4) != 1 {
+		t.Fatalf("Thread indices = %d,%d", m.Thread(0), m.Thread(4))
+	}
+	if m.Socket(3) != 0 {
+		t.Fatal("single socket machine")
+	}
+}
+
+func TestE5640Topology(t *testing.T) {
+	m := XeonE5640x2()
+	if m.NumLogical() != 16 {
+		t.Fatalf("E5640 x2 must have 16 logical CPUs (Figure 1), got %d", m.NumLogical())
+	}
+	if m.Sockets != 2 {
+		t.Fatal("two sockets")
+	}
+	// Cores 0-3 on socket 0, 4-7 on socket 1.
+	if m.Socket(0) != 0 || m.Socket(4) != 1 {
+		t.Fatalf("sockets of CPU 0/4 = %d/%d", m.Socket(0), m.Socket(4))
+	}
+	if !m.SameDomain(0, 8, SharedPerCore) {
+		t.Fatal("CPU 0 and 8 share core 0")
+	}
+	if m.SameDomain(0, 4, SharedPerSocket) {
+		t.Fatal("CPU 0 (socket 0) and CPU 4 (socket 1) must not share L3")
+	}
+}
+
+func TestLLC(t *testing.T) {
+	if XeonW3550().LLC().Level != 3 {
+		t.Fatal("W3550 LLC is L3")
+	}
+	if Core2().LLC().Level != 2 {
+		t.Fatal("Core2 LLC is L2")
+	}
+	if PPC970().FPAssistPenalty != 0 {
+		t.Fatal("PPC970 must have no FP assist pathology (Figure 3 d)")
+	}
+	if XeonW3550().FPAssistPenalty == 0 {
+		t.Fatal("Nehalem must model FP assists")
+	}
+	if _, ok := XeonW3550().CacheAt(2); !ok {
+		t.Fatal("CacheAt(2) missing")
+	}
+	if _, ok := XeonW3550().CacheAt(9); ok {
+		t.Fatal("CacheAt(9) should not exist")
+	}
+}
+
+func TestW3550SixteenCounters(t *testing.T) {
+	// Paper §2.6: "Our Intel Xeon W3550, for example, supports up to
+	// sixteen simultaneous events."
+	if got := XeonW3550().NumCounters; got != 16 {
+		t.Fatalf("W3550 counters = %d, want 16", got)
+	}
+}
+
+func TestDomains(t *testing.T) {
+	m := XeonW3550()
+	if m.DomainOf(0, SharedPerThread) == m.DomainOf(4, SharedPerThread) {
+		t.Fatal("distinct logical CPUs have distinct thread domains")
+	}
+	if m.DomainOf(0, SharedPerCore) != m.DomainOf(4, SharedPerCore) {
+		t.Fatal("SMT siblings share the core domain")
+	}
+	if m.DomainOf(0, SharedPerSocket) != m.DomainOf(3, SharedPerSocket) {
+		t.Fatal("all cores of one socket share the socket domain")
+	}
+}
+
+func TestAffinityMask(t *testing.T) {
+	var any AffinityMask
+	if !any.Allows(5) {
+		t.Fatal("empty mask allows everything")
+	}
+	m := MaskOf(0, 4)
+	if !m.Allows(0) || !m.Allows(4) || m.Allows(1) {
+		t.Fatal("MaskOf(0,4) semantics")
+	}
+}
+
+func TestRenderTopology(t *testing.T) {
+	s := XeonW3550().RenderTopology()
+	for _, want := range []string{"Machine (5965MB)", "Socket#0", "L3 (8192KB)",
+		"L2 (256KB)", "L1 (32KB)", "Core#0", "Core#3", "PU#0", "PU#7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("topology rendering missing %q:\n%s", want, s)
+		}
+	}
+	// All 8 PUs present.
+	if got := strings.Count(s, "PU#"); got != 8 {
+		t.Fatalf("PU count = %d, want 8", got)
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	base := XeonW3550()
+	mutations := []func(m *Machine){
+		func(m *Machine) { m.Sockets = 0 },
+		func(m *Machine) { m.FreqHz = 0 },
+		func(m *Machine) { m.IssueWidth = 0 },
+		func(m *Machine) { m.NumCounters = 0 },
+		func(m *Machine) { m.Caches = nil },
+		func(m *Machine) { m.Caches[0].Level = 7 },
+		func(m *Machine) { m.Caches[0].SizeBytes = 0 },
+		func(m *Machine) { m.Caches[0].SizeBytes = 1000 },
+		func(m *Machine) { m.SMTSlowdown = 0.5 },
+	}
+	for i, mutate := range mutations {
+		m := *base
+		m.Caches = append([]CacheLevel(nil), base.Caches...)
+		mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// Property: every logical CPU's siblings all map to the same physical
+// core and include the CPU itself.
+func TestPropSiblingsConsistent(t *testing.T) {
+	machines := []*Machine{XeonW3550(), XeonE5640x2(), Core2(), PPC970()}
+	f := func(pick uint8, cpuRaw uint8) bool {
+		m := machines[int(pick)%len(machines)]
+		cpu := CPUID(int(cpuRaw) % m.NumLogical())
+		sib := m.Siblings(cpu)
+		if len(sib) != m.ThreadsPerCore {
+			return false
+		}
+		self := false
+		for _, s := range sib {
+			if m.Core(s) != m.Core(cpu) {
+				return false
+			}
+			if s == cpu {
+				self = true
+			}
+		}
+		return self
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package pmu implements the simulated machine's performance monitoring
+// unit as an hpm.Backend. It mirrors the perf_event semantics the paper
+// builds on:
+//
+//   - counters attach to already-running tasks and count only events that
+//     occur afterwards (§2.2);
+//   - counter state is private to the monitored task and survives context
+//     switches (§2.5);
+//   - the hardware supports a limited number of simultaneous events
+//     (sixteen on the Xeon W3550, §2.6); requests beyond the limit are
+//     time-multiplexed, and reads report TIME_ENABLED/TIME_RUNNING so the
+//     client can scale the raw value, exactly like PERF_FORMAT_TOTAL_TIME_*.
+package pmu
+
+import (
+	"fmt"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/sim/cpu"
+	"tiptop/internal/sim/sched"
+)
+
+// Backend is the simulated-PMU implementation of hpm.Backend. It is
+// bound to one kernel; monitoring any user's process is always permitted
+// (the simulator has no notion of the caller's uid, matching tiptop run
+// by the owner of all displayed processes).
+type Backend struct {
+	k *sched.Kernel
+}
+
+var _ hpm.Backend = (*Backend)(nil)
+
+// New creates a backend for the kernel.
+func New(k *sched.Kernel) *Backend { return &Backend{k: k} }
+
+// Name implements hpm.Backend.
+func (b *Backend) Name() string { return "sim" }
+
+// Probe implements hpm.Backend; the simulated PMU is always available.
+func (b *Backend) Probe() error { return nil }
+
+// Supported implements hpm.Backend. The simulated machine counts every
+// event the paper uses. The PPC970 has no FP-assist event — there is no
+// such micro-architectural mechanism to count (§3.1: the pathology does
+// not exist there).
+func (b *Backend) Supported(e hpm.EventID) bool {
+	if !e.Valid() {
+		return false
+	}
+	if e == hpm.EventFPAssist && b.k.Machine().FPAssistPenalty == 0 {
+		return false
+	}
+	return true
+}
+
+// Kernel returns the kernel the backend monitors.
+func (b *Backend) Kernel() *sched.Kernel { return b.k }
+
+// Attach implements hpm.Backend. A group-scope ID (TID zero) counts the
+// whole process: the counter registers with every current thread of the
+// group, the semantics of perf_event's inherit flag. A concrete TID
+// counts that thread alone (paper §2.2: "Events can be counted per
+// thread, or per process").
+func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("pmu: no events requested: %w", hpm.ErrUnsupportedEvent)
+	}
+	for _, e := range events {
+		if !b.Supported(e) {
+			return nil, fmt.Errorf("pmu: event %v: %w", e, hpm.ErrUnsupportedEvent)
+		}
+	}
+	var targets []*sched.Task
+	if task.IsGroup() {
+		targets = b.k.ThreadGroup(task.PID)
+	} else if t, ok := b.k.Task(task.TID); ok && t.ID().PID == task.PID {
+		targets = []*sched.Task{t}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("pmu: %v: %w", task, hpm.ErrNoSuchTask)
+	}
+	c := &counter{
+		backend: b,
+		targets: targets,
+		id:      task,
+		events:  append([]hpm.EventID(nil), events...),
+		counts:  make([]hpm.Count, len(events)),
+		slots:   b.k.Machine().NumCounters,
+	}
+	for _, t := range targets {
+		t.AttachSink(c)
+	}
+	return c, nil
+}
+
+// counter is a set of per-task event counters, possibly multiplexed.
+// For process-level attachment it aggregates over every thread of the
+// group (each thread's quantum feeds the same counters).
+type counter struct {
+	backend *Backend
+	targets []*sched.Task
+	id      hpm.TaskID
+	events  []hpm.EventID
+	counts  []hpm.Count
+	slots   int // hardware counters available
+	rot     int // multiplex rotation cursor
+	closed  bool
+}
+
+var _ hpm.TaskCounter = (*counter)(nil)
+var _ sched.EventSink = (*counter)(nil)
+
+// Task implements hpm.TaskCounter.
+func (c *counter) Task() hpm.TaskID { return c.id }
+
+// OnQuantum implements sched.EventSink: it credits the quantum's events
+// to the currently scheduled event group and rotates the group, the way
+// the kernel rotates the active PMU set each timer tick when more events
+// are requested than hardware counters exist.
+func (c *counter) OnQuantum(d cpu.Delta, ranNS uint64) {
+	n := len(c.events)
+	active := c.slots
+	if active > n {
+		active = n
+	}
+	activeSet := make(map[int]bool, active)
+	for i := 0; i < active; i++ {
+		activeSet[(c.rot+i)%n] = true
+	}
+	for i := range c.events {
+		c.counts[i].Enabled += ranNS
+		if activeSet[i] {
+			c.counts[i].Raw += d.EventCount(c.events[i])
+			c.counts[i].Running += ranNS
+		}
+	}
+	if n > c.slots {
+		c.rot = (c.rot + 1) % n
+	}
+}
+
+// Read implements hpm.TaskCounter.
+func (c *counter) Read() ([]hpm.Count, error) {
+	if c.closed {
+		return nil, fmt.Errorf("pmu: read of closed counter for %v", c.id)
+	}
+	out := make([]hpm.Count, len(c.counts))
+	copy(out, c.counts)
+	return out, nil
+}
+
+// Close implements hpm.TaskCounter.
+func (c *counter) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, t := range c.targets {
+		t.DetachSink(c)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package pmu
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/sched"
+	"tiptop/internal/sim/workload"
+)
+
+func setup(t *testing.T, m *machine.Machine) (*sched.Kernel, *Backend, *sched.Task) {
+	t.Helper()
+	k, err := sched.New(m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Synthetic(workload.SyntheticSpec{Name: "job", IPC: 1.5})
+	task := k.Spawn("u", "job", workload.MustInstance(w, 1), nil)
+	return k, New(k), task
+}
+
+func TestProbeAndName(t *testing.T) {
+	_, b, _ := setup(t, machine.XeonW3550())
+	if err := b.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "sim" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	if b.Kernel() == nil {
+		t.Fatal("Kernel accessor")
+	}
+}
+
+func TestSupportedEvents(t *testing.T) {
+	_, nehalem, _ := setup(t, machine.XeonW3550())
+	for _, e := range hpm.AllEvents() {
+		if !nehalem.Supported(e) {
+			t.Errorf("W3550 must support %v", e)
+		}
+	}
+	if nehalem.Supported(hpm.EventInvalid) {
+		t.Fatal("invalid event supported")
+	}
+	_, ppc, _ := setup(t, machine.PPC970())
+	if ppc.Supported(hpm.EventFPAssist) {
+		t.Fatal("PPC970 has no FP-assist event")
+	}
+	if !ppc.Supported(hpm.EventCycles) {
+		t.Fatal("PPC970 supports generic events")
+	}
+}
+
+func TestAttachErrors(t *testing.T) {
+	_, b, _ := setup(t, machine.XeonW3550())
+	if _, err := b.Attach(hpm.TaskID{PID: 9999, TID: 9999}, []hpm.EventID{hpm.EventCycles}); !errors.Is(err, hpm.ErrNoSuchTask) {
+		t.Fatalf("missing task error = %v", err)
+	}
+	if _, err := b.Attach(hpm.TaskID{PID: 100, TID: 100}, nil); !errors.Is(err, hpm.ErrUnsupportedEvent) {
+		t.Fatalf("empty events error = %v", err)
+	}
+	_, ppc, task := setup(t, machine.PPC970())
+	if _, err := ppc.Attach(task.ID(), []hpm.EventID{hpm.EventFPAssist}); !errors.Is(err, hpm.ErrUnsupportedEvent) {
+		t.Fatalf("unsupported event error = %v", err)
+	}
+}
+
+func TestCountsStartAtAttach(t *testing.T) {
+	k, b, task := setup(t, machine.XeonW3550())
+	k.Advance(time.Second) // pre-attach activity is invisible
+	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	counts, err := ctr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0].Raw != 0 || counts[1].Raw != 0 {
+		t.Fatalf("counters must be zero at attach: %+v", counts)
+	}
+	preInstr := task.Totals().Instructions
+	k.Advance(time.Second)
+	counts, err = ctr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstr := task.Totals().Instructions - preInstr
+	if counts[1].Scaled() != wantInstr {
+		t.Fatalf("instructions = %d, want %d (only post-attach)", counts[1].Scaled(), wantInstr)
+	}
+	if counts[0].Raw == 0 {
+		t.Fatal("cycles must accumulate")
+	}
+	if !counts[0].Exact() {
+		t.Fatal("2 events on a 16-counter PMU must not multiplex")
+	}
+}
+
+func TestIPCFromCounters(t *testing.T) {
+	k, b, task := setup(t, machine.XeonW3550())
+	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	k.Advance(5 * time.Second)
+	counts, _ := ctr.Read()
+	ipc := float64(counts[1].Scaled()) / float64(counts[0].Scaled())
+	if math.Abs(ipc-1.5) > 0.1 {
+		t.Fatalf("measured IPC = %.3f, workload calibrated to 1.5", ipc)
+	}
+}
+
+func TestMultiplexingScalesCounts(t *testing.T) {
+	// Request more events than hardware counters: raw counts are
+	// partial but the Enabled/Running scaling must recover the totals.
+	m := machine.Core2() // only 4 counters
+	k, err := sched.New(m, sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Synthetic(workload.SyntheticSpec{Name: "job", IPC: 1.2})
+	task := k.Spawn("u", "job", workload.MustInstance(w, 1), nil)
+	b := New(k)
+	events := []hpm.EventID{
+		hpm.EventCycles, hpm.EventInstructions, hpm.EventCacheReferences,
+		hpm.EventCacheMisses, hpm.EventBranches, hpm.EventBranchMisses,
+		hpm.EventLoads, hpm.EventStores,
+	}
+	ctr, err := b.Attach(task.ID(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	k.Advance(10 * time.Second)
+	counts, _ := ctr.Read()
+	for i, c := range counts {
+		if c.Exact() {
+			t.Fatalf("event %v must be multiplexed (8 events, 4 counters)", events[i])
+		}
+		if c.Running == 0 {
+			t.Fatalf("event %v never ran; rotation broken", events[i])
+		}
+		if c.Running >= c.Enabled {
+			t.Fatalf("event %v running %d >= enabled %d", events[i], c.Running, c.Enabled)
+		}
+	}
+	// Scaled instruction count should approximate the true total
+	// executed after attach (within a few percent, it is an estimate).
+	trueInstr := task.Totals().Instructions
+	scaled := counts[1].Scaled()
+	rel := math.Abs(float64(scaled)-float64(trueInstr)) / float64(trueInstr)
+	if rel > 0.05 {
+		t.Fatalf("multiplex-scaled instructions off by %.1f%% (scaled %d, true %d)",
+			rel*100, scaled, trueInstr)
+	}
+	// Running time should be roughly slots/events of enabled time.
+	ratio := float64(counts[0].Running) / float64(counts[0].Enabled)
+	if math.Abs(ratio-0.5) > 0.05 {
+		t.Fatalf("running/enabled = %.3f, want ~0.5 (4 of 8 events)", ratio)
+	}
+}
+
+func TestSixteenEventsOnW3550NotMultiplexed(t *testing.T) {
+	// Paper §2.6: the W3550 counts up to sixteen simultaneous events.
+	k, b, task := setup(t, machine.XeonW3550())
+	events := make([]hpm.EventID, 0, 11)
+	events = append(events, hpm.AllEvents()...)
+	ctr, err := b.Attach(task.ID(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	k.Advance(2 * time.Second)
+	counts, _ := ctr.Read()
+	for i, c := range counts {
+		if !c.Exact() {
+			t.Fatalf("event %v multiplexed although %d <= 16 counters", events[i], len(events))
+		}
+	}
+}
+
+func TestCloseDetaches(t *testing.T) {
+	k, b, task := setup(t, machine.XeonW3550())
+	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Advance(100 * time.Millisecond)
+	c1, _ := ctr.Read()
+	if err := ctr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !task.Monitored() {
+		// After close, the sink must be gone.
+	} else {
+		t.Fatal("Close must detach the sink")
+	}
+	if _, err := ctr.Read(); err == nil {
+		t.Fatal("read after close must fail")
+	}
+	if err := ctr.Close(); err != nil {
+		t.Fatal("double close is idempotent")
+	}
+	_ = c1
+}
+
+func TestTwoIndependentMonitors(t *testing.T) {
+	// Two tools watching the same process see independent attach
+	// baselines.
+	k, b, task := setup(t, machine.XeonW3550())
+	c1, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	k.Advance(time.Second)
+	c2, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	k.Advance(time.Second)
+	r1, _ := c1.Read()
+	r2, _ := c2.Read()
+	if r1[0].Raw <= r2[0].Raw {
+		t.Fatalf("earlier monitor must have counted more: %d vs %d", r1[0].Raw, r2[0].Raw)
+	}
+	if r2[0].Raw == 0 {
+		t.Fatal("late monitor must still count")
+	}
+}
+
+func TestCountersSurviveTaskExit(t *testing.T) {
+	k, err := sched.New(machine.XeonW3550(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.Scaled(workload.Synthetic(workload.SyntheticSpec{Name: "brief", IPC: 1.5}), 0.0005)
+	task := k.Spawn("u", "brief", workload.MustInstance(w, 1), nil)
+	b := New(k)
+	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	k.Advance(5 * time.Second)
+	if task.State() != sched.TaskExited {
+		t.Fatal("task should have exited")
+	}
+	counts, err := ctr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0].Raw == 0 {
+		t.Fatal("final counts must remain readable after exit")
+	}
+}

@@ -1,0 +1,176 @@
+package pmu
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/sched"
+	"tiptop/internal/sim/workload"
+)
+
+// threadFixture builds a process with one leader thread and one extra
+// thread, with different calibrated IPCs so their counts are
+// distinguishable.
+func threadFixture(t *testing.T) (*sched.Kernel, *Backend, *sched.Task, *sched.Task) {
+	t.Helper()
+	k, err := sched.New(machine.XeonW3550(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, ipc float64, seed int64) workload.Runner {
+		spin, err := workload.NewSpin(workload.Synthetic(workload.SyntheticSpec{Name: name, IPC: ipc}), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spin
+	}
+	leader := k.Spawn("u", "app", mk("worker", 1.0, 1), nil)
+	thread, err := k.SpawnThread(leader, mk("helper", 2.0, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, New(k), leader, thread
+}
+
+func TestSpawnThreadValidation(t *testing.T) {
+	k, _, leader, thread := threadFixture(t)
+	if thread.ID().PID != leader.ID().PID {
+		t.Fatal("thread must share the leader's PID")
+	}
+	if thread.ID().IsProcess() {
+		t.Fatal("thread must not be a leader")
+	}
+	if _, err := k.SpawnThread(thread, nil, nil); err == nil {
+		t.Fatal("spawning a thread off a non-leader must fail")
+	}
+	if _, err := k.SpawnThread(nil, nil, nil); err == nil {
+		t.Fatal("nil leader must fail")
+	}
+	group := k.ThreadGroup(leader.ID().PID)
+	if len(group) != 2 {
+		t.Fatalf("thread group = %d tasks", len(group))
+	}
+}
+
+func TestPerProcessCountingAggregatesThreads(t *testing.T) {
+	k, b, leader, thread := threadFixture(t)
+	// Attach at process (group) scope: TID zero.
+	procCtr, err := b.Attach(leader.ID().Group(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer procCtr.Close()
+	k.Advance(2 * time.Second)
+	counts, err := procCtr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInstr := leader.Totals().Instructions + thread.Totals().Instructions
+	if got := counts[1].Scaled(); got != wantInstr {
+		t.Fatalf("process-level instructions = %d, want sum of threads %d", got, wantInstr)
+	}
+	// Both threads ran concurrently on different CPUs: the aggregated
+	// "enabled" time covers both threads' runtime (like perf inherit).
+	if counts[0].Enabled < uint64(3*time.Second) {
+		t.Fatalf("enabled time = %v, want ~2 threads x 2 s", counts[0].Enabled)
+	}
+}
+
+func TestPerThreadCountingSeparates(t *testing.T) {
+	k, b, leader, thread := threadFixture(t)
+	events := []hpm.EventID{hpm.EventCycles, hpm.EventInstructions}
+	tc, err := b.Attach(thread.ID(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	// The whole process for comparison (group scope, like perf's
+	// inherit).
+	pc, err := b.Attach(leader.ID().Group(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	k.Advance(2 * time.Second)
+	tCounts, _ := tc.Read()
+	pCounts, _ := pc.Read()
+	if tCounts[1].Scaled() != thread.Totals().Instructions {
+		t.Fatalf("thread counter = %d, thread executed %d",
+			tCounts[1].Scaled(), thread.Totals().Instructions)
+	}
+	// The helper thread is calibrated at IPC 2.0; the group mixes it
+	// with the IPC-1.0 worker, landing strictly between the two.
+	tIPC := float64(tCounts[1].Scaled()) / float64(tCounts[0].Scaled())
+	pIPC := float64(pCounts[1].Scaled()) / float64(pCounts[0].Scaled())
+	if tIPC < 1.85 || tIPC > 2.15 {
+		t.Fatalf("helper thread IPC = %.2f, want ~2.0", tIPC)
+	}
+	if !(pIPC > 1.1 && pIPC < tIPC-0.2) {
+		t.Fatalf("group IPC %.2f must sit between worker 1.0 and helper %.2f", pIPC, tIPC)
+	}
+	// Attaching to the leader's own TID counts just the worker thread.
+	lc, err := b.Attach(leader.ID(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	k.Advance(time.Second)
+	lCounts, _ := lc.Read()
+	lIPC := float64(lCounts[1].Scaled()) / float64(lCounts[0].Scaled())
+	if lIPC < 0.9 || lIPC > 1.1 {
+		t.Fatalf("leader-thread IPC = %.2f, want ~1.0", lIPC)
+	}
+}
+
+func TestAttachToWrongThreadGroup(t *testing.T) {
+	_, b, leader, thread := threadFixture(t)
+	// A TID that exists but under a different (wrong) PID claim.
+	bad := hpm.TaskID{PID: leader.ID().PID + 999, TID: thread.ID().TID}
+	if _, err := b.Attach(bad, []hpm.EventID{hpm.EventCycles}); !errors.Is(err, hpm.ErrNoSuchTask) {
+		t.Fatalf("mismatched pid/tid error = %v", err)
+	}
+}
+
+// TestSpinlockFootnote reproduces the paper's footnote 3: a thread
+// spin-waiting on a lock retires instructions at a high rate without
+// doing useful work, inflating the *process-level* IPC. Per-thread
+// counting exposes the imbalance.
+func TestSpinlockFootnote(t *testing.T) {
+	k, err := sched.New(machine.XeonW3550(), sched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name string, ipc float64, refs float64, seed int64) workload.Runner {
+		spin, err := workload.NewSpin(workload.Synthetic(workload.SyntheticSpec{
+			Name: name, IPC: ipc, MemRefsPKI: refs,
+		}), seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spin
+	}
+	// The worker does real (memory-touching) work at IPC 0.8; the
+	// spinner hammers a cached lock word at IPC 3.2.
+	leader := k.Spawn("u", "locked-app", mk("worker", 0.8, 300, 1), nil)
+	if _, err := k.SpawnThread(leader, mk("spinner", 3.2, 10, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	b := New(k)
+	ctr, err := b.Attach(leader.ID().Group(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	k.Advance(2 * time.Second)
+	counts, _ := ctr.Read()
+	procIPC := float64(counts[1].Scaled()) / float64(counts[0].Scaled())
+	// The aggregate looks healthy (~2.0) although half the process's
+	// instructions are busy-waiting — exactly why the paper says
+	// spinlock-based applications "require special handling".
+	if procIPC < 1.5 {
+		t.Fatalf("process IPC = %.2f; the spinner should inflate it above 1.5", procIPC)
+	}
+}

@@ -1,0 +1,82 @@
+// Package proc adapts the simulated kernel to the tiptop engine: it
+// implements core.ProcSource (the simulated machine's /proc) and
+// core.Clock (the simulated wall clock), so the very same engine that
+// monitors real Linux processes can monitor the simulation.
+package proc
+
+import (
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/sim/sched"
+)
+
+// Source is the simulated process table.
+type Source struct {
+	k *sched.Kernel
+	// IncludeExited controls whether zombies remain visible. The real
+	// top drops them once reaped; the default hides them.
+	IncludeExited bool
+	// PerThread lists one entry per thread instead of one per process
+	// (paper §2.2). In process mode, a multi-threaded process shows
+	// the summed CPU time of its group.
+	PerThread bool
+}
+
+var _ core.ProcSource = (*Source)(nil)
+
+// NewSource creates a process source over the kernel.
+func NewSource(k *sched.Kernel) *Source { return &Source{k: k} }
+
+// Snapshot implements core.ProcSource.
+func (s *Source) Snapshot() ([]core.TaskInfo, error) {
+	tasks := s.k.Tasks()
+	out := make([]core.TaskInfo, 0, len(tasks))
+	cpuByPID := map[int]time.Duration{}
+	if !s.PerThread {
+		for _, t := range tasks {
+			cpuByPID[t.ID().PID] += t.CPUTime()
+		}
+	}
+	for _, t := range tasks {
+		if t.State() == sched.TaskExited && !s.IncludeExited {
+			continue
+		}
+		if !s.PerThread && !t.ID().IsProcess() {
+			continue // threads fold into their leader
+		}
+		info := core.TaskInfo{
+			ID:        t.ID(),
+			User:      t.User(),
+			Comm:      t.Comm(),
+			State:     t.State().String(),
+			CPUTime:   t.CPUTime(),
+			StartTime: t.StartTime(),
+			LastCPU:   int(t.LastCPU()),
+		}
+		if !s.PerThread {
+			// Process mode: group-scope counting (the whole thread
+			// group's events and CPU time fold into one row).
+			info.ID = info.ID.Group()
+			info.CPUTime = cpuByPID[t.ID().PID]
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// Clock drives the simulation from the engine's refresh loop.
+type Clock struct {
+	k *sched.Kernel
+}
+
+var _ core.Clock = (*Clock)(nil)
+
+// NewClock creates a simulated clock bound to the kernel.
+func NewClock(k *sched.Kernel) *Clock { return &Clock{k: k} }
+
+// Now implements core.Clock.
+func (c *Clock) Now() time.Duration { return c.k.Now() }
+
+// Advance implements core.Clock by running the simulation forward.
+func (c *Clock) Advance(d time.Duration) { c.k.Advance(d) }

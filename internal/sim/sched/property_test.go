@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/workload"
+)
+
+// Property: pinned tasks never run outside their affinity mask, for
+// arbitrary pinning choices and task counts.
+func TestPropAffinityNeverViolated(t *testing.T) {
+	m := machine.XeonW3550()
+	f := func(pins []uint8) bool {
+		if len(pins) == 0 || len(pins) > 6 {
+			return true
+		}
+		k, err := New(m, Options{})
+		if err != nil {
+			return false
+		}
+		tasks := make([]*Task, len(pins))
+		want := make([]machine.CPUID, len(pins))
+		for i, p := range pins {
+			cpu := machine.CPUID(int(p) % m.NumLogical())
+			want[i] = cpu
+			w := workload.Synthetic(workload.SyntheticSpec{Name: "x", IPC: 1})
+			spin, err := workload.NewSpin(w, int64(i))
+			if err != nil {
+				return false
+			}
+			tasks[i] = k.Spawn("u", "x", spin, machine.MaskOf(cpu))
+		}
+		k.Advance(300 * time.Millisecond)
+		for i, task := range tasks {
+			if task.CPUTime() > 0 && task.LastCPU() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CPU time is conserved — the sum of task CPU times never
+// exceeds wall time x logical CPUs.
+func TestPropCPUTimeConservation(t *testing.T) {
+	m := machine.PPC970() // 2 logical CPUs: easy to saturate
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%6 + 1
+		k, err := New(m, Options{})
+		if err != nil {
+			return false
+		}
+		tasks := make([]*Task, n)
+		for i := range tasks {
+			w := workload.Synthetic(workload.SyntheticSpec{Name: "x", IPC: 1})
+			spin, err := workload.NewSpin(w, int64(i))
+			if err != nil {
+				return false
+			}
+			tasks[i] = k.Spawn("u", "x", spin, nil)
+		}
+		const wall = 2 * time.Second
+		k.Advance(wall)
+		var sum time.Duration
+		for _, task := range tasks {
+			sum += task.CPUTime()
+		}
+		budget := wall * time.Duration(m.NumLogical())
+		// Allow one quantum of slack for boundary rounding.
+		return sum <= budget+20*time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with more runnable tasks than CPUs, every task eventually
+// gets CPU time (no starvation under the vruntime policy).
+func TestPropNoStarvation(t *testing.T) {
+	m := machine.PPC970()
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%8 + 3
+		k, err := New(m, Options{})
+		if err != nil {
+			return false
+		}
+		tasks := make([]*Task, n)
+		for i := range tasks {
+			w := workload.Synthetic(workload.SyntheticSpec{Name: "x", IPC: 1})
+			spin, err := workload.NewSpin(w, int64(i))
+			if err != nil {
+				return false
+			}
+			tasks[i] = k.Spawn("u", "x", spin, nil)
+		}
+		k.Advance(3 * time.Second)
+		for _, task := range tasks {
+			if task.CPUTime() == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

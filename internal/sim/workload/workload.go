@@ -1,0 +1,314 @@
+// Package workload defines the workload model of the machine simulator: a
+// program is a sequence of phases, each with an instruction budget and the
+// execution characteristics the cpu timing model consumes. Instances of a
+// workload are executed by the scheduler in cycle-budgeted quanta and
+// produce architectural event deltas for the virtual PMU.
+//
+// The catalog in catalog.go provides calibrated models of every program
+// in the paper's evaluation: the SPEC CPU2006 subset of Figures 6–9, the
+// R evolutionary algorithm of Figure 3, and the synthetic data-center
+// jobs of Figures 1 and 10.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tiptop/internal/sim/cache"
+	"tiptop/internal/sim/cpu"
+)
+
+// Phase is one execution phase of a workload.
+type Phase struct {
+	Name string
+	// Instructions is the phase length in retired instructions.
+	Instructions uint64
+	// Params drive the timing model for the phase.
+	Params cpu.PhaseParams
+	// NoiseAmp is the relative amplitude of the per-quantum CPI noise
+	// (0.03 means +-3 % uniform noise), modelling the run-to-run and
+	// sample-to-sample variability visible in all the paper's plots.
+	NoiseAmp float64
+}
+
+// Workload is an immutable program description.
+type Workload struct {
+	Name   string
+	Phases []Phase
+}
+
+// Validate checks every phase.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("workload %q: no phases", w.Name)
+	}
+	for i := range w.Phases {
+		p := &w.Phases[i]
+		if p.Instructions == 0 {
+			return fmt.Errorf("workload %q phase %d: zero instructions", w.Name, i)
+		}
+		if p.NoiseAmp < 0 || p.NoiseAmp >= 1 {
+			return fmt.Errorf("workload %q phase %d: noise %v out of [0,1)", w.Name, i, p.NoiseAmp)
+		}
+		if err := p.Params.Validate(); err != nil {
+			return fmt.Errorf("workload %q phase %d: %w", w.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// TotalInstructions returns the workload length.
+func (w *Workload) TotalInstructions() uint64 {
+	var sum uint64
+	for _, p := range w.Phases {
+		sum += p.Instructions
+	}
+	return sum
+}
+
+// Runner is the scheduler's view of an executable entity: given an
+// execution context and a cycle budget for the quantum, it advances and
+// reports the architectural events produced. Both phase-model instances
+// (this package) and micro-kernel VM adapters (internal/ukernel)
+// implement it.
+type Runner interface {
+	// Name identifies the program (the COMMAND column).
+	Name() string
+	// Done reports whether the program has exited.
+	Done() bool
+	// Exec consumes up to budgetCycles cycles in ctx and returns the
+	// events produced. Implementations must make progress whenever
+	// budgetCycles > 0 and Done() is false, and must not exceed the
+	// budget by more than one instruction's worth of cycles.
+	Exec(ctx cpu.Context, budgetCycles uint64) cpu.Delta
+}
+
+// Instance is a running execution of a Workload. It is not safe for
+// concurrent use; the simulated scheduler runs tasks sequentially.
+type Instance struct {
+	w        *Workload
+	phaseIdx int
+	phasePos uint64 // instructions completed inside current phase
+	rng      *rand.Rand
+	// runBias is a per-execution CPI factor modelling run-to-run
+	// variability from layout and environment effects (Mytkowicz et
+	// al.; the paper measures 1.4 % across SPEC runs). It is drawn
+	// once per instance and only for noisy workloads.
+	runBias float64
+	acc     cpu.Accumulator
+	total   cpu.Delta
+}
+
+// NewInstance creates a deterministic instance; equal seeds replay
+// identical executions.
+func NewInstance(w *Workload, seed int64) (*Instance, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Instance{w: w, rng: rand.New(rand.NewSource(seed)), runBias: 1}
+	var maxNoise float64
+	for _, p := range w.Phases {
+		if p.NoiseAmp > maxNoise {
+			maxNoise = p.NoiseAmp
+		}
+	}
+	if maxNoise > 0 {
+		amp := maxNoise / 6
+		if amp > 0.015 {
+			amp = 0.015
+		}
+		in.runBias = 1 + amp*(2*in.rng.Float64()-1)
+	}
+	return in, nil
+}
+
+// MustInstance is NewInstance panicking on invalid workloads, for the
+// static catalog.
+func MustInstance(w *Workload, seed int64) *Instance {
+	in, err := NewInstance(w, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Name implements Runner.
+func (in *Instance) Name() string { return in.w.Name }
+
+// Workload returns the underlying program description.
+func (in *Instance) Workload() *Workload { return in.w }
+
+// Done implements Runner.
+func (in *Instance) Done() bool { return in.phaseIdx >= len(in.w.Phases) }
+
+// Progress returns completed and total instruction counts.
+func (in *Instance) Progress() (done, total uint64) {
+	total = in.w.TotalInstructions()
+	for i := 0; i < in.phaseIdx && i < len(in.w.Phases); i++ {
+		done += in.w.Phases[i].Instructions
+	}
+	done += in.phasePos
+	return done, total
+}
+
+// Totals returns the cumulative architectural events of the instance.
+func (in *Instance) Totals() cpu.Delta { return in.total }
+
+// CurrentPhase returns the name of the phase in progress, or "" when the
+// instance has finished.
+func (in *Instance) CurrentPhase() string {
+	if in.Done() {
+		return ""
+	}
+	return in.w.Phases[in.phaseIdx].Name
+}
+
+// Exec implements Runner. It walks phases, splitting the cycle budget at
+// phase boundaries, and applies per-quantum CPI noise.
+func (in *Instance) Exec(ctx cpu.Context, budgetCycles uint64) cpu.Delta {
+	var out cpu.Delta
+	remaining := float64(budgetCycles)
+	for remaining > 0 && !in.Done() {
+		ph := &in.w.Phases[in.phaseIdx]
+		res := cpu.Evaluate(ph.Params, ctx)
+		cpi := res.CPI * in.runBias
+		if ph.NoiseAmp > 0 {
+			cpi *= 1 + ph.NoiseAmp*(2*in.rng.Float64()-1)
+		}
+		phaseLeft := ph.Instructions - in.phasePos
+		// How many instructions fit in the remaining budget?
+		fit := uint64(remaining / cpi)
+		if fit == 0 {
+			// Budget smaller than one instruction: consume it as
+			// stall cycles so the quantum still advances time.
+			out.Cycles += uint64(math.Ceil(remaining))
+			remaining = 0
+			break
+		}
+		instr := fit
+		if instr > phaseLeft {
+			instr = phaseLeft
+		}
+		cycles := uint64(float64(instr) * cpi)
+		if cycles == 0 {
+			cycles = 1
+		}
+		d := cpu.Emit(res, instr, cycles, &in.acc)
+		out.Add(d)
+		remaining -= float64(cycles)
+		in.phasePos += instr
+		if in.phasePos >= ph.Instructions {
+			in.phaseIdx++
+			in.phasePos = 0
+		}
+	}
+	in.total.Add(out)
+	return out
+}
+
+// Spin is a Runner that never finishes: it repeats a single phase
+// forever. It models long-running daemon-style jobs in the data-center
+// scenarios.
+type Spin struct {
+	inner *Instance
+	proto *Workload
+	seed  int64
+}
+
+// NewSpin builds an endless runner from a single-phase prototype.
+func NewSpin(w *Workload, seed int64) (*Spin, error) {
+	inner, err := NewInstance(w, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Spin{inner: inner, proto: w, seed: seed}, nil
+}
+
+// Name implements Runner.
+func (s *Spin) Name() string { return s.proto.Name }
+
+// Done implements Runner; a Spin never completes.
+func (s *Spin) Done() bool { return false }
+
+// Exec implements Runner, restarting the underlying instance whenever it
+// drains.
+func (s *Spin) Exec(ctx cpu.Context, budgetCycles uint64) cpu.Delta {
+	var out cpu.Delta
+	budget := budgetCycles
+	for budget > 0 {
+		d := s.inner.Exec(ctx, budget)
+		out.Add(d)
+		if d.Cycles >= budget {
+			break
+		}
+		budget -= d.Cycles
+		if s.inner.Done() {
+			s.seed++
+			s.inner = MustInstance(s.proto, s.seed)
+		}
+	}
+	return out
+}
+
+// Reuse returns the locality profile of the phase currently executing.
+// The scheduler's shared-cache contention model calls it each quantum.
+// A finished instance reports an empty profile (it exerts no pressure).
+func (in *Instance) Reuse() cache.ReuseProfile {
+	if in.Done() {
+		return cache.ReuseProfile{}
+	}
+	return in.w.Phases[in.phaseIdx].Params.Reuse
+}
+
+// Reuse returns the current locality profile of the looping workload.
+func (s *Spin) Reuse() cache.ReuseProfile {
+	return s.inner.Reuse()
+}
+
+// Instrumented wraps a runner with a constant dynamic-instrumentation
+// slowdown, modelling binary-instrumentation tools such as Pin's
+// inscount2 ("The suite run with inscount2 ... is 1.7x slower", §2.5).
+// The wrapped program performs the same architectural work but burns
+// `factor` times the cycles.
+type Instrumented struct {
+	R      Runner
+	Factor float64
+}
+
+// Name implements Runner.
+func (iw *Instrumented) Name() string { return iw.R.Name() }
+
+// Done implements Runner.
+func (iw *Instrumented) Done() bool { return iw.R.Done() }
+
+// Reuse forwards the locality profile when the inner runner has one.
+func (iw *Instrumented) Reuse() cache.ReuseProfile {
+	if p, ok := iw.R.(interface{ Reuse() cache.ReuseProfile }); ok {
+		return p.Reuse()
+	}
+	return cache.ReuseProfile{}
+}
+
+// Exec implements Runner: the inner program receives a budget shrunk by
+// the instrumentation factor, and the reported cycles are inflated back,
+// so wall-clock progress slows by exactly Factor.
+func (iw *Instrumented) Exec(ctx cpu.Context, budgetCycles uint64) cpu.Delta {
+	f := iw.Factor
+	if f < 1 {
+		f = 1
+	}
+	inner := uint64(float64(budgetCycles) / f)
+	if inner == 0 {
+		inner = 1
+	}
+	d := iw.R.Exec(ctx, inner)
+	d.Cycles = uint64(float64(d.Cycles) * f)
+	if d.Cycles > budgetCycles && d.Instructions > 0 {
+		d.Cycles = budgetCycles
+	}
+	return d
+}

@@ -1,0 +1,359 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tiptop/internal/sim/cpu"
+	"tiptop/internal/sim/machine"
+)
+
+func testWorkload() *Workload {
+	return build("test",
+		spec{name: "a", seconds: 1, ipc: 2.0, loadsPKI: 100, branchesPKI: 100, noise: 0},
+		spec{name: "b", seconds: 1, ipc: 0.5, loadsPKI: 100, branchesPKI: 100, noise: 0},
+	)
+}
+
+func TestValidateWorkload(t *testing.T) {
+	w := testWorkload()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Workload{
+		{Name: "", Phases: w.Phases},
+		{Name: "x"},
+		{Name: "x", Phases: []Phase{{Name: "p", Instructions: 0, Params: w.Phases[0].Params}}},
+		{Name: "x", Phases: []Phase{{Name: "p", Instructions: 10, Params: w.Phases[0].Params, NoiseAmp: 1.5}}},
+		{Name: "x", Phases: []Phase{{Name: "p", Instructions: 10}}}, // zero BaseCPI
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad workload %d accepted", i)
+		}
+	}
+}
+
+func TestInstanceRunsToCompletion(t *testing.T) {
+	w := testWorkload()
+	in := MustInstance(w, 1)
+	m := machine.XeonW3550()
+	ctx := cpu.DefaultContext(m)
+	var total cpu.Delta
+	for i := 0; !in.Done(); i++ {
+		if i > 1e7 {
+			t.Fatal("instance did not terminate")
+		}
+		total.Add(in.Exec(ctx, 30_700_000)) // 10 ms at 3.07 GHz
+	}
+	if total.Instructions != w.TotalInstructions() {
+		t.Fatalf("executed %d instructions, want %d", total.Instructions, w.TotalInstructions())
+	}
+	if got := in.Totals().Instructions; got != total.Instructions {
+		t.Fatalf("Totals() = %d, want %d", got, total.Instructions)
+	}
+	if in.CurrentPhase() != "" {
+		t.Fatal("finished instance has no current phase")
+	}
+}
+
+func TestInstanceTargetsCalibratedIPC(t *testing.T) {
+	// Phase "a" targets IPC 2.0 solo on W3550; with zero noise the
+	// executed cycles must match within rounding.
+	w := build("solo", spec{name: "a", seconds: 2, ipc: 2.0, loadsPKI: 100, branchesPKI: 100})
+	in := MustInstance(w, 7)
+	ctx := cpu.DefaultContext(machine.XeonW3550())
+	var total cpu.Delta
+	for !in.Done() {
+		total.Add(in.Exec(ctx, 30_700_000))
+	}
+	ipc := float64(total.Instructions) / float64(total.Cycles)
+	if math.Abs(ipc-2.0) > 0.02 {
+		t.Fatalf("calibrated IPC = %v, want 2.0", ipc)
+	}
+}
+
+func TestInstancePhaseOrder(t *testing.T) {
+	w := testWorkload()
+	in := MustInstance(w, 3)
+	ctx := cpu.DefaultContext(machine.XeonW3550())
+	if in.CurrentPhase() != "a" {
+		t.Fatalf("initial phase = %q", in.CurrentPhase())
+	}
+	sawB := false
+	for !in.Done() {
+		in.Exec(ctx, 307_000_000)
+		if in.CurrentPhase() == "b" {
+			sawB = true
+		}
+	}
+	if !sawB {
+		t.Fatal("phase b never became current")
+	}
+	done, totalI := in.Progress()
+	if done != totalI {
+		t.Fatalf("Progress = %d/%d", done, totalI)
+	}
+}
+
+func TestExecRespectsBudget(t *testing.T) {
+	w := testWorkload()
+	in := MustInstance(w, 5)
+	ctx := cpu.DefaultContext(machine.XeonW3550())
+	const budget = 1_000_000
+	for i := 0; i < 100 && !in.Done(); i++ {
+		d := in.Exec(ctx, budget)
+		// Never exceed budget by more than one instruction's cycles
+		// (CPI here is ~0.5..2, so 4 cycles of slack is generous).
+		if d.Cycles > budget+4 {
+			t.Fatalf("quantum used %d cycles, budget %d", d.Cycles, budget)
+		}
+	}
+}
+
+func TestExecTinyBudgetStillAdvances(t *testing.T) {
+	w := testWorkload()
+	in := MustInstance(w, 5)
+	ctx := cpu.DefaultContext(machine.XeonW3550())
+	d := in.Exec(ctx, 1)
+	if d.Cycles == 0 {
+		t.Fatal("a nonzero budget must consume cycles")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) cpu.Delta {
+		w := MCF()
+		in := MustInstance(Scaled(w, 0.001), seed)
+		ctx := cpu.DefaultContext(machine.XeonW3550())
+		var total cpu.Delta
+		for !in.Done() {
+			total.Add(in.Exec(ctx, 30_700_000))
+		}
+		return total
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	c := run(43)
+	if a == c {
+		t.Fatal("different seeds should perturb noise (cycles expected to differ)")
+	}
+}
+
+func TestSpinNeverFinishes(t *testing.T) {
+	w := build("burn", spec{name: "x", seconds: 0.0001, ipc: 1.5, branchesPKI: 100})
+	s, err := NewSpin(w, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cpu.DefaultContext(machine.XeonW3550())
+	var total cpu.Delta
+	for i := 0; i < 50; i++ {
+		if s.Done() {
+			t.Fatal("Spin must never be done")
+		}
+		d := s.Exec(ctx, 30_700_000)
+		if d.Cycles == 0 {
+			t.Fatal("Spin must keep producing cycles")
+		}
+		total.Add(d)
+	}
+	// The single phase is ~460k instructions; 50 quanta of 30.7M cycles
+	// at IPC 1.5 demand far more, so the workload must have restarted.
+	if total.Instructions <= w.TotalInstructions() {
+		t.Fatalf("Spin did not loop: %d instructions", total.Instructions)
+	}
+	if s.Name() != "burn" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestScaled(t *testing.T) {
+	w := MCF()
+	half := Scaled(w, 0.5)
+	if half.TotalInstructions() >= w.TotalInstructions() {
+		t.Fatal("Scaled(0.5) must shrink")
+	}
+	if len(half.Phases) != len(w.Phases) {
+		t.Fatal("Scaled must preserve phase structure")
+	}
+	tiny := Scaled(w, 1e-18)
+	for _, p := range tiny.Phases {
+		if p.Instructions < 1 {
+			t.Fatal("Scaled floors at 1 instruction")
+		}
+	}
+	// Original untouched.
+	if w.Phases[0].Instructions == half.Phases[0].Instructions {
+		t.Fatal("Scaled must copy, not alias")
+	}
+}
+
+func TestCatalogValidates(t *testing.T) {
+	all := append(SPECSuite(),
+		HmmerICC(), Sphinx3ICC(), H264RefICC(), MilcICC(),
+		REvolution(DefaultREvolution()),
+		REvolution(REvolutionOptions{Clipped: true, HealthyIters: 953, DivergedIters: 494}),
+		Synthetic(SyntheticSpec{Name: "job", IPC: 1.5}),
+	)
+	seen := map[string]bool{}
+	for _, w := range all {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+	}
+}
+
+func TestREvolutionStructure(t *testing.T) {
+	opt := DefaultREvolution()
+	w := REvolution(opt)
+	// 953 healthy phases + 494 * (kernel + tail).
+	want := opt.HealthyIters + 2*opt.DivergedIters
+	if len(w.Phases) != want {
+		t.Fatalf("phases = %d, want %d", len(w.Phases), want)
+	}
+	clipped := REvolution(REvolutionOptions{Clipped: true, HealthyIters: 953, DivergedIters: 494})
+	if len(clipped.Phases) != 953+494 {
+		t.Fatalf("clipped phases = %d", len(clipped.Phases))
+	}
+	// The diverged kernel must have full assist fraction; clipped none.
+	kernel := w.Phases[953]
+	if kernel.Params.FPAssistFraction != 1 {
+		t.Fatalf("diverged kernel assist = %v", kernel.Params.FPAssistFraction)
+	}
+	for _, p := range clipped.Phases {
+		if p.Params.FPAssistFraction != 0 {
+			t.Fatal("clipped run must never assist")
+		}
+	}
+	// Degenerate options are repaired.
+	tiny := REvolution(REvolutionOptions{HealthyIters: -1, DivergedIters: -5})
+	if len(tiny.Phases) != 1 {
+		t.Fatalf("repaired options give %d phases", len(tiny.Phases))
+	}
+}
+
+func TestCompilerPairsEncodeFigure9(t *testing.T) {
+	ref := machine.XeonW3550()
+	ctx := cpu.DefaultContext(ref)
+	ipcOf := func(w *Workload) (ipc float64, seconds float64) {
+		in := MustInstance(Scaled(w, 0.01), 1)
+		var total cpu.Delta
+		for !in.Done() {
+			total.Add(in.Exec(ctx, 30_700_000))
+		}
+		return float64(total.Instructions) / float64(total.Cycles),
+			float64(total.Cycles) / ref.FreqHz
+	}
+	// (a) hmmer: gcc has higher IPC and is faster.
+	gIPC, gT := ipcOf(HmmerGCC())
+	iIPC, iT := ipcOf(HmmerICC())
+	if !(gIPC > iIPC && gT < iT) {
+		t.Fatalf("hmmer: gcc (%.2f, %.0fs) must beat icc (%.2f, %.0fs) on both", gIPC, gT, iIPC, iT)
+	}
+	// (b) sphinx3: icc has lower IPC but is faster.
+	gIPC, gT = ipcOf(Sphinx3GCC())
+	iIPC, iT = ipcOf(Sphinx3ICC())
+	if !(iIPC < gIPC && iT < gT) {
+		t.Fatalf("sphinx3: icc (%.2f, %.0fs) must be slower-IPC yet faster than gcc (%.2f, %.0fs)", iIPC, iT, gIPC, gT)
+	}
+	// (d) milc: gcc has higher IPC but the same time (within 2 %).
+	gIPC, gT = ipcOf(MilcGCC())
+	iIPC, iT = ipcOf(MilcICC())
+	if gIPC <= iIPC {
+		t.Fatalf("milc: gcc IPC %.2f must exceed icc %.2f", gIPC, iIPC)
+	}
+	if math.Abs(gT-iT)/iT > 0.02 {
+		t.Fatalf("milc: run times must match: %.1fs vs %.1fs", gT, iT)
+	}
+}
+
+func TestH264InversionPhases(t *testing.T) {
+	g, i := H264RefGCC(), H264RefICC()
+	if len(g.Phases) != 2 || len(i.Phases) != 2 {
+		t.Fatal("h264ref needs two phases")
+	}
+	ctx := cpu.DefaultContext(machine.XeonW3550())
+	ipc := func(p Phase) float64 { return cpu.Evaluate(p.Params, ctx).IPC() }
+	// Phase 1: gcc leads. Phase 2: inversion, icc leads.
+	if !(ipc(g.Phases[0]) > ipc(i.Phases[0])) {
+		t.Fatal("phase 1: gcc must lead")
+	}
+	if !(ipc(g.Phases[1]) < ipc(i.Phases[1])) {
+		t.Fatal("phase 2: icc must lead (the inversion)")
+	}
+}
+
+func TestInstrumentedSlowdown(t *testing.T) {
+	ctx := cpu.DefaultContext(machine.XeonW3550())
+	run := func(factor float64) (instr, cycles uint64) {
+		w := testWorkload()
+		var r Runner = MustInstance(w, 3)
+		if factor > 0 {
+			r = &Instrumented{R: MustInstance(w, 3), Factor: factor}
+		}
+		var total cpu.Delta
+		for i := 0; i < 1e6 && !r.Done(); i++ {
+			total.Add(r.Exec(ctx, 1_000_000))
+		}
+		return total.Instructions, total.Cycles
+	}
+	plainI, plainC := run(0)
+	slowI, slowC := run(1.7)
+	if slowI != plainI {
+		t.Fatalf("instrumentation must preserve architectural work: %d vs %d", slowI, plainI)
+	}
+	ratio := float64(slowC) / float64(plainC)
+	if ratio < 1.6 || ratio > 1.8 {
+		t.Fatalf("cycle inflation = %.2fx, want ~1.7x", ratio)
+	}
+	// Degenerate factors are clamped to 1.
+	clampI, clampC := run(0.5)
+	if clampI != plainI || float64(clampC) > float64(plainC)*1.05 {
+		t.Fatalf("factor < 1 must behave like 1: %d/%d vs %d/%d", clampI, clampC, plainI, plainC)
+	}
+}
+
+func TestInstrumentedForwardsMetadata(t *testing.T) {
+	in := MustInstance(MCF(), 1)
+	iw := &Instrumented{R: in, Factor: 1.7}
+	if iw.Name() != in.Name() {
+		t.Fatal("name must forward")
+	}
+	if iw.Done() {
+		t.Fatal("not done")
+	}
+	reuse := iw.Reuse()
+	if reuse.Footprint() == 0 {
+		t.Fatal("reuse profile must forward")
+	}
+}
+
+// Property: Exec conserves instructions — the sum of per-quantum deltas
+// equals the workload total, for any quantum size.
+func TestPropInstructionConservation(t *testing.T) {
+	f := func(seed int64, quantumKCycles uint16) bool {
+		q := uint64(quantumKCycles%2000+1) * 10_000
+		w := testWorkload()
+		in := MustInstance(w, seed)
+		ctx := cpu.DefaultContext(machine.XeonW3550())
+		var total cpu.Delta
+		for i := 0; !in.Done(); i++ {
+			if i > 1e6 {
+				return false
+			}
+			total.Add(in.Exec(ctx, q))
+		}
+		return total.Instructions == w.TotalInstructions()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

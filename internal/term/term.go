@@ -1,0 +1,159 @@
+// Package term provides the minimal terminal control the live mode
+// needs: ANSI escape sequences, a diffing screen buffer, and decoding of
+// the keyboard commands tiptop understands. It replaces the ncurses
+// dependency of the original tool with a pure-stdlib implementation; when
+// the output is not a terminal, batch mode remains fully functional,
+// matching the paper's "in case the library is not available, tiptop can
+// still be built, but only batch-mode is functional".
+package term
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ANSI escape sequences.
+const (
+	escClear     = "\x1b[2J"
+	escHome      = "\x1b[H"
+	escHideCur   = "\x1b[?25l"
+	escShowCur   = "\x1b[?25h"
+	escReset     = "\x1b[0m"
+	escBold      = "\x1b[1m"
+	escReverse   = "\x1b[7m"
+	escClearLine = "\x1b[K"
+)
+
+// Screen is a simple double-buffered text screen: Draw composes the next
+// frame, Flush emits only the lines that changed since the previous
+// frame, avoiding full-screen redraw flicker on real terminals.
+type Screen struct {
+	w          io.Writer
+	rows, cols int
+	prev       []string
+	next       []string
+	started    bool
+}
+
+// NewScreen creates a screen of the given geometry writing to w.
+func NewScreen(w io.Writer, rows, cols int) (*Screen, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("term: invalid geometry %dx%d", rows, cols)
+	}
+	return &Screen{w: w, rows: rows, cols: cols, prev: make([]string, rows), next: make([]string, rows)}, nil
+}
+
+// Size returns the screen geometry.
+func (s *Screen) Size() (rows, cols int) { return s.rows, s.cols }
+
+// SetLine stages the content of row i for the next flush. Long lines are
+// truncated to the screen width (ANSI-naive: callers apply styling via
+// Bold/Reverse which is width-neutral in this implementation's
+// accounting, so styled lines should stay shorter than the width).
+func (s *Screen) SetLine(i int, text string) {
+	if i < 0 || i >= s.rows {
+		return
+	}
+	if len(text) > s.cols {
+		text = text[:s.cols]
+	}
+	s.next[i] = text
+}
+
+// Clear stages an empty frame.
+func (s *Screen) Clear() {
+	for i := range s.next {
+		s.next[i] = ""
+	}
+}
+
+// Flush writes the staged frame, emitting only changed lines.
+func (s *Screen) Flush() error {
+	var b strings.Builder
+	if !s.started {
+		b.WriteString(escHideCur)
+		b.WriteString(escClear)
+		s.started = true
+		// Force full paint.
+		for i := range s.prev {
+			s.prev[i] = "\x00invalid"
+		}
+	}
+	for i := 0; i < s.rows; i++ {
+		if s.next[i] == s.prev[i] {
+			continue
+		}
+		fmt.Fprintf(&b, "\x1b[%d;1H%s%s", i+1, s.next[i], escClearLine)
+		s.prev[i] = s.next[i]
+	}
+	b.WriteString(escHome)
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}
+
+// Close restores the cursor.
+func (s *Screen) Close() error {
+	if !s.started {
+		return nil
+	}
+	_, err := io.WriteString(s.w, escShowCur+escReset+"\n")
+	return err
+}
+
+// Bold wraps text in bold ANSI styling.
+func Bold(text string) string { return escBold + text + escReset }
+
+// Reverse wraps text in reverse-video styling (the header bar).
+func Reverse(text string) string { return escReverse + text + escReset }
+
+// Key is a decoded keyboard command.
+type Key int
+
+// Keyboard commands of the live mode.
+const (
+	KeyNone   Key = iota
+	KeyQuit       // q — leave
+	KeyHelp       // h — toggle help
+	KeyScreen     // s — cycle screens
+	KeyPID        // p — toggle pid sort
+	KeyUp         // arrow up
+	KeyDown       // arrow down
+	KeyOther
+)
+
+// DecodeKeys converts raw terminal input bytes into commands. It handles
+// the three-byte arrow sequences and returns one Key per decoded command.
+func DecodeKeys(buf []byte) []Key {
+	var out []Key
+	for i := 0; i < len(buf); i++ {
+		c := buf[i]
+		switch c {
+		case 'q', 'Q', 3: // q or Ctrl-C
+			out = append(out, KeyQuit)
+		case 'h', 'H', '?':
+			out = append(out, KeyHelp)
+		case 's', 'S':
+			out = append(out, KeyScreen)
+		case 'p', 'P':
+			out = append(out, KeyPID)
+		case 0x1b:
+			if i+2 < len(buf) && buf[i+1] == '[' {
+				switch buf[i+2] {
+				case 'A':
+					out = append(out, KeyUp)
+				case 'B':
+					out = append(out, KeyDown)
+				default:
+					out = append(out, KeyOther)
+				}
+				i += 2
+				continue
+			}
+			out = append(out, KeyOther)
+		default:
+			out = append(out, KeyOther)
+		}
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+// Package ui renders the tiptop engine's samples: a batch renderer that
+// streams text (the `tiptop -b` mode, "convenient for further
+// processing, in the spirit of UNIX filters"), and a live renderer that
+// repaints an ANSI screen like the interactive mode of top.
+package ui
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/metrics"
+	"tiptop/internal/term"
+)
+
+// Header produces the column header line for a screen, in the Figure 1
+// layout: PID USER %CPU <metric columns...> COMMAND.
+func Header(s *metrics.Screen) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7s %-8s %5s", "PID", "USER", "%CPU")
+	for _, col := range s.Columns {
+		fmt.Fprintf(&b, " %*s", col.Width, col.Header)
+	}
+	b.WriteString(" COMMAND")
+	return b.String()
+}
+
+// FormatRow renders one task row under the given screen.
+func FormatRow(s *metrics.Screen, r *core.Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%7d %-8.8s %5.1f", r.Info.ID.PID, r.Info.User, r.CPUPct)
+	for i, col := range s.Columns {
+		if !r.Valid {
+			fmt.Fprintf(&b, " %*s", col.Width, "-")
+			continue
+		}
+		b.WriteByte(' ')
+		b.WriteString(col.Cell(r.Values[i]))
+	}
+	b.WriteByte(' ')
+	b.WriteString(r.Info.Comm)
+	return b.String()
+}
+
+// BatchRenderer streams samples as text blocks.
+type BatchRenderer struct {
+	W io.Writer
+	// Timestamps prefixes each block with the sample time.
+	Timestamps bool
+}
+
+// Render writes one sample.
+func (br *BatchRenderer) Render(screen *metrics.Screen, sample *core.Sample) error {
+	var b strings.Builder
+	if br.Timestamps {
+		fmt.Fprintf(&b, "--- t=%s tasks=%d\n", formatDur(sample.Time), len(sample.Rows))
+	}
+	b.WriteString(Header(screen))
+	b.WriteByte('\n')
+	for i := range sample.Rows {
+		b.WriteString(FormatRow(screen, &sample.Rows[i]))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(br.W, b.String())
+	return err
+}
+
+func formatDur(d time.Duration) string {
+	return d.Truncate(time.Millisecond).String()
+}
+
+// LiveRenderer paints samples onto a term.Screen with a status bar, the
+// interactive analogue of top.
+type LiveRenderer struct {
+	Screen  *term.Screen
+	Machine string // status-bar machine description
+}
+
+// Render paints one sample.
+func (lr *LiveRenderer) Render(screen *metrics.Screen, sample *core.Sample) error {
+	rows, _ := lr.Screen.Size()
+	lr.Screen.Clear()
+	status := fmt.Sprintf("tiptop - %s - %d tasks - screen %q - t=%s (q quits)",
+		lr.Machine, len(sample.Rows), screen.Name, formatDur(sample.Time))
+	lr.Screen.SetLine(0, term.Reverse(status))
+	lr.Screen.SetLine(1, term.Bold(Header(screen)))
+	for i := range sample.Rows {
+		line := 2 + i
+		if line >= rows {
+			break
+		}
+		lr.Screen.SetLine(line, FormatRow(screen, &sample.Rows[i]))
+	}
+	return lr.Screen.Flush()
+}
+
+// HelpText summarizes the interactive commands and screen columns.
+func HelpText(screens map[string]*metrics.Screen) string {
+	var b strings.Builder
+	b.WriteString("interactive commands:\n")
+	b.WriteString("  q  quit\n  s  cycle screens\n  p  toggle pid sort\n  h  this help\n\n")
+	b.WriteString("screens:\n")
+	for name, s := range screens {
+		fmt.Fprintf(&b, "  %-8s", name)
+		for _, c := range s.Columns {
+			fmt.Fprintf(&b, " %s", c.Header)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,306 @@
+package ukernel
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the tiny assembly language into a Program. The syntax,
+// one instruction per line:
+//
+//	; comment (also after instructions)
+//	label:
+//	  movi  r1, 1000
+//	  fmovi f1, -1.0        ; also: inf, -inf, nan
+//	  iadd  r1, r1, 1       ; third operand: register or immediate
+//	  faddx f0, f1, f2      ; x87 add (assists on non-finite operands)
+//	  fadd  f0, f1, f2      ; SSE add
+//	  load  r2, [r3]
+//	  loadf f2, [r3]
+//	  store [r3], r2
+//	  cmp   r1, r4          ; or immediate
+//	  jne   label
+//	  halt
+func Assemble(src string) (*Program, error) {
+	p := &Program{Labels: map[string]int{}, Source: src}
+	type patch struct {
+		instr int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	lines := strings.Split(src, "\n")
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !isIdent(label) {
+				return nil, fmt.Errorf("ukernel: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("ukernel: line %d: duplicate label %q", lineNo+1, label)
+			}
+			p.Labels[label] = len(p.Instrs)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		instr, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("ukernel: line %d: %v", lineNo+1, err)
+		}
+		if labelRef != "" {
+			patches = append(patches, patch{instr: len(p.Instrs), label: labelRef, line: lineNo + 1})
+		}
+		p.Instrs = append(p.Instrs, instr)
+	}
+	for _, pt := range patches {
+		target, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("ukernel: line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Instrs[pt.instr].Target = target
+	}
+	if len(p.Instrs) == 0 {
+		return nil, fmt.Errorf("ukernel: empty program")
+	}
+	return p, nil
+}
+
+// MustAssemble panics on assembly errors; for the static kernel library.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func parseInstr(line string) (Instr, string, error) {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	args := splitArgs(rest)
+	switch mnemonic {
+	case "nop":
+		return expectArgs(Instr{Op: OpNop}, args, 0)
+	case "halt":
+		return expectArgs(Instr{Op: OpHalt}, args, 0)
+	case "jmp", "jne", "je", "jlt", "jge":
+		ops := map[string]Op{"jmp": OpJmp, "jne": OpJne, "je": OpJe, "jlt": OpJlt, "jge": OpJge}
+		if len(args) != 1 || !isIdent(args[0]) {
+			return Instr{}, "", fmt.Errorf("%s needs one label", mnemonic)
+		}
+		return Instr{Op: ops[mnemonic]}, args[0], nil
+	case "movi":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("movi needs rd, imm")
+		}
+		rd, err := parseReg(args[0], 'r')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		imm, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return Instr{}, "", fmt.Errorf("bad immediate %q", args[1])
+		}
+		return Instr{Op: OpMovI, Dst: rd, Imm: imm, UseImm: true}, "", nil
+	case "fmovi":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("fmovi needs fd, fimm")
+		}
+		fd, err := parseReg(args[0], 'f')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		v, err := parseFImm(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpFMovI, Dst: fd, FImm: v, UseImm: true}, "", nil
+	case "iadd", "imul":
+		op := OpIAdd
+		if mnemonic == "imul" {
+			op = OpIMul
+		}
+		if len(args) != 3 {
+			return Instr{}, "", fmt.Errorf("%s needs rd, rs, op2", mnemonic)
+		}
+		rd, err := parseReg(args[0], 'r')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := parseReg(args[1], 'r')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := Instr{Op: op, Dst: rd, Src1: rs}
+		if err := parseOp2(&in, args[2], 'r'); err != nil {
+			return Instr{}, "", err
+		}
+		return in, "", nil
+	case "fadd", "faddx", "fmul":
+		ops := map[string]Op{"fadd": OpFAdd, "faddx": OpFAddX87, "fmul": OpFMul}
+		if len(args) != 3 {
+			return Instr{}, "", fmt.Errorf("%s needs fd, fs1, fs2", mnemonic)
+		}
+		fd, err := parseReg(args[0], 'f')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		f1, err := parseReg(args[1], 'f')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		f2, err := parseReg(args[2], 'f')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: ops[mnemonic], Dst: fd, Src1: f1, Src2: f2}, "", nil
+	case "load", "loadf":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("%s needs dst, [addr]", mnemonic)
+		}
+		bank := byte('r')
+		op := OpLoad
+		if mnemonic == "loadf" {
+			bank, op = 'f', OpLoadF
+		}
+		rd, err := parseReg(args[0], bank)
+		if err != nil {
+			return Instr{}, "", err
+		}
+		ra, err := parseMem(args[1])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: op, Dst: rd, Src1: ra}, "", nil
+	case "store":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("store needs [addr], rs")
+		}
+		ra, err := parseMem(args[0])
+		if err != nil {
+			return Instr{}, "", err
+		}
+		rs, err := parseReg(args[1], 'r')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		return Instr{Op: OpStore, Dst: ra, Src1: rs}, "", nil
+	case "cmp":
+		if len(args) != 2 {
+			return Instr{}, "", fmt.Errorf("cmp needs rs1, op2")
+		}
+		rs, err := parseReg(args[0], 'r')
+		if err != nil {
+			return Instr{}, "", err
+		}
+		in := Instr{Op: OpCmp, Src1: rs}
+		if err := parseOp2(&in, args[1], 'r'); err != nil {
+			return Instr{}, "", err
+		}
+		return in, "", nil
+	}
+	return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func expectArgs(in Instr, args []string, n int) (Instr, string, error) {
+	if len(args) != n {
+		return Instr{}, "", fmt.Errorf("%v takes %d arguments", in.Op, n)
+	}
+	return in, "", nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string, bank byte) (int, error) {
+	if len(s) < 2 || s[0] != bank {
+		return 0, fmt.Errorf("expected %c-register, got %q", bank, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func parseMem(s string) (int, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("expected [reg], got %q", s)
+	}
+	return parseReg(strings.TrimSpace(s[1:len(s)-1]), 'r')
+}
+
+func parseOp2(in *Instr, s string, bank byte) error {
+	if len(s) > 1 && s[0] == bank {
+		if r, err := parseReg(s, bank); err == nil {
+			in.Src2 = r
+			return nil
+		}
+	}
+	imm, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return fmt.Errorf("operand %q is neither register nor immediate", s)
+	}
+	in.UseImm = true
+	in.Imm = imm
+	return nil
+}
+
+func parseFImm(s string) (float64, error) {
+	switch strings.ToLower(s) {
+	case "inf", "+inf":
+		return math.Inf(1), nil
+	case "-inf":
+		return math.Inf(-1), nil
+	case "nan":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad float immediate %q", s)
+	}
+	return v, nil
+}

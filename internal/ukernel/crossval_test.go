@@ -1,0 +1,107 @@
+package ukernel
+
+import (
+	"math"
+	"testing"
+
+	"tiptop/internal/sim/cache"
+	"tiptop/internal/sim/machine"
+)
+
+// TestRandomBranchMisprediction checks the §2.4 claim for the random
+// direction kernel: a 2-bit predictor on an LCG-driven branch
+// mispredicts close to half the time on that branch.
+func TestRandomBranchMisprediction(t *testing.T) {
+	var k ValidationKernel
+	for _, c := range ValidationSuite() {
+		if c.Name == "randbranch" {
+			k = c
+		}
+	}
+	if k.Program == nil {
+		t.Fatal("randbranch kernel missing")
+	}
+	vm, err := NewVM(k.Program, machine.XeonW3550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Inputs.Apply(vm)
+	if _, err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	c := vm.Counts()
+	// Two branches per iteration: the random jlt and the near-perfect
+	// loop-back jne. Total misprediction ratio ~ (0.5 + ~0)/2 = ~25 %.
+	ratio := float64(c.BranchMisses) / float64(c.Branches)
+	if ratio < 0.15 || ratio > 0.35 {
+		t.Fatalf("misprediction ratio = %.3f, want ~0.25 (random branch at ~50%%)", ratio)
+	}
+}
+
+// TestTraceCrossValidatesAnalyticModel ties the two cache substrates
+// together: the VM's recorded address stream, fed through the
+// stack-distance analyzer, must predict the VM's own fully-associative
+// miss behaviour. This is the theorem (stack distance <= capacity <=>
+// hit) that the phase-model simulation rests on, checked against real
+// executed code rather than a synthetic trace.
+func TestTraceCrossValidatesAnalyticModel(t *testing.T) {
+	// A pointer-walk over 96 lines: exceeds a 64-line L1 but fits L2.
+	prog := MustAssemble(`
+  movi r2, 0
+loop:
+  load r3, [r2]
+  iadd r2, r2, 64
+  cmp r2, 6144
+  jlt loop
+  movi r2, 0
+  iadd r5, r5, 1
+  cmp r5, 50
+  jlt loop
+  halt
+`)
+	m := machine.XeonW3550()
+	vm, err := NewVM(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm.EnableTrace()
+	if _, err := vm.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	trace := vm.Trace()
+	if len(trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	profile := cache.StackDistance(trace, 64)
+	if err := profile.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the same trace through a fully-associative LRU cache and
+	// compare with the analytic prediction at the same capacity.
+	for _, lines := range []int{32, 64, 128} {
+		sim, err := cache.NewSetAssoc(int64(lines*64), lines, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var misses int
+		for _, a := range trace {
+			if !sim.Access(a) {
+				misses++
+			}
+		}
+		got := float64(misses) / float64(len(trace))
+		want := profile.MissRatio(float64(lines * 64))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("capacity %d lines: exact %.6f vs analytic %.6f", lines, got, want)
+		}
+	}
+	// The cyclic sweep of 96 lines thrashes LRU below 96 lines: the
+	// profile must predict a total miss at 64 lines and near-total
+	// hits at 128.
+	if profile.MissRatio(64*64) < 0.95 {
+		t.Fatalf("64-line cyclic sweep must thrash: miss = %v", profile.MissRatio(64*64))
+	}
+	if profile.MissRatio(128*64) > 0.05 {
+		t.Fatalf("128 lines hold the working set: miss = %v", profile.MissRatio(128*64))
+	}
+}

@@ -1,0 +1,284 @@
+package ukernel
+
+import (
+	"fmt"
+
+	"tiptop/internal/sim/cpu"
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/workload"
+)
+
+// FPMode selects the instruction set of the Figure 4/5 micro-benchmark.
+type FPMode int
+
+// The two compilation modes of the paper's micro-benchmark:
+// gcc -mfpmath=387 vs gcc -mfpmath=sse.
+const (
+	FPModeX87 FPMode = iota
+	FPModeSSE
+)
+
+func (m FPMode) String() string {
+	if m == FPModeX87 {
+		return "x87"
+	}
+	return "SSE"
+}
+
+// FPValues selects the operand class.
+type FPValues int
+
+// Operand classes of Table 1. Infinite and NaN inputs behave identically
+// (the paper reports them together).
+const (
+	FPFinite FPValues = iota
+	FPInfinite
+	FPNaN
+)
+
+func (v FPValues) String() string {
+	switch v {
+	case FPFinite:
+		return "finite"
+	case FPInfinite:
+		return "infinite"
+	default:
+		return "NaN"
+	}
+}
+
+// FPMicroKernel builds the paper's micro-benchmark (Figures 4 and 5): a
+// loop of exactly four instructions — add, FP add, compare, conditional
+// jump — accumulating z += x + y for the given number of iterations. The
+// x87 variant assists on non-finite operands; the SSE variant never
+// does.
+func FPMicroKernel(mode FPMode, vals FPValues, iterations int64) (*Program, *VMInputs) {
+	fp := "faddx"
+	if mode == FPModeSSE {
+		fp = "fadd"
+	}
+	// f0 = z, f1 = x, f2 = y; x+y is computed into the accumulator, the
+	// same dependence structure as Figure 5's fadd %st, %st(1).
+	src := fmt.Sprintf(`
+; Figure 4 micro-benchmark, %s mode
+loop:
+  iadd r0, r0, 1
+  %s f0, f0, f1
+  cmp r0, r1
+  jne loop
+  halt
+`, mode, fp)
+	inputs := &VMInputs{
+		IntRegs:   map[int]int64{0: 0, 1: iterations},
+		FloatRegs: map[int]float64{},
+	}
+	switch vals {
+	case FPFinite:
+		inputs.FloatRegs[0] = 0
+		inputs.FloatRegs[1] = -1.0 // x+y folded: adding a finite delta
+	case FPInfinite:
+		inputs.FloatRegs[0] = 0
+		inputs.FloatRegs[1] = inf()
+	case FPNaN:
+		inputs.FloatRegs[0] = 0
+		inputs.FloatRegs[1] = nan()
+	}
+	return MustAssemble(src), inputs
+}
+
+func inf() float64 { var z float64; return 1 / z }
+func nan() float64 { var z float64; return z / z }
+
+// VMInputs are initial register values for a kernel.
+type VMInputs struct {
+	IntRegs   map[int]int64
+	FloatRegs map[int]float64
+}
+
+// Apply sets the inputs on a VM.
+func (in *VMInputs) Apply(vm *VM) {
+	for r, v := range in.IntRegs {
+		vm.SetReg(r, v)
+	}
+	for r, v := range in.FloatRegs {
+		vm.SetFReg(r, v)
+	}
+}
+
+// ValidationKernel is a micro-kernel whose exact instruction count is
+// known analytically — the §2.4 methodology ("we manually crafted
+// micro-kernels for which we can analytically estimate the number of
+// instructions by inspecting the assembly of a single basic-block
+// loop").
+type ValidationKernel struct {
+	Name    string
+	Program *Program
+	Inputs  *VMInputs
+	// ExpectedInstructions is the analytic retire count.
+	ExpectedInstructions uint64
+}
+
+// ValidationSuite returns the micro-kernels used by the §2.4
+// instruction-count validation. Counts are derived from the loop bodies:
+// a k-instruction body executed n times plus setup/teardown.
+func ValidationSuite() []ValidationKernel {
+	var suite []ValidationKernel
+
+	// 1. Pure integer loop: 3-instruction body, n iterations, + halt.
+	n1 := int64(100_000)
+	suite = append(suite, ValidationKernel{
+		Name: "intloop",
+		Program: MustAssemble(`
+loop:
+  iadd r0, r0, 1
+  cmp r0, r1
+  jne loop
+  halt
+`),
+		Inputs:               &VMInputs{IntRegs: map[int]int64{1: n1}},
+		ExpectedInstructions: uint64(3*n1 + 1),
+	})
+
+	// 2. The FP micro-benchmark, finite operands: 4-instruction body.
+	n2 := int64(50_000)
+	prog, inputs := FPMicroKernel(FPModeX87, FPFinite, n2)
+	suite = append(suite, ValidationKernel{
+		Name:                 "fploop",
+		Program:              prog,
+		Inputs:               inputs,
+		ExpectedInstructions: uint64(4*n2 + 1),
+	})
+
+	// 3. Strided memory walk: 5-instruction body touching one cache
+	// line per iteration (the cache-miss calibration kernel).
+	n3 := int64(20_000)
+	suite = append(suite, ValidationKernel{
+		Name: "memwalk",
+		Program: MustAssemble(`
+  movi r2, 0
+loop:
+  load r3, [r2]
+  iadd r2, r2, 64
+  iadd r0, r0, 1
+  cmp r0, r1
+  jne loop
+  halt
+`),
+		Inputs:               &VMInputs{IntRegs: map[int]int64{1: n3}},
+		ExpectedInstructions: uint64(5*n3 + 2),
+	})
+
+	// 4. Pseudo-random branch pattern (the paper's "random ... jumps
+	// to well known locations"): the direction follows bit 4 of a
+	// multiplicative LCG computed in-kernel, defeating the 2-bit
+	// predictor about half the time. Body: imul,iadd,iadd(extract via
+	// add trick is impossible; use imul-based mixing),cmp,jlt,[iadd],
+	// cmp,jne — we count analytically below.
+	nR := int64(20_000)
+	suite = append(suite, ValidationKernel{
+		Name: "randbranch",
+		Program: MustAssemble(`
+; r2 = LCG state, r3 = mixed bit
+loop:
+  iadd r0, r0, 1
+  imul r2, r2, 1103515245
+  iadd r2, r2, 12345
+  imul r3, r2, 283686952306183
+  cmp r3, 0
+  jlt skip
+  iadd r4, r4, 1
+skip:
+  cmp r0, r1
+  jne loop
+  halt
+`),
+		Inputs: &VMInputs{IntRegs: map[int]int64{1: nR, 2: 42}},
+		// Body is 8 instructions when the branch is taken (skip path)
+		// and 9 when not; the taken count is data-dependent, so the
+		// analytic count is computed by a reference execution in
+		// ValidationSuite callers via the VM oracle. For the static
+		// expectation we replicate the LCG here.
+		ExpectedInstructions: randBranchCount(nR, 42),
+	})
+
+	// 5. Periodic branch pattern: inner conditional taken every other
+	// iteration; 6-instruction body (the misprediction calibration
+	// kernel: a 2-bit predictor on an alternating branch).
+	n4 := int64(30_000)
+	suite = append(suite, ValidationKernel{
+		Name: "branchy",
+		Program: MustAssemble(`
+loop:
+  iadd r0, r0, 1
+  iadd r2, r2, 1
+  cmp r2, 2
+  jlt skip
+  movi r2, 0
+skip:
+  cmp r0, r1
+  jne loop
+  halt
+`),
+		Inputs: &VMInputs{IntRegs: map[int]int64{1: n4}},
+		// Body: iadd,iadd,cmp,jlt,[movi],cmp,jne. The movi executes
+		// when r2 reached 2, i.e. every second iteration.
+		ExpectedInstructions: uint64(6*n4 + n4/2 + 1),
+	})
+	return suite
+}
+
+// randBranchCount replays the randbranch kernel's control flow
+// analytically: per iteration 8 instructions (iadd, imul, iadd, imul,
+// cmp, jlt, cmp, jne) plus one more when the mixed value is
+// non-negative, plus the final halt.
+func randBranchCount(n, seed int64) uint64 {
+	state := seed
+	var count uint64
+	for i := int64(0); i < n; i++ {
+		state = state*1103515245 + 12345
+		mixed := state * 283686952306183
+		count += 8
+		if mixed >= 0 {
+			count++ // the skipped-over iadd executes
+		}
+	}
+	return count + 1 // halt
+}
+
+// Runner adapts a VM to the workload.Runner interface so micro-kernels
+// can be scheduled as tasks of the simulated machine and observed by
+// tiptop like any other process.
+type Runner struct {
+	name string
+	vm   *VM
+}
+
+var _ workload.Runner = (*Runner)(nil)
+
+// NewRunner wraps an assembled, initialized VM.
+func NewRunner(name string, prog *Program, inputs *VMInputs, m *machine.Machine) (*Runner, error) {
+	vm, err := NewVM(prog, m)
+	if err != nil {
+		return nil, err
+	}
+	if inputs != nil {
+		inputs.Apply(vm)
+	}
+	return &Runner{name: name, vm: vm}, nil
+}
+
+// Name implements workload.Runner.
+func (r *Runner) Name() string { return r.name }
+
+// Done implements workload.Runner.
+func (r *Runner) Done() bool { return r.vm.Done() }
+
+// VM exposes the underlying machine for oracle reads.
+func (r *Runner) VM() *VM { return r.vm }
+
+// Exec implements workload.Runner. Micro-kernels are cache-resident and
+// single-threaded, so the contention context does not alter their
+// behaviour; the VM's own hierarchy and predictor govern the timing.
+func (r *Runner) Exec(_ cpu.Context, budgetCycles uint64) cpu.Delta {
+	return r.vm.RunCycles(budgetCycles)
+}

@@ -1,0 +1,387 @@
+package ukernel
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tiptop/internal/sim/cpu"
+	"tiptop/internal/sim/machine"
+)
+
+func mustVM(t *testing.T, src string, m *machine.Machine) *VM {
+	t.Helper()
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := NewVM(prog, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func run(t *testing.T, vm *VM) {
+	t.Helper()
+	if _, err := vm.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Done() {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"bogus r1, r2",
+		"iadd r1",
+		"iadd x1, r2, 3",
+		"movi r99, 1",
+		"movi r1, notanumber",
+		"jne",
+		"jne 123",
+		"jne missing\nhalt",
+		"dup: nop\ndup: nop",
+		"load r1, r2",
+		"fmovi f1, xyz",
+		"cmp r1, f2",
+		"1label: nop",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestAssembleLabelsAndComments(t *testing.T) {
+	prog, err := Assemble(`
+; leading comment
+start:
+  movi r1, 10 ; trailing comment
+mid: loop:
+  iadd r0, r0, 1
+  cmp r0, r1
+  jne loop
+  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Labels["start"] != 0 || prog.Labels["mid"] != 1 || prog.Labels["loop"] != 1 {
+		t.Fatalf("labels = %v", prog.Labels)
+	}
+	if prog.Len() != 5 {
+		t.Fatalf("len = %d", prog.Len())
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	vm := mustVM(t, `
+  movi r1, 6
+  movi r2, 7
+  imul r3, r1, r2
+  iadd r3, r3, 8
+  fmovi f1, 1.5
+  fmovi f2, 2.5
+  fadd f3, f1, f2
+  fmul f4, f3, f3
+  halt
+`, machine.XeonW3550())
+	run(t, vm)
+	if vm.Reg(3) != 50 {
+		t.Fatalf("r3 = %d, want 50", vm.Reg(3))
+	}
+	if vm.FReg(3) != 4 || vm.FReg(4) != 16 {
+		t.Fatalf("f3 = %v, f4 = %v", vm.FReg(3), vm.FReg(4))
+	}
+	if got := vm.Counts().FPOps; got != 2 {
+		t.Fatalf("fp ops = %d", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	vm := mustVM(t, `
+  movi r1, 4096
+  movi r2, 42
+  store [r1], r2
+  load r3, [r1]
+  halt
+`, machine.XeonW3550())
+	run(t, vm)
+	if vm.Reg(3) != 42 {
+		t.Fatalf("r3 = %d", vm.Reg(3))
+	}
+	c := vm.Counts()
+	if c.Loads != 1 || c.Stores != 1 {
+		t.Fatalf("loads/stores = %d/%d", c.Loads, c.Stores)
+	}
+}
+
+func TestBranchSemantics(t *testing.T) {
+	vm := mustVM(t, `
+  movi r1, 5
+loop:
+  iadd r0, r0, 1
+  cmp r0, r1
+  jlt loop
+  je done
+  halt
+done:
+  movi r9, 1
+  halt
+`, machine.XeonW3550())
+	run(t, vm)
+	if vm.Reg(9) != 1 {
+		t.Fatal("je path not taken")
+	}
+	if vm.Reg(0) != 5 {
+		t.Fatalf("r0 = %d", vm.Reg(0))
+	}
+}
+
+func TestInstructionCountExact(t *testing.T) {
+	for _, k := range ValidationSuite() {
+		vm, err := NewVM(k.Program, machine.XeonW3550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		k.Inputs.Apply(vm)
+		if _, err := vm.Run(0); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		got := vm.Counts().Instructions
+		if got != k.ExpectedInstructions {
+			t.Errorf("%s: executed %d instructions, analytic count %d",
+				k.Name, got, k.ExpectedInstructions)
+		}
+	}
+}
+
+func TestFPMicroFiniteIPC(t *testing.T) {
+	// Table 1: the 4-instruction loop with a 3-cycle FP dependence
+	// chain retires at IPC 1.33 in both x87 and SSE modes.
+	for _, mode := range []FPMode{FPModeX87, FPModeSSE} {
+		prog, inputs := FPMicroKernel(mode, FPFinite, 200_000)
+		vm, err := NewVM(prog, machine.XeonW3550())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs.Apply(vm)
+		if _, err := vm.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if got := vm.IPC(); math.Abs(got-1.33) > 0.02 {
+			t.Errorf("%v finite IPC = %.3f, want 1.33", mode, got)
+		}
+		if vm.Counts().FPAssists != 0 {
+			t.Errorf("%v finite must not assist", mode)
+		}
+	}
+}
+
+func TestFPMicroNonFinite(t *testing.T) {
+	// Table 1, non-finite operands: x87 collapses to IPC ~0.015 with
+	// 25 % of instructions assisted; SSE is unaffected. Inf and NaN
+	// behave identically.
+	for _, vals := range []FPValues{FPInfinite, FPNaN} {
+		prog, inputs := FPMicroKernel(FPModeX87, vals, 50_000)
+		vm, _ := NewVM(prog, machine.XeonW3550())
+		inputs.Apply(vm)
+		vm.Run(0)
+		if got := vm.IPC(); math.Abs(got-0.015) > 0.003 {
+			t.Errorf("x87 %v IPC = %.4f, want ~0.015", vals, got)
+		}
+		c := vm.Counts()
+		assistPct := 100 * float64(c.FPAssists) / float64(c.Instructions)
+		if math.Abs(assistPct-25) > 1 {
+			t.Errorf("x87 %v assist%% = %.1f, want 25", vals, assistPct)
+		}
+
+		prog, inputs = FPMicroKernel(FPModeSSE, vals, 50_000)
+		vm, _ = NewVM(prog, machine.XeonW3550())
+		inputs.Apply(vm)
+		vm.Run(0)
+		if got := vm.IPC(); math.Abs(got-1.33) > 0.02 {
+			t.Errorf("SSE %v IPC = %.3f, want 1.33", vals, got)
+		}
+		if vm.Counts().FPAssists != 0 {
+			t.Errorf("SSE %v must not assist", vals)
+		}
+	}
+}
+
+func TestFPMicroSlowdownFactor(t *testing.T) {
+	// "The slowdown is as large as 87x (1.33/0.015)."
+	ipcOf := func(vals FPValues) float64 {
+		prog, inputs := FPMicroKernel(FPModeX87, vals, 50_000)
+		vm, _ := NewVM(prog, machine.XeonW3550())
+		inputs.Apply(vm)
+		vm.Run(0)
+		return vm.IPC()
+	}
+	slowdown := ipcOf(FPFinite) / ipcOf(FPNaN)
+	if slowdown < 70 || slowdown > 100 {
+		t.Fatalf("x87 non-finite slowdown = %.0fx, want ~87x", slowdown)
+	}
+}
+
+func TestPPC970NoAssist(t *testing.T) {
+	// Figure 3 (d): the PPC970 does not exhibit the FP-assist
+	// pathology; non-finite x87-style adds run at full speed.
+	prog, inputs := FPMicroKernel(FPModeX87, FPNaN, 50_000)
+	vm, err := NewVM(prog, machine.PPC970())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs.Apply(vm)
+	vm.Run(0)
+	if vm.Counts().FPAssists != 0 {
+		t.Fatal("PPC970 must not assist")
+	}
+	if got := vm.IPC(); got < 1.0 {
+		t.Fatalf("PPC970 non-finite IPC = %.3f, must stay high", got)
+	}
+}
+
+func TestBranchPredictorMispredictions(t *testing.T) {
+	// The alternating branch of the validation suite defeats a 2-bit
+	// counter: expect a substantial misprediction rate on it, while
+	// the loop-back branch stays nearly perfect.
+	k := ValidationSuite()[3] // branchy
+	vm, _ := NewVM(k.Program, machine.XeonW3550())
+	k.Inputs.Apply(vm)
+	vm.Run(0)
+	c := vm.Counts()
+	if c.Branches == 0 {
+		t.Fatal("no branches counted")
+	}
+	missRatio := float64(c.BranchMisses) / float64(c.Branches)
+	if missRatio < 0.05 || missRatio > 0.6 {
+		t.Fatalf("branchy miss ratio = %.3f, want substantial but partial", missRatio)
+	}
+	// The pure loop kernel has near-zero mispredictions.
+	k0 := ValidationSuite()[0]
+	vm0, _ := NewVM(k0.Program, machine.XeonW3550())
+	k0.Inputs.Apply(vm0)
+	vm0.Run(0)
+	c0 := vm0.Counts()
+	if ratio := float64(c0.BranchMisses) / float64(c0.Branches); ratio > 0.01 {
+		t.Fatalf("loop branch miss ratio = %.4f, want ~0", ratio)
+	}
+}
+
+func TestMemWalkCacheMisses(t *testing.T) {
+	// The strided walk touches a new 64-byte line per iteration over a
+	// 20000*64 = 1.25 MB region: it must miss in the 32 KB L1 and the
+	// 256 KB L2 on (almost) every touch once warm, but the counts are
+	// bounded by the loads.
+	k := ValidationSuite()[2]
+	vm, _ := NewVM(k.Program, machine.XeonW3550())
+	k.Inputs.Apply(vm)
+	vm.Run(0)
+	c := vm.Counts()
+	if c.Loads != 20_000 {
+		t.Fatalf("loads = %d", c.Loads)
+	}
+	if c.L1Misses != c.Loads {
+		t.Fatalf("L1 misses = %d, want %d (new line every load)", c.L1Misses, c.Loads)
+	}
+	if c.LLCMisses == 0 || c.LLCMisses > c.Loads {
+		t.Fatalf("LLC misses = %d out of %d loads", c.LLCMisses, c.Loads)
+	}
+}
+
+func TestRunCyclesBudget(t *testing.T) {
+	prog, inputs := FPMicroKernel(FPModeX87, FPFinite, 1_000_000)
+	vm, _ := NewVM(prog, machine.XeonW3550())
+	inputs.Apply(vm)
+	d := vm.RunCycles(10_000)
+	if d.Instructions == 0 {
+		t.Fatal("budgeted run made no progress")
+	}
+	// 10k cycles at IPC 1.33 is ~13.3k instructions; allow the final
+	// instruction to overshoot slightly.
+	if d.Cycles < 10_000 || d.Cycles > 10_400 {
+		t.Fatalf("cycles used = %d, budget 10000", d.Cycles)
+	}
+	if vm.Done() {
+		t.Fatal("long kernel must not finish in 10k cycles")
+	}
+}
+
+func TestRunnerAdapter(t *testing.T) {
+	prog, inputs := FPMicroKernel(FPModeSSE, FPFinite, 10_000)
+	r, err := NewRunner("fpmicro", prog, inputs, machine.XeonW3550())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "fpmicro" {
+		t.Fatal("name")
+	}
+	var total uint64
+	for i := 0; i < 1000 && !r.Done(); i++ {
+		d := r.Exec(cpu.Context{}, 5_000)
+		total += d.Instructions
+	}
+	if !r.Done() {
+		t.Fatal("runner did not finish")
+	}
+	if total != r.VM().Counts().Instructions {
+		t.Fatalf("runner deltas (%d) must sum to VM total (%d)", total, r.VM().Counts().Instructions)
+	}
+}
+
+func TestBranchPredictorUnit(t *testing.T) {
+	bp := NewBranchPredictor(16)
+	// Train taken: after two updates the prediction flips to taken.
+	pc := 3
+	bp.Update(pc, true)
+	bp.Update(pc, true)
+	if !bp.Predict(pc) {
+		t.Fatal("predictor must learn taken")
+	}
+	bp.Update(pc, false)
+	bp.Update(pc, false)
+	if bp.Predict(pc) {
+		t.Fatal("predictor must learn not-taken")
+	}
+}
+
+// Property: instruction counts are exact for arbitrary loop trip counts —
+// the backbone of the §2.4 validation.
+func TestPropLoopCountExact(t *testing.T) {
+	f := func(nRaw uint16) bool {
+		n := int64(nRaw%5000) + 1
+		prog := MustAssemble(`
+loop:
+  iadd r0, r0, 1
+  cmp r0, r1
+  jne loop
+  halt
+`)
+		vm, err := NewVM(prog, machine.XeonW3550())
+		if err != nil {
+			return false
+		}
+		vm.SetReg(1, n)
+		if _, err := vm.Run(0); err != nil {
+			return false
+		}
+		return vm.Counts().Instructions == uint64(3*n+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpSourcePreserved(t *testing.T) {
+	src := "  halt ; done"
+	prog := MustAssemble(src)
+	if !strings.Contains(prog.Source, "halt") {
+		t.Fatal("source not preserved")
+	}
+}

@@ -1,0 +1,381 @@
+package ukernel
+
+import (
+	"fmt"
+	"math"
+
+	"tiptop/internal/sim/cache"
+	"tiptop/internal/sim/cpu"
+	"tiptop/internal/sim/machine"
+)
+
+// Architectural operation latencies (cycles). FP adds have the 3-cycle
+// latency that makes the serial accumulation loop of Figure 5 retire one
+// iteration every 3 cycles — which is exactly how the paper's measured
+// IPC of 1.33 arises from a 4-instruction loop body.
+const (
+	latInt    = 1
+	latIMul   = 3
+	latFAdd   = 3
+	latFMul   = 5
+	latStore  = 1
+	latBranch = 1
+)
+
+// memLatencies are the architectural load-to-use latencies by hit level:
+// L1, L2, L3, then memory (taken from the machine description).
+func memLatency(m *machine.Machine, hitLevel int) float64 {
+	arch := []float64{4, 10, 40}
+	if hitLevel < len(arch) && hitLevel < len(m.Caches) {
+		return arch[hitLevel]
+	}
+	return float64(m.MemLatencyCycles)
+}
+
+// BranchPredictor is a classic table of 2-bit saturating counters indexed
+// by instruction address.
+type BranchPredictor struct {
+	table []uint8
+	mask  int
+}
+
+// NewBranchPredictor creates a predictor with the given table size
+// (rounded up to a power of two).
+func NewBranchPredictor(entries int) *BranchPredictor {
+	n := 1
+	for n < entries {
+		n <<= 1
+	}
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &BranchPredictor{table: t, mask: n - 1}
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (bp *BranchPredictor) Predict(pc int) bool {
+	return bp.table[pc&bp.mask] >= 2
+}
+
+// Update trains the predictor and reports whether the prediction was
+// correct.
+func (bp *BranchPredictor) Update(pc int, taken bool) bool {
+	idx := pc & bp.mask
+	pred := bp.table[idx] >= 2
+	if taken && bp.table[idx] < 3 {
+		bp.table[idx]++
+	}
+	if !taken && bp.table[idx] > 0 {
+		bp.table[idx]--
+	}
+	return pred == taken
+}
+
+// VM executes a Program on a simulated core of the given machine with an
+// exact cache hierarchy, a branch predictor, and a dependence-aware
+// timing model (a register scoreboard: an instruction issues when the
+// pipeline slot and all source operands are ready; its result becomes
+// ready after the op latency).
+type VM struct {
+	prog *Program
+	m    *machine.Machine
+
+	regs  [NumRegs]int64
+	fregs [NumRegs]float64
+	mem   map[uint64]int64
+	flagE bool // equal
+	flagL bool // less-than
+
+	hier *cache.Hierarchy
+	bp   *BranchPredictor
+
+	pc     int
+	halted bool
+
+	clock      float64          // current issue cycle
+	readyInt   [NumRegs]float64 // scoreboard: integer regs
+	readyFloat [NumRegs]float64 // scoreboard: float regs
+	issueGap   float64          // 1/issue width
+
+	counts    cpu.Delta
+	cycleBase float64 // counts.Cycles already accounted up to this clock
+	maxInstrs uint64
+
+	// traceAddrs records every memory address touched when tracing is
+	// enabled (EnableTrace), for cross-validation against the analytic
+	// stack-distance cache model.
+	traceAddrs   []uint64
+	traceEnabled bool
+}
+
+// EnableTrace starts recording the address stream of loads and stores.
+func (vm *VM) EnableTrace() { vm.traceEnabled = true }
+
+// Trace returns the recorded address stream.
+func (vm *VM) Trace() []uint64 { return vm.traceAddrs }
+
+// NewVM builds a VM with caches sized from the machine description.
+func NewVM(prog *Program, m *machine.Machine) (*VM, error) {
+	if prog == nil || prog.Len() == 0 {
+		return nil, fmt.Errorf("ukernel: empty program")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var levels []*cache.SetAssoc
+	for _, cl := range m.Caches {
+		c, err := cache.NewSetAssoc(cl.SizeBytes, cl.Assoc, cl.LineBytes)
+		if err != nil {
+			return nil, fmt.Errorf("ukernel: L%d: %w", cl.Level, err)
+		}
+		levels = append(levels, c)
+	}
+	return &VM{
+		prog:     prog,
+		m:        m,
+		mem:      make(map[uint64]int64),
+		hier:     cache.NewHierarchy(levels...),
+		bp:       NewBranchPredictor(1024),
+		issueGap: 1 / float64(m.IssueWidth),
+	}, nil
+}
+
+// SetReg sets an integer register (program inputs).
+func (vm *VM) SetReg(i int, v int64) { vm.regs[i] = v }
+
+// SetFReg sets a float register; non-finite values are how the Table 1
+// experiment injects Inf/NaN operands.
+func (vm *VM) SetFReg(i int, v float64) { vm.fregs[i] = v }
+
+// Reg reads an integer register.
+func (vm *VM) Reg(i int) int64 { return vm.regs[i] }
+
+// FReg reads a float register.
+func (vm *VM) FReg(i int) float64 { return vm.fregs[i] }
+
+// Done reports whether the program halted or ran off the end.
+func (vm *VM) Done() bool { return vm.halted || vm.pc >= vm.prog.Len() }
+
+// Counts returns the exact architectural event counts so far. This is
+// the "Pin inscount" oracle: Instructions is exact by construction.
+func (vm *VM) Counts() cpu.Delta {
+	out := vm.counts
+	out.Cycles = uint64(math.Ceil(vm.clock))
+	return out
+}
+
+// IPC returns retired instructions per cycle so far.
+func (vm *VM) IPC() float64 {
+	c := vm.Counts()
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// Step executes one instruction.
+func (vm *VM) Step() error {
+	if vm.Done() {
+		return fmt.Errorf("ukernel: step after halt")
+	}
+	in := &vm.prog.Instrs[vm.pc]
+	nextPC := vm.pc + 1
+
+	// Issue: wait for the pipeline slot.
+	issue := vm.clock + vm.issueGap
+	ready := func(bank *[NumRegs]float64, r int) {
+		if bank[r] > issue {
+			issue = bank[r]
+		}
+	}
+
+	switch in.Op {
+	case OpNop:
+	case OpHalt:
+		vm.halted = true
+	case OpMovI:
+		vm.regs[in.Dst] = in.Imm
+		vm.readyInt[in.Dst] = issue + latInt
+	case OpFMovI:
+		vm.fregs[in.Dst] = in.FImm
+		vm.readyFloat[in.Dst] = issue + latInt
+	case OpIAdd, OpIMul:
+		ready(&vm.readyInt, in.Src1)
+		op2 := in.Imm
+		if !in.UseImm {
+			ready(&vm.readyInt, in.Src2)
+			op2 = vm.regs[in.Src2]
+		}
+		lat := float64(latInt)
+		if in.Op == OpIMul {
+			lat = latIMul
+			vm.regs[in.Dst] = vm.regs[in.Src1] * op2
+		} else {
+			vm.regs[in.Dst] = vm.regs[in.Src1] + op2
+		}
+		vm.readyInt[in.Dst] = issue + lat
+	case OpFAdd, OpFAddX87, OpFMul:
+		ready(&vm.readyFloat, in.Src1)
+		ready(&vm.readyFloat, in.Src2)
+		a, b := vm.fregs[in.Src1], vm.fregs[in.Src2]
+		lat := float64(latFAdd)
+		var res float64
+		if in.Op == OpFMul {
+			lat = latFMul
+			res = a * b
+		} else {
+			res = a + b
+		}
+		vm.counts.FPOps++
+		// x87 micro-code assist: non-finite operands or result push
+		// the operation onto the assist path (paper §3.1). SSE-style
+		// ops handle them at full speed, and machines without the
+		// assist mechanism (PPC970) never stall.
+		if in.Op == OpFAddX87 && vm.m.FPAssistPenalty > 0 && nonFinite(a, b, res) {
+			vm.counts.FPAssists++
+			lat += float64(vm.m.FPAssistPenalty)
+		}
+		vm.fregs[in.Dst] = res
+		vm.readyFloat[in.Dst] = issue + lat
+	case OpLoad, OpLoadF:
+		ready(&vm.readyInt, in.Src1)
+		addr := uint64(vm.regs[in.Src1])
+		lvl := vm.access(addr)
+		lat := memLatency(vm.m, lvl)
+		vm.counts.Loads++
+		if in.Op == OpLoad {
+			vm.regs[in.Dst] = vm.mem[addr]
+			vm.readyInt[in.Dst] = issue + lat
+		} else {
+			vm.fregs[in.Dst] = math.Float64frombits(uint64(vm.mem[addr]))
+			vm.readyFloat[in.Dst] = issue + lat
+		}
+	case OpStore:
+		ready(&vm.readyInt, in.Dst)
+		ready(&vm.readyInt, in.Src1)
+		addr := uint64(vm.regs[in.Dst])
+		vm.access(addr)
+		vm.mem[addr] = vm.regs[in.Src1]
+		vm.counts.Stores++
+	case OpCmp:
+		ready(&vm.readyInt, in.Src1)
+		op2 := in.Imm
+		if !in.UseImm {
+			ready(&vm.readyInt, in.Src2)
+			op2 = vm.regs[in.Src2]
+		}
+		a := vm.regs[in.Src1]
+		vm.flagE = a == op2
+		vm.flagL = a < op2
+	case OpJmp, OpJne, OpJe, OpJlt, OpJge:
+		taken := true
+		switch in.Op {
+		case OpJne:
+			taken = !vm.flagE
+		case OpJe:
+			taken = vm.flagE
+		case OpJlt:
+			taken = vm.flagL
+		case OpJge:
+			taken = !vm.flagL
+		}
+		vm.counts.Branches++
+		correct := true
+		if in.Op != OpJmp { // unconditional jumps don't mispredict
+			correct = vm.bp.Update(vm.pc, taken)
+		}
+		if !correct {
+			vm.counts.BranchMisses++
+			issue += float64(vm.m.BranchMissPenalty)
+		}
+		if taken {
+			nextPC = in.Target
+		}
+	default:
+		return fmt.Errorf("ukernel: invalid opcode at pc %d", vm.pc)
+	}
+
+	vm.counts.Instructions++
+	vm.clock = issue
+	vm.pc = nextPC
+	return nil
+}
+
+// access touches the cache hierarchy and books the per-level miss
+// events.
+func (vm *VM) access(addr uint64) int {
+	if vm.traceEnabled {
+		vm.traceAddrs = append(vm.traceAddrs, addr)
+	}
+	lvl := vm.hier.Access(addr)
+	nLevels := len(vm.hier.Levels)
+	if lvl >= 1 {
+		vm.counts.L1Misses++
+	}
+	// LLC references are the accesses reaching the last level.
+	if lvl >= nLevels-1 {
+		vm.counts.LLCRefs++
+	}
+	if nLevels >= 3 && lvl >= 2 {
+		vm.counts.L2Misses++
+	}
+	if lvl >= nLevels {
+		vm.counts.LLCMisses++
+		vm.counts.MemStallCycles += uint64(vm.m.MemLatencyCycles)
+		if nLevels < 3 {
+			vm.counts.L2Misses++
+		}
+	}
+	return lvl
+}
+
+func nonFinite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes up to maxInstr instructions (0 = until halt), returning
+// the number retired.
+func (vm *VM) Run(maxInstr uint64) (uint64, error) {
+	var n uint64
+	for !vm.Done() && (maxInstr == 0 || n < maxInstr) {
+		if err := vm.Step(); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// RunCycles executes until the clock advances by at least budget cycles
+// (or the program halts), returning the event delta produced. This is
+// the primitive behind the workload.Runner adapter.
+func (vm *VM) RunCycles(budget uint64) cpu.Delta {
+	startCounts := vm.Counts()
+	target := vm.clock + float64(budget)
+	for !vm.Done() && vm.clock < target {
+		if err := vm.Step(); err != nil {
+			break
+		}
+	}
+	end := vm.Counts()
+	var d cpu.Delta
+	d.Instructions = end.Instructions - startCounts.Instructions
+	d.Cycles = end.Cycles - startCounts.Cycles
+	d.Loads = end.Loads - startCounts.Loads
+	d.Stores = end.Stores - startCounts.Stores
+	d.Branches = end.Branches - startCounts.Branches
+	d.BranchMisses = end.BranchMisses - startCounts.BranchMisses
+	d.FPOps = end.FPOps - startCounts.FPOps
+	d.FPAssists = end.FPAssists - startCounts.FPAssists
+	d.L1Misses = end.L1Misses - startCounts.L1Misses
+	d.L2Misses = end.L2Misses - startCounts.L2Misses
+	d.LLCRefs = end.LLCRefs - startCounts.LLCRefs
+	d.LLCMisses = end.LLCMisses - startCounts.LLCMisses
+	return d
+}

@@ -1,0 +1,335 @@
+package tiptop
+
+import (
+	"fmt"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/pmu"
+	"tiptop/internal/sim/proc"
+	"tiptop/internal/sim/sched"
+	"tiptop/internal/sim/workload"
+	"tiptop/internal/ukernel"
+)
+
+// Scenario is a simulated machine with processes to monitor. It is the
+// public handle over the machine simulator: pick a hardware preset,
+// start workloads from the catalog (or custom phase models, or
+// micro-kernel assembly programs), then watch them with a Monitor.
+type Scenario struct {
+	kernel *sched.Kernel
+	seed   int64
+}
+
+// MachineName selects a hardware preset.
+type MachineName string
+
+// The paper's machines.
+const (
+	MachineXeonW3550 MachineName = "w3550"  // quad-core Nehalem workstation, 3.07 GHz
+	MachineE5640     MachineName = "e5640"  // bi-Xeon E5640 data-center node, 16 logical CPUs
+	MachineCore2     MachineName = "core2"  // Intel Core 2
+	MachinePPC970    MachineName = "ppc970" // PowerPC PPC970, 1.8 GHz
+)
+
+// NewScenario creates an empty simulated machine.
+func NewScenario(name MachineName) (*Scenario, error) {
+	m, ok := machine.Presets()[string(name)]
+	if !ok {
+		return nil, fmt.Errorf("tiptop: unknown machine %q", name)
+	}
+	k, err := sched.New(m, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{kernel: k, seed: 1}, nil
+}
+
+// Machine returns the simulated hardware description.
+func (sc *Scenario) Machine() *machine.Machine { return sc.kernel.Machine() }
+
+// Topology renders the machine topology hwloc-style (Figure 11 c).
+func (sc *Scenario) Topology() string { return sc.kernel.Machine().RenderTopology() }
+
+// nextSeed hands out deterministic per-process seeds.
+func (sc *Scenario) nextSeed() int64 {
+	sc.seed++
+	return sc.seed
+}
+
+// WorkloadNames lists the catalog entries available to StartWorkload.
+func WorkloadNames() []string {
+	return []string{
+		"mcf", "astar", "bwaves", "gromacs",
+		"hmmer-gcc", "hmmer-icc", "sphinx3-gcc", "sphinx3-icc",
+		"h264ref-gcc", "h264ref-icc", "milc-gcc", "milc-icc",
+		"r-evolution", "r-evolution-clipped",
+	}
+}
+
+func catalogWorkload(name string, scale float64) (*workload.Workload, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	// The R evolutionary algorithm scales by *time-step count*: each
+	// 5-second iteration keeps its full length so the sampled IPC
+	// pattern of Figure 3 (the 0.03 floor with brief pulses) survives
+	// at any scale.
+	if name == "r-evolution" || name == "r-evolution-clipped" {
+		opt := workload.DefaultREvolution()
+		opt.Clipped = name == "r-evolution-clipped"
+		opt.HealthyIters = scaledIters(opt.HealthyIters, scale, 30)
+		opt.DivergedIters = scaledIters(opt.DivergedIters, scale, 15)
+		return workload.REvolution(opt), nil
+	}
+	w, err := baseWorkload(name)
+	if err != nil {
+		return nil, err
+	}
+	if scale != 1 {
+		w = workload.Scaled(w, scale)
+	}
+	return w, nil
+}
+
+func scaledIters(full int, scale float64, floor int) int {
+	n := int(float64(full) * scale)
+	if n < floor {
+		n = floor
+	}
+	if n > full {
+		n = full
+	}
+	return n
+}
+
+func baseWorkload(name string) (*workload.Workload, error) {
+	switch name {
+	case "mcf":
+		return workload.MCF(), nil
+	case "astar":
+		return workload.Astar(), nil
+	case "bwaves":
+		return workload.Bwaves(), nil
+	case "gromacs":
+		return workload.Gromacs(), nil
+	case "hmmer-gcc":
+		return workload.HmmerGCC(), nil
+	case "hmmer-icc":
+		return workload.HmmerICC(), nil
+	case "sphinx3-gcc":
+		return workload.Sphinx3GCC(), nil
+	case "sphinx3-icc":
+		return workload.Sphinx3ICC(), nil
+	case "h264ref-gcc":
+		return workload.H264RefGCC(), nil
+	case "h264ref-icc":
+		return workload.H264RefICC(), nil
+	case "milc-gcc":
+		return workload.MilcGCC(), nil
+	case "milc-icc":
+		return workload.MilcICC(), nil
+	}
+	return nil, fmt.Errorf("tiptop: unknown workload %q", name)
+}
+
+// StartWorkload launches a catalog workload as a process owned by user.
+// scale shrinks the run (1.0 = the paper's full length; 0.01 is a good
+// interactive default). pinned optionally restricts it to logical CPUs
+// (taskset semantics); empty means no affinity. It returns the PID.
+func (sc *Scenario) StartWorkload(user, name string, scale float64, pinned ...int) (int, error) {
+	w, err := catalogWorkload(name, scale)
+	if err != nil {
+		return 0, err
+	}
+	in, err := workload.NewInstance(w, sc.nextSeed())
+	if err != nil {
+		return 0, err
+	}
+	task := sc.kernel.Spawn(user, w.Name, in, maskOf(pinned))
+	return task.ID().PID, nil
+}
+
+// SyntheticJob describes an endless synthetic process: a target solo IPC
+// plus an optional memory appetite, which is what makes a job sensitive
+// to (or an aggressor in) shared-cache contention, the mechanism behind
+// the paper's §3.4 scenarios.
+type SyntheticJob struct {
+	Name string
+	// IPC is the target solo instructions-per-cycle.
+	IPC float64
+	// MemRefsPKI is memory references per thousand instructions
+	// (0 = a light default).
+	MemRefsPKI float64
+	// HotMB / WarmMB shape the working set: the hot region always
+	// fits in cache; the warm region is where a shrinking shared-LLC
+	// share starts to hurt.
+	HotMB, WarmMB float64
+	// MidProb (default 0.94) is the hit probability once HotMB fit;
+	// raising it toward 1 shrinks the contention-sensitive band.
+	MidProb float64
+}
+
+// StartSynthetic launches an endless CPU-bound job with the given target
+// IPC (as in the Figure 1 data-center snapshot).
+func (sc *Scenario) StartSynthetic(user, name string, ipc float64, pinned ...int) (int, error) {
+	return sc.StartSyntheticJob(user, SyntheticJob{Name: name, IPC: ipc}, pinned...)
+}
+
+// StartSyntheticJob launches a fully specified synthetic job.
+func (sc *Scenario) StartSyntheticJob(user string, job SyntheticJob, pinned ...int) (int, error) {
+	if job.IPC <= 0 || job.IPC > 4 {
+		return 0, fmt.Errorf("tiptop: synthetic IPC %v out of (0, 4]", job.IPC)
+	}
+	spec := workload.SyntheticSpec{
+		Name:       job.Name,
+		IPC:        job.IPC,
+		MemRefsPKI: job.MemRefsPKI,
+		HotBytes:   job.HotMB * (1 << 20),
+		WarmBytes:  job.WarmMB * (1 << 20),
+		MidProb:    job.MidProb,
+	}
+	spin, err := workload.NewSpin(workload.Synthetic(spec), sc.nextSeed())
+	if err != nil {
+		return 0, err
+	}
+	task := sc.kernel.Spawn(user, job.Name, spin, maskOf(pinned))
+	return task.ID().PID, nil
+}
+
+// StartMicroKernel assembles src in the tiny assembly language of the
+// micro-kernel VM (see internal/ukernel) and runs it as a process. The
+// VM's exact event counts make such processes ideal for validating
+// counter readings.
+func (sc *Scenario) StartMicroKernel(user, name, src string, pinned ...int) (int, error) {
+	prog, err := ukernel.Assemble(src)
+	if err != nil {
+		return 0, err
+	}
+	runner, err := ukernel.NewRunner(name, prog, nil, sc.kernel.Machine())
+	if err != nil {
+		return 0, err
+	}
+	task := sc.kernel.Spawn(user, name, runner, maskOf(pinned))
+	return task.ID().PID, nil
+}
+
+// StartFPMicro runs the paper's Figure 4 micro-benchmark: mode is "x87"
+// or "sse", values is "finite", "inf" or "nan".
+func (sc *Scenario) StartFPMicro(user, mode, values string, iterations int64) (int, error) {
+	var fpMode ukernel.FPMode
+	switch mode {
+	case "x87":
+		fpMode = ukernel.FPModeX87
+	case "sse":
+		fpMode = ukernel.FPModeSSE
+	default:
+		return 0, fmt.Errorf("tiptop: fp mode %q (want x87 or sse)", mode)
+	}
+	var fpVals ukernel.FPValues
+	switch values {
+	case "finite":
+		fpVals = ukernel.FPFinite
+	case "inf":
+		fpVals = ukernel.FPInfinite
+	case "nan":
+		fpVals = ukernel.FPNaN
+	default:
+		return 0, fmt.Errorf("tiptop: fp values %q (want finite, inf or nan)", values)
+	}
+	if iterations <= 0 {
+		iterations = 1_000_000
+	}
+	prog, inputs := ukernel.FPMicroKernel(fpMode, fpVals, iterations)
+	name := "fpmicro-" + mode + "-" + values
+	runner, err := ukernel.NewRunner(name, prog, inputs, sc.kernel.Machine())
+	if err != nil {
+		return 0, err
+	}
+	task := sc.kernel.Spawn(user, name, runner, nil)
+	return task.ID().PID, nil
+}
+
+// AddSyntheticThread adds a thread to an existing process. Together with
+// Config.PerThread it exercises the paper's per-thread vs per-process
+// counting distinction (§2.2) — including the footnote-3 caveat that a
+// spin-waiting thread inflates a process-level IPC with useless work.
+func (sc *Scenario) AddSyntheticThread(pid int, job SyntheticJob, pinned ...int) (int, error) {
+	leader, ok := sc.kernel.Task(pid)
+	if !ok {
+		return 0, fmt.Errorf("tiptop: no process %d", pid)
+	}
+	if job.IPC <= 0 || job.IPC > 4 {
+		return 0, fmt.Errorf("tiptop: synthetic IPC %v out of (0, 4]", job.IPC)
+	}
+	spec := workload.SyntheticSpec{
+		Name:       job.Name,
+		IPC:        job.IPC,
+		MemRefsPKI: job.MemRefsPKI,
+		HotBytes:   job.HotMB * (1 << 20),
+		WarmBytes:  job.WarmMB * (1 << 20),
+		MidProb:    job.MidProb,
+	}
+	spin, err := workload.NewSpin(workload.Synthetic(spec), sc.nextSeed())
+	if err != nil {
+		return 0, err
+	}
+	t, err := sc.kernel.SpawnThread(leader, spin, maskOf(pinned))
+	if err != nil {
+		return 0, err
+	}
+	return t.ID().TID, nil
+}
+
+// Kill terminates a process.
+func (sc *Scenario) Kill(pid int) error { return sc.kernel.Kill(pid) }
+
+// Running reports whether the process is still alive.
+func (sc *Scenario) Running(pid int) bool {
+	t, ok := sc.kernel.Task(pid)
+	return ok && t.State() != sched.TaskExited
+}
+
+// Now returns the simulated time.
+func (sc *Scenario) Now() time.Duration { return sc.kernel.Now() }
+
+// Advance runs the simulation forward without sampling (a Monitor's
+// Sample() also advances time by its interval).
+func (sc *Scenario) Advance(d time.Duration) { sc.kernel.Advance(d) }
+
+func maskOf(cpus []int) machine.AffinityMask {
+	if len(cpus) == 0 {
+		return nil
+	}
+	ids := make([]machine.CPUID, len(cpus))
+	for i, c := range cpus {
+		ids[i] = machine.CPUID(c)
+	}
+	return machine.MaskOf(ids...)
+}
+
+// backend, source and clock wire the scenario into a Monitor.
+func (sc *Scenario) backend() hpm.Backend { return pmu.New(sc.kernel) }
+
+func (sc *Scenario) source() *proc.Source {
+	return proc.NewSource(sc.kernel)
+}
+
+func (sc *Scenario) clock() core.Clock { return proc.NewClock(sc.kernel) }
+
+// ScenarioSPEC builds a ready-made scenario: the Nehalem workstation
+// running a small mix of SPEC-like workloads — a convenient quickstart.
+func ScenarioSPEC() *Scenario {
+	sc, err := NewScenario(MachineXeonW3550)
+	if err != nil {
+		panic(err) // presets are known-valid
+	}
+	for _, name := range []string{"mcf", "gromacs", "hmmer-gcc"} {
+		if _, err := sc.StartWorkload("user", name, 0.01); err != nil {
+			panic(err)
+		}
+	}
+	return sc
+}

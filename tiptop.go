@@ -1,0 +1,245 @@
+// Package tiptop is a Go reproduction of "Tiptop: Hardware Performance
+// Counters for the Masses" (Erven Rohou, INRIA RR-7789 / ICPP 2012): a
+// library and tool that attach hardware performance counters to
+// already-running processes — no root, no source code, no restart — and
+// derive simple, meaningful metrics such as IPC and cache misses per
+// hundred instructions.
+//
+// Two backends are provided:
+//
+//   - the real backend uses the Linux perf_event_open(2) system call and
+//     the /proc filesystem, exactly like the original tool;
+//   - the simulated backend runs workloads on a deterministic machine
+//     simulator (Nehalem/Westmere/Core 2/PPC970 presets with caches,
+//     SMT, an OS scheduler and a virtual PMU), which is how the paper's
+//     evaluation is reproduced in environments without PMU access.
+//
+// The quickest way in:
+//
+//	mon, err := tiptop.NewSimMonitor(tiptop.ScenarioSPEC(), tiptop.Config{})
+//	...
+//	sample, err := mon.Sample()
+//	for _, row := range sample.Rows {
+//	    fmt.Println(row.Command, row.IPC)
+//	}
+package tiptop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+	"tiptop/internal/metrics"
+	"tiptop/internal/perfevent"
+	"tiptop/internal/procfs"
+	"tiptop/internal/ui"
+)
+
+// Config tunes a Monitor.
+type Config struct {
+	// Interval is the refresh period; default 2 s. The paper samples
+	// every few seconds — sub-second intervals work but increase
+	// perturbation.
+	Interval time.Duration
+	// Screen selects the metric columns by name: "default" (Figure 1:
+	// Mcycle, Minst, IPC, DMIS), "branch", "fp", or "mem". Empty means
+	// "default".
+	Screen string
+	// SortBy orders rows: "cpu" (default), "pid", or a column name.
+	SortBy string
+	// MaxRows truncates the display (0 = all).
+	MaxRows int
+	// User restricts monitoring to one user's processes.
+	User string
+	// PerThread monitors individual threads instead of whole processes
+	// (paper §2.2: "Events can be counted per thread, or per process").
+	PerThread bool
+}
+
+// Row is one monitored task in a sample.
+type Row struct {
+	PID     int
+	User    string
+	Command string
+	State   string
+	CPUPct  float64
+	// IPC is instructions per cycle over the refresh interval.
+	IPC float64
+	// Columns holds the screen's computed values, ordered as Headers().
+	Columns []float64
+	// Events holds raw counter deltas keyed by canonical event name
+	// (CYCLES, INSTRUCTIONS, CACHE_MISSES, ...).
+	Events map[string]uint64
+	// Monitored is false when counters could not be attached to the
+	// task (e.g. another user's process without privileges).
+	Monitored bool
+}
+
+// Sample is one refresh of the monitor.
+type Sample struct {
+	Time time.Duration
+	Rows []Row
+}
+
+// Monitor is a running tiptop engine over some backend.
+type Monitor struct {
+	session *core.Session
+	machine string
+}
+
+// ErrNoBackend is returned by NewRealMonitor when perf_event_open is not
+// usable in this environment (common in containers); callers typically
+// fall back to a simulated scenario.
+var ErrNoBackend = errors.New("tiptop: no usable counter backend")
+
+func screenByName(name string) (*metrics.Screen, error) {
+	if name == "" {
+		name = "default"
+	}
+	s, ok := metrics.BuiltinScreens()[name]
+	if !ok {
+		return nil, fmt.Errorf("tiptop: unknown screen %q", name)
+	}
+	return s, nil
+}
+
+func coreOptions(cfg Config, screen *metrics.Screen) core.Options {
+	return core.Options{
+		Screen:     screen,
+		Interval:   cfg.Interval,
+		SortBy:     cfg.SortBy,
+		MaxRows:    cfg.MaxRows,
+		FilterUser: cfg.User,
+	}
+}
+
+// NewRealMonitor monitors the real machine through perf_event and /proc.
+// It returns ErrNoBackend (wrapped) when the kernel does not permit
+// perf_event_open here.
+func NewRealMonitor(cfg Config) (*Monitor, error) {
+	screen, err := screenByName(cfg.Screen)
+	if err != nil {
+		return nil, err
+	}
+	backend := perfevent.New()
+	if err := backend.Probe(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoBackend, err)
+	}
+	src := procfs.NewSource("")
+	src.PerThread = cfg.PerThread
+	session, err := core.NewSession(backend, src, core.NewRealClock(), coreOptions(cfg, screen))
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{session: session, machine: "live perf_event"}, nil
+}
+
+// NewSimMonitor monitors a simulated scenario. The scenario's clock is
+// driven by the monitor: each Sample() advances simulated time by the
+// configured interval.
+func NewSimMonitor(sc *Scenario, cfg Config) (*Monitor, error) {
+	if sc == nil {
+		return nil, errors.New("tiptop: nil scenario")
+	}
+	screen, err := screenByName(cfg.Screen)
+	if err != nil {
+		return nil, err
+	}
+	src := sc.source()
+	src.PerThread = cfg.PerThread
+	session, err := core.NewSession(sc.backend(), src, sc.clock(), coreOptions(cfg, screen))
+	if err != nil {
+		return nil, err
+	}
+	return &Monitor{session: session, machine: sc.Machine().Name}, nil
+}
+
+// Machine describes what the monitor observes.
+func (m *Monitor) Machine() string { return m.machine }
+
+// Headers returns the metric column headings of the active screen.
+func (m *Monitor) Headers() []string {
+	cols := m.session.Screen().Columns
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Header
+	}
+	return out
+}
+
+// Sample advances one refresh interval and returns the new sample.
+func (m *Monitor) Sample() (*Sample, error) {
+	m.session.AdvanceClock()
+	return m.sampleNow()
+}
+
+// SampleNow reads counters without advancing time (the first call of a
+// session attaches counters and reads zeros).
+func (m *Monitor) SampleNow() (*Sample, error) { return m.sampleNow() }
+
+func (m *Monitor) sampleNow() (*Sample, error) {
+	cs, err := m.session.Update()
+	if err != nil {
+		return nil, err
+	}
+	out := &Sample{Time: cs.Time, Rows: make([]Row, 0, len(cs.Rows))}
+	for i := range cs.Rows {
+		r := &cs.Rows[i]
+		row := Row{
+			PID:       r.Info.ID.PID,
+			User:      r.Info.User,
+			Command:   r.Info.Comm,
+			State:     r.Info.State,
+			CPUPct:    r.CPUPct,
+			IPC:       r.IPC(),
+			Columns:   append([]float64(nil), r.Values...),
+			Monitored: r.Valid,
+			Events:    make(map[string]uint64, len(r.Events)),
+		}
+		for e, v := range r.Events {
+			row.Events[e.String()] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render writes the sample as a batch-mode text block (the tiptop -b
+// format) to w.
+func (m *Monitor) Render(w io.Writer, s *Sample) error {
+	// Rebuild a core sample view for the renderer.
+	cs := &core.Sample{Time: s.Time}
+	for _, row := range s.Rows {
+		cr := core.Row{
+			Info: core.TaskInfo{
+				ID:    hpm.TaskID{PID: row.PID, TID: row.PID},
+				User:  row.User,
+				Comm:  row.Command,
+				State: row.State,
+			},
+			CPUPct: row.CPUPct,
+			Values: row.Columns,
+			Valid:  row.Monitored,
+		}
+		cs.Rows = append(cs.Rows, cr)
+	}
+	br := &ui.BatchRenderer{W: w, Timestamps: true}
+	return br.Render(m.session.Screen(), cs)
+}
+
+// Close releases the monitor's counters.
+func (m *Monitor) Close() error { return m.session.Close() }
+
+// Events lists the canonical names of the counters the monitor attaches
+// to every task.
+func (m *Monitor) Events() []string {
+	evs := m.session.Events()
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.String()
+	}
+	return out
+}
