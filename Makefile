@@ -1,0 +1,26 @@
+# Tier-1 verification for the tiptop reproduction. `make verify` is
+# what CI runs; the go.mod at the repo root is load-bearing — without it
+# every target here fails with "directory prefix . does not contain
+# main module".
+
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+verify: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Serial vs sharded sampling on the many-task stress scenario.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkUpdate[0-9]+' -benchmem ./internal/core/

@@ -48,6 +48,7 @@ func run(args []string) error {
 		sortBy     = fs.String("sort", "cpu", "sort key: cpu, pid, or a column name")
 		maxRows    = fs.Int("rows", 0, "maximum rows displayed (0 = all)")
 		user       = fs.String("u", "", "only show this user's tasks")
+		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
 		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios (1.0 = paper length)")
 		list       = fs.Bool("list", false, "list screens and scenarios, then exit")
@@ -76,11 +77,12 @@ func run(args []string) error {
 	}
 
 	cfg := tiptop.Config{
-		Interval: time.Duration(*delay * float64(time.Second)),
-		Screen:   *screenName,
-		SortBy:   *sortBy,
-		MaxRows:  *maxRows,
-		User:     *user,
+		Interval:    time.Duration(*delay * float64(time.Second)),
+		Screen:      *screenName,
+		SortBy:      *sortBy,
+		MaxRows:     *maxRows,
+		User:        *user,
+		Parallelism: *parallel,
 	}
 	if *confFile != "" {
 		f, err := os.Open(*confFile)
@@ -103,6 +105,9 @@ func run(args []string) error {
 		}
 		if parsed.Options.MaxTasks > 0 {
 			cfg.MaxRows = parsed.Options.MaxTasks
+		}
+		if parsed.Options.Parallelism > 0 {
+			cfg.Parallelism = parsed.Options.Parallelism
 		}
 	}
 

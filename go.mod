@@ -1,0 +1,3 @@
+module tiptop
+
+go 1.24

@@ -8,7 +8,7 @@
 // Example:
 //
 //	<tiptop>
-//	  <options delay="5" batch="true" sort="ipc" max_tasks="20"/>
+//	  <options delay="5" batch="true" sort="ipc" max_tasks="20" parallelism="4"/>
 //	  <screen name="fpstudy" desc="IPC next to FP assists">
 //	    <column name="ipc"  header="IPC"   format="%5.2f" width="5"
 //	            expr="ratio(INSTRUCTIONS, CYCLES)" desc="instructions per cycle"/>
@@ -47,6 +47,10 @@ type OptionsXML struct {
 	MaxTasks int `xml:"max_tasks,attr,omitempty"`
 	// OnlyUser restricts monitoring to one user.
 	OnlyUser string `xml:"user,attr,omitempty"`
+	// Parallelism is the number of sampling shards the engine
+	// partitions the process table across (0 = one per CPU, 1 =
+	// serial sampling).
+	Parallelism int `xml:"parallelism,attr,omitempty"`
 }
 
 // Interval converts the delay to a duration (0 if unset).
@@ -92,6 +96,9 @@ func (f *File) Validate() error {
 	}
 	if f.Options.MaxTasks < 0 {
 		return fmt.Errorf("config: negative max_tasks")
+	}
+	if f.Options.Parallelism < 0 {
+		return fmt.Errorf("config: negative parallelism")
 	}
 	seen := map[string]bool{}
 	for _, s := range f.Screens {

@@ -10,7 +10,7 @@ import (
 
 const sampleXML = `
 <tiptop>
-  <options delay="5" batch="true" sort="ipc" max_tasks="20" user="alice"/>
+  <options delay="5" batch="true" sort="ipc" max_tasks="20" user="alice" parallelism="4"/>
   <screen name="fpstudy" desc="IPC and assists">
     <column name="ipc" header="IPC" format="%5.2f" width="5"
             expr="ratio(INSTRUCTIONS, CYCLES)" desc="instructions per cycle"/>
@@ -33,6 +33,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if f.Options.OnlyUser != "alice" {
 		t.Fatalf("user = %q", f.Options.OnlyUser)
+	}
+	if f.Options.Parallelism != 4 {
+		t.Fatalf("parallelism = %d", f.Options.Parallelism)
 	}
 	if len(f.Screens) != 1 || f.Screens[0].Name != "fpstudy" {
 		t.Fatalf("screens = %+v", f.Screens)
@@ -72,6 +75,7 @@ func TestParseErrors(t *testing.T) {
 		"not xml at all <",
 		`<tiptop><options delay="-1"/></tiptop>`,
 		`<tiptop><options max_tasks="-2"/></tiptop>`,
+		`<tiptop><options parallelism="-1"/></tiptop>`,
 		`<tiptop><screen><column name="a" header="A" expr="1"/></screen></tiptop>`,
 		`<tiptop><screen name="s"/></tiptop>`,
 		`<tiptop><screen name="s"><column header="A" expr="1"/></screen></tiptop>`,

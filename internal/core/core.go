@@ -10,12 +10,22 @@
 // seen (no restart needed), the engine sleeps between refreshes, and each
 // refresh displays the number of occurrences of each event since the
 // previous refresh.
+//
+// Sampling is sharded: the process-table snapshot is partitioned by a
+// stable hash of the TaskID across a pool of worker shards (see
+// Options.Parallelism), each of which owns its tasks' state and samples
+// them concurrently. The merged sample is deterministically ordered —
+// byte-identical to what a serial engine produces — because rows are
+// written back at their snapshot positions before the final sort.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"tiptop/internal/hpm"
@@ -36,7 +46,9 @@ type TaskInfo struct {
 // ProcSource enumerates monitorable tasks. Implementations exist for the
 // real /proc filesystem and for the simulated kernel.
 type ProcSource interface {
-	// Snapshot returns the current task list.
+	// Snapshot returns the current task list. Implementations may reuse
+	// the returned slice on the next Snapshot call; the engine copies
+	// whatever it keeps across refreshes.
 	Snapshot() ([]TaskInfo, error)
 }
 
@@ -84,6 +96,11 @@ type Options struct {
 	// SortBy names the sort key: "cpu" (default), "pid", or any column
 	// name of the screen (sorted descending).
 	SortBy string
+	// Parallelism is the number of sampling shards the process table is
+	// partitioned across. 0 selects runtime.GOMAXPROCS(0); 1 samples
+	// serially on the calling goroutine. Row ordering is identical at
+	// every setting.
+	Parallelism int
 }
 
 // Row is one displayed task with its computed metrics.
@@ -118,9 +135,13 @@ func (r *Row) IPC() float64 {
 
 // taskState is the engine's book-keeping for one monitored task.
 type taskState struct {
-	info        TaskInfo
-	counter     hpm.TaskCounter
+	info    TaskInfo
+	counter hpm.TaskCounter
+	// reader is non-nil when the counter supports allocation-free
+	// reads; prevCounts and spare then ping-pong as its destination.
+	reader      hpm.CountReader
 	prevCounts  []hpm.Count
+	spare       []hpm.Count
 	prevCPUTime time.Duration
 	prevSeenAt  time.Duration
 	everSampled bool
@@ -133,9 +154,12 @@ type Session struct {
 	clock   Clock
 	opt     Options
 	events  []hpm.EventID
-	states  map[hpm.TaskID]*taskState
-	failed  map[hpm.TaskID]bool // attach permanently failed (permissions)
-	closed  bool
+	shards  []*shard
+	// attachMu serializes backend.Attach and TaskCounter.Close across
+	// shard workers: the hpm contract only requires backends to
+	// tolerate concurrent Read on distinct counters.
+	attachMu sync.Mutex
+	closed   bool
 }
 
 // NewSession validates the configuration and creates an engine. The
@@ -164,19 +188,31 @@ func NewSession(backend hpm.Backend, proc ProcSource, clock Clock, opt Options) 
 				backend.Name(), e, hpm.ErrUnsupportedEvent)
 		}
 	}
-	return &Session{
+	if opt.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative parallelism %d", opt.Parallelism)
+	}
+	if opt.Parallelism == 0 {
+		opt.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	s := &Session{
 		backend: backend,
 		proc:    proc,
 		clock:   clock,
 		opt:     opt,
 		events:  events,
-		states:  make(map[hpm.TaskID]*taskState),
-		failed:  make(map[hpm.TaskID]bool),
-	}, nil
+	}
+	s.shards = make([]*shard, opt.Parallelism)
+	for i := range s.shards {
+		s.shards[i] = newShard(s)
+	}
+	return s, nil
 }
 
 // Screen returns the active screen.
 func (s *Session) Screen() *metrics.Screen { return s.opt.Screen }
+
+// Parallelism returns the number of sampling shards in use.
+func (s *Session) Parallelism() int { return len(s.shards) }
 
 // Events returns the counter events the session attaches to every task.
 func (s *Session) Events() []hpm.EventID { return s.events }
@@ -193,115 +229,58 @@ func (s *Session) Update() (*Sample, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: process snapshot: %w", err)
 	}
-	sample := &Sample{Time: now}
-	// Book-keeping is keyed by the full TaskID, so per-thread rows,
-	// per-process leader rows and group-scope rows never collide.
-	seen := make(map[hpm.TaskID]bool, len(infos))
-
+	// Partition the filtered snapshot across the shards. Book-keeping
+	// is keyed by the full TaskID, so per-thread rows, per-process
+	// leader rows and group-scope rows never collide; the stable hash
+	// keeps every task's state owned by one shard for its whole life.
+	nshard := len(s.shards)
+	for _, sh := range s.shards {
+		sh.work = sh.work[:0]
+	}
+	n := 0
 	for _, info := range infos {
 		if s.opt.FilterUser != "" && info.User != s.opt.FilterUser {
 			continue
 		}
-		seen[info.ID] = true
-		st, ok := s.states[info.ID]
-		if !ok {
-			st = s.admit(info, now)
-			if st == nil {
-				// Attach failed; show an unmonitored row.
-				sample.Rows = append(sample.Rows, s.cpuOnlyRow(info, now, nil))
-				continue
-			}
-			s.states[info.ID] = st
-		}
-		row := s.sampleTask(st, info, now)
-		sample.Rows = append(sample.Rows, row)
-		st.info = info
-		st.prevCPUTime = info.CPUTime
-		st.prevSeenAt = now
-		st.everSampled = true
+		sh := s.shards[shardIndex(info.ID, nshard)]
+		sh.work = append(sh.work, workItem{info: info, idx: n})
+		n++
 	}
 
-	// Reap tasks that disappeared.
-	for id, st := range s.states {
-		if !seen[id] {
-			if st.counter != nil {
-				_ = st.counter.Close()
+	rows := make([]Row, n)
+	var dropped atomic.Int64
+	if nshard == 1 {
+		s.shards[0].refresh(now, rows, &dropped)
+	} else {
+		var wg sync.WaitGroup
+		for _, sh := range s.shards {
+			if len(sh.work) == 0 && len(sh.states) == 0 && len(sh.failed) == 0 {
+				continue
 			}
-			delete(s.states, id)
-			sample.Dropped++
+			wg.Add(1)
+			go func(sh *shard) {
+				defer wg.Done()
+				sh.refresh(now, rows, &dropped)
+			}(sh)
 		}
+		wg.Wait()
 	}
+	// Counters of reaped tasks are closed serially after the shards
+	// join; Close, like Attach, is not required to be concurrency-safe.
+	for _, sh := range s.shards {
+		for i, c := range sh.reaped {
+			_ = c.Close()
+			sh.reaped[i] = nil
+		}
+		sh.reaped = sh.reaped[:0]
+	}
+
+	sample := &Sample{Time: now, Rows: rows, Dropped: int(dropped.Load())}
 	s.sortRows(sample.Rows)
 	if s.opt.MaxRows > 0 && len(sample.Rows) > s.opt.MaxRows {
 		sample.Rows = sample.Rows[:s.opt.MaxRows]
 	}
 	return sample, nil
-}
-
-// admit starts monitoring a newly seen task. Returns nil when counters
-// cannot be attached (and remembers hard failures so they are not
-// retried on every refresh).
-func (s *Session) admit(info TaskInfo, now time.Duration) *taskState {
-	if s.failed[info.ID] {
-		return nil
-	}
-	ctr, err := s.backend.Attach(info.ID, s.events)
-	if err != nil {
-		if errors.Is(err, hpm.ErrPermission) || errors.Is(err, hpm.ErrUnsupportedEvent) {
-			s.failed[info.ID] = true
-		}
-		return nil
-	}
-	counts, err := ctr.Read()
-	if err != nil {
-		_ = ctr.Close()
-		return nil
-	}
-	return &taskState{
-		info:        info,
-		counter:     ctr,
-		prevCounts:  counts,
-		prevCPUTime: info.CPUTime,
-		prevSeenAt:  now,
-	}
-}
-
-// sampleTask reads counter deltas and evaluates the screen columns.
-func (s *Session) sampleTask(st *taskState, info TaskInfo, now time.Duration) Row {
-	counts, err := st.counter.Read()
-	if err != nil {
-		return s.cpuOnlyRow(info, now, st)
-	}
-	deltas := hpm.Deltas(st.prevCounts, counts)
-	st.prevCounts = counts
-
-	events := make(map[hpm.EventID]uint64, len(s.events))
-	env := metrics.MapEnv{}
-	for i, e := range s.events {
-		events[e] = deltas[i]
-		env[e.String()] = float64(deltas[i])
-	}
-	wall := now - st.prevSeenAt
-	env[metrics.VarDeltaNS] = float64(wall)
-	env[metrics.VarFreqHz] = s.opt.FreqHz
-	env[metrics.VarCPUPct] = s.cpuPct(st, info, now)
-	env[metrics.VarNumCPU] = float64(s.opt.NumCPUs)
-
-	row := Row{
-		Info:   info,
-		CPUPct: s.cpuPct(st, info, now),
-		Events: events,
-		Valid:  true,
-	}
-	row.Values = make([]float64, len(s.opt.Screen.Columns))
-	for i, col := range s.opt.Screen.Columns {
-		v, err := col.Expr.Eval(env)
-		if err != nil {
-			v = 0
-		}
-		row.Values[i] = v
-	}
-	return row
 }
 
 // cpuPct computes OS CPU usage over the refresh interval, or since task
@@ -323,17 +302,6 @@ func (s *Session) cpuPct(st *taskState, info TaskInfo, now time.Duration) float6
 		pct = 0
 	}
 	return pct
-}
-
-// cpuOnlyRow builds an unmonitored row (no counters available).
-func (s *Session) cpuOnlyRow(info TaskInfo, now time.Duration, st *taskState) Row {
-	return Row{
-		Info:   info,
-		CPUPct: s.cpuPct(st, info, now),
-		Values: make([]float64, len(s.opt.Screen.Columns)),
-		Events: map[hpm.EventID]uint64{},
-		Valid:  false,
-	}
 }
 
 // sortRows orders the display.
@@ -401,13 +369,15 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	var first error
-	for pid, st := range s.states {
-		if st.counter != nil {
-			if err := st.counter.Close(); err != nil && first == nil {
-				first = err
+	for _, sh := range s.shards {
+		for id, st := range sh.states {
+			if st.counter != nil {
+				if err := st.counter.Close(); err != nil && first == nil {
+					first = err
+				}
 			}
+			delete(sh.states, id)
 		}
-		delete(s.states, pid)
 	}
 	return first
 }

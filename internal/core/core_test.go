@@ -106,7 +106,7 @@ func addTask(b *fakeBackend, p *fakeProc, pid int, user string, ipc float64, fre
 	}
 }
 
-func newTestSession(t *testing.T, b *fakeBackend, p *fakeProc, c *fakeClock, opt Options) *Session {
+func newTestSession(t *testing.T, b hpm.Backend, p *fakeProc, c *fakeClock, opt Options) *Session {
 	t.Helper()
 	s, err := NewSession(b, p, c, opt)
 	if err != nil {

@@ -78,6 +78,142 @@ func TestCounterReadFailureDegradesToCPUOnly(t *testing.T) {
 	}
 }
 
+// countingBackend counts every Attach call, including failed ones.
+type countingBackend struct {
+	*fakeBackend
+	attachCalls int
+}
+
+func (b *countingBackend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+	b.attachCalls++
+	return b.fakeBackend.Attach(task, events)
+}
+
+// failedEntries sums the attach-failure book-keeping across shards.
+func failedEntries(s *Session) int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.failed)
+	}
+	return n
+}
+
+func TestFailedMapReapedWithTask(t *testing.T) {
+	// A task whose attach failed permanently must not leave an entry in
+	// the failure map after it disappears — under churn the map would
+	// grow without bound, and a reused TaskID would inherit the old
+	// owner's blacklisting.
+	b, p, c := fixture()
+	addTask(b, p, 1, "root", 1, 1e9)
+	b.attachErr[1] = hpm.ErrPermission
+	s := newTestSession(t, b, p, c, Options{})
+	if _, err := s.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if failedEntries(s) != 1 {
+		t.Fatalf("failed entries = %d, want 1", failedEntries(s))
+	}
+	p.infos = nil // the task exits
+	c.Advance(time.Second)
+	if _, err := s.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if failedEntries(s) != 0 {
+		t.Fatalf("failed entries after reap = %d, want 0", failedEntries(s))
+	}
+	// The pid is reused by a task we may monitor: it must attach.
+	delete(b.attachErr, 1)
+	addTask(b, p, 1, "u", 1, 1e9)
+	c.Advance(time.Second)
+	sam, err := s.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sam.Rows) != 1 || !sam.Rows[0].Valid {
+		t.Fatal("reused TaskID must not inherit the old owner's blacklisting")
+	}
+}
+
+func TestTransientAttachBackoff(t *testing.T) {
+	// A transiently failing attach is retried on the next refresh, then
+	// with exponential backoff capped at attachBackoffMax — bounded
+	// rate, but never abandoned.
+	clock := &fakeClock{}
+	fb := &fakeBackend{clock: clock, rates: map[int]map[hpm.EventID]float64{}, attachErr: map[int]error{}}
+	b := &countingBackend{fakeBackend: fb}
+	p := &fakeProc{}
+	addTask(fb, p, 1, "u", 1, 1e9)
+	fb.attachErr[1] = errors.New("transient")
+	s := newTestSession(t, b, p, clock, Options{})
+
+	if _, err := s.Update(); err != nil { // attempt 1 at t=0
+		t.Fatal(err)
+	}
+	if b.attachCalls != 1 {
+		t.Fatalf("attach calls = %d, want 1", b.attachCalls)
+	}
+	clock.Advance(time.Second) // first failure retries on the next refresh
+	s.Update()
+	if b.attachCalls != 2 {
+		t.Fatalf("attach calls = %d, want 2 (retry on next refresh)", b.attachCalls)
+	}
+	clock.Advance(500 * time.Millisecond) // t=1.5s, retryAt=2s: inside backoff
+	s.Update()
+	if b.attachCalls != 2 {
+		t.Fatalf("attach calls = %d, want 2 (backoff must suppress retry)", b.attachCalls)
+	}
+	clock.Advance(500 * time.Millisecond) // t=2s: backoff elapsed
+	s.Update()
+	if b.attachCalls != 3 {
+		t.Fatalf("attach calls = %d, want 3 (retry after backoff)", b.attachCalls)
+	}
+	// Keep failing: the retry rate settles at one attempt per
+	// attachBackoffMax, never giving up on the task.
+	callsBefore := b.attachCalls
+	for i := 0; i < 5; i++ {
+		clock.Advance(attachBackoffMax + time.Second)
+		s.Update()
+	}
+	if b.attachCalls != callsBefore+5 {
+		t.Fatalf("attach calls = %d, want %d (one per capped backoff window)",
+			b.attachCalls, callsBefore+5)
+	}
+	clock.Advance(attachBackoffMax / 2)
+	s.Update()
+	if b.attachCalls != callsBefore+5 {
+		t.Fatalf("attach calls = %d, want %d (inside the capped window)",
+			b.attachCalls, callsBefore+5)
+	}
+	// The restriction lifts: the long-lived task is monitored again
+	// without having to exit and reappear.
+	delete(fb.attachErr, 1)
+	clock.Advance(attachBackoffMax)
+	sam, err := s.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sam.Rows) != 1 || !sam.Rows[0].Valid {
+		t.Fatal("task must attach once the transient restriction clears")
+	}
+	if failedEntries(s) != 0 {
+		t.Fatalf("failed entries = %d, want 0 after recovery", failedEntries(s))
+	}
+}
+
+func TestBackoffStateClearedOnSuccess(t *testing.T) {
+	b, p, c := fixture()
+	addTask(b, p, 1, "u", 1, 1e9)
+	b.attachErr[1] = errors.New("transient")
+	s := newTestSession(t, b, p, c, Options{})
+	s.Update()
+	delete(b.attachErr, 1)
+	c.Advance(time.Second)
+	s.Update()
+	if failedEntries(s) != 0 {
+		t.Fatalf("failed entries = %d, want 0 after successful attach", failedEntries(s))
+	}
+}
+
 func TestManyTasksChurn(t *testing.T) {
 	// Tasks appearing and disappearing across refreshes must never leak
 	// counters: every attach is balanced by a close when the task goes.

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/metrics"
+)
+
+// A shard owns a disjoint subset of the monitored tasks. Assignment is
+// by a stable hash of the TaskID, so a task's book-keeping lives on one
+// shard for its entire life and the per-refresh sampling loop runs
+// without any locking: each shard touches only its own state and writes
+// only its own row slots of the merged sample.
+//
+// The only cross-shard synchronisation is Session.attachMu, taken around
+// backend.Attach and TaskCounter.Close — the two operations the hpm
+// contract does not require to be concurrency-safe. Counter reads and
+// metric evaluation, the per-tick hot path, are lock-free.
+type shard struct {
+	s      *Session
+	states map[hpm.TaskID]*taskState
+	failed map[hpm.TaskID]*attachFailure
+
+	// Per-refresh scratch, reused across refreshes to keep the
+	// steady-state garbage per tick low.
+	work   []workItem
+	seen   map[hpm.TaskID]bool
+	deltas []uint64
+	env    metrics.MapEnv
+	reaped []hpm.TaskCounter
+}
+
+// workItem is one snapshot entry routed to a shard. idx is the entry's
+// position in the filtered snapshot: the shard writes its row there, so
+// the merged sample comes out in snapshot order and the final sort
+// produces output identical to the serial engine's.
+type workItem struct {
+	info TaskInfo
+	idx  int
+}
+
+// attachFailure tracks why and when attaching to a task last failed.
+type attachFailure struct {
+	permanent bool
+	attempts  int
+	retryAt   time.Duration // next attach attempt not before this time
+}
+
+// Attach retry policy: the first failure is retried on the very next
+// refresh (transient races with task startup are common), later ones
+// back off exponentially until the rate settles at one attempt per
+// attachBackoffMax. Retries never stop for transient errors — a task
+// that becomes attachable after a long restriction (e.g. a lowered
+// perf_event_paranoid) is picked up again — only permission and
+// unsupported-event failures are permanent.
+const (
+	attachBackoffBase = time.Second
+	attachBackoffMax  = time.Minute
+)
+
+func newShard(s *Session) *shard {
+	return &shard{
+		s:      s,
+		states: make(map[hpm.TaskID]*taskState),
+		failed: make(map[hpm.TaskID]*attachFailure),
+		seen:   make(map[hpm.TaskID]bool),
+		env:    metrics.MapEnv{},
+	}
+}
+
+// shardIndex maps a task to its owning shard: FNV-1a over the id, so the
+// assignment is stable across refreshes and engine instances.
+func shardIndex(id hpm.TaskID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	h = (h ^ uint64(uint32(id.PID))) * 1099511628211
+	h = (h ^ uint64(uint32(id.TID))) * 1099511628211
+	return int(h % uint64(n))
+}
+
+// refresh processes the shard's slice of the snapshot: attach newcomers,
+// read deltas and evaluate columns for known tasks, and reap the shard's
+// tasks that disappeared. Runs concurrently with other shards' refresh.
+func (sh *shard) refresh(now time.Duration, rows []Row, dropped *atomic.Int64) {
+	clear(sh.seen)
+	// One backing array serves every row's column values this refresh.
+	ncols := len(sh.s.opt.Screen.Columns)
+	values := make([]float64, len(sh.work)*ncols)
+	for _, w := range sh.work {
+		info := w.info
+		sh.seen[info.ID] = true
+		vals := values[:ncols:ncols]
+		values = values[ncols:]
+		st, ok := sh.states[info.ID]
+		if !ok {
+			st = sh.admit(info, now)
+			if st == nil {
+				// Attach failed; show an unmonitored row.
+				rows[w.idx] = sh.cpuOnlyRow(info, now, nil, vals)
+				continue
+			}
+			sh.states[info.ID] = st
+		}
+		rows[w.idx] = sh.sampleTask(st, info, now, vals)
+		st.info = info
+		st.prevCPUTime = info.CPUTime
+		st.prevSeenAt = now
+		st.everSampled = true
+	}
+
+	// Reap tasks that disappeared. Their counters are handed back to
+	// Update, which closes them serially after all shards join.
+	for id, st := range sh.states {
+		if !sh.seen[id] {
+			if st.counter != nil {
+				sh.reaped = append(sh.reaped, st.counter)
+			}
+			delete(sh.states, id)
+			dropped.Add(1)
+		}
+	}
+	// Attach-failure state goes with the task: the map cannot grow
+	// without bound under churn, and a reused TaskID starts clean
+	// instead of inheriting a previous owner's blacklisting.
+	for id := range sh.failed {
+		if !sh.seen[id] {
+			delete(sh.failed, id)
+		}
+	}
+}
+
+// admit starts monitoring a newly seen task. Returns nil when counters
+// cannot be attached; failures are remembered with bounded
+// retry-with-backoff (permanent ones are never retried).
+func (sh *shard) admit(info TaskInfo, now time.Duration) *taskState {
+	if f, ok := sh.failed[info.ID]; ok && (f.permanent || now < f.retryAt) {
+		return nil
+	}
+	s := sh.s
+	s.attachMu.Lock()
+	ctr, err := s.backend.Attach(info.ID, s.events)
+	s.attachMu.Unlock()
+	if err != nil {
+		sh.noteFailure(info.ID, now, err)
+		return nil
+	}
+	counts, err := ctr.Read()
+	if err != nil {
+		s.attachMu.Lock()
+		_ = ctr.Close()
+		s.attachMu.Unlock()
+		sh.noteFailure(info.ID, now, err)
+		return nil
+	}
+	delete(sh.failed, info.ID)
+	reader, _ := ctr.(hpm.CountReader)
+	return &taskState{
+		info:        info,
+		counter:     ctr,
+		reader:      reader,
+		prevCounts:  counts,
+		prevCPUTime: info.CPUTime,
+		prevSeenAt:  now,
+	}
+}
+
+// noteFailure records an attach failure and schedules (or forbids) the
+// next attempt.
+func (sh *shard) noteFailure(id hpm.TaskID, now time.Duration, err error) {
+	f := sh.failed[id]
+	if f == nil {
+		f = &attachFailure{}
+		sh.failed[id] = f
+	}
+	f.attempts++
+	if errors.Is(err, hpm.ErrPermission) || errors.Is(err, hpm.ErrUnsupportedEvent) {
+		f.permanent = true
+		return
+	}
+	if f.attempts > 1 {
+		d := attachBackoffMax
+		if shift := f.attempts - 2; shift < 10 {
+			if b := attachBackoffBase << shift; b < d {
+				d = b
+			}
+		}
+		f.retryAt = now + d
+	}
+}
+
+// sampleTask reads counter deltas and evaluates the screen columns into
+// vals, the row's pre-carved slot of the shard's value array.
+func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, vals []float64) Row {
+	s := sh.s
+	var counts []hpm.Count
+	var err error
+	if st.reader != nil {
+		counts, err = st.reader.ReadInto(st.spare[:0])
+	} else {
+		counts, err = st.counter.Read()
+	}
+	if err != nil {
+		return sh.cpuOnlyRow(info, now, st, vals)
+	}
+	sh.deltas = hpm.DeltasInto(sh.deltas, st.prevCounts, counts)
+	st.spare = st.prevCounts
+	st.prevCounts = counts
+
+	events := make(map[hpm.EventID]uint64, len(s.events))
+	// The env keys are the same every refresh (the session's event set
+	// plus the fixed variables), so the shard's map is overwritten in
+	// place rather than rebuilt.
+	for i, e := range s.events {
+		events[e] = sh.deltas[i]
+		sh.env[e.String()] = float64(sh.deltas[i])
+	}
+	cpuPct := s.cpuPct(st, info, now)
+	sh.env[metrics.VarDeltaNS] = float64(now - st.prevSeenAt)
+	sh.env[metrics.VarFreqHz] = s.opt.FreqHz
+	sh.env[metrics.VarCPUPct] = cpuPct
+	sh.env[metrics.VarNumCPU] = float64(s.opt.NumCPUs)
+
+	row := Row{
+		Info:   info,
+		CPUPct: cpuPct,
+		Events: events,
+		Values: vals,
+		Valid:  true,
+	}
+	for i, col := range s.opt.Screen.Columns {
+		v, err := col.Expr.Eval(sh.env)
+		if err != nil {
+			v = 0
+		}
+		vals[i] = v
+	}
+	return row
+}
+
+// cpuOnlyRow builds an unmonitored row (no counters available).
+func (sh *shard) cpuOnlyRow(info TaskInfo, now time.Duration, st *taskState, vals []float64) Row {
+	return Row{
+		Info:   info,
+		CPUPct: sh.s.cpuPct(st, info, now),
+		Values: vals,
+		Events: map[hpm.EventID]uint64{},
+		Valid:  false,
+	}
+}

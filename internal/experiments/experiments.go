@@ -33,6 +33,10 @@ type Config struct {
 	Seed int64
 	// Quantum is the scheduler timeslice (default 10 ms).
 	Quantum time.Duration
+	// Parallelism is the engine's sampling-shard count (0 = one shard
+	// per CPU, 1 = serial). Results are identical at every setting;
+	// only wall-clock time changes.
+	Parallelism int
 }
 
 // DefaultConfig returns the quick configuration used by tests: 2 % of
@@ -171,10 +175,11 @@ type (
 	coreSession = core.Session
 )
 
-// simSession wires a tiptop engine onto a simulated kernel. Exited tasks
+// simSession wires a tiptop engine onto a simulated kernel with the
+// given sampling-shard count (0 = one per CPU). Exited tasks
 // stay visible (like zombies with open perf descriptors) so the final
 // refresh still reads the deltas of tasks that finished mid-interval.
-func simSession(k *sched.Kernel, screen *metrics.Screen, interval time.Duration, sortBy string) (*core.Session, error) {
+func simSession(k *sched.Kernel, screen *metrics.Screen, interval time.Duration, sortBy string, parallelism int) (*core.Session, error) {
 	src := proc.NewSource(k)
 	src.IncludeExited = true
 	return core.NewSession(
@@ -182,11 +187,12 @@ func simSession(k *sched.Kernel, screen *metrics.Screen, interval time.Duration,
 		src,
 		proc.NewClock(k),
 		core.Options{
-			Screen:   screen,
-			Interval: interval,
-			FreqHz:   k.Machine().FreqHz,
-			NumCPUs:  k.Machine().NumLogical(),
-			SortBy:   sortBy,
+			Screen:      screen,
+			Interval:    interval,
+			FreqHz:      k.Machine().FreqHz,
+			NumCPUs:     k.Machine().NumLogical(),
+			SortBy:      sortBy,
+			Parallelism: parallelism,
 		},
 	)
 }

@@ -185,6 +185,11 @@ func (c Count) Exact() bool { return c.Running >= c.Enabled }
 
 // TaskCounter is a set of counters attached to one task. It is the
 // file-descriptor analogue: Close must be called to release it.
+//
+// Read may be called concurrently with Read on *other* TaskCounters of
+// the same backend (the sharded engine samples distinct tasks from
+// distinct goroutines); calls on one TaskCounter are never concurrent
+// with each other or with its Close.
 type TaskCounter interface {
 	// Task returns the task the counters are attached to.
 	Task() TaskID
@@ -195,9 +200,24 @@ type TaskCounter interface {
 	Close() error
 }
 
-// Backend creates counters. Implementations must be safe for use from a
-// single monitoring goroutine; they are not required to be safe for
-// concurrent use, matching the single-threaded sampling loop of the tool.
+// CountReader is an optional TaskCounter extension for allocation-free
+// sampling: ReadInto writes the current counts into dst (grown as
+// needed) and returns the filled slice. The engine double-buffers the
+// destination, so a steady-state refresh performs no per-read
+// allocation. The concurrency contract matches TaskCounter.Read.
+type CountReader interface {
+	ReadInto(dst []Count) ([]Count, error)
+}
+
+// Backend creates counters. Attach and TaskCounter.Close are always
+// serialized by the engine (one call at a time per backend), so
+// implementations need not support two of either running concurrently.
+// They MUST however tolerate TaskCounter.Read on distinct counters
+// running concurrently — with each other and with an in-flight Attach
+// or Close on a *different* task — because the sharded engine samples
+// known tasks while admitting new ones. In practice: Attach/Close may
+// not mutate state that Read on other counters consults without
+// synchronizing it.
 type Backend interface {
 	// Name returns a short human-readable backend name ("perf_event",
 	// "sim").
@@ -219,19 +239,32 @@ type Backend interface {
 // to zero: the tool displays occurrences since the previous refresh and
 // must never show garbage.
 func Deltas(prev, cur []Count) []uint64 {
+	return DeltasInto(nil, prev, cur)
+}
+
+// DeltasInto is Deltas writing into dst, which is grown as needed and
+// returned. The sampling engine calls it once per task per refresh; the
+// reusable destination keeps the per-tick garbage independent of the
+// number of monitored tasks.
+func DeltasInto(dst []uint64, prev, cur []Count) []uint64 {
+	if cap(dst) < len(cur) {
+		dst = make([]uint64, len(cur))
+	}
+	dst = dst[:len(cur)]
 	n := len(cur)
 	if len(prev) < n {
 		n = len(prev)
 	}
-	out := make([]uint64, len(cur))
 	for i := 0; i < n; i++ {
 		p, c := prev[i].Scaled(), cur[i].Scaled()
 		if c > p {
-			out[i] = c - p
+			dst[i] = c - p
+		} else {
+			dst[i] = 0
 		}
 	}
 	for i := n; i < len(cur); i++ {
-		out[i] = cur[i].Scaled()
+		dst[i] = cur[i].Scaled()
 	}
-	return out
+	return dst
 }

@@ -121,6 +121,25 @@ func TestDeltas(t *testing.T) {
 	}
 }
 
+func TestDeltasInto(t *testing.T) {
+	prev := []Count{{Raw: 100, Enabled: 1, Running: 1}, {Raw: 50, Enabled: 1, Running: 1}}
+	cur := []Count{{Raw: 180, Enabled: 2, Running: 2}, {Raw: 40, Enabled: 2, Running: 2}}
+	// A stale, oversized destination is truncated and fully overwritten.
+	dst := []uint64{9, 9, 9, 9}
+	out := DeltasInto(dst, prev, cur)
+	if len(out) != 2 || out[0] != 80 || out[1] != 0 {
+		t.Fatalf("deltas = %v", out)
+	}
+	if &out[0] != &dst[0] {
+		t.Fatal("destination with sufficient capacity must be reused")
+	}
+	// An undersized destination grows.
+	out = DeltasInto(make([]uint64, 0), prev, cur)
+	if len(out) != 2 || out[0] != 80 || out[1] != 0 {
+		t.Fatalf("deltas = %v", out)
+	}
+}
+
 func TestDeltasLengthMismatch(t *testing.T) {
 	// New events appended since last read: their full value is the delta.
 	prev := []Count{{Raw: 10, Enabled: 1, Running: 1}}

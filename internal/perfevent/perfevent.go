@@ -245,19 +245,28 @@ type counter struct {
 }
 
 var _ hpm.TaskCounter = (*counter)(nil)
+var _ hpm.CountReader = (*counter)(nil)
 
 // Task implements hpm.TaskCounter.
 func (c *counter) Task() hpm.TaskID { return c.task }
 
 // Read implements hpm.TaskCounter: a plain read(2) per descriptor.
 func (c *counter) Read() ([]hpm.Count, error) {
+	return c.ReadInto(nil)
+}
+
+// ReadInto implements hpm.CountReader.
+func (c *counter) ReadInto(dst []hpm.Count) ([]hpm.Count, error) {
 	if c.closed {
 		return nil, fmt.Errorf("perfevent: read of closed counter for %v", c.task)
 	}
-	out := make([]hpm.Count, len(c.fds))
-	buf := make([]byte, 24)
+	if cap(dst) < len(c.fds) {
+		dst = make([]hpm.Count, len(c.fds))
+	}
+	dst = dst[:len(c.fds)]
+	var buf [24]byte
 	for i, fd := range c.fds {
-		n, err := readFD(fd, buf)
+		n, err := readFD(fd, buf[:])
 		if err != nil {
 			return nil, fmt.Errorf("perfevent: read %v fd %d: %w", c.events[i], fd, err)
 		}
@@ -265,9 +274,9 @@ func (c *counter) Read() ([]hpm.Count, error) {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = cnt
+		dst[i] = cnt
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Close implements hpm.TaskCounter.

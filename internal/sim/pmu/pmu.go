@@ -108,6 +108,7 @@ type counter struct {
 }
 
 var _ hpm.TaskCounter = (*counter)(nil)
+var _ hpm.CountReader = (*counter)(nil)
 var _ sched.EventSink = (*counter)(nil)
 
 // Task implements hpm.TaskCounter.
@@ -141,12 +142,15 @@ func (c *counter) OnQuantum(d cpu.Delta, ranNS uint64) {
 
 // Read implements hpm.TaskCounter.
 func (c *counter) Read() ([]hpm.Count, error) {
+	return c.ReadInto(nil)
+}
+
+// ReadInto implements hpm.CountReader.
+func (c *counter) ReadInto(dst []hpm.Count) ([]hpm.Count, error) {
 	if c.closed {
 		return nil, fmt.Errorf("pmu: read of closed counter for %v", c.id)
 	}
-	out := make([]hpm.Count, len(c.counts))
-	copy(out, c.counts)
-	return out, nil
+	return append(dst[:0], c.counts...), nil
 }
 
 // Close implements hpm.TaskCounter.

@@ -102,6 +102,35 @@ func TestCountsStartAtAttach(t *testing.T) {
 	}
 }
 
+func TestReadIntoReusesDestination(t *testing.T) {
+	k, b, task := setup(t, machine.XeonW3550())
+	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	reader, ok := ctr.(hpm.CountReader)
+	if !ok {
+		t.Fatal("pmu counter must implement hpm.CountReader")
+	}
+	k.Advance(time.Second)
+	want, err := ctr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]hpm.Count, 0, 8)
+	got, err := reader.ReadInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("ReadInto = %+v, want %+v", got, want)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("destination with sufficient capacity must be reused")
+	}
+}
+
 func TestIPCFromCounters(t *testing.T) {
 	k, b, task := setup(t, machine.XeonW3550())
 	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})

@@ -21,6 +21,11 @@ type Source struct {
 	// (paper §2.2). In process mode, a multi-threaded process shows
 	// the summed CPU time of its group.
 	PerThread bool
+
+	// Scratch reused across snapshots, so a refresh over thousands of
+	// tasks costs O(1) allocations in steady state.
+	buf      []core.TaskInfo
+	cpuByPID map[int]time.Duration
 }
 
 var _ core.ProcSource = (*Source)(nil)
@@ -28,11 +33,17 @@ var _ core.ProcSource = (*Source)(nil)
 // NewSource creates a process source over the kernel.
 func NewSource(k *sched.Kernel) *Source { return &Source{k: k} }
 
-// Snapshot implements core.ProcSource.
+// Snapshot implements core.ProcSource. The returned slice is reused by
+// the next Snapshot call; callers must not retain it across refreshes
+// (the engine copies what it keeps).
 func (s *Source) Snapshot() ([]core.TaskInfo, error) {
 	tasks := s.k.Tasks()
-	out := make([]core.TaskInfo, 0, len(tasks))
-	cpuByPID := map[int]time.Duration{}
+	out := s.buf[:0]
+	if s.cpuByPID == nil {
+		s.cpuByPID = make(map[int]time.Duration, len(tasks))
+	}
+	cpuByPID := s.cpuByPID
+	clear(cpuByPID)
 	if !s.PerThread {
 		for _, t := range tasks {
 			cpuByPID[t.ID().PID] += t.CPUTime()
@@ -62,6 +73,7 @@ func (s *Source) Snapshot() ([]core.TaskInfo, error) {
 		}
 		out = append(out, info)
 	}
+	s.buf = out
 	return out, nil
 }
 

@@ -461,6 +461,26 @@ type SyntheticSpec struct {
 	Noise float64
 }
 
+// ManyTaskSpec returns the i-th job of the many-task stress fleet: IPC
+// targets ramp over 0.25..3.2 and memory appetites cycle, so a large
+// fleet exercises the whole metric range. The public ScenarioManyTasks
+// and the engine's sharded-sampling stress tests build their load from
+// this single definition.
+func ManyTaskSpec(i int) SyntheticSpec {
+	return SyntheticSpec{
+		Name:       fmt.Sprintf("job%04d", i),
+		IPC:        0.25 + 0.05*float64(i%60),
+		MemRefsPKI: float64(i % 7 * 40),
+	}
+}
+
+// ManyTaskUser returns the owning user of the i-th many-task job,
+// spreading the fleet across a handful of accounts.
+func ManyTaskUser(i int) string {
+	users := [...]string{"alice", "bob", "carol", "dave"}
+	return users[i%len(users)]
+}
+
 // Synthetic builds a single-phase workload (to be wrapped in a Spin for
 // endless execution) from a SyntheticSpec. Calibration targets the E5640
 // data-center node rather than the W3550 workstation.

@@ -319,6 +319,31 @@ func (sc *Scenario) source() *proc.Source {
 
 func (sc *Scenario) clock() core.Clock { return proc.NewClock(sc.kernel) }
 
+// ScenarioManyTasks builds a production-scale stress scenario: the
+// bi-Xeon data-center node running n endless synthetic jobs with varied
+// IPC targets and memory appetites (workload.ManyTaskSpec), spread
+// across a handful of users. It exercises the engine's sharded sampling
+// path at task counts far beyond the paper's interactive screens
+// (thousands of rows per refresh).
+func ScenarioManyTasks(n int) (*Scenario, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tiptop: many-task scenario needs n > 0, got %d", n)
+	}
+	sc, err := NewScenario(MachineE5640)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		spec := workload.ManyTaskSpec(i)
+		spin, err := workload.NewSpin(workload.Synthetic(spec), sc.nextSeed())
+		if err != nil {
+			return nil, err
+		}
+		sc.kernel.Spawn(workload.ManyTaskUser(i), spec.Name, spin, nil)
+	}
+	return sc, nil
+}
+
 // ScenarioSPEC builds a ready-made scenario: the Nehalem workstation
 // running a small mix of SPEC-like workloads — a convenient quickstart.
 func ScenarioSPEC() *Scenario {

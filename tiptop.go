@@ -14,6 +14,11 @@
 //     SMT, an OS scheduler and a virtual PMU), which is how the paper's
 //     evaluation is reproduced in environments without PMU access.
 //
+// Sampling scales with the task count: the engine shards the process
+// table across a worker pool (Config.Parallelism, default one shard per
+// CPU) and reads counters and evaluates metric columns concurrently,
+// while producing exactly the row ordering of a serial scan.
+//
 // The quickest way in:
 //
 //	mon, err := tiptop.NewSimMonitor(tiptop.ScenarioSPEC(), tiptop.Config{})
@@ -57,6 +62,12 @@ type Config struct {
 	// PerThread monitors individual threads instead of whole processes
 	// (paper §2.2: "Events can be counted per thread, or per process").
 	PerThread bool
+	// Parallelism is the number of sampling shards the engine
+	// partitions the process table across: counters are read and
+	// metric columns evaluated concurrently, one goroutine per shard,
+	// with row ordering identical to serial sampling. 0 selects one
+	// shard per CPU; 1 samples serially.
+	Parallelism int
 }
 
 // Row is one monitored task in a sample.
@@ -108,11 +119,12 @@ func screenByName(name string) (*metrics.Screen, error) {
 
 func coreOptions(cfg Config, screen *metrics.Screen) core.Options {
 	return core.Options{
-		Screen:     screen,
-		Interval:   cfg.Interval,
-		SortBy:     cfg.SortBy,
-		MaxRows:    cfg.MaxRows,
-		FilterUser: cfg.User,
+		Screen:      screen,
+		Interval:    cfg.Interval,
+		SortBy:      cfg.SortBy,
+		MaxRows:     cfg.MaxRows,
+		FilterUser:  cfg.User,
+		Parallelism: cfg.Parallelism,
 	}
 }
 

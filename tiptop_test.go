@@ -378,3 +378,35 @@ func TestRealMonitorGracefulFallback(t *testing.T) {
 	}
 	t.Logf("live monitoring works: %d tasks visible", len(sample.Rows))
 }
+
+func TestManyTasksScenarioParallelMonitor(t *testing.T) {
+	const tasks = 300
+	sc, err := ScenarioManyTasks(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, Config{Interval: time.Second, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	sample, err := mon.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample.Rows) != tasks {
+		t.Fatalf("rows = %d, want %d", len(sample.Rows), tasks)
+	}
+	monitored := 0
+	for _, r := range sample.Rows {
+		if r.Monitored {
+			monitored++
+		}
+	}
+	if monitored != tasks {
+		t.Fatalf("monitored = %d, want %d", monitored, tasks)
+	}
+	if _, err := ScenarioManyTasks(0); err == nil {
+		t.Fatal("n = 0 must be rejected")
+	}
+}
