@@ -21,6 +21,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Serial vs sharded sampling on the many-task stress scenario.
+# Serial vs sharded sampling on the many-task stress scenario, plus the
+# machine-readable trajectory file results/BENCH_refresh.json (ns/op and
+# allocs/op for the 1000/4000-task serial and sharded refreshes).
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkUpdate[0-9]+' -benchmem ./internal/core/
+	$(GO) run ./cmd/tipbench -bench-refresh -out results

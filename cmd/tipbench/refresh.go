@@ -1,0 +1,154 @@
+package main
+
+// The -bench-refresh mode: measure the sampling engine's refresh cost
+// (serial and sharded) on the many-task stress fleet and write the
+// results as machine-readable JSON, so the performance trajectory is
+// tracked across PRs instead of living in scrollback.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/metrics"
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/pmu"
+	"tiptop/internal/sim/proc"
+	"tiptop/internal/sim/sched"
+	"tiptop/internal/sim/workload"
+)
+
+// refreshResult is one benchmark measurement in BENCH_refresh.json.
+type refreshResult struct {
+	Name        string  `json:"name"`
+	Tasks       int     `json:"tasks"`
+	Parallelism int     `json:"parallelism"` // 0 = one shard per CPU
+	Shards      int     `json:"shards"`      // shards actually used
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// refreshReport is the BENCH_refresh.json document.
+type refreshReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	GoMaxProcs  int             `json:"go_max_procs"`
+	GoVersion   string          `json:"go_version"`
+	Benchmarks  []refreshResult `json:"benchmarks"`
+}
+
+// benchRefresh measures steady-state Session.Update at each task count,
+// serially and sharded, and writes <outDir>/BENCH_refresh.json.
+func benchRefresh(outDir, tasksCSV string) error {
+	var counts []int
+	for _, s := range strings.Split(tasksCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad -bench-tasks entry %q", s)
+		}
+		counts = append(counts, n)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	report := refreshReport{
+		GeneratedBy: "tipbench -bench-refresh",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+	}
+	for _, tasks := range counts {
+		for _, par := range []int{1, 0} {
+			kind := "Serial"
+			if par == 0 {
+				kind = "Sharded"
+			}
+			name := fmt.Sprintf("Update%d%s", tasks, kind)
+			fmt.Printf("== bench %s\n", name)
+			res, shards, err := measureRefresh(tasks, par)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			report.Benchmarks = append(report.Benchmarks, refreshResult{
+				Name:        name,
+				Tasks:       tasks,
+				Parallelism: par,
+				Shards:      shards,
+				Iterations:  res.N,
+				NsPerOp:     float64(res.NsPerOp()),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+			})
+			fmt.Printf("   %d iterations, %.0f ns/op, %d allocs/op\n",
+				res.N, float64(res.NsPerOp()), res.AllocsPerOp())
+		}
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_refresh.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("refresh benchmarks:", path)
+	return nil
+}
+
+// measureRefresh runs testing.Benchmark over steady-state refreshes of
+// a many-task kernel at the given shard count.
+func measureRefresh(tasks, parallelism int) (testing.BenchmarkResult, int, error) {
+	m, ok := machine.Presets()["e5640"]
+	if !ok {
+		return testing.BenchmarkResult{}, 0, fmt.Errorf("e5640 preset missing")
+	}
+	k, err := sched.New(m, sched.Options{})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	// The ManyTaskSpec stress fleet, the same load the engine's own
+	// BenchmarkUpdate* benchmarks use.
+	for i := 0; i < tasks; i++ {
+		spec := workload.ManyTaskSpec(i)
+		spin, err := workload.NewSpin(workload.Synthetic(spec), int64(i+1))
+		if err != nil {
+			return testing.BenchmarkResult{}, 0, err
+		}
+		k.Spawn(workload.ManyTaskUser(i), spec.Name, spin, nil)
+	}
+	s, err := core.NewSession(pmu.New(k), proc.NewSource(k), proc.NewClock(k), core.Options{
+		Screen:      metrics.DefaultScreen(),
+		Interval:    time.Second,
+		FreqHz:      k.Machine().FreqHz,
+		NumCPUs:     k.Machine().NumLogical(),
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	defer s.Close()
+	if _, err := s.Update(); err != nil { // attach pass
+		return testing.BenchmarkResult{}, 0, err
+	}
+	s.AdvanceClock()
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Update(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, s.Parallelism(), benchErr
+}

@@ -31,61 +31,12 @@ func buildMonitor(simName string, scale float64, cfg tiptop.Config) (*tiptop.Mon
 
 // buildScenario constructs the named simulated scenario.
 func buildScenario(name string, scale float64) (*tiptop.Scenario, error) {
-	switch name {
-	case "spec":
-		sc, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
-		if err != nil {
-			return nil, err
-		}
-		for _, w := range []string{"mcf", "astar", "gromacs", "hmmer-gcc"} {
-			if _, err := sc.StartWorkload("user", w, scale); err != nil {
-				return nil, err
-			}
-		}
-		return sc, nil
-	case "revolution":
-		sc, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sc.StartWorkload("biologist", "r-evolution", scale); err != nil {
-			return nil, err
-		}
-		return sc, nil
-	case "conflict":
-		sc, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
-		if err != nil {
-			return nil, err
-		}
-		// Three mcf copies pinned to distinct physical cores, the
-		// Figure 11 taskset setup.
-		for i := 0; i < 3; i++ {
-			if _, err := sc.StartWorkload("user", "mcf", scale, i); err != nil {
-				return nil, err
-			}
-		}
-		return sc, nil
-	case "datacenter":
-		sc, err := tiptop.NewScenario(tiptop.MachineE5640)
-		if err != nil {
-			return nil, err
-		}
-		ipcs := []float64{1.97, 1.32, 2.27, 2.36, 1.17, 0.66, 1.73, 1.44, 1.39, 1.39, 1.62}
-		users := []string{"user1", "user3", "user1", "user1", "user3", "user2",
-			"user1", "user1", "user1", "user1", "user1"}
-		for i, ipc := range ipcs {
-			name := fmt.Sprintf("process%d", i+1)
-			if _, err := sc.StartSynthetic(users[i], name, ipc); err != nil {
-				return nil, err
-			}
-		}
-		return sc, nil
-	}
-	return nil, fmt.Errorf("unknown scenario %q (want spec, revolution, conflict or datacenter)", name)
+	return tiptop.NewNamedScenario(name, scale)
 }
 
-// batchLoop streams samples as text (tiptop -b).
-func batchLoop(mon *tiptop.Monitor, iterations int) error {
+// batchLoop streams samples (tiptop -b) through the emitter: classic
+// text blocks, or CSV/JSONL when -o selects a sink.
+func batchLoop(mon *tiptop.Monitor, iterations int, em *emitter) error {
 	if _, err := mon.SampleNow(); err != nil { // attach pass
 		return err
 	}
@@ -100,7 +51,7 @@ func batchLoop(mon *tiptop.Monitor, iterations int) error {
 		if err != nil {
 			return err
 		}
-		if err := mon.Render(os.Stdout, sample); err != nil {
+		if err := em.emit(sample); err != nil {
 			return err
 		}
 		if len(sample.Rows) == 0 && iterations <= 0 {
@@ -111,10 +62,11 @@ func batchLoop(mon *tiptop.Monitor, iterations int) error {
 	return nil
 }
 
-// liveLoop repaints an ANSI screen every interval. Keyboard handling is
+// liveLoop repaints an ANSI screen every interval, teeing each sample
+// to the record sink when -record is set. Keyboard handling is
 // line-based (press q then Enter) to stay within the standard library;
 // Ctrl-C always works.
-func liveLoop(mon *tiptop.Monitor, iterations int) error {
+func liveLoop(mon *tiptop.Monitor, iterations int, em *emitter) error {
 	screen, err := term.NewScreen(os.Stdout, 40, 160)
 	if err != nil {
 		return err
@@ -144,7 +96,10 @@ func liveLoop(mon *tiptop.Monitor, iterations int) error {
 		if err != nil {
 			return err
 		}
-		paint(screen, mon, sample)
+		paint(screen, mon, em.display(sample))
+		if err := em.record(sample); err != nil {
+			return err
+		}
 		select {
 		case <-interrupted:
 			return nil

@@ -10,6 +10,8 @@
 //	tiptop -b -n 10     batch mode, ten refreshes
 //	tiptop -d 5         refresh every 5 seconds (the paper's cadence)
 //	tiptop -screen fp   the §3.1 screen: IPC next to FP assists
+//	tiptop -b -o csv    batch mode streaming CSV (also: -o jsonl)
+//	tiptop -record f.csv     additionally record every sample to a file
 //	tiptop -sim spec    simulate the Nehalem box running SPEC-like jobs
 //	tiptop -sim revolution   the Figure 3 scenario
 //	tiptop -sim conflict     the Figure 11 mcf co-run scenario
@@ -22,23 +24,25 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"tiptop"
 	"tiptop/internal/config"
+	"tiptop/internal/export"
 	"tiptop/internal/metrics"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tiptop:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("tiptop", flag.ContinueOnError)
 	var (
 		batch      = fs.Bool("b", false, "batch mode: stream text, no screen control")
@@ -49,6 +53,8 @@ func run(args []string) error {
 		maxRows    = fs.Int("rows", 0, "maximum rows displayed (0 = all)")
 		user       = fs.String("u", "", "only show this user's tasks")
 		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
+		outFormat  = fs.String("o", "", "batch output format: text, csv, jsonl (default text)")
+		recordPath = fs.String("record", "", "record every sample to this file (CSV, or JSONL for .jsonl/.ndjson)")
 		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios (1.0 = paper length)")
 		list       = fs.Bool("list", false, "list screens and scenarios, then exit")
@@ -60,20 +66,27 @@ func run(args []string) error {
 	}
 
 	if *dumpConf {
-		return config.Write(os.Stdout, config.Default())
+		return config.Write(stdout, config.Default())
 	}
 	if *list {
-		fmt.Println("screens:")
-		for name, s := range metrics.BuiltinScreens() {
-			cols := make([]string, len(s.Columns))
-			for i, c := range s.Columns {
+		fmt.Fprintln(stdout, "screens:")
+		screens := metrics.BuiltinScreens()
+		for _, name := range metrics.ScreenNames() {
+			cols := make([]string, len(screens[name].Columns))
+			for i, c := range screens[name].Columns {
 				cols[i] = c.Header
 			}
-			fmt.Printf("  %-8s %s\n", name, strings.Join(cols, " "))
+			fmt.Fprintf(stdout, "  %-8s %s\n", name, strings.Join(cols, " "))
 		}
-		fmt.Println("simulated scenarios (-sim): spec, revolution, conflict, datacenter")
-		fmt.Println("catalog workloads:", strings.Join(tiptop.WorkloadNames(), ", "))
+		fmt.Fprintln(stdout, "simulated scenarios (-sim):", strings.Join(tiptop.ScenarioNames(), ", "))
+		fmt.Fprintln(stdout, "catalog workloads:", strings.Join(tiptop.WorkloadNames(), ", "))
 		return nil
+	}
+	if *delay <= 0 {
+		return fmt.Errorf("refresh delay must be positive, got -d %v", *delay)
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("sampling shards cannot be negative, got -j %d", *parallel)
 	}
 
 	cfg := tiptop.Config{
@@ -84,13 +97,10 @@ func run(args []string) error {
 		User:        *user,
 		Parallelism: *parallel,
 	}
+	format := *outFormat
+	record := *recordPath
 	if *confFile != "" {
-		f, err := os.Open(*confFile)
-		if err != nil {
-			return err
-		}
-		parsed, err := config.Parse(f)
-		f.Close()
+		parsed, err := config.Load(*confFile)
 		if err != nil {
 			return err
 		}
@@ -109,6 +119,40 @@ func run(args []string) error {
 		if parsed.Options.Parallelism > 0 {
 			cfg.Parallelism = parsed.Options.Parallelism
 		}
+		if format == "" {
+			format = parsed.Options.Format
+		}
+		if record == "" {
+			record = parsed.Options.Record
+		}
+	}
+	switch format {
+	case "", "text", "csv", "jsonl":
+	default:
+		return fmt.Errorf("unknown output format %q (want text, csv or jsonl)", format)
+	}
+	if format != "" && format != "text" && !*batch {
+		if *outFormat != "" {
+			// An explicit -o outside batch mode is a usage error...
+			return fmt.Errorf("-o %s requires batch mode (-b)", format)
+		}
+		// ...but a config file shared with batch jobs must not make
+		// the interactive screen unusable: its format only applies
+		// to -b.
+		format = "text"
+	}
+	if format == "" {
+		format = "text"
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	// When samples feed a sink, the engine must not clip them: -rows
+	// bounds only the rendered display, the recording covers every
+	// monitored task (the same contract the Recorder observer has).
+	displayRows := cfg.MaxRows
+	if format != "text" || record != "" {
+		cfg.MaxRows = 0
 	}
 
 	mon, err := buildMonitor(*simName, *scale, cfg)
@@ -117,8 +161,146 @@ func run(args []string) error {
 	}
 	defer mon.Close()
 
-	if *batch {
-		return batchLoop(mon, *iterations)
+	em, closeSinks, err := newEmitter(mon, format, stdout, record)
+	if err != nil {
+		return err
 	}
-	return liveLoop(mon, *iterations)
+	em.displayRows = displayRows
+
+	if *batch {
+		err = batchLoop(mon, *iterations, em)
+	} else {
+		err = liveLoop(mon, *iterations, em)
+	}
+	// A failing final flush or file close means the recording is
+	// incomplete — surface it instead of exiting 0.
+	if cerr := closeSinks(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// emitter routes samples: batch output to stdout (classic text blocks
+// or a structured sink) plus an optional record sink behind -record.
+// Sinks always receive the full sample; displayRows clips only the
+// rendered text/screen view (the -rows semantics).
+type emitter struct {
+	mon         *tiptop.Monitor
+	cols        []string
+	stdout      io.Writer
+	stdoutSink  export.Sink // nil for text format
+	recordSink  export.Sink // nil without -record
+	displayRows int
+}
+
+// newEmitter wires the output sinks; the returned closer flushes them.
+func newEmitter(mon *tiptop.Monitor, format string, stdout io.Writer, recordPath string) (*emitter, func() error, error) {
+	e := &emitter{mon: mon, cols: mon.Columns(), stdout: stdout}
+	if format != "text" {
+		sink, err := export.NewSink(format, stdout)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.stdoutSink = sink
+	}
+	var recordFile *os.File
+	if recordPath != "" {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		recordFile = f
+		format := export.FormatCSV
+		if strings.HasSuffix(recordPath, ".jsonl") || strings.HasSuffix(recordPath, ".ndjson") {
+			format = export.FormatJSONL
+		}
+		sink, err := export.NewSink(format, f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		e.recordSink = sink
+	}
+	closer := func() error {
+		var first error
+		if e.stdoutSink != nil {
+			first = e.stdoutSink.Close()
+		}
+		if e.recordSink != nil {
+			if err := e.recordSink.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if recordFile != nil {
+			if err := recordFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return e, closer, nil
+}
+
+// toExport converts a public sample to the sink representation.
+func (e *emitter) toExport(s *tiptop.Sample) *export.Sample {
+	out := &export.Sample{
+		TimeSeconds: s.Time.Seconds(),
+		Columns:     e.cols,
+		Rows:        make([]export.Row, 0, len(s.Rows)),
+	}
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		out.Rows = append(out.Rows, export.Row{
+			PID:       r.PID,
+			TID:       r.TID,
+			User:      r.User,
+			Command:   r.Command,
+			State:     r.State,
+			CPUPct:    r.CPUPct,
+			IPC:       r.IPC,
+			Monitored: r.Monitored,
+			Values:    r.Columns,
+		})
+	}
+	return out
+}
+
+// display returns the sample as rendered views see it: clipped to
+// -rows when the engine-side truncation was lifted for the sinks.
+func (e *emitter) display(s *tiptop.Sample) *tiptop.Sample {
+	if e.displayRows <= 0 || len(s.Rows) <= e.displayRows {
+		return s
+	}
+	clipped := *s
+	clipped.Rows = s.Rows[:e.displayRows]
+	return &clipped
+}
+
+// emit writes one batch-mode sample to stdout and the record sink.
+func (e *emitter) emit(s *tiptop.Sample) error {
+	var es *export.Sample
+	if e.stdoutSink != nil || e.recordSink != nil {
+		es = e.toExport(s)
+	}
+	if e.stdoutSink != nil {
+		if err := e.stdoutSink.Write(es); err != nil {
+			return err
+		}
+	} else {
+		if err := e.mon.Render(e.stdout, e.display(s)); err != nil {
+			return err
+		}
+	}
+	if e.recordSink != nil {
+		return e.recordSink.Write(es)
+	}
+	return nil
+}
+
+// record writes only to the record sink (the live loop's tee).
+func (e *emitter) record(s *tiptop.Sample) error {
+	if e.recordSink == nil {
+		return nil
+	}
+	return e.recordSink.Write(e.toExport(s))
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -59,54 +61,250 @@ func TestBuildMonitorFallsBack(t *testing.T) {
 	}
 }
 
-func TestRunList(t *testing.T) {
-	if err := run([]string{"-list"}); err != nil {
-		t.Fatal(err)
+// TestRunListDeterministic is the regression test for the map-iteration
+// bug: two -list runs must produce identical, sorted output.
+func TestRunListDeterministic(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := run([]string{"-list"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("-list output changed between runs:\n%s\nvs\n%s", first, got)
+		}
+	}
+	// The screen names appear in sorted order.
+	var names []string
+	for _, line := range strings.Split(first, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 1 && strings.HasPrefix(line, "  ") && !strings.HasPrefix(line, "   ") {
+			names = append(names, fields[0])
+		}
+	}
+	want := []string{"branch", "default", "fp", "lat", "mem", "roofline"}
+	if len(names) < len(want) {
+		t.Fatalf("screen lines = %v", names)
+	}
+	for i, name := range want {
+		if names[i] != name {
+			t.Fatalf("screens not sorted: %v, want prefix %v", names, want)
+		}
 	}
 }
 
-func TestRunDumpConfig(t *testing.T) {
-	if err := run([]string{"-dump-config"}); err != nil {
-		t.Fatal(err)
+func TestRunDumpConfigDeterministic(t *testing.T) {
+	var first string
+	for i := 0; i < 5; i++ {
+		var sb strings.Builder
+		if err := run([]string{"-dump-config"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = sb.String()
+			if !strings.Contains(first, `name="default"`) {
+				t.Fatalf("dump-config output = %q", first)
+			}
+			continue
+		}
+		if sb.String() != first {
+			t.Fatal("-dump-config output changed between runs")
+		}
 	}
 }
 
 func TestRunBatchSim(t *testing.T) {
-	err := run([]string{"-b", "-n", "2", "-d", "1", "-sim", "spec", "-scale", "0.001"})
+	err := run([]string{"-b", "-n", "2", "-d", "1", "-sim", "spec", "-scale", "0.001"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunBadFlags(t *testing.T) {
-	if err := run([]string{"-sim", "nope"}); err == nil {
-		t.Fatal("unknown scenario must fail")
+// TestRunBatchGolden pins the batch-mode text output over a seeded sim
+// scenario byte for byte. The simulator is deterministic, so any drift
+// here is a real behaviour change.
+func TestRunBatchGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-b", "-n", "2", "-d", "1", "-sim", "datacenter"}, &sb); err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-screen", "nope", "-sim", "spec"}); err == nil {
-		t.Fatal("unknown screen must fail")
+	golden := filepath.Join("testdata", "batch_datacenter.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := run([]string{"-bogusflag"}); err == nil {
-		t.Fatal("unknown flag must fail")
+	if sb.String() != string(want) {
+		t.Fatalf("batch output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, sb.String(), want)
+	}
+}
+
+// TestRunFlagValidation covers the CLI input checks: negative -j,
+// non-positive -d, unknown -sort/-screen/-o, bad combinations.
+func TestRunFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		errWant string
+	}{
+		{"zero delay", []string{"-d", "0"}, "delay must be positive"},
+		{"negative delay", []string{"-d", "-3"}, "delay must be positive"},
+		{"negative shards", []string{"-j", "-1"}, "cannot be negative"},
+		{"unknown sort", []string{"-sort", "karma", "-sim", "spec"}, "unknown sort key"},
+		{"sort from other screen", []string{"-sort", "dmis", "-screen", "branch", "-sim", "spec"}, "unknown sort key"},
+		{"unknown screen", []string{"-screen", "nope", "-sim", "spec"}, "unknown screen"},
+		{"unknown scenario", []string{"-sim", "nope"}, "unknown scenario"},
+		{"unknown format", []string{"-b", "-o", "yaml", "-sim", "spec"}, "unknown output format"},
+		{"format without batch", []string{"-o", "csv", "-sim", "spec"}, "requires batch mode"},
+		{"unknown flag", []string{"-bogusflag"}, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		err := run(tc.args, io.Discard)
+		if err == nil {
+			t.Errorf("%s: args %v must fail", tc.name, tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.errWant)
+		}
+	}
+	// The validated inputs still work.
+	ok := [][]string{
+		{"-b", "-n", "1", "-sort", "pid", "-sim", "spec", "-scale", "0.001"},
+		{"-b", "-n", "1", "-sort", "ipc", "-sim", "spec", "-scale", "0.001"},
+		{"-b", "-n", "1", "-j", "2", "-sim", "spec", "-scale", "0.001"},
+	}
+	for _, args := range ok {
+		if err := run(args, io.Discard); err != nil {
+			t.Errorf("args %v: %v", args, err)
+		}
+	}
+}
+
+func TestRunBatchCSVOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-b", "-n", "2", "-o", "csv", "-sim", "datacenter"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if !strings.HasPrefix(lines[0], "time_s,pid,tid,user,command,state,cpu_pct,ipc,monitored") {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) != 1+2*11 { // header + 11 rows × 2 samples
+		t.Fatalf("csv lines = %d:\n%s", len(lines), sb.String())
+	}
+	if !strings.Contains(sb.String(), "process1") {
+		t.Fatalf("csv rows missing workloads:\n%s", sb.String())
+	}
+}
+
+func TestRunBatchJSONLOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-b", "-n", "2", "-o", "jsonl", "-sim", "datacenter"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	for _, line := range lines {
+		var sample struct {
+			TimeSeconds float64  `json:"time_s"`
+			Columns     []string `json:"columns"`
+			Rows        []struct {
+				Command string `json:"command"`
+			} `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(line), &sample); err != nil {
+			t.Fatalf("bad jsonl line %q: %v", line, err)
+		}
+		if sample.TimeSeconds <= 0 || len(sample.Columns) == 0 || len(sample.Rows) == 0 {
+			t.Fatalf("sample = %+v", sample)
+		}
+	}
+}
+
+func TestRunRecordToFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		file string
+		want string
+	}{
+		{"samples.csv", "time_s,pid"},
+		{"samples.jsonl", `{"time_s":`},
+	} {
+		path := filepath.Join(dir, tc.file)
+		err := run([]string{"-b", "-n", "2", "-record", path, "-sim", "datacenter"}, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), tc.want) {
+			t.Fatalf("%s missing %q:\n%s", tc.file, tc.want, data)
+		}
+	}
+	// Unwritable record path fails cleanly.
+	if err := run([]string{"-b", "-record", filepath.Join(dir, "no/such/dir/x.csv"), "-sim", "spec"}, io.Discard); err == nil {
+		t.Fatal("bad record path accepted")
+	}
+}
+
+// TestRecordSeesRowsBeyondDisplayClip: -rows bounds the rendered
+// display only; the -record sink must cover every monitored task.
+func TestRecordSeesRowsBeyondDisplayClip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "all.csv")
+	var sb strings.Builder
+	err := run([]string{"-b", "-n", "1", "-rows", "3", "-record", path, "-sim", "datacenter"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	display := strings.Count(sb.String(), "process")
+	if display != 3 {
+		t.Fatalf("displayed rows = %d, want the -rows clip of 3:\n%s", display, sb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recorded := strings.Count(string(data), "process"); recorded != 11 {
+		t.Fatalf("recorded rows = %d, want all 11 tasks:\n%s", recorded, data)
 	}
 }
 
 func TestRunWithConfigFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "tiptop.xml")
-	content := `<tiptop><options delay="1" sort="pid" max_tasks="2"/></tiptop>`
+	content := `<tiptop><options delay="1" sort="pid" max_tasks="2" format="csv" record="` +
+		filepath.Join(dir, "rec.csv") + `"/></tiptop>`
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-b", "-n", "1", "-sim", "spec", "-scale", "0.001", "-config", path}); err != nil {
+	var sb strings.Builder
+	if err := run([]string{"-b", "-n", "1", "-sim", "spec", "-scale", "0.001", "-config", path}, &sb); err != nil {
 		t.Fatal(err)
+	}
+	// The config's format=csv drives stdout, its record= writes the file.
+	if !strings.HasPrefix(sb.String(), "time_s,pid") {
+		t.Fatalf("config format ignored: %q", sb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rec.csv")); err != nil {
+		t.Fatalf("config record ignored: %v", err)
 	}
 	// Invalid config file.
 	bad := filepath.Join(dir, "bad.xml")
 	os.WriteFile(bad, []byte("<tiptop><screen name='s'/></tiptop>"), 0o644)
-	if err := run([]string{"-b", "-config", bad, "-sim", "spec"}); err == nil {
+	if err := run([]string{"-b", "-config", bad, "-sim", "spec"}, io.Discard); err == nil {
 		t.Fatal("invalid config must fail")
 	}
-	if err := run([]string{"-b", "-config", filepath.Join(dir, "missing.xml"), "-sim", "spec"}); err == nil {
+	if err := run([]string{"-b", "-config", filepath.Join(dir, "missing.xml"), "-sim", "spec"}, io.Discard); err == nil {
 		t.Fatal("missing config must fail")
 	}
 }

@@ -1,0 +1,295 @@
+// Command tiptopd runs a tiptop monitor as a daemon: the engine samples
+// continuously (real machine or a simulated scenario), a Recorder keeps
+// per-task history and roll-up aggregates, and an HTTP server exports
+// them to other tools — the serving layer the paper's interactive tool
+// stops short of.
+//
+// Endpoints:
+//
+//	/metrics                OpenMetrics / Prometheus text exposition
+//	/api/v1/snapshot        latest refresh + aggregates, JSON
+//	/api/v1/history?pid=N   recorded time series of one process, JSON
+//	/api/v1/history         recorded PIDs, JSON
+//
+// Usage:
+//
+//	tiptopd                        monitor the real machine on :9412
+//	tiptopd -sim datacenter        serve the Figure 1 grid node
+//	tiptopd -addr :8080 -d 1       custom listen address and cadence
+//	tiptopd -history 1800 -n 100   deeper rings, exit after 100 refreshes
+//	tiptopd -config f.xml          options (delay, sort, listen, ...) from XML
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"tiptop"
+	"tiptop/internal/config"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tiptopd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tiptopd", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":9412", "HTTP listen address")
+		delay      = fs.Float64("d", 2, "delay between refreshes, seconds")
+		iterations = fs.Int("n", 0, "number of refreshes to serve (0 = until interrupted)")
+		screenName = fs.String("screen", "default", "screen: default, branch, fp, mem, lat, roofline")
+		sortBy     = fs.String("sort", "cpu", "sort key: cpu, pid, or a column name")
+		user       = fs.String("u", "", "only monitor this user's tasks")
+		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
+		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter")
+		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios")
+		historyCap = fs.Int("history", 0, "points retained per task (0 = default 600)")
+		window     = fs.Duration("window", 0, "windowed-rate horizon, capped at 128 refreshes (0 = default 1m)")
+		confFile   = fs.String("config", "", "load options from an XML configuration file (set options override flags)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *delay <= 0 {
+		return fmt.Errorf("refresh delay must be positive, got -d %v", *delay)
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("sampling shards cannot be negative, got -j %d", *parallel)
+	}
+	if *historyCap < 0 {
+		return fmt.Errorf("history capacity cannot be negative, got -history %d", *historyCap)
+	}
+	if *window < 0 {
+		return fmt.Errorf("rate window cannot be negative, got -window %v", *window)
+	}
+
+	cfg := tiptop.Config{
+		Interval:    time.Duration(*delay * float64(time.Second)),
+		Screen:      *screenName,
+		SortBy:      *sortBy,
+		User:        *user,
+		Parallelism: *parallel,
+	}
+	if *confFile != "" {
+		parsed, err := config.Load(*confFile)
+		if err != nil {
+			return err
+		}
+		if parsed.Options.Interval() > 0 {
+			cfg.Interval = parsed.Options.Interval()
+		}
+		if parsed.Options.Sort != "" {
+			cfg.SortBy = parsed.Options.Sort
+		}
+		if parsed.Options.Parallelism > 0 {
+			cfg.Parallelism = parsed.Options.Parallelism
+		}
+		// Like delay/sort/parallelism above (and cmd/tiptop), options
+		// the config file sets override flags.
+		if parsed.Options.History > 0 {
+			*historyCap = parsed.Options.History
+		}
+		if parsed.Options.Listen != "" {
+			*addr = parsed.Options.Listen
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	mon, pace, err := buildMonitor(*simName, *scale, cfg)
+	if err != nil {
+		return err
+	}
+	defer mon.Close()
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: *historyCap, Window: *window})
+	mon.Subscribe(rec)
+	d := &daemon{mon: mon, rec: rec, pace: pace}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "tiptopd: monitoring %s, serving http://%s/metrics\n", mon.Machine(), ln.Addr())
+
+	srv := &http.Server{Handler: d.handler()}
+	stop := make(chan struct{})
+	loopDone := make(chan error, 1)
+	go func() { loopDone <- d.loop(stop, *iterations) }()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt)
+
+	shutdown := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-serveDone
+	}
+	select {
+	case err := <-loopDone:
+		// Finite -n run completed, the scenario drained, or sampling
+		// failed: stop serving and report.
+		shutdown()
+		return err
+	case err := <-serveDone:
+		close(stop)
+		<-loopDone
+		return err
+	case <-interrupted:
+		close(stop)
+		<-loopDone
+		shutdown()
+		return nil
+	}
+}
+
+// buildMonitor selects the backend like cmd/tiptop: a named scenario,
+// or the real machine with fallback to the simulated data-center node.
+// The returned pace is the real-time pause between refreshes for
+// simulated backends, whose Sample() advances virtual time instantly
+// (the real backend sleeps inside Sample itself).
+func buildMonitor(simName string, scale float64, cfg tiptop.Config) (*tiptop.Monitor, time.Duration, error) {
+	if simName == "" {
+		mon, err := tiptop.NewRealMonitor(cfg)
+		if err == nil {
+			return mon, 0, nil
+		}
+		fmt.Fprintf(os.Stderr, "tiptopd: %v; falling back to -sim datacenter\n", err)
+		simName = "datacenter"
+	}
+	sc, err := tiptop.NewNamedScenario(simName, scale)
+	if err != nil {
+		return nil, 0, err
+	}
+	mon, err := tiptop.NewSimMonitor(sc, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return mon, mon.Interval(), nil
+}
+
+// daemon couples one monitor and its recorder to the HTTP handlers.
+// The sampling loop is the only goroutine touching the monitor; the
+// handlers read exclusively through the recorder, whose lock makes
+// scrapes safe against the live sharded sampler.
+type daemon struct {
+	mon  *tiptop.Monitor
+	rec  *tiptop.Recorder
+	pace time.Duration
+}
+
+// loop drives the monitor: one attach pass, then n refreshes (n <= 0 =
+// until stopped).
+func (d *daemon) loop(stop <-chan struct{}, n int) error {
+	if _, err := d.mon.SampleNow(); err != nil {
+		return err
+	}
+	for i := 0; n <= 0 || i < n; i++ {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if _, err := d.mon.Sample(); err != nil {
+			return err
+		}
+		if d.pace > 0 {
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(d.pace):
+			}
+		}
+	}
+	return nil
+}
+
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", d.index)
+	mux.HandleFunc("GET /metrics", d.metrics)
+	mux.HandleFunc("GET /api/v1/snapshot", d.snapshot)
+	mux.HandleFunc("GET /api/v1/history", d.history)
+	return mux
+}
+
+func (d *daemon) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "tiptopd monitoring %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/history?pid=N\n", d.mon.Machine())
+}
+
+func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := d.rec.WriteOpenMetrics(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+func (d *daemon) snapshot(w http.ResponseWriter, _ *http.Request) {
+	// "machine_name": the embedded Snapshot already owns the "machine"
+	// key for the machine-wide aggregate, and encoding/json silently
+	// drops the deeper of two same-named fields.
+	writeJSON(w, http.StatusOK, struct {
+		MachineName     string  `json:"machine_name"`
+		IntervalSeconds float64 `json:"interval_s"`
+		*tiptop.Snapshot
+	}{d.mon.Machine(), d.mon.Interval().Seconds(), d.rec.Snapshot()})
+}
+
+func (d *daemon) history(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("pid")
+	if q == "" {
+		writeJSON(w, http.StatusOK, struct {
+			PIDs []int `json:"pids"`
+		}{d.rec.PIDs()})
+		return
+	}
+	pid, err := strconv.Atoi(q)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("bad pid %q", q))
+		return
+	}
+	series := d.rec.History(pid)
+	if series == nil {
+		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("pid %d was never observed", pid))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		PID    int                    `json:"pid"`
+		Series []tiptop.HistorySeries `json:"series"`
+	}{pid, series})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{msg})
+}

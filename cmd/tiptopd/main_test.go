@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tiptop"
+)
+
+// testDaemon builds a daemon over a fast simulated datacenter scenario
+// and starts its sampling loop.
+func testDaemon(t *testing.T) (*daemon, *httptest.Server) {
+	t.Helper()
+	sc, err := tiptop.NewNamedScenario("datacenter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 64, Window: time.Second})
+	mon.Subscribe(rec)
+	d := &daemon{mon: mon, rec: rec, pace: time.Millisecond}
+
+	stop := make(chan struct{})
+	loopDone := make(chan error, 1)
+	go func() { loopDone <- d.loop(stop, 0) }()
+	srv := httptest.NewServer(d.handler())
+	t.Cleanup(func() {
+		srv.Close()
+		close(stop)
+		if err := <-loopDone; err != nil {
+			t.Errorf("sampling loop: %v", err)
+		}
+		mon.Close()
+	})
+
+	// Wait until the first refreshes landed.
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.Snapshot().Refreshes < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampling loop produced no refreshes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return d, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestDaemonEndToEndConcurrentScrapers is the subsystem's acceptance
+// test: a live simulated scenario behind the daemon, hammered by many
+// concurrent scrapers across all endpoints while the sharded sampler
+// keeps refreshing. Run under -race it doubles as the concurrency
+// regression suite.
+func TestDaemonEndToEndConcurrentScrapers(t *testing.T) {
+	d, srv := testDaemon(t)
+	pids := d.rec.PIDs()
+	if len(pids) != 11 {
+		t.Fatalf("pids = %v, want the 11 Figure 1 processes", pids)
+	}
+
+	const scrapers = 10
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, scrapers*rounds)
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for n := 0; n < rounds; n++ {
+				var url string
+				switch (worker + n) % 3 {
+				case 0:
+					url = srv.URL + "/metrics"
+				case 1:
+					url = srv.URL + "/api/v1/snapshot"
+				default:
+					url = fmt.Sprintf("%s/api/v1/history?pid=%d", srv.URL, pids[n%len(pids)])
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", url, resp.StatusCode)
+				}
+				if len(body) == 0 {
+					errs <- fmt.Errorf("%s: empty body", url)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The endpoints carry what they claim while sampling continues.
+	status, metrics := get(t, srv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	for _, want := range []string{
+		"tiptop_tasks 11",
+		`tiptop_user_tasks{user="user1"} 8`,
+		"tiptop_machine_instructions_total",
+		"# EOF",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	_, snapBody := get(t, srv.URL+"/api/v1/snapshot")
+	var snap struct {
+		MachineName string `json:"machine_name"`
+		Refreshes   uint64 `json:"refreshes"`
+		Machine     struct {
+			Tasks        int     `json:"tasks"`
+			IPC          float64 `json:"ipc"`
+			Instructions uint64  `json:"instructions_total"`
+		} `json:"machine"`
+		Tasks []struct {
+			PID     int     `json:"pid"`
+			Command string  `json:"command"`
+			IPC     float64 `json:"ipc"`
+		} `json:"tasks"`
+	}
+	if err := json.Unmarshal([]byte(snapBody), &snap); err != nil {
+		t.Fatalf("snapshot JSON: %v\n%s", err, snapBody)
+	}
+	if len(snap.Tasks) != 11 || snap.Refreshes < 2 || !strings.Contains(snap.MachineName, "E5640") {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// The machine-wide aggregate must survive the JSON embedding.
+	if snap.Machine.Tasks != 11 || snap.Machine.IPC <= 0 || snap.Machine.Instructions == 0 {
+		t.Fatalf("machine aggregate lost in snapshot: %+v", snap.Machine)
+	}
+
+	_, histBody := get(t, fmt.Sprintf("%s/api/v1/history?pid=%d", srv.URL, pids[0]))
+	var hist struct {
+		PID    int `json:"pid"`
+		Series []struct {
+			Command string `json:"command"`
+			Points  []struct {
+				TimeSeconds float64 `json:"time_s"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(histBody), &hist); err != nil {
+		t.Fatalf("history JSON: %v\n%s", err, histBody)
+	}
+	if len(hist.Series) != 1 || len(hist.Series[0].Points) < 2 {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+func TestDaemonHistoryErrors(t *testing.T) {
+	_, srv := testDaemon(t)
+	if status, _ := get(t, srv.URL+"/api/v1/history?pid=999999"); status != http.StatusNotFound {
+		t.Fatalf("unknown pid status = %d, want 404", status)
+	}
+	if status, _ := get(t, srv.URL+"/api/v1/history?pid=abc"); status != http.StatusBadRequest {
+		t.Fatalf("bad pid status = %d, want 400", status)
+	}
+	status, body := get(t, srv.URL+"/api/v1/history")
+	if status != http.StatusOK || !strings.Contains(body, "pids") {
+		t.Fatalf("pid listing = %d %q", status, body)
+	}
+	if status, _ := get(t, srv.URL+"/api/v1/nope"); status != http.StatusNotFound {
+		t.Fatalf("unknown endpoint status = %d, want 404", status)
+	}
+}
+
+// TestRunFiniteServe drives the real run() for a bounded number of
+// refreshes on an ephemeral port.
+func TestRunFiniteServe(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-sim", "datacenter", "-addr", "127.0.0.1:0",
+		"-d", "0.01", "-n", "5", "-scale", "0.01",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "serving http://") {
+		t.Fatalf("stdout = %q", sb.String())
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-d", "0"},
+		{"-d", "-1"},
+		{"-j", "-2"},
+		{"-history", "-5"},
+		{"-window", "-30s"},
+		{"-sort", "bogus", "-sim", "spec"},
+		{"-screen", "bogus", "-sim", "spec"},
+		{"-sim", "wargames"},
+		{"-bogusflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("args %v must fail", args)
+		}
+	}
+}

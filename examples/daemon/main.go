@@ -1,0 +1,107 @@
+// daemon shows the recording-and-export subsystem end-to-end: the
+// Figure 1 data-center node is monitored continuously, a Recorder keeps
+// per-task history and per-user aggregates, and a small HTTP server
+// exposes them — then the program scrapes itself like Prometheus would
+// and inspects one process's recorded IPC series, all through the
+// public API (cmd/tiptopd is the production version of this server).
+//
+//	go run ./examples/daemon
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"tiptop"
+)
+
+func main() {
+	scenario, err := tiptop.NewNamedScenario("datacenter", 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(scenario, tiptop.Config{Interval: time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+
+	// Attach the recorder: every sample lands in per-task rings and
+	// the user/command/machine aggregates, without perturbing sampling.
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 120, Window: 30 * time.Second})
+	mon.Subscribe(rec)
+
+	// Sample for a simulated minute.
+	if _, err := mon.SampleNow(); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := mon.Sample(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Serve the recorder the way tiptopd does.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rec.WriteOpenMetrics(w)
+	})
+	mux.HandleFunc("/api/v1/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rec.Snapshot())
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("monitoring %s, serving %s\n\n", mon.Machine(), base)
+
+	// Scrape ourselves like Prometheus would.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("selected scrape lines:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "tiptop_tasks") ||
+			strings.HasPrefix(line, "tiptop_machine_ipc") ||
+			strings.HasPrefix(line, "tiptop_user_window_mips") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	// The per-user roll-up reproduces the Figure 1 ownership split.
+	snap := rec.Snapshot()
+	fmt.Printf("\n%d tasks at t=%.0fs; per-user aggregates:\n", len(snap.Tasks), snap.TimeSeconds)
+	for _, user := range []string{"user1", "user2", "user3"} {
+		agg := snap.Users[user]
+		fmt.Printf("  %-6s %2d tasks  IPC %.2f  %7.0f MIPS over the window\n",
+			user, agg.Tasks, agg.IPC, agg.WindowMIPS)
+	}
+
+	// And one process's recorded history: the IPC series Prometheus
+	// would graph, straight from the ring buffer.
+	pid := rec.PIDs()[0]
+	series := rec.History(pid)[0]
+	points := series.Points
+	if len(points) > 5 {
+		points = points[len(points)-5:]
+	}
+	fmt.Printf("\nlast %d recorded points of pid %d (%s):\n", len(points), pid, series.Command)
+	for _, p := range points {
+		fmt.Printf("  t=%3.0fs  %%CPU %5.1f  IPC %.2f\n", p.TimeSeconds, p.CPUPct, p.IPC)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"tiptop/internal/metrics"
@@ -51,6 +52,17 @@ type OptionsXML struct {
 	// partitions the process table across (0 = one per CPU, 1 =
 	// serial sampling).
 	Parallelism int `xml:"parallelism,attr,omitempty"`
+	// Format selects the batch-mode output format: "text" (the classic
+	// tiptop -b blocks), "csv" or "jsonl". Empty means text.
+	Format string `xml:"format,attr,omitempty"`
+	// Record names a file every sample is additionally recorded to
+	// (CSV, or JSONL when the name ends in .jsonl/.ndjson).
+	Record string `xml:"record,attr,omitempty"`
+	// History is the per-task ring capacity of the recording subsystem
+	// (points retained per task; 0 = the default 600).
+	History int `xml:"history,attr,omitempty"`
+	// Listen is the tiptopd HTTP listen address (e.g. ":9412").
+	Listen string `xml:"listen,attr,omitempty"`
 }
 
 // Interval converts the delay to a duration (0 if unset).
@@ -99,6 +111,14 @@ func (f *File) Validate() error {
 	}
 	if f.Options.Parallelism < 0 {
 		return fmt.Errorf("config: negative parallelism")
+	}
+	switch f.Options.Format {
+	case "", "text", "csv", "jsonl":
+	default:
+		return fmt.Errorf("config: unknown output format %q (want text, csv or jsonl)", f.Options.Format)
+	}
+	if f.Options.History < 0 {
+		return fmt.Errorf("config: negative history capacity")
 	}
 	seen := map[string]bool{}
 	for _, s := range f.Screens {
@@ -162,6 +182,16 @@ func (f *File) BuildScreens() (map[string]*metrics.Screen, error) {
 		out[s.Name] = s
 	}
 	return out, nil
+}
+
+// Load reads and validates a configuration file from disk.
+func Load(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
 }
 
 // Write serializes a configuration document.

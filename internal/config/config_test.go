@@ -1,6 +1,9 @@
 package config
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -146,5 +149,79 @@ func TestWriteInvalid(t *testing.T) {
 	var sb strings.Builder
 	if err := Write(&sb, f); err == nil {
 		t.Fatal("invalid file must not serialize")
+	}
+}
+
+// TestOptionsRoundTrip serializes a document carrying every option —
+// including the recording/sink ones — and requires Write → Load to be
+// the identity on it.
+func TestOptionsRoundTrip(t *testing.T) {
+	f := Default()
+	f.Options = OptionsXML{
+		DelaySeconds: 1.5,
+		Batch:        true,
+		Sort:         "ipc",
+		MaxTasks:     20,
+		OnlyUser:     "alice",
+		Parallelism:  4,
+		Format:       "jsonl",
+		Record:       "samples.jsonl",
+		History:      1200,
+		Listen:       "127.0.0.1:9412",
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiptop.xml")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(out, f); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+
+	f2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.Options, f2.Options) {
+		t.Fatalf("options did not round-trip:\nwrote  %+v\nloaded %+v", f.Options, f2.Options)
+	}
+	if f2.Options.Interval() != 1500*time.Millisecond {
+		t.Fatalf("interval = %v", f2.Options.Interval())
+	}
+	if len(f2.Screens) != len(f.Screens) {
+		t.Fatalf("screens = %d, want %d", len(f2.Screens), len(f.Screens))
+	}
+	for i := range f.Screens {
+		if !reflect.DeepEqual(f.Screens[i], f2.Screens[i]) {
+			t.Fatalf("screen %d did not round-trip:\nwrote  %+v\nloaded %+v",
+				i, f.Screens[i], f2.Screens[i])
+		}
+	}
+
+	if _, err := Load(filepath.Join(dir, "missing.xml")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestNewOptionValidation(t *testing.T) {
+	bad := []string{
+		`<tiptop><options format="yaml"/></tiptop>`,
+		`<tiptop><options history="-1"/></tiptop>`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should fail: %s", i, src)
+		}
+	}
+	good := `<tiptop><options format="csv" record="out.csv" history="300" listen=":9412"/></tiptop>`
+	f, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Options.Format != "csv" || f.Options.Record != "out.csv" ||
+		f.Options.History != 300 || f.Options.Listen != ":9412" {
+		t.Fatalf("options = %+v", f.Options)
 	}
 }

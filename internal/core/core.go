@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,16 @@ type Options struct {
 	Parallelism int
 }
 
+// Observer receives every sample a Session produces, synchronously on
+// the sampling goroutine, immediately after the rows are sorted and
+// before any MaxRows truncation — a recorder sees every monitored task
+// even when the display is clipped. Observe must not retain the sample
+// or its slices beyond the call: the engine reuses backing storage on
+// the next refresh.
+type Observer interface {
+	Observe(*Sample)
+}
+
 // Row is one displayed task with its computed metrics.
 type Row struct {
 	Info   TaskInfo
@@ -158,8 +169,9 @@ type Session struct {
 	// attachMu serializes backend.Attach and TaskCounter.Close across
 	// shard workers: the hpm contract only requires backends to
 	// tolerate concurrent Read on distinct counters.
-	attachMu sync.Mutex
-	closed   bool
+	attachMu  sync.Mutex
+	observers []Observer
+	closed    bool
 }
 
 // NewSession validates the configuration and creates an engine. The
@@ -190,6 +202,9 @@ func NewSession(backend hpm.Backend, proc ProcSource, clock Clock, opt Options) 
 	}
 	if opt.Parallelism < 0 {
 		return nil, fmt.Errorf("core: negative parallelism %d", opt.Parallelism)
+	}
+	if err := ValidateSortKey(opt.Screen, opt.SortBy); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	if opt.Parallelism == 0 {
 		opt.Parallelism = runtime.GOMAXPROCS(0)
@@ -277,10 +292,54 @@ func (s *Session) Update() (*Sample, error) {
 
 	sample := &Sample{Time: now, Rows: rows, Dropped: int(dropped.Load())}
 	s.sortRows(sample.Rows)
+	// Observers run before MaxRows clips the display: recording and
+	// aggregation must cover every monitored task.
+	for _, o := range s.observers {
+		o.Observe(sample)
+	}
 	if s.opt.MaxRows > 0 && len(sample.Rows) > s.opt.MaxRows {
 		sample.Rows = sample.Rows[:s.opt.MaxRows]
 	}
 	return sample, nil
+}
+
+// Subscribe registers an observer for every subsequent sample. Not safe
+// to call concurrently with Update.
+func (s *Session) Subscribe(o Observer) {
+	if o == nil {
+		return
+	}
+	s.observers = append(s.observers, o)
+}
+
+// Unsubscribe removes a previously subscribed observer. Not safe to
+// call concurrently with Update.
+func (s *Session) Unsubscribe(o Observer) {
+	for i, cur := range s.observers {
+		if cur == o {
+			s.observers = append(s.observers[:i], s.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// ValidateSortKey reports whether key names a valid sort order for the
+// screen: "" or "cpu" (CPU descending), "pid", or one of the screen's
+// column names. It is the single source of truth for both engine-level
+// validation and CLI fail-fast checks.
+func ValidateSortKey(screen *metrics.Screen, key string) error {
+	if key == "" || key == "cpu" || key == "pid" {
+		return nil
+	}
+	names := make([]string, len(screen.Columns))
+	for i, c := range screen.Columns {
+		if c.Name == key {
+			return nil
+		}
+		names[i] = c.Name
+	}
+	return fmt.Errorf("unknown sort key %q (want cpu, pid, or one of %s for screen %q)",
+		key, strings.Join(names, ", "), screen.Name)
 }
 
 // cpuPct computes OS CPU usage over the refresh interval, or since task

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// collector records what an Observer sees.
+type collector struct {
+	samples int
+	rows    []int // row count per observed sample
+}
+
+func (c *collector) Observe(s *Sample) {
+	c.samples++
+	c.rows = append(c.rows, len(s.Rows))
+}
+
+func TestObserverSeesEverySample(t *testing.T) {
+	b, p, clock := fixture()
+	for pid := 1; pid <= 3; pid++ {
+		addTask(b, p, pid, "u", 1.5, 1e9)
+	}
+	s := newTestSession(t, b, p, clock, Options{Interval: time.Second})
+	var c collector
+	s.Subscribe(&c)
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Second)
+		if _, err := s.Update(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.samples != 3 {
+		t.Fatalf("observer saw %d samples, want 3", c.samples)
+	}
+	for i, n := range c.rows {
+		if n != 3 {
+			t.Fatalf("sample %d: observer saw %d rows, want 3", i, n)
+		}
+	}
+}
+
+func TestObserverSeesRowsBeyondMaxRows(t *testing.T) {
+	b, p, clock := fixture()
+	for pid := 1; pid <= 5; pid++ {
+		addTask(b, p, pid, "u", 1.0, 1e9)
+	}
+	s := newTestSession(t, b, p, clock, Options{Interval: time.Second, MaxRows: 2})
+	var c collector
+	s.Subscribe(&c)
+	sample, err := s.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample.Rows) != 2 {
+		t.Fatalf("display rows = %d, want MaxRows truncation to 2", len(sample.Rows))
+	}
+	if c.rows[0] != 5 {
+		t.Fatalf("observer saw %d rows, want all 5 before truncation", c.rows[0])
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b, p, clock := fixture()
+	addTask(b, p, 1, "u", 1.0, 1e9)
+	s := newTestSession(t, b, p, clock, Options{Interval: time.Second})
+	var a, c collector
+	s.Subscribe(&a)
+	s.Subscribe(&c)
+	s.Subscribe(nil) // ignored
+	if _, err := s.Update(); err != nil {
+		t.Fatal(err)
+	}
+	s.Unsubscribe(&a)
+	s.Unsubscribe(&a) // double removal is a no-op
+	if _, err := s.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if a.samples != 1 || c.samples != 2 {
+		t.Fatalf("samples = %d/%d, want 1/2 after unsubscribe", a.samples, c.samples)
+	}
+}
+
+func TestUnknownSortKeyRejected(t *testing.T) {
+	b, p, c := fixture()
+	if _, err := NewSession(b, p, c, Options{SortBy: "warp-factor"}); err == nil {
+		t.Fatal("unknown sort key accepted")
+	} else if !strings.Contains(err.Error(), "warp-factor") {
+		t.Fatalf("error does not name the bad key: %v", err)
+	}
+	// The documented keys and real columns keep working.
+	for _, key := range []string{"", "cpu", "pid", "ipc"} {
+		if _, err := NewSession(b, p, c, Options{SortBy: key}); err != nil {
+			t.Fatalf("sort key %q rejected: %v", key, err)
+		}
+	}
+}

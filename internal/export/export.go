@@ -1,0 +1,179 @@
+// Package export streams tiptop samples to other tools: pluggable
+// sinks behind one Sink interface (CSV and JSONL line-oriented writers
+// for the batch pipelines the paper's -b mode feeds, "in the spirit of
+// UNIX filters"), plus an OpenMetrics text encoder over the recording
+// subsystem's aggregates for Prometheus-style scrapers.
+//
+// Sinks flush after every sample, so a consumer at the end of a pipe
+// (head, tail -f, jq) sees each refresh as soon as it is produced and
+// a truncated pipe surfaces as an ordinary write error on the next
+// sample rather than silently buffered loss.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Row is the sink-facing view of one monitored task.
+type Row struct {
+	PID       int       `json:"pid"`
+	TID       int       `json:"tid,omitempty"`
+	User      string    `json:"user"`
+	Command   string    `json:"command"`
+	State     string    `json:"state,omitempty"`
+	CPUPct    float64   `json:"cpu_pct"`
+	IPC       float64   `json:"ipc"`
+	Monitored bool      `json:"monitored"`
+	Values    []float64 `json:"values"`
+}
+
+// Sample is one refresh as consumed by sinks.
+type Sample struct {
+	TimeSeconds float64  `json:"time_s"`
+	Columns     []string `json:"columns"` // metric column names, ordered as Row.Values
+	Rows        []Row    `json:"rows"`
+}
+
+// Sink consumes a stream of samples. Implementations flush per sample;
+// Close flushes whatever remains and releases the sink (it does not
+// close the underlying writer, which the caller owns).
+type Sink interface {
+	Write(*Sample) error
+	Close() error
+}
+
+// Formats supported by NewSink.
+const (
+	FormatCSV   = "csv"
+	FormatJSONL = "jsonl"
+)
+
+// NewSink builds a sink by format name ("csv" or "jsonl").
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case FormatCSV:
+		return NewCSV(w), nil
+	case FormatJSONL:
+		return NewJSONL(w), nil
+	}
+	return nil, fmt.Errorf("export: unknown sink format %q (want csv or jsonl)", format)
+}
+
+// CSVSink writes one line per task per sample:
+//
+//	time_s,pid,tid,user,command,state,cpu_pct,ipc,monitored,<col>...
+//
+// The header is emitted before the first sample, using that sample's
+// column names.
+type CSVSink struct {
+	w      *bufio.Writer
+	wrote  bool
+	fields []byte // per-line scratch
+}
+
+// NewCSV creates a CSV sink over w.
+func NewCSV(w io.Writer) *CSVSink {
+	return &CSVSink{w: bufio.NewWriter(w)}
+}
+
+// Write implements Sink.
+func (c *CSVSink) Write(s *Sample) error {
+	if !c.wrote {
+		c.wrote = true
+		c.fields = append(c.fields[:0], "time_s,pid,tid,user,command,state,cpu_pct,ipc,monitored"...)
+		for _, col := range s.Columns {
+			c.fields = append(c.fields, ',')
+			c.fields = appendCSVField(c.fields, col)
+		}
+		c.fields = append(c.fields, '\n')
+		if _, err := c.w.Write(c.fields); err != nil {
+			return err
+		}
+	}
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		b := c.fields[:0]
+		b = strconv.AppendFloat(b, s.TimeSeconds, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(r.PID), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(r.TID), 10)
+		b = append(b, ',')
+		b = appendCSVField(b, r.User)
+		b = append(b, ',')
+		b = appendCSVField(b, r.Command)
+		b = append(b, ',')
+		b = appendCSVField(b, r.State)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.CPUPct, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendFloat(b, r.IPC, 'g', -1, 64)
+		b = append(b, ',')
+		b = strconv.AppendBool(b, r.Monitored)
+		for _, v := range r.Values {
+			b = append(b, ',')
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		}
+		b = append(b, '\n')
+		c.fields = b
+		if _, err := c.w.Write(b); err != nil {
+			return err
+		}
+	}
+	return c.w.Flush()
+}
+
+// Close implements Sink.
+func (c *CSVSink) Close() error { return c.w.Flush() }
+
+// appendCSVField quotes a string field when it contains a separator,
+// quote or newline (RFC 4180).
+func appendCSVField(b []byte, s string) []byte {
+	needQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			needQuote = true
+		}
+	}
+	if !needQuote {
+		return append(b, s...)
+	}
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			b = append(b, '"', '"')
+		} else {
+			b = append(b, s[i])
+		}
+	}
+	return append(b, '"')
+}
+
+// JSONLSink writes one JSON object per sample per line, suitable for
+// jq/streaming consumers.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONL creates a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write implements Sink. Encode terminates each sample with a newline.
+func (j *JSONLSink) Write(s *Sample) error {
+	if err := j.enc.Encode(s); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+// Close implements Sink.
+func (j *JSONLSink) Close() error { return j.w.Flush() }

@@ -1,0 +1,179 @@
+package export
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"tiptop/internal/history"
+)
+
+// WriteOpenMetrics renders a recorder snapshot as OpenMetrics /
+// Prometheus text exposition: machine-wide, per-user, per-command and
+// per-task gauges and counters. Output is deterministically ordered
+// (sorted label values) so scrapes diff cleanly.
+func WriteOpenMetrics(w io.Writer, snap *history.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	e := &omEncoder{w: bw}
+
+	e.family("tiptop_refreshes_total", "counter", "Refreshes recorded since the recorder started.")
+	e.sample("tiptop_refreshes_total", nil, float64(snap.Refreshes))
+	e.family("tiptop_time_seconds", "gauge", "Monitor clock time of the last refresh.")
+	e.sample("tiptop_time_seconds", nil, snap.TimeSeconds)
+	e.family("tiptop_tasks", "gauge", "Monitored tasks in the last refresh.")
+	e.sample("tiptop_tasks", nil, float64(snap.Machine.Tasks))
+
+	e.aggFamilies("machine", "", nil, []history.Aggregate{snap.Machine})
+
+	users := sortedKeys(snap.Users)
+	aggs := make([]history.Aggregate, len(users))
+	for i, u := range users {
+		aggs[i] = snap.Users[u]
+	}
+	e.aggFamilies("user", "user", users, aggs)
+
+	cmds := sortedKeys(snap.Commands)
+	aggs = make([]history.Aggregate, len(cmds))
+	for i, c := range cmds {
+		aggs[i] = snap.Commands[c]
+	}
+	e.aggFamilies("command", "command", cmds, aggs)
+
+	// Per-task gauges: the Figure 1 screen as a scrape.
+	e.family("tiptop_task_cpu_pct", "gauge", "OS CPU usage of the task over the last refresh.")
+	for _, t := range snap.Tasks {
+		e.sample("tiptop_task_cpu_pct", taskLabels(t), t.CPUPct)
+	}
+	e.family("tiptop_task_ipc", "gauge", "Instructions per cycle of the task over the last refresh.")
+	for _, t := range snap.Tasks {
+		e.sample("tiptop_task_ipc", taskLabels(t), t.IPC)
+	}
+	if len(snap.Columns) > 0 {
+		e.family("tiptop_task_metric", "gauge", "Screen column value of the task (label \"column\" names it).")
+		for _, t := range snap.Tasks {
+			base := taskLabels(t)
+			for i, col := range snap.Columns {
+				if i >= len(t.Values) {
+					break
+				}
+				e.sample("tiptop_task_metric", append(base[:len(base):len(base)], label{"column", col}), t.Values[i])
+			}
+		}
+	}
+
+	if _, err := io.WriteString(bw, "# EOF\n"); err != nil {
+		return err
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+type label struct{ k, v string }
+
+func taskLabels(t history.TaskSnap) []label {
+	return []label{
+		{"pid", strconv.Itoa(t.PID)},
+		{"tid", strconv.Itoa(t.TID)},
+		{"user", t.User},
+		{"command", t.Command},
+	}
+}
+
+type omEncoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (e *omEncoder) family(name, typ, help string) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.WriteString("# HELP " + name + " " + help + "\n# TYPE " + name + " " + typ + "\n")
+}
+
+func (e *omEncoder) sample(name string, labels []label, v float64) {
+	if e.err != nil {
+		return
+	}
+	b := make([]byte, 0, 128)
+	b = append(b, name...)
+	if len(labels) > 0 {
+		b = append(b, '{')
+		for i, l := range labels {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, l.k...)
+			b = append(b, '=', '"')
+			b = appendEscapedLabel(b, l.v)
+			b = append(b, '"')
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	b = append(b, '\n')
+	_, e.err = e.w.Write(b)
+}
+
+// aggFamilies writes one metric family per Aggregate field for a scope
+// ("machine", "user", "command"), one sample per key.
+func (e *omEncoder) aggFamilies(scope, labelName string, keys []string, aggs []history.Aggregate) {
+	type field struct {
+		suffix, typ, help string
+		get               func(history.Aggregate) float64
+	}
+	fields := []field{
+		{"tasks", "gauge", "Tasks in the last refresh.", func(a history.Aggregate) float64 { return float64(a.Tasks) }},
+		{"cpu_pct", "gauge", "Summed OS CPU usage over the last refresh.", func(a history.Aggregate) float64 { return a.CPUPct }},
+		{"ipc", "gauge", "Aggregate instructions per cycle of the last refresh.", func(a history.Aggregate) float64 { return a.IPC }},
+		{"window_ipc", "gauge", "Aggregate instructions per cycle over the rate window.", func(a history.Aggregate) float64 { return a.WindowIPC }},
+		{"window_mips", "gauge", "Million instructions per second over the rate window.", func(a history.Aggregate) float64 { return a.WindowMIPS }},
+		{"instructions_total", "counter", "Instructions counted since recording started.", func(a history.Aggregate) float64 { return float64(a.Instructions) }},
+		{"cycles_total", "counter", "Cycles counted since recording started.", func(a history.Aggregate) float64 { return float64(a.Cycles) }},
+		{"cache_misses_total", "counter", "Last-level cache misses since recording started.", func(a history.Aggregate) float64 { return float64(a.CacheMisses) }},
+	}
+	if scope == "machine" && len(aggs) == 1 && keys == nil {
+		keys = []string{""}
+	}
+	for _, f := range fields {
+		name := "tiptop_" + scope + "_" + f.suffix
+		e.family(name, f.typ, f.help)
+		for i, key := range keys {
+			var labels []label
+			if labelName != "" {
+				labels = []label{{labelName, key}}
+			}
+			e.sample(name, labels, f.get(aggs[i]))
+		}
+	}
+}
+
+// appendEscapedLabel escapes a label value per the exposition format.
+func appendEscapedLabel(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, s[i])
+		}
+	}
+	return b
+}
+
+func sortedKeys(m map[string]history.Aggregate) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,528 @@
+// Package history records the tiptop engine's samples over time: a
+// fixed-capacity ring buffer of counter/column observations per task,
+// plus roll-up aggregates (per-user, per-command and machine-wide
+// totals and windowed rates) maintained incrementally.
+//
+// The Recorder implements core.Observer and is fed synchronously from
+// the sampling goroutine, so its hot path is engineered like the
+// engine's: recording one refresh costs O(rows) work and — once every
+// task's ring and every aggregate entry exist — zero allocations. All
+// storage a refresh writes into (ring arrays, aggregate checkpoint
+// rings, the touched-scratch slice) is preallocated or reused; only
+// genuinely new tasks, users or commands allocate.
+//
+// Queries (Snapshot, History, PIDs) copy out under a read lock and may
+// run concurrently with recording — this is what lets an HTTP daemon
+// serve scrapes against a live sharded sampler.
+package history
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+)
+
+// Options tune a Recorder.
+type Options struct {
+	// Capacity is the number of points each task's ring retains
+	// (default 600 — twenty minutes at the paper's 2 s cadence).
+	Capacity int
+	// Window is the horizon of the windowed rates in the aggregates
+	// (default 60 s). Checkpoints are kept for the most recent 128
+	// refreshes, so a window longer than 128 refresh intervals is
+	// effectively capped there; WindowMIPS always divides by the span
+	// actually covered, never the nominal window.
+	Window time.Duration
+	// MaxSeries bounds the number of task series kept, including tasks
+	// that have exited (default 8192). When exceeded, the series with
+	// the oldest last observation is evicted.
+	MaxSeries int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity <= 0 {
+		o.Capacity = 600
+	}
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	if o.MaxSeries <= 0 {
+		o.MaxSeries = 8192
+	}
+	return o
+}
+
+// Point is one recorded observation of a task.
+type Point struct {
+	TimeSeconds float64   `json:"time_s"`
+	CPUPct      float64   `json:"cpu_pct"`
+	IPC         float64   `json:"ipc"`
+	Values      []float64 `json:"values"` // one per screen column
+}
+
+// Series is the recorded history of one task.
+type Series struct {
+	PID     int     `json:"pid"`
+	TID     int     `json:"tid"`
+	User    string  `json:"user"`
+	Command string  `json:"command"`
+	Alive   bool    `json:"alive"`
+	Points  []Point `json:"points"` // oldest first
+}
+
+// Aggregate is a roll-up over a set of tasks (one user's, one
+// command's, or the whole machine's).
+type Aggregate struct {
+	// Live state of the most recent refresh.
+	Tasks  int     `json:"tasks"`   // tasks present
+	CPUPct float64 `json:"cpu_pct"` // summed OS CPU usage
+	IPC    float64 `json:"ipc"`     // Σinstructions / Σcycles of the refresh
+
+	// Cumulative counts since recording started.
+	Instructions uint64 `json:"instructions_total"`
+	Cycles       uint64 `json:"cycles_total"`
+	CacheMisses  uint64 `json:"cache_misses_total"`
+
+	// Windowed rates over Options.Window.
+	WindowIPC  float64 `json:"window_ipc"`  // Σinstr / Σcycles in the window
+	WindowMIPS float64 `json:"window_mips"` // million instructions per second
+}
+
+// TaskSnap is the latest observation of one task in a Snapshot.
+type TaskSnap struct {
+	PID     int       `json:"pid"`
+	TID     int       `json:"tid"`
+	User    string    `json:"user"`
+	Command string    `json:"command"`
+	State   string    `json:"state"`
+	CPUPct  float64   `json:"cpu_pct"`
+	IPC     float64   `json:"ipc"`
+	Values  []float64 `json:"values"`
+}
+
+// Snapshot is a consistent copy of the recorder's current state.
+type Snapshot struct {
+	TimeSeconds float64              `json:"time_s"` // clock time of the last refresh
+	Refreshes   uint64               `json:"refreshes"`
+	Columns     []string             `json:"columns"` // screen column names
+	Machine     Aggregate            `json:"machine"`
+	Users       map[string]Aggregate `json:"users"`
+	Commands    map[string]Aggregate `json:"commands"`
+	Tasks       []TaskSnap           `json:"tasks"` // live tasks, sorted by pid then tid
+}
+
+// aggCheckpoints is the capacity of each aggregate's checkpoint ring
+// backing the windowed rates. At the default 2 s cadence it spans over
+// four minutes, comfortably more than the default 60 s window.
+const aggCheckpoints = 128
+
+// aggState is the recorder's book-keeping for one aggregate key.
+type aggState struct {
+	epoch uint64 // refresh that last touched this aggregate
+	// Per-refresh accumulation, reset lazily when a new epoch first
+	// touches the entry.
+	tasks           int
+	cpuPct          float64
+	dInstr, dCycles float64
+	instr, cycles   uint64 // cumulative
+	cacheMisses     uint64
+	// Checkpoint ring: cumulative totals after each refresh that
+	// touched this aggregate, for windowed-rate queries. Fixed arrays:
+	// writing a checkpoint never allocates.
+	ckTime           [aggCheckpoints]time.Duration
+	ckInstr, ckCycle [aggCheckpoints]uint64
+	ckHead, ckLen    int
+}
+
+func (a *aggState) touch(epoch uint64) {
+	if a.epoch != epoch {
+		a.epoch = epoch
+		a.tasks = 0
+		a.cpuPct = 0
+		a.dInstr = 0
+		a.dCycles = 0
+	}
+}
+
+func (a *aggState) checkpoint(now time.Duration) {
+	idx := (a.ckHead + a.ckLen) % aggCheckpoints
+	if a.ckLen == aggCheckpoints {
+		a.ckHead = (a.ckHead + 1) % aggCheckpoints
+	} else {
+		a.ckLen++
+	}
+	a.ckTime[idx] = now
+	a.ckInstr[idx] = a.instr
+	a.ckCycle[idx] = a.cycles
+}
+
+// window finds the oldest checkpoint still inside [now-window, now] and
+// returns the instruction/cycle/time deltas up to the newest one.
+func (a *aggState) window(now, window time.Duration) (dInstr, dCycles uint64, dt time.Duration) {
+	if a.ckLen < 2 {
+		return 0, 0, 0
+	}
+	newest := (a.ckHead + a.ckLen - 1) % aggCheckpoints
+	oldest := newest
+	for i := 1; i < a.ckLen; i++ {
+		idx := (a.ckHead + a.ckLen - 1 - i) % aggCheckpoints
+		if a.ckTime[idx] < now-window {
+			break
+		}
+		oldest = idx
+	}
+	if oldest == newest {
+		return 0, 0, 0
+	}
+	return a.ckInstr[newest] - a.ckInstr[oldest],
+		a.ckCycle[newest] - a.ckCycle[oldest],
+		a.ckTime[newest] - a.ckTime[oldest]
+}
+
+func (a *aggState) aggregate(live bool, now, window time.Duration) Aggregate {
+	out := Aggregate{
+		Instructions: a.instr,
+		Cycles:       a.cycles,
+		CacheMisses:  a.cacheMisses,
+	}
+	if live {
+		out.Tasks = a.tasks
+		out.CPUPct = a.cpuPct
+		if a.dCycles > 0 {
+			out.IPC = a.dInstr / a.dCycles
+		}
+	}
+	dInstr, dCycles, dt := a.window(now, window)
+	if dCycles > 0 {
+		out.WindowIPC = float64(dInstr) / float64(dCycles)
+	}
+	if dt > 0 {
+		out.WindowMIPS = float64(dInstr) / dt.Seconds() / 1e6
+	}
+	return out
+}
+
+// ring is the fixed-capacity time series of one task. The value matrix
+// is one flat array (capacity × columns), so a push after warm-up
+// writes in place and never allocates.
+type ring struct {
+	id        hpm.TaskID
+	user      string
+	comm      string
+	state     string
+	start     time.Duration // TaskInfo.StartTime, the pid-reuse detector
+	lastEpoch uint64
+	ncols     int
+	times     []time.Duration
+	cpu       []float64
+	ipc       []float64
+	vals      []float64 // len = cap(times) * ncols, row-major
+	head, n   int
+}
+
+func (rg *ring) push(now time.Duration, cpuPct, ipc float64, values []float64, ncols int) {
+	if ncols != rg.ncols {
+		// The screen's column count was learned after this ring was
+		// created (a first refresh with no rows): rebuild the value
+		// matrix once and restart the series.
+		rg.ncols = ncols
+		rg.vals = make([]float64, len(rg.times)*ncols)
+		rg.head, rg.n = 0, 0
+	}
+	c := len(rg.times)
+	idx := (rg.head + rg.n) % c
+	if rg.n == c {
+		rg.head = (rg.head + 1) % c
+	} else {
+		rg.n++
+	}
+	rg.times[idx] = now
+	rg.cpu[idx] = cpuPct
+	rg.ipc[idx] = ipc
+	copy(rg.vals[idx*ncols:(idx+1)*ncols], values)
+}
+
+// Recorder accumulates history and aggregates from observed samples.
+// It implements core.Observer; queries are safe from other goroutines.
+type Recorder struct {
+	mu        sync.RWMutex
+	opt       Options
+	columns   []string
+	ncols     int
+	epoch     uint64
+	refreshes uint64
+	lastTime  time.Duration
+	series    map[hpm.TaskID]*ring
+	users     map[string]*aggState
+	commands  map[string]*aggState
+	machine   aggState
+	// touched collects the aggregates updated by the current refresh so
+	// cumulative totals and checkpoints are folded in once per entry;
+	// reused across refreshes.
+	touched []*aggState
+}
+
+// New creates a Recorder. Column names may be set later (SetColumns);
+// recording works without them, value vectors are sized from the rows.
+func New(opt Options) *Recorder {
+	return &Recorder{
+		opt:      opt.withDefaults(),
+		ncols:    -1,
+		series:   make(map[hpm.TaskID]*ring),
+		users:    make(map[string]*aggState),
+		commands: make(map[string]*aggState),
+	}
+}
+
+// SetColumns records the screen's column names for snapshots and
+// exports, and fixes the width of the per-point value vectors.
+// Idempotent.
+func (r *Recorder) SetColumns(names []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.columns = append([]string(nil), names...)
+	if r.ncols < 0 {
+		r.ncols = len(names)
+	}
+}
+
+// Capacity returns the per-task ring capacity.
+func (r *Recorder) Capacity() int { return r.opt.Capacity }
+
+// Observe records one sample. It is the recorder's hot path: O(rows)
+// and allocation-free once rings and aggregate entries exist.
+func (r *Recorder) Observe(s *core.Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch++
+	r.refreshes++
+	r.lastTime = s.Time
+	r.touched = r.touched[:0]
+
+	for i := range s.Rows {
+		row := &s.Rows[i]
+		if r.ncols < 0 {
+			r.ncols = len(row.Values)
+		}
+		rg := r.series[row.Info.ID]
+		if rg == nil {
+			rg = r.admit(row.Info)
+		} else if rg.start != row.Info.StartTime {
+			// The OS recycled this TaskID for a new process: restart
+			// the series in place instead of splicing two tasks'
+			// histories under the old user/command labels.
+			rg.reset(row.Info)
+		}
+		rg.lastEpoch = r.epoch
+		rg.state = row.Info.State
+		ipc := row.IPC()
+		rg.push(s.Time, row.CPUPct, ipc, row.Values, r.ncols)
+
+		instr := row.Events[hpm.EventInstructions]
+		cycles := row.Events[hpm.EventCycles]
+		misses := row.Events[hpm.EventCacheMisses]
+		r.fold(&r.machine, row, instr, cycles, misses)
+		ua := r.users[row.Info.User]
+		if ua == nil {
+			ua = &aggState{}
+			r.users[row.Info.User] = ua
+		}
+		r.fold(ua, row, instr, cycles, misses)
+		ca := r.commands[row.Info.Comm]
+		if ca == nil {
+			ca = &aggState{}
+			r.commands[row.Info.Comm] = ca
+		}
+		r.fold(ca, row, instr, cycles, misses)
+	}
+
+	// One windowed-rate checkpoint per aggregate the refresh touched.
+	for _, a := range r.touched {
+		a.checkpoint(s.Time)
+	}
+}
+
+func (r *Recorder) fold(a *aggState, row *core.Row, instr, cycles, misses uint64) {
+	if a.epoch != r.epoch {
+		a.touch(r.epoch)
+		r.touched = append(r.touched, a)
+	}
+	a.tasks++
+	a.cpuPct += row.CPUPct
+	a.dInstr += float64(instr)
+	a.dCycles += float64(cycles)
+	a.instr += instr
+	a.cycles += cycles
+	a.cacheMisses += misses
+}
+
+// admit creates the ring for a newly seen task, evicting the stalest
+// series when the retention bound is hit.
+func (r *Recorder) admit(info core.TaskInfo) *ring {
+	if len(r.series) >= r.opt.MaxSeries {
+		r.evict()
+	}
+	c := r.opt.Capacity
+	ncols := r.ncols
+	if ncols < 0 {
+		ncols = 0
+	}
+	rg := &ring{
+		id:    info.ID,
+		user:  info.User,
+		comm:  info.Comm,
+		start: info.StartTime,
+		ncols: ncols,
+		times: make([]time.Duration, c),
+		cpu:   make([]float64, c),
+		ipc:   make([]float64, c),
+		vals:  make([]float64, c*ncols),
+	}
+	r.series[info.ID] = rg
+	return rg
+}
+
+// reset re-labels a ring for a new owner of a recycled TaskID and
+// drops the previous task's points (storage is kept).
+func (rg *ring) reset(info core.TaskInfo) {
+	rg.user = info.User
+	rg.comm = info.Comm
+	rg.start = info.StartTime
+	rg.head, rg.n = 0, 0
+}
+
+// evict drops the series with the oldest last observation, preferring
+// exited tasks (a live task is only evicted when every retained series
+// is live, i.e. MaxSeries is genuinely too small for the machine).
+func (r *Recorder) evict() {
+	var victim hpm.TaskID
+	var victimEpoch uint64
+	found := false
+	for id, rg := range r.series {
+		if rg.lastEpoch == r.epoch {
+			continue // live this refresh
+		}
+		if !found || rg.lastEpoch < victimEpoch {
+			victim, victimEpoch, found = id, rg.lastEpoch, true
+		}
+	}
+	if !found {
+		for id, rg := range r.series {
+			if !found || rg.lastEpoch < victimEpoch {
+				victim, victimEpoch, found = id, rg.lastEpoch, true
+			}
+		}
+	}
+	if found {
+		delete(r.series, victim)
+	}
+}
+
+// Snapshot copies out the recorder's current state.
+func (r *Recorder) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	snap := &Snapshot{
+		TimeSeconds: r.lastTime.Seconds(),
+		Refreshes:   r.refreshes,
+		Columns:     append([]string(nil), r.columns...),
+		Machine:     r.machine.aggregate(r.machine.epoch == r.epoch, r.lastTime, r.opt.Window),
+		Users:       make(map[string]Aggregate, len(r.users)),
+		Commands:    make(map[string]Aggregate, len(r.commands)),
+	}
+	for u, a := range r.users {
+		snap.Users[u] = a.aggregate(a.epoch == r.epoch, r.lastTime, r.opt.Window)
+	}
+	for c, a := range r.commands {
+		snap.Commands[c] = a.aggregate(a.epoch == r.epoch, r.lastTime, r.opt.Window)
+	}
+	for _, rg := range r.series {
+		if rg.lastEpoch != r.epoch || rg.n == 0 {
+			continue
+		}
+		last := (rg.head + rg.n - 1) % len(rg.times)
+		ncols := r.ncols
+		if ncols < 0 {
+			ncols = 0
+		}
+		snap.Tasks = append(snap.Tasks, TaskSnap{
+			PID:     rg.id.PID,
+			TID:     rg.id.TID,
+			User:    rg.user,
+			Command: rg.comm,
+			State:   rg.state,
+			CPUPct:  rg.cpu[last],
+			IPC:     rg.ipc[last],
+			Values:  append([]float64(nil), rg.vals[last*ncols:(last+1)*ncols]...),
+		})
+	}
+	sort.Slice(snap.Tasks, func(i, j int) bool {
+		a, b := snap.Tasks[i], snap.Tasks[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		return a.TID < b.TID
+	})
+	return snap
+}
+
+// History returns copies of every recorded series whose PID matches,
+// sorted by TID — one entry for process-scope recording, several under
+// per-thread monitoring. Nil when the PID was never observed.
+func (r *Recorder) History(pid int) []Series {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Series
+	for id, rg := range r.series {
+		if id.PID != pid {
+			continue
+		}
+		out = append(out, r.copySeries(rg))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID < out[j].TID })
+	return out
+}
+
+func (r *Recorder) copySeries(rg *ring) Series {
+	ncols := r.ncols
+	if ncols < 0 {
+		ncols = 0
+	}
+	s := Series{
+		PID:     rg.id.PID,
+		TID:     rg.id.TID,
+		User:    rg.user,
+		Command: rg.comm,
+		Alive:   rg.lastEpoch == r.epoch,
+		Points:  make([]Point, 0, rg.n),
+	}
+	for i := 0; i < rg.n; i++ {
+		idx := (rg.head + i) % len(rg.times)
+		s.Points = append(s.Points, Point{
+			TimeSeconds: rg.times[idx].Seconds(),
+			CPUPct:      rg.cpu[idx],
+			IPC:         rg.ipc[idx],
+			Values:      append([]float64(nil), rg.vals[idx*ncols:(idx+1)*ncols]...),
+		})
+	}
+	return s
+}
+
+// PIDs lists the recorded process IDs, sorted.
+func (r *Recorder) PIDs() []int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := make(map[int]bool, len(r.series))
+	for id := range r.series {
+		seen[id.PID] = true
+	}
+	out := make([]int, 0, len(seen))
+	for pid := range seen {
+		out = append(out, pid)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 
 	"tiptop/internal/hpm"
 )
@@ -283,4 +284,15 @@ func BuiltinScreens() map[string]*Screen {
 		out[s.Name] = s
 	}
 	return out
+}
+
+// ScreenNames returns the builtin screen names, sorted — the iteration
+// order commands must use so listings are deterministic run to run.
+func ScreenNames() []string {
+	names := make([]string, 0, len(BuiltinScreens()))
+	for name := range BuiltinScreens() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -7,6 +7,7 @@ package ui
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
@@ -102,9 +103,14 @@ func HelpText(screens map[string]*metrics.Screen) string {
 	b.WriteString("interactive commands:\n")
 	b.WriteString("  q  quit\n  s  cycle screens\n  p  toggle pid sort\n  h  this help\n\n")
 	b.WriteString("screens:\n")
-	for name, s := range screens {
+	names := make([]string, 0, len(screens))
+	for name := range screens {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		fmt.Fprintf(&b, "  %-8s", name)
-		for _, c := range s.Columns {
+		for _, c := range screens[name].Columns {
 			fmt.Fprintf(&b, " %s", c.Header)
 		}
 		b.WriteByte('\n')

@@ -1,0 +1,108 @@
+package tiptop
+
+import (
+	"fmt"
+	"io"
+
+	"tiptop/internal/core"
+	"tiptop/internal/export"
+	"tiptop/internal/history"
+)
+
+// RecorderOptions tune a Recorder; the zero value gives a 600-point
+// ring per task, a one-minute rate window and an 8192-series retention
+// bound.
+type RecorderOptions = history.Options
+
+// HistoryPoint is one recorded observation of a task.
+type HistoryPoint = history.Point
+
+// HistorySeries is the recorded time series of one task.
+type HistorySeries = history.Series
+
+// Aggregate is a roll-up over a set of tasks: live state of the last
+// refresh, cumulative counter totals, and windowed rates.
+type Aggregate = history.Aggregate
+
+// Snapshot is a consistent copy of a Recorder's current state: the
+// machine-wide, per-user and per-command aggregates plus the latest
+// observation of every live task.
+type Snapshot = history.Snapshot
+
+// Recorder accumulates a Monitor's samples into fixed-capacity per-task
+// ring buffers and incrementally maintained aggregates. Recording
+// happens synchronously on the sampling goroutine and — once a task's
+// ring and the aggregate entries exist — performs no allocations, so a
+// subscribed Recorder does not perturb the engine's refresh cost.
+// Queries are safe from any goroutine while sampling continues.
+type Recorder struct {
+	h *history.Recorder
+}
+
+// NewRecorder creates an unattached Recorder; attach it to a Monitor
+// with Subscribe.
+func NewRecorder(opt RecorderOptions) *Recorder {
+	return &Recorder{h: history.New(opt)}
+}
+
+// Subscribe attaches the recorder: every subsequent Sample()/SampleNow()
+// feeds it, including rows beyond Config.MaxRows. Not safe to call
+// concurrently with Sample.
+func (m *Monitor) Subscribe(r *Recorder) {
+	if r == nil {
+		return
+	}
+	cols := m.session.Screen().Columns
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	r.h.SetColumns(names)
+	m.session.Subscribe(r.h)
+}
+
+// Unsubscribe detaches a previously subscribed recorder; its recorded
+// history remains queryable. Not safe to call concurrently with Sample.
+func (m *Monitor) Unsubscribe(r *Recorder) {
+	if r == nil {
+		return
+	}
+	m.session.Unsubscribe(r.h)
+}
+
+// Snapshot copies out the recorder's current state.
+func (r *Recorder) Snapshot() *Snapshot { return r.h.Snapshot() }
+
+// History returns the recorded series of every task with the given PID
+// (several under per-thread monitoring), or nil if it was never seen.
+func (r *Recorder) History(pid int) []HistorySeries { return r.h.History(pid) }
+
+// PIDs lists every recorded process ID, sorted.
+func (r *Recorder) PIDs() []int { return r.h.PIDs() }
+
+// WriteOpenMetrics renders the recorder's aggregates and latest task
+// values in the OpenMetrics / Prometheus text format.
+func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
+	return export.WriteOpenMetrics(w, r.h.Snapshot())
+}
+
+// Validate reports configuration errors a Monitor constructor would
+// reject, with tiptop-level messages: an unknown screen, an unknown
+// sort key, a negative interval or negative parallelism. Commands call
+// it to fail fast on bad flags.
+func (c Config) Validate() error {
+	screen, err := screenByName(c.Screen)
+	if err != nil {
+		return err
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("tiptop: negative interval %v", c.Interval)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("tiptop: negative parallelism %d", c.Parallelism)
+	}
+	if err := core.ValidateSortKey(screen, c.SortBy); err != nil {
+		return fmt.Errorf("tiptop: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package tiptop
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func recordedMonitor(t *testing.T) (*Monitor, *Recorder) {
+	t.Helper()
+	sc, err := NewNamedScenario("datacenter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, Config{Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mon.Close() })
+	rec := NewRecorder(RecorderOptions{Capacity: 16})
+	mon.Subscribe(rec)
+	return mon, rec
+}
+
+func TestRecorderThroughMonitor(t *testing.T) {
+	mon, rec := recordedMonitor(t)
+	if _, err := mon.SampleNow(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := mon.Sample(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := rec.Snapshot()
+	if len(snap.Tasks) != 11 {
+		t.Fatalf("snapshot tasks = %d, want the 11 Figure 1 processes", len(snap.Tasks))
+	}
+	if snap.Refreshes != 4 { // SampleNow + 3 Samples
+		t.Fatalf("refreshes = %d", snap.Refreshes)
+	}
+	if snap.Machine.Tasks != 11 || snap.Machine.IPC <= 0 {
+		t.Fatalf("machine aggregate = %+v", snap.Machine)
+	}
+	if len(snap.Users) != 3 {
+		t.Fatalf("users = %v", snap.Users)
+	}
+	u1 := snap.Users["user1"]
+	if u1.Tasks != 8 || u1.Instructions == 0 {
+		t.Fatalf("user1 aggregate = %+v", u1)
+	}
+	if got := len(snap.Columns); got != len(mon.Headers()) {
+		t.Fatalf("columns = %d, want %d", got, len(mon.Headers()))
+	}
+
+	pids := rec.PIDs()
+	if len(pids) != 11 {
+		t.Fatalf("pids = %v", pids)
+	}
+	series := rec.History(pids[0])
+	if len(series) != 1 {
+		t.Fatalf("series = %d", len(series))
+	}
+	s := series[0]
+	// The first observation (the SampleNow attach pass) reads zero
+	// deltas; the three refresh points follow.
+	if len(s.Points) != 4 || !s.Alive {
+		t.Fatalf("series = %+v", s)
+	}
+	last := s.Points[len(s.Points)-1]
+	if last.IPC <= 0 || len(last.Values) != len(snap.Columns) {
+		t.Fatalf("last point = %+v", last)
+	}
+	if rec.History(424242) != nil {
+		t.Fatal("unknown pid must return nil")
+	}
+}
+
+func TestRecorderOpenMetricsEndToEnd(t *testing.T) {
+	mon, rec := recordedMonitor(t)
+	mon.SampleNow()
+	if _, err := mon.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := rec.WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"tiptop_tasks 11",
+		`tiptop_user_tasks{user="user1"} 8`,
+		`tiptop_task_ipc{pid=`,
+		"# EOF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestUnsubscribeStopsRecording(t *testing.T) {
+	mon, rec := recordedMonitor(t)
+	mon.SampleNow()
+	mon.Unsubscribe(rec)
+	if _, err := mon.Sample(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Snapshot().Refreshes; got != 1 {
+		t.Fatalf("refreshes after unsubscribe = %d, want 1", got)
+	}
+	// Nil recorders are ignored.
+	mon.Subscribe(nil)
+	mon.Unsubscribe(nil)
+}
+
+func TestRecorderSeesRowsBeyondMaxRows(t *testing.T) {
+	sc, err := NewNamedScenario("datacenter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, Config{Interval: time.Second, MaxRows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	rec := NewRecorder(RecorderOptions{})
+	mon.Subscribe(rec)
+	mon.SampleNow()
+	sample, err := mon.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sample.Rows) != 3 {
+		t.Fatalf("display rows = %d, want MaxRows 3", len(sample.Rows))
+	}
+	if got := len(rec.Snapshot().Tasks); got != 11 {
+		t.Fatalf("recorded tasks = %d, want all 11 despite MaxRows", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero value", Config{}, true},
+		{"sort by column", Config{SortBy: "ipc"}, true},
+		{"sort by pid", Config{SortBy: "pid"}, true},
+		{"branch screen column", Config{Screen: "branch", SortBy: "misp"}, true},
+		{"unknown screen", Config{Screen: "quantum"}, false},
+		{"unknown sort key", Config{SortBy: "karma"}, false},
+		{"column of another screen", Config{Screen: "branch", SortBy: "dmis"}, false},
+		{"negative interval", Config{Interval: -time.Second}, false},
+		{"negative parallelism", Config{Parallelism: -1}, false},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: error expected", tc.name)
+		}
+	}
+}
+
+func TestNewNamedScenarioNames(t *testing.T) {
+	for _, name := range ScenarioNames() {
+		if _, err := NewNamedScenario(name, 0.001); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := NewNamedScenario("wargames", 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -344,6 +344,76 @@ func ScenarioManyTasks(n int) (*Scenario, error) {
 	return sc, nil
 }
 
+// ScenarioNames lists the ready-made scenarios NewNamedScenario builds.
+func ScenarioNames() []string {
+	return []string{"spec", "revolution", "conflict", "datacenter"}
+}
+
+// NewNamedScenario builds one of the ready-made scenarios by name — the
+// ones behind the tiptop/tiptopd -sim flag:
+//
+//   - "spec": the Nehalem workstation running a mix of SPEC-like jobs;
+//   - "revolution": the Figure 3 R evolutionary algorithm;
+//   - "conflict": the Figure 11 three-mcf co-run, pinned like taskset;
+//   - "datacenter": the Figure 1 bi-Xeon grid node with eleven
+//     synthetic jobs at the paper's observed IPCs.
+//
+// scale shrinks workload lengths (1.0 = the paper's, 0.01 is a good
+// interactive default; ignored by the endless datacenter jobs).
+func NewNamedScenario(name string, scale float64) (*Scenario, error) {
+	switch name {
+	case "spec":
+		sc, err := NewScenario(MachineXeonW3550)
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range []string{"mcf", "astar", "gromacs", "hmmer-gcc"} {
+			if _, err := sc.StartWorkload("user", w, scale); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
+	case "revolution":
+		sc, err := NewScenario(MachineXeonW3550)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sc.StartWorkload("biologist", "r-evolution", scale); err != nil {
+			return nil, err
+		}
+		return sc, nil
+	case "conflict":
+		sc, err := NewScenario(MachineXeonW3550)
+		if err != nil {
+			return nil, err
+		}
+		// Three mcf copies pinned to distinct physical cores, the
+		// Figure 11 taskset setup.
+		for i := 0; i < 3; i++ {
+			if _, err := sc.StartWorkload("user", "mcf", scale, i); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
+	case "datacenter":
+		sc, err := NewScenario(MachineE5640)
+		if err != nil {
+			return nil, err
+		}
+		ipcs := []float64{1.97, 1.32, 2.27, 2.36, 1.17, 0.66, 1.73, 1.44, 1.39, 1.39, 1.62}
+		users := []string{"user1", "user3", "user1", "user1", "user3", "user2",
+			"user1", "user1", "user1", "user1", "user1"}
+		for i, ipc := range ipcs {
+			name := fmt.Sprintf("process%d", i+1)
+			if _, err := sc.StartSynthetic(users[i], name, ipc); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
+	}
+	return nil, fmt.Errorf("tiptop: unknown scenario %q (want spec, revolution, conflict or datacenter)", name)
+}
+
 // ScenarioSPEC builds a ready-made scenario: the Nehalem workstation
 // running a small mix of SPEC-like workloads — a convenient quickstart.
 func ScenarioSPEC() *Scenario {

@@ -72,7 +72,10 @@ type Config struct {
 
 // Row is one monitored task in a sample.
 type Row struct {
-	PID     int
+	PID int
+	// TID is the thread id under Config.PerThread (equal to PID for
+	// the main thread), 0 for process-scope rows.
+	TID     int
 	User    string
 	Command string
 	State   string
@@ -172,12 +175,27 @@ func NewSimMonitor(sc *Scenario, cfg Config) (*Monitor, error) {
 // Machine describes what the monitor observes.
 func (m *Monitor) Machine() string { return m.machine }
 
+// Interval returns the monitor's refresh period.
+func (m *Monitor) Interval() time.Duration { return m.session.Interval() }
+
 // Headers returns the metric column headings of the active screen.
 func (m *Monitor) Headers() []string {
 	cols := m.session.Screen().Columns
 	out := make([]string, len(cols))
 	for i, c := range cols {
 		out[i] = c.Header
+	}
+	return out
+}
+
+// Columns returns the metric column names of the active screen — the
+// stable machine-friendly identifiers ("ipc", "dmis", ...), where
+// Headers returns the display headings.
+func (m *Monitor) Columns() []string {
+	cols := m.session.Screen().Columns
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Name
 	}
 	return out
 }
@@ -202,6 +220,7 @@ func (m *Monitor) sampleNow() (*Sample, error) {
 		r := &cs.Rows[i]
 		row := Row{
 			PID:       r.Info.ID.PID,
+			TID:       r.Info.ID.TID,
 			User:      r.Info.User,
 			Command:   r.Info.Comm,
 			State:     r.Info.State,
@@ -227,7 +246,7 @@ func (m *Monitor) Render(w io.Writer, s *Sample) error {
 	for _, row := range s.Rows {
 		cr := core.Row{
 			Info: core.TaskInfo{
-				ID:    hpm.TaskID{PID: row.PID, TID: row.PID},
+				ID:    hpm.TaskID{PID: row.PID, TID: row.TID},
 				User:  row.User,
 				Comm:  row.Command,
 				State: row.State,
