@@ -5,9 +5,14 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench
+.PHONY: verify fmt build vet test race bench
 
-verify: build vet race
+verify: fmt build vet race
+
+# The tree must be gofmt-clean; print the offenders and fail otherwise.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -22,8 +27,12 @@ race:
 	$(GO) test -race ./...
 
 # Serial vs sharded sampling on the many-task stress scenario, plus the
-# machine-readable trajectory file results/BENCH_refresh.json (ns/op and
-# allocs/op for the 1000/4000-task serial and sharded refreshes).
+# machine-readable trajectory files:
+#   results/BENCH_refresh.json  ns/op and allocs/op for the 1000/4000-task
+#                               serial and sharded refreshes
+#   results/BENCH_daemon.json   tiptopd serving costs — cached vs uncached
+#                               /metrics encode, wire encode, SSE fan-out
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkUpdate[0-9]+' -benchmem ./internal/core/
 	$(GO) run ./cmd/tipbench -bench-refresh -out results
+	$(GO) run ./cmd/tipbench -bench-daemon -out results

@@ -1,0 +1,276 @@
+package main
+
+// The -bench-daemon mode: measure the serving-layer hot paths of
+// tiptopd — the per-scrape cost of the cached, ETag'd /metrics encoding
+// against re-encoding per scrape, the one-time wire encode of a
+// refresh, and the SSE hub's fan-out to many subscribers — and write
+// them as machine-readable JSON (BENCH_daemon.json) so the serving
+// trajectory is tracked across PRs like the engine's refresh cost.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/export"
+	"tiptop/internal/history"
+	"tiptop/internal/metrics"
+	"tiptop/internal/remote"
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/pmu"
+	"tiptop/internal/sim/proc"
+	"tiptop/internal/sim/sched"
+	"tiptop/internal/sim/workload"
+)
+
+// daemonBenchTasks is the fleet size the serving benchmarks run
+// against: large enough that an OpenMetrics encode is genuinely
+// expensive, small enough to keep `make bench` quick.
+const daemonBenchTasks = 500
+
+// daemonResult is one benchmark measurement in BENCH_daemon.json.
+type daemonResult struct {
+	Name        string  `json:"name"`
+	Tasks       int     `json:"tasks"`
+	Subscribers int     `json:"subscribers,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// daemonReport is the BENCH_daemon.json document.
+type daemonReport struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoMaxProcs  int            `json:"go_max_procs"`
+	GoVersion   string         `json:"go_version"`
+	Benchmarks  []daemonResult `json:"benchmarks"`
+	// CachedMetricsSpeedup is uncached-/cached- ns per /metrics scrape:
+	// how much the per-refresh encode cache buys each scraper.
+	CachedMetricsSpeedup float64 `json:"cached_metrics_speedup"`
+}
+
+// benchDaemon measures the serving layer and writes
+// <outDir>/BENCH_daemon.json.
+func benchDaemon(outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	rec, sample, err := populatedRecorder(daemonBenchTasks)
+	if err != nil {
+		return err
+	}
+	ws := wireFromCore(sample)
+	payload, err := ws.Encode()
+	if err != nil {
+		return err
+	}
+
+	report := daemonReport{
+		GeneratedBy: "tipbench -bench-daemon",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+	}
+	add := func(name string, subs int, res testing.BenchmarkResult) {
+		report.Benchmarks = append(report.Benchmarks, daemonResult{
+			Name:        name,
+			Tasks:       daemonBenchTasks,
+			Subscribers: subs,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		fmt.Printf("   %d iterations, %.0f ns/op, %d allocs/op\n",
+			res.N, float64(res.NsPerOp()), res.AllocsPerOp())
+	}
+
+	// One /metrics scrape when every scrape re-encodes the snapshot —
+	// what the daemon did before the per-refresh cache.
+	fmt.Println("== bench MetricsScrapeUncached")
+	uncached := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := export.WriteOpenMetrics(io.Discard, rec.Snapshot()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("MetricsScrapeUncached", 0, uncached)
+
+	// One /metrics scrape against the cache at a fixed refresh version:
+	// every scrape after the first serves the memoized body.
+	fmt.Println("== bench MetricsScrapeCached")
+	cache := remote.NewEncodeCache(func(w io.Writer) error {
+		return export.WriteOpenMetrics(w, rec.Snapshot())
+	})
+	if _, _, err := cache.Get(1); err != nil {
+		return err
+	}
+	cached := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			body, _, err := cache.Get(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Discard.Write(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("MetricsScrapeCached", 0, cached)
+	if cached.NsPerOp() > 0 {
+		report.CachedMetricsSpeedup = float64(uncached.NsPerOp()) / float64(cached.NsPerOp())
+	}
+	fmt.Printf("   cached /metrics speedup: %.1fx\n", report.CachedMetricsSpeedup)
+
+	// The refresh-side costs: encoding one refresh to the wire (paid
+	// once per interval, not per subscriber) and fanning the encoded
+	// frame out to many SSE subscribers.
+	fmt.Println("== bench WireSampleEncode")
+	add("WireSampleEncode", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Encode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	for _, subs := range []int{1, 256} {
+		name := fmt.Sprintf("StreamFanout%d", subs)
+		fmt.Printf("== bench %s\n", name)
+		add(name, subs, benchFanout(subs, payload))
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_daemon.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("daemon benchmarks:", path)
+	return nil
+}
+
+// benchFanout measures Hub.Publish with n subscribers draining as fast
+// as they can.
+func benchFanout(n int, payload []byte) testing.BenchmarkResult {
+	hub := remote.NewHub()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ch, cancel := hub.Subscribe()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer cancel()
+			for range ch {
+			}
+		}()
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hub.Publish(uint64(i+1), payload)
+		}
+	})
+	hub.Close()
+	wg.Wait()
+	return res
+}
+
+// populatedRecorder builds a recorder warmed with several refreshes of
+// a many-task fleet, plus the last engine sample.
+func populatedRecorder(tasks int) (*history.Recorder, *core.Sample, error) {
+	m, ok := machine.Presets()["e5640"]
+	if !ok {
+		return nil, nil, fmt.Errorf("e5640 preset missing")
+	}
+	k, err := sched.New(m, sched.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < tasks; i++ {
+		spec := workload.ManyTaskSpec(i)
+		spin, err := workload.NewSpin(workload.Synthetic(spec), int64(i+1))
+		if err != nil {
+			return nil, nil, err
+		}
+		k.Spawn(workload.ManyTaskUser(i), spec.Name, spin, nil)
+	}
+	screen := metrics.DefaultScreen()
+	s, err := core.NewSession(pmu.New(k), proc.NewSource(k), proc.NewClock(k), core.Options{
+		Screen:   screen,
+		Interval: time.Second,
+		FreqHz:   k.Machine().FreqHz,
+		NumCPUs:  k.Machine().NumLogical(),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer s.Close()
+	rec := history.New(history.Options{})
+	names := make([]string, len(screen.Columns))
+	for i, c := range screen.Columns {
+		names[i] = c.Name
+	}
+	rec.SetColumns(names)
+	var last *core.Sample
+	for i := 0; i < 8; i++ {
+		s.AdvanceClock()
+		cs, err := s.Update()
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Observe(cs)
+		last = cs
+	}
+	return rec, last, nil
+}
+
+// wireFromCore converts an engine sample to the wire format (the same
+// translation tiptopd's publish path performs).
+func wireFromCore(cs *core.Sample) *remote.Sample {
+	ws := &remote.Sample{
+		Machine:         "bench fleet",
+		IntervalSeconds: 1,
+		TimeSeconds:     cs.Time.Seconds(),
+		Columns: []remote.Column{
+			{Name: "mcycle", Header: "Mcycle", Width: 8, Format: "%8.2f"},
+			{Name: "minst", Header: "Minst", Width: 8, Format: "%8.2f"},
+			{Name: "ipc", Header: "IPC", Width: 6, Format: "%6.2f"},
+			{Name: "dmis", Header: "DMIS", Width: 6, Format: "%6.2f"},
+		},
+		Rows: make([]remote.Row, 0, len(cs.Rows)),
+	}
+	for i := range cs.Rows {
+		r := &cs.Rows[i]
+		row := remote.Row{
+			PID:          r.Info.ID.PID,
+			TID:          r.Info.ID.TID,
+			User:         r.Info.User,
+			Command:      r.Info.Comm,
+			State:        r.Info.State,
+			CPUPct:       r.CPUPct,
+			IPC:          r.IPC(),
+			Monitored:    r.Valid,
+			StartSeconds: r.Info.StartTime.Seconds(),
+			Values:       r.Values,
+			Events:       make(map[string]uint64, len(r.Events)),
+		}
+		for e, v := range r.Events {
+			row.Events[e.String()] = v
+		}
+		ws.Rows = append(ws.Rows, row)
+	}
+	return ws
+}

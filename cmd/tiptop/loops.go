@@ -35,8 +35,9 @@ func buildScenario(name string, scale float64) (*tiptop.Scenario, error) {
 }
 
 // batchLoop streams samples (tiptop -b) through the emitter: classic
-// text blocks, or CSV/JSONL when -o selects a sink.
-func batchLoop(mon *tiptop.Monitor, iterations int, em *emitter) error {
+// text blocks, or CSV/JSONL when -o selects a sink. It runs against any
+// MonitorAPI — a local engine or a -connect'ed remote daemon.
+func batchLoop(mon tiptop.MonitorAPI, iterations int, em *emitter) error {
 	if _, err := mon.SampleNow(); err != nil { // attach pass
 		return err
 	}
@@ -66,7 +67,7 @@ func batchLoop(mon *tiptop.Monitor, iterations int, em *emitter) error {
 // to the record sink when -record is set. Keyboard handling is
 // line-based (press q then Enter) to stay within the standard library;
 // Ctrl-C always works.
-func liveLoop(mon *tiptop.Monitor, iterations int, em *emitter) error {
+func liveLoop(mon tiptop.MonitorAPI, iterations int, em *emitter) error {
 	screen, err := term.NewScreen(os.Stdout, 40, 160)
 	if err != nil {
 		return err
@@ -116,7 +117,7 @@ func liveLoop(mon *tiptop.Monitor, iterations int, em *emitter) error {
 	return nil
 }
 
-func paint(screen *term.Screen, mon *tiptop.Monitor, sample *tiptop.Sample) {
+func paint(screen *term.Screen, mon tiptop.MonitorAPI, sample *tiptop.Sample) {
 	rows, _ := screen.Size()
 	screen.Clear()
 	status := fmt.Sprintf("tiptop - %s - %d tasks - t=%s (q<Enter> or Ctrl-C quits)",

@@ -12,6 +12,7 @@
 //	tiptop -screen fp   the §3.1 screen: IPC next to FP assists
 //	tiptop -b -o csv    batch mode streaming CSV (also: -o jsonl)
 //	tiptop -record f.csv     additionally record every sample to a file
+//	tiptop -connect host:9412   render a remote tiptopd in the same UI
 //	tiptop -sim spec    simulate the Nehalem box running SPEC-like jobs
 //	tiptop -sim revolution   the Figure 3 scenario
 //	tiptop -sim conflict     the Figure 11 mcf co-run scenario
@@ -55,6 +56,7 @@ func run(args []string, stdout io.Writer) error {
 		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
 		outFormat  = fs.String("o", "", "batch output format: text, csv, jsonl (default text)")
 		recordPath = fs.String("record", "", "record every sample to this file (CSV, or JSONL for .jsonl/.ndjson)")
+		connect    = fs.String("connect", "", "monitor a remote tiptopd (host:port or URL) instead of this machine")
 		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios (1.0 = paper length)")
 		list       = fs.Bool("list", false, "list screens and scenarios, then exit")
@@ -125,6 +127,9 @@ func run(args []string, stdout io.Writer) error {
 		if record == "" {
 			record = parsed.Options.Record
 		}
+		if *connect == "" {
+			*connect = parsed.Options.Connect
+		}
 	}
 	switch format {
 	case "", "text", "csv", "jsonl":
@@ -155,7 +160,18 @@ func run(args []string, stdout io.Writer) error {
 		cfg.MaxRows = 0
 	}
 
-	mon, err := buildMonitor(*simName, *scale, cfg)
+	var mon tiptop.MonitorAPI
+	var err error
+	if *connect != "" {
+		if *simName != "" {
+			return fmt.Errorf("-connect monitors a remote daemon and cannot be combined with -sim %s", *simName)
+		}
+		// The remote daemon's screen, sort order and cadence are
+		// authoritative: -connect renders what the agent samples.
+		mon, err = tiptop.NewRemoteMonitor(*connect)
+	} else {
+		mon, err = buildMonitor(*simName, *scale, cfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -185,7 +201,7 @@ func run(args []string, stdout io.Writer) error {
 // Sinks always receive the full sample; displayRows clips only the
 // rendered text/screen view (the -rows semantics).
 type emitter struct {
-	mon         *tiptop.Monitor
+	mon         tiptop.MonitorAPI
 	cols        []string
 	stdout      io.Writer
 	stdoutSink  export.Sink // nil for text format
@@ -194,7 +210,7 @@ type emitter struct {
 }
 
 // newEmitter wires the output sinks; the returned closer flushes them.
-func newEmitter(mon *tiptop.Monitor, format string, stdout io.Writer, recordPath string) (*emitter, func() error, error) {
+func newEmitter(mon tiptop.MonitorAPI, format string, stdout io.Writer, recordPath string) (*emitter, func() error, error) {
 	e := &emitter{mon: mon, cols: mon.Columns(), stdout: stdout}
 	if format != "text" {
 		sink, err := export.NewSink(format, stdout)

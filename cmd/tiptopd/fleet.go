@@ -1,0 +1,139 @@
+package main
+
+// The -join mode: instead of sampling a local monitor, the daemon
+// aggregates N remote tiptopd agents into one cluster-wide view and
+// serves it on the same endpoints — the federation layer that turns
+// per-machine counter monitoring into fleet monitoring.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"tiptop/internal/history"
+	"tiptop/internal/remote"
+)
+
+// fleetDaemon couples a remote.Fleet to the HTTP handlers. The fleet's
+// OpenMetrics encode is cached per observed sample (the fleet version),
+// so scrape cost is independent of scrape rate here too.
+type fleetDaemon struct {
+	fleet   *remote.Fleet
+	metrics *remote.EncodeCache
+}
+
+func newFleetDaemon(f *remote.Fleet) *fleetDaemon {
+	return &fleetDaemon{fleet: f, metrics: remote.NewEncodeCache(f.WriteOpenMetrics)}
+}
+
+func (fd *fleetDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", fd.index)
+	mux.HandleFunc("GET /metrics", fd.handleMetrics)
+	mux.HandleFunc("GET /api/v1/snapshot", fd.snapshot)
+	mux.HandleFunc("GET /api/v1/agents", fd.agents)
+	mux.HandleFunc("GET /api/v1/stream", fd.fleet.Hub().ServeSSE)
+	return mux
+}
+
+func (fd *fleetDaemon) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "tiptopd aggregating %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/agents\n/api/v1/stream\n",
+		strings.Join(fd.fleet.Labels(), ", "))
+}
+
+func (fd *fleetDaemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	body, etag, err := fd.metrics.Get(fd.fleet.Version())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	remote.ServeCached(w, r, body, etag, "text/plain; version=0.0.4; charset=utf-8")
+}
+
+func (fd *fleetDaemon) snapshot(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, fd.fleet.Snapshot())
+}
+
+func (fd *fleetDaemon) agents(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Agents []remote.AgentStatus `json:"agents"`
+	}{fd.fleet.Snapshot().Agents})
+}
+
+// runFleet serves the aggregated fleet until interrupted (or, with
+// n > 0, until n agent samples have been observed — the bounded mode
+// tests and demos use).
+func runFleet(join, addr string, n, historyCap int, window time.Duration, stdout io.Writer) error {
+	fleet, err := remote.NewFleet(strings.Split(join, ","), remote.FleetOptions{
+		History: history.Options{Capacity: historyCap, Window: window},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fleet.Start(ctx)
+	// Teardown order matters: cancel the agent streams before waiting
+	// for their goroutines.
+	defer func() {
+		fleet.Close()
+		cancel()
+		fleet.Wait()
+	}()
+	fd := newFleetDaemon(fleet)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "tiptopd: aggregating %d agents (%s), serving http://%s/metrics\n",
+		len(fleet.Labels()), strings.Join(fleet.Labels(), ", "), ln.Addr())
+
+	srv := &http.Server{Handler: fd.handler()}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	interrupted := make(chan os.Signal, 1)
+	signal.Notify(interrupted, os.Interrupt)
+	defer signal.Stop(interrupted)
+
+	shutdown := func() {
+		fleet.Close()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		_ = srv.Shutdown(sctx)
+		<-serveDone
+	}
+	if n > 0 {
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for fleet.Version() < uint64(n) {
+			select {
+			case <-interrupted:
+				shutdown()
+				return nil
+			case err := <-serveDone:
+				return err
+			case <-tick.C:
+			}
+		}
+		shutdown()
+		return nil
+	}
+	select {
+	case <-interrupted:
+		shutdown()
+		return nil
+	case err := <-serveDone:
+		return err
+	}
+}

@@ -6,10 +6,20 @@
 //
 // Endpoints:
 //
-//	/metrics                OpenMetrics / Prometheus text exposition
+//	/metrics                OpenMetrics / Prometheus text exposition,
+//	                        cached per refresh and ETag'd: thousands of
+//	                        scrapers cost one encode per interval
 //	/api/v1/snapshot        latest refresh + aggregates, JSON
 //	/api/v1/history?pid=N   recorded time series of one process, JSON
 //	/api/v1/history         recorded PIDs, JSON
+//	/api/v1/sample          latest refresh in the versioned wire format
+//	/api/v1/stream          SSE push of every refresh (tiptop -connect)
+//
+// With -join the daemon becomes a fleet aggregator instead: it streams
+// N remote tiptopd agents and serves their merged, per-machine-labelled
+// state on /metrics, /api/v1/snapshot, /api/v1/agents and
+// /api/v1/stream (see fleet.go). `tiptop -connect` attaches to agents,
+// not to aggregators — the aggregator's stream interleaves machines.
 //
 // Usage:
 //
@@ -18,6 +28,7 @@
 //	tiptopd -addr :8080 -d 1       custom listen address and cadence
 //	tiptopd -history 1800 -n 100   deeper rings, exit after 100 refreshes
 //	tiptopd -config f.xml          options (delay, sort, listen, ...) from XML
+//	tiptopd -join host1:9412,host2:9412   aggregate a fleet of agents
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 
 	"tiptop"
 	"tiptop/internal/config"
+	"tiptop/internal/remote"
 )
 
 func main() {
@@ -59,6 +71,7 @@ func run(args []string, stdout io.Writer) error {
 		historyCap = fs.Int("history", 0, "points retained per task (0 = default 600)")
 		window     = fs.Duration("window", 0, "windowed-rate horizon, capped at 128 refreshes (0 = default 1m)")
 		confFile   = fs.String("config", "", "load options from an XML configuration file (set options override flags)")
+		join       = fs.String("join", "", "aggregate remote tiptopd agents (comma-separated host:port list) instead of monitoring locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,9 +118,18 @@ func run(args []string, stdout io.Writer) error {
 		if parsed.Options.Listen != "" {
 			*addr = parsed.Options.Listen
 		}
+		if parsed.Options.Join != "" {
+			*join = parsed.Options.Join
+		}
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+	if *join != "" {
+		if *simName != "" {
+			return fmt.Errorf("-join aggregates remote agents and cannot monitor -sim %s itself", *simName)
+		}
+		return runFleet(*join, *addr, *iterations, *historyCap, *window, stdout)
 	}
 
 	mon, pace, err := buildMonitor(*simName, *scale, cfg)
@@ -117,7 +139,8 @@ func run(args []string, stdout io.Writer) error {
 	defer mon.Close()
 	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: *historyCap, Window: *window})
 	mon.Subscribe(rec)
-	d := &daemon{mon: mon, rec: rec, pace: pace}
+	d := newDaemon(mon, rec, pace)
+	defer d.srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -135,6 +158,9 @@ func run(args []string, stdout io.Writer) error {
 	signal.Notify(interrupted, os.Interrupt)
 
 	shutdown := func() {
+		// Disconnect stream subscribers first: SSE handlers are active
+		// requests Shutdown would otherwise wait out.
+		d.srv.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
@@ -185,18 +211,44 @@ func buildMonitor(simName string, scale float64, cfg tiptop.Config) (*tiptop.Mon
 
 // daemon couples one monitor and its recorder to the HTTP handlers.
 // The sampling loop is the only goroutine touching the monitor; the
-// handlers read exclusively through the recorder, whose lock makes
-// scrapes safe against the live sharded sampler.
+// handlers read exclusively through the recorder (whose lock makes
+// scrapes safe against the live sharded sampler) and the remote.Server
+// caches the loop publishes into.
 type daemon struct {
 	mon  *tiptop.Monitor
 	rec  *tiptop.Recorder
 	pace time.Duration
+	// srv owns the wire-protocol surface: the SSE stream hub, the
+	// latest wire sample, and the per-refresh cached, ETag'd /metrics
+	// body (one OpenMetrics encode per interval, however many scrapers).
+	srv *remote.Server
+}
+
+// newDaemon wires a monitor and recorder to a wire-protocol server.
+func newDaemon(mon *tiptop.Monitor, rec *tiptop.Recorder, pace time.Duration) *daemon {
+	return &daemon{
+		mon:  mon,
+		rec:  rec,
+		pace: pace,
+		srv:  remote.NewServer(rec.WriteOpenMetrics),
+	}
+}
+
+// publish converts one refresh to the wire format and hands it to the
+// stream hub and caches — encoded once per refresh, shared by every
+// subscriber and scraper.
+func (d *daemon) publish(s *tiptop.Sample) error {
+	return d.srv.Publish(d.mon.WireSample(s))
 }
 
 // loop drives the monitor: one attach pass, then n refreshes (n <= 0 =
-// until stopped).
+// until stopped), publishing every sample to the wire surface.
 func (d *daemon) loop(stop <-chan struct{}, n int) error {
-	if _, err := d.mon.SampleNow(); err != nil {
+	s, err := d.mon.SampleNow()
+	if err != nil {
+		return err
+	}
+	if err := d.publish(s); err != nil {
 		return err
 	}
 	for i := 0; n <= 0 || i < n; i++ {
@@ -205,7 +257,11 @@ func (d *daemon) loop(stop <-chan struct{}, n int) error {
 			return nil
 		default:
 		}
-		if _, err := d.mon.Sample(); err != nil {
+		s, err := d.mon.Sample()
+		if err != nil {
+			return err
+		}
+		if err := d.publish(s); err != nil {
 			return err
 		}
 		if d.pace > 0 {
@@ -222,9 +278,11 @@ func (d *daemon) loop(stop <-chan struct{}, n int) error {
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", d.index)
-	mux.HandleFunc("GET /metrics", d.metrics)
 	mux.HandleFunc("GET /api/v1/snapshot", d.snapshot)
 	mux.HandleFunc("GET /api/v1/history", d.history)
+	// /metrics, /api/v1/sample and /api/v1/stream come from the wire
+	// server (cached, ETag'd, fan-out).
+	d.srv.Register(mux)
 	return mux
 }
 
@@ -234,15 +292,7 @@ func (d *daemon) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "tiptopd monitoring %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/history?pid=N\n", d.mon.Machine())
-}
-
-func (d *daemon) metrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := d.rec.WriteOpenMetrics(w); err != nil {
-		// Headers are gone; nothing to do but drop the connection.
-		return
-	}
+	fmt.Fprintf(w, "tiptopd monitoring %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/history?pid=N\n/api/v1/sample\n/api/v1/stream\n", d.mon.Machine())
 }
 
 func (d *daemon) snapshot(w http.ResponseWriter, _ *http.Request) {

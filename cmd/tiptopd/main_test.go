@@ -28,13 +28,14 @@ func testDaemon(t *testing.T) (*daemon, *httptest.Server) {
 	}
 	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 64, Window: time.Second})
 	mon.Subscribe(rec)
-	d := &daemon{mon: mon, rec: rec, pace: time.Millisecond}
+	d := newDaemon(mon, rec, time.Millisecond)
 
 	stop := make(chan struct{})
 	loopDone := make(chan error, 1)
 	go func() { loopDone <- d.loop(stop, 0) }()
 	srv := httptest.NewServer(d.handler())
 	t.Cleanup(func() {
+		d.srv.Close()
 		srv.Close()
 		close(stop)
 		if err := <-loopDone; err != nil {

@@ -1,0 +1,179 @@
+// fleet shows remote monitoring and fleet aggregation end-to-end: three
+// simulated "machines" each serve their refreshes over the wire
+// protocol (what `tiptopd -sim ...` does), a fleet aggregator joins
+// them (what `tiptopd -join host1,host2,host3` does), and the program
+// then scrapes the merged, per-machine-labelled metrics, prints the
+// cluster snapshot, and attaches a RemoteMonitor to one agent to render
+// its rows exactly like `tiptop -connect host:port` would.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"tiptop"
+	"tiptop/internal/history"
+	"tiptop/internal/remote"
+)
+
+// agent is one simulated machine serving the wire protocol — the
+// in-process equivalent of a tiptopd on a fleet node.
+type agent struct {
+	mon  *tiptop.Monitor
+	srv  *remote.Server
+	http *http.Server
+	addr string
+}
+
+func startAgent(scenario string) (*agent, error) {
+	sc, err := tiptop.NewNamedScenario(scenario, 0.01)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{Interval: 500 * time.Millisecond})
+	if err != nil {
+		return nil, err
+	}
+	srv := remote.NewServer(nil)
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mon.Close()
+		return nil, err
+	}
+	a := &agent{mon: mon, srv: srv, http: &http.Server{Handler: mux}, addr: ln.Addr().String()}
+	go a.http.Serve(ln)
+	return a, nil
+}
+
+// publish hands one refresh to the server in the wire format — the
+// same Monitor.WireSample translation tiptopd's sampling loop performs.
+func (a *agent) publish(s *tiptop.Sample) error {
+	return a.srv.Publish(a.mon.WireSample(s))
+}
+
+func (a *agent) close() {
+	a.srv.Close()
+	a.http.Close()
+	a.mon.Close()
+}
+
+func main() {
+	// Three fleet nodes running different workloads.
+	scenarios := []string{"datacenter", "spec", "conflict"}
+	var agents []*agent
+	for _, sc := range scenarios {
+		a, err := startAgent(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer a.close()
+		agents = append(agents, a)
+		fmt.Printf("agent %-11s %s  (%s)\n", sc, a.addr, a.mon.Machine())
+	}
+
+	// Each agent samples and publishes a few refreshes.
+	for _, a := range agents {
+		s, err := a.mon.SampleNow()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.publish(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		for _, a := range agents {
+			s, err := a.mon.Sample()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := a.publish(s); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Join them into one cluster view — `tiptopd -join a,b,c`.
+	addrs := make([]string, len(agents))
+	for i, a := range agents {
+		addrs[i] = a.addr
+	}
+	fleet, err := remote.NewFleet(addrs, remote.FleetOptions{
+		History: history.Options{Capacity: 64, Window: 10 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fleet.Start(ctx)
+	defer func() {
+		fleet.Close()
+		cancel()
+		fleet.Wait()
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for fleet.Snapshot().Cluster.AgentsUp < len(agents) {
+		if time.Now().After(deadline) {
+			log.Fatal("agents did not connect")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The merged cluster snapshot.
+	snap := fleet.Snapshot()
+	fmt.Printf("\ncluster: %d/%d agents up, %d tasks, IPC %.2f, %d instructions total\n",
+		snap.Cluster.AgentsUp, snap.Cluster.Agents, snap.Cluster.Tasks,
+		snap.Cluster.IPC, snap.Cluster.Instructions)
+	labels := make([]string, 0, len(snap.Machines))
+	for l := range snap.Machines {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		m := snap.Machines[l]
+		fmt.Printf("  %-21s %2d tasks  IPC %.2f\n", l, m.Machine.Tasks, m.Machine.IPC)
+	}
+
+	// The merged, machine-labelled exposition a Prometheus would scrape
+	// from the aggregator's /metrics.
+	var sb strings.Builder
+	if err := fleet.WriteOpenMetrics(&sb); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nselected merged scrape lines:")
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "tiptop_fleet_agents") ||
+			strings.HasPrefix(line, "tiptop_agent_up") ||
+			strings.HasPrefix(line, "tiptop_machine_tasks") {
+			fmt.Println(" ", line)
+		}
+	}
+
+	// And the remote TUI path: attach to one agent like
+	// `tiptop -connect host:port` and render its next refresh through
+	// the ordinary batch renderer.
+	rm, err := tiptop.NewRemoteMonitor(agents[0].addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rm.Close()
+	s, err := rm.SampleNow()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntiptop -connect %s (%s):\n", agents[0].addr, rm.Machine())
+	if err := rm.Render(os.Stdout, s); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"tiptop/internal/metrics"
@@ -63,6 +64,27 @@ type OptionsXML struct {
 	History int `xml:"history,attr,omitempty"`
 	// Listen is the tiptopd HTTP listen address (e.g. ":9412").
 	Listen string `xml:"listen,attr,omitempty"`
+	// Connect points tiptop at a remote tiptopd ("host:port" or a full
+	// URL): the local UI renders what that agent samples.
+	Connect string `xml:"connect,attr,omitempty"`
+	// Join turns tiptopd into a fleet aggregator over the listed agents
+	// (comma-separated host:port peers).
+	Join string `xml:"join,attr,omitempty"`
+}
+
+// Peers splits the Join list into trimmed agent addresses.
+func (o *OptionsXML) Peers() []string {
+	if o.Join == "" {
+		return nil
+	}
+	parts := strings.Split(o.Join, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Interval converts the delay to a duration (0 if unset).
@@ -119,6 +141,12 @@ func (f *File) Validate() error {
 	}
 	if f.Options.History < 0 {
 		return fmt.Errorf("config: negative history capacity")
+	}
+	if f.Options.Join != "" && len(f.Options.Peers()) == 0 {
+		return fmt.Errorf("config: join %q names no agents", f.Options.Join)
+	}
+	if f.Options.Connect != "" && f.Options.Join != "" {
+		return fmt.Errorf("config: connect and join are mutually exclusive")
 	}
 	seen := map[string]bool{}
 	for _, s := range f.Screens {

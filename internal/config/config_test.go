@@ -168,6 +168,7 @@ func TestOptionsRoundTrip(t *testing.T) {
 		Record:       "samples.jsonl",
 		History:      1200,
 		Listen:       "127.0.0.1:9412",
+		Join:         "host1:9412, host2:9412,host3:9412",
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "tiptop.xml")
@@ -209,6 +210,8 @@ func TestNewOptionValidation(t *testing.T) {
 	bad := []string{
 		`<tiptop><options format="yaml"/></tiptop>`,
 		`<tiptop><options history="-1"/></tiptop>`,
+		`<tiptop><options join=" , "/></tiptop>`,
+		`<tiptop><options connect="host1:9412" join="host2:9412"/></tiptop>`,
 	}
 	for i, src := range bad {
 		if _, err := Parse(strings.NewReader(src)); err == nil {
@@ -223,5 +226,26 @@ func TestNewOptionValidation(t *testing.T) {
 	if f.Options.Format != "csv" || f.Options.Record != "out.csv" ||
 		f.Options.History != 300 || f.Options.Listen != ":9412" {
 		t.Fatalf("options = %+v", f.Options)
+	}
+}
+
+func TestPeers(t *testing.T) {
+	f, err := Parse(strings.NewReader(`<tiptop><options join="host1:9412, host2:9412 ,host3:9412"/></tiptop>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"host1:9412", "host2:9412", "host3:9412"}
+	if got := f.Options.Peers(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Peers = %v, want %v", got, want)
+	}
+	if (&OptionsXML{}).Peers() != nil {
+		t.Fatal("empty join must yield nil peers")
+	}
+	f, err = Parse(strings.NewReader(`<tiptop><options connect="host:9412"/></tiptop>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Options.Connect != "host:9412" {
+		t.Fatalf("connect = %q", f.Options.Connect)
 	}
 }

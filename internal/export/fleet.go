@@ -1,0 +1,129 @@
+package export
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+
+	"tiptop/internal/history"
+)
+
+// FleetMachine is one agent's contribution to a fleet exposition.
+type FleetMachine struct {
+	// Label identifies the machine ("host:port" of the agent).
+	Label string
+	// Up reports whether the agent is currently streaming.
+	Up bool
+	// Snapshot is the agent's recorded state.
+	Snapshot *history.Snapshot
+}
+
+// WriteFleetOpenMetrics renders a merged, machine-labelled OpenMetrics
+// exposition over many agents: the same families the single-machine
+// exposition uses, every sample carrying a "machine" label, plus fleet
+// health gauges (tiptop_fleet_agents, tiptop_agent_up). Each family is
+// declared once with the samples of all machines under it, ordered by
+// machine label (then user/command/task), so scrapes diff cleanly.
+func WriteFleetOpenMetrics(w io.Writer, machines []FleetMachine) error {
+	ms := append([]FleetMachine(nil), machines...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Label < ms[j].Label })
+
+	bw := bufio.NewWriter(w)
+	e := &omEncoder{w: bw}
+
+	e.family("tiptop_fleet_agents", "gauge", "Agents joined into this aggregator.")
+	e.sample("tiptop_fleet_agents", nil, float64(len(ms)))
+	e.family("tiptop_agent_up", "gauge", "Whether the agent is currently streaming (1) or down (0).")
+	for _, m := range ms {
+		up := 0.0
+		if m.Up {
+			up = 1
+		}
+		e.sample("tiptop_agent_up", []label{{"machine", m.Label}}, up)
+	}
+	e.family("tiptop_agent_refreshes_total", "counter", "Refreshes recorded from the agent.")
+	for _, m := range ms {
+		e.sample("tiptop_agent_refreshes_total", []label{{"machine", m.Label}}, float64(m.Snapshot.Refreshes))
+	}
+	e.family("tiptop_agent_time_seconds", "gauge", "Agent monitor clock time of its last refresh.")
+	for _, m := range ms {
+		e.sample("tiptop_agent_time_seconds", []label{{"machine", m.Label}}, m.Snapshot.TimeSeconds)
+	}
+
+	// Machine-wide aggregates, one sample per agent.
+	sets := make([][]label, len(ms))
+	aggs := make([]history.Aggregate, len(ms))
+	for i, m := range ms {
+		sets[i] = []label{{"machine", m.Label}}
+		aggs[i] = m.Snapshot.Machine
+	}
+	e.aggFamilies("machine", sets, aggs)
+
+	// Per-user and per-command aggregates across the fleet.
+	sets, aggs = sets[:0], aggs[:0]
+	for _, m := range ms {
+		for _, u := range sortedKeys(m.Snapshot.Users) {
+			sets = append(sets, []label{{"machine", m.Label}, {"user", u}})
+			aggs = append(aggs, m.Snapshot.Users[u])
+		}
+	}
+	e.aggFamilies("user", sets, aggs)
+
+	sets, aggs = sets[:0], aggs[:0]
+	for _, m := range ms {
+		for _, c := range sortedKeys(m.Snapshot.Commands) {
+			sets = append(sets, []label{{"machine", m.Label}, {"command", c}})
+			aggs = append(aggs, m.Snapshot.Commands[c])
+		}
+	}
+	e.aggFamilies("command", sets, aggs)
+
+	// Per-task gauges with the machine label prepended.
+	e.family("tiptop_task_cpu_pct", "gauge", "OS CPU usage of the task over the last refresh.")
+	for _, m := range ms {
+		for _, t := range m.Snapshot.Tasks {
+			e.sample("tiptop_task_cpu_pct", fleetTaskLabels(m.Label, t), t.CPUPct)
+		}
+	}
+	e.family("tiptop_task_ipc", "gauge", "Instructions per cycle of the task over the last refresh.")
+	for _, m := range ms {
+		for _, t := range m.Snapshot.Tasks {
+			e.sample("tiptop_task_ipc", fleetTaskLabels(m.Label, t), t.IPC)
+		}
+	}
+	e.family("tiptop_task_metric", "gauge", "Screen column value of the task (label \"column\" names it).")
+	for _, m := range ms {
+		cols := m.Snapshot.Columns
+		if len(cols) == 0 {
+			continue
+		}
+		for _, t := range m.Snapshot.Tasks {
+			base := fleetTaskLabels(m.Label, t)
+			for i, col := range cols {
+				if i >= len(t.Values) {
+					break
+				}
+				e.sample("tiptop_task_metric", append(base[:len(base):len(base)], label{"column", col}), t.Values[i])
+			}
+		}
+	}
+
+	if _, err := io.WriteString(bw, "# EOF\n"); err != nil {
+		return err
+	}
+	if e.err != nil {
+		return e.err
+	}
+	return bw.Flush()
+}
+
+func fleetTaskLabels(machine string, t history.TaskSnap) []label {
+	return []label{
+		{"machine", machine},
+		{"pid", strconv.Itoa(t.PID)},
+		{"tid", strconv.Itoa(t.TID)},
+		{"user", t.User},
+		{"command", t.Command},
+	}
+}

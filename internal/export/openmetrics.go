@@ -24,21 +24,25 @@ func WriteOpenMetrics(w io.Writer, snap *history.Snapshot) error {
 	e.family("tiptop_tasks", "gauge", "Monitored tasks in the last refresh.")
 	e.sample("tiptop_tasks", nil, float64(snap.Machine.Tasks))
 
-	e.aggFamilies("machine", "", nil, []history.Aggregate{snap.Machine})
+	e.aggFamilies("machine", [][]label{nil}, []history.Aggregate{snap.Machine})
 
 	users := sortedKeys(snap.Users)
+	sets := make([][]label, len(users))
 	aggs := make([]history.Aggregate, len(users))
 	for i, u := range users {
+		sets[i] = []label{{"user", u}}
 		aggs[i] = snap.Users[u]
 	}
-	e.aggFamilies("user", "user", users, aggs)
+	e.aggFamilies("user", sets, aggs)
 
 	cmds := sortedKeys(snap.Commands)
+	sets = make([][]label, len(cmds))
 	aggs = make([]history.Aggregate, len(cmds))
 	for i, c := range cmds {
+		sets[i] = []label{{"command", c}}
 		aggs[i] = snap.Commands[c]
 	}
-	e.aggFamilies("command", "command", cmds, aggs)
+	e.aggFamilies("command", sets, aggs)
 
 	// Per-task gauges: the Figure 1 screen as a scrape.
 	e.family("tiptop_task_cpu_pct", "gauge", "OS CPU usage of the task over the last refresh.")
@@ -119,35 +123,33 @@ func (e *omEncoder) sample(name string, labels []label, v float64) {
 	_, e.err = e.w.Write(b)
 }
 
+// aggField is one exported Aggregate field.
+type aggField struct {
+	suffix, typ, help string
+	get               func(history.Aggregate) float64
+}
+
+// aggFields lists the metric families an Aggregate expands into.
+var aggFields = []aggField{
+	{"tasks", "gauge", "Tasks in the last refresh.", func(a history.Aggregate) float64 { return float64(a.Tasks) }},
+	{"cpu_pct", "gauge", "Summed OS CPU usage over the last refresh.", func(a history.Aggregate) float64 { return a.CPUPct }},
+	{"ipc", "gauge", "Aggregate instructions per cycle of the last refresh.", func(a history.Aggregate) float64 { return a.IPC }},
+	{"window_ipc", "gauge", "Aggregate instructions per cycle over the rate window.", func(a history.Aggregate) float64 { return a.WindowIPC }},
+	{"window_mips", "gauge", "Million instructions per second over the rate window.", func(a history.Aggregate) float64 { return a.WindowMIPS }},
+	{"instructions_total", "counter", "Instructions counted since recording started.", func(a history.Aggregate) float64 { return float64(a.Instructions) }},
+	{"cycles_total", "counter", "Cycles counted since recording started.", func(a history.Aggregate) float64 { return float64(a.Cycles) }},
+	{"cache_misses_total", "counter", "Last-level cache misses since recording started.", func(a history.Aggregate) float64 { return float64(a.CacheMisses) }},
+}
+
 // aggFamilies writes one metric family per Aggregate field for a scope
-// ("machine", "user", "command"), one sample per key.
-func (e *omEncoder) aggFamilies(scope, labelName string, keys []string, aggs []history.Aggregate) {
-	type field struct {
-		suffix, typ, help string
-		get               func(history.Aggregate) float64
-	}
-	fields := []field{
-		{"tasks", "gauge", "Tasks in the last refresh.", func(a history.Aggregate) float64 { return float64(a.Tasks) }},
-		{"cpu_pct", "gauge", "Summed OS CPU usage over the last refresh.", func(a history.Aggregate) float64 { return a.CPUPct }},
-		{"ipc", "gauge", "Aggregate instructions per cycle of the last refresh.", func(a history.Aggregate) float64 { return a.IPC }},
-		{"window_ipc", "gauge", "Aggregate instructions per cycle over the rate window.", func(a history.Aggregate) float64 { return a.WindowIPC }},
-		{"window_mips", "gauge", "Million instructions per second over the rate window.", func(a history.Aggregate) float64 { return a.WindowMIPS }},
-		{"instructions_total", "counter", "Instructions counted since recording started.", func(a history.Aggregate) float64 { return float64(a.Instructions) }},
-		{"cycles_total", "counter", "Cycles counted since recording started.", func(a history.Aggregate) float64 { return float64(a.Cycles) }},
-		{"cache_misses_total", "counter", "Last-level cache misses since recording started.", func(a history.Aggregate) float64 { return float64(a.CacheMisses) }},
-	}
-	if scope == "machine" && len(aggs) == 1 && keys == nil {
-		keys = []string{""}
-	}
-	for _, f := range fields {
+// ("machine", "user", "command"), one sample per label set (labelSets
+// and aggs are parallel; a nil label set emits an unlabelled sample).
+func (e *omEncoder) aggFamilies(scope string, labelSets [][]label, aggs []history.Aggregate) {
+	for _, f := range aggFields {
 		name := "tiptop_" + scope + "_" + f.suffix
 		e.family(name, f.typ, f.help)
-		for i, key := range keys {
-			var labels []label
-			if labelName != "" {
-				labels = []label{{labelName, key}}
-			}
-			e.sample(name, labels, f.get(aggs[i]))
+		for i := range aggs {
+			e.sample(name, labelSets[i], f.get(aggs[i]))
 		}
 	}
 }

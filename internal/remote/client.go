@@ -1,0 +1,306 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Client calls after Close.
+var ErrClosed = errors.New("remote: client closed")
+
+// Client attaches to a tiptopd over HTTP and exposes its refreshes.
+// Poll fetches the latest sample (one request, ETag-friendly); Next
+// consumes the SSE stream, blocking until the agent publishes a refresh
+// the client has not seen — which is what paces a remote TUI to the
+// agent's cadence.
+//
+// Poll and Next are safe to call from one consumer goroutine while
+// Close is called from another (Close unblocks a pending Next).
+type Client struct {
+	base string
+	host string
+	// poll is the request client for one-shot fetches; stream requests
+	// use their own context and must not carry a timeout.
+	poll   *http.Client
+	stream *http.Client
+
+	mu          sync.Mutex
+	latest      *Sample
+	lastRefresh uint64
+	closed      bool
+	cancel      context.CancelFunc
+	body        io.ReadCloser
+	br          *bufio.Reader
+}
+
+// DialTimeout bounds the one-shot requests (and the stream connect).
+const DialTimeout = 10 * time.Second
+
+// normalizeBase canonicalizes an agent address ("host:port" or a full
+// URL): trimmed, no trailing slash, scheme defaulted to http, host
+// non-empty. Dial and NewFleet share it so an address the fleet labels
+// is always one the client can dial.
+func normalizeBase(addr string) (base, host string, err error) {
+	base = strings.TrimRight(strings.TrimSpace(addr), "/")
+	if base == "" {
+		return "", "", fmt.Errorf("remote: empty agent address")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u, err := url.Parse(base)
+	if err != nil || u.Host == "" {
+		return "", "", fmt.Errorf("remote: bad address %q", addr)
+	}
+	return base, u.Host, nil
+}
+
+// Dial connects to a tiptopd at base ("host:port" or a full URL) and
+// fetches its current sample, so Machine/Interval/Columns are known
+// before the first Next.
+func Dial(base string) (*Client, error) {
+	base, host, err := normalizeBase(base)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		base:   base,
+		host:   host,
+		poll:   &http.Client{Timeout: DialTimeout},
+		stream: &http.Client{},
+	}
+	if _, err := c.Poll(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Host returns the agent's host:port.
+func (c *Client) Host() string { return c.host }
+
+// URL returns the agent's base URL.
+func (c *Client) URL() string { return c.base }
+
+// Poll fetches the latest sample from /api/v1/sample.
+func (c *Client) Poll() (*Sample, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+
+	resp, err := c.poll.Get(c.base + "/api/v1/sample")
+	if err != nil {
+		return nil, fmt.Errorf("remote: %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, fmt.Errorf("remote: %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("remote: %s/api/v1/sample: %s", c.base, strings.TrimSpace(firstLine(data, resp.Status)))
+	}
+	ws, err := Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	c.remember(ws)
+	return ws, nil
+}
+
+func firstLine(body []byte, fallback string) string {
+	if i := bytes.IndexByte(body, '\n'); i >= 0 {
+		body = body[:i]
+	}
+	if len(body) == 0 {
+		return fallback
+	}
+	return string(body)
+}
+
+func (c *Client) remember(ws *Sample) {
+	c.mu.Lock()
+	c.latest = ws
+	if ws.Refresh > c.lastRefresh {
+		c.lastRefresh = ws.Refresh
+	}
+	c.mu.Unlock()
+}
+
+// Next blocks until the agent publishes a refresh this client has not
+// returned yet (the stream replays the latest frame on connect; frames
+// at or below the last seen refresh counter are skipped).
+func (c *Client) Next() (*Sample, error) {
+	for {
+		br, err := c.ensureStream()
+		if err != nil {
+			return nil, err
+		}
+		data, err := readSSEData(br)
+		if err != nil {
+			c.dropStream()
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil, ErrClosed
+			}
+			return nil, fmt.Errorf("remote: %s stream: %w", c.base, err)
+		}
+		ws, err := Decode(data)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		stale := ws.Refresh <= c.lastRefresh
+		c.mu.Unlock()
+		if stale {
+			continue
+		}
+		c.remember(ws)
+		return ws, nil
+	}
+}
+
+// ensureStream opens the SSE connection on first use.
+func (c *Client) ensureStream() (*bufio.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.br != nil {
+		return c.br, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/stream", nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.stream.Do(req)
+	if err != nil {
+		cancel()
+		return nil, fmt.Errorf("remote: %s: %w", c.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		return nil, fmt.Errorf("remote: %s/api/v1/stream: %s", c.base, resp.Status)
+	}
+	c.cancel = cancel
+	c.body = resp.Body
+	c.br = bufio.NewReader(resp.Body)
+	return c.br, nil
+}
+
+func (c *Client) dropStream() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancel != nil {
+		c.cancel()
+		c.cancel = nil
+	}
+	if c.body != nil {
+		c.body.Close()
+		c.body = nil
+	}
+	c.br = nil
+}
+
+// readSSEData reads until a complete "sample" event (or one with the
+// default event type) arrives and returns its concatenated data
+// payload. Comment lines are ignored; events of any other type are
+// discarded whole, so a future keep-alive or status event cannot be
+// misread as a sample.
+func readSSEData(br *bufio.Reader) ([]byte, error) {
+	var data []byte
+	event := ""
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = bytes.TrimRight(line, "\r\n")
+		if len(line) == 0 {
+			// Event boundary.
+			if len(data) > 0 && (event == "" || event == "sample" || event == "message") {
+				return data, nil
+			}
+			data, event = data[:0], ""
+			continue
+		}
+		if line[0] == ':' {
+			continue // comment / keep-alive
+		}
+		field, value, _ := bytes.Cut(line, []byte(":"))
+		value = bytes.TrimPrefix(value, []byte(" "))
+		switch string(field) {
+		case "data":
+			if len(data) > 0 {
+				data = append(data, '\n')
+			}
+			data = append(data, value...)
+		case "event":
+			event = string(value)
+		}
+	}
+}
+
+// Latest returns the most recently fetched sample (nil before Dial
+// completed, which never happens for a dialed client).
+func (c *Client) Latest() *Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.latest
+}
+
+// Machine returns the agent's machine description.
+func (c *Client) Machine() string {
+	if s := c.Latest(); s != nil {
+		return s.Machine
+	}
+	return ""
+}
+
+// Interval returns the agent's refresh period.
+func (c *Client) Interval() time.Duration {
+	if s := c.Latest(); s != nil {
+		return s.Interval()
+	}
+	return 0
+}
+
+// Columns returns the agent's screen columns.
+func (c *Client) Columns() []Column {
+	if s := c.Latest(); s != nil {
+		return s.Columns
+	}
+	return nil
+}
+
+// Close tears down the stream connection; a blocked Next returns
+// ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.dropStream()
+	return nil
+}

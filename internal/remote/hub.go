@@ -1,0 +1,236 @@
+package remote
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Hub fans one stream of pre-encoded frames out to many SSE
+// subscribers. The frame — "id: N\nevent: sample\ndata: <json>\n\n" —
+// is built exactly once per Publish and every subscriber receives the
+// same byte slice, so the per-refresh serving cost grows with the
+// subscriber count only by channel sends, never by re-encoding.
+//
+// Subscribers that fall behind lose the oldest buffered frames first:
+// for a monitor stream the newest refresh is the valuable one, and a
+// slow reader must not be able to stall the sampling loop or the other
+// subscribers.
+type Hub struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	latest []byte
+	closed bool
+	// dropped counts frames discarded because a subscriber's buffer was
+	// full (visible to tests and debugging).
+	dropped uint64
+}
+
+type subscriber struct {
+	ch chan []byte
+}
+
+// subscriberBuffer is each subscriber's frame backlog. One frame per
+// refresh means even a 16-deep backlog spans many seconds of lag before
+// anything is dropped.
+const subscriberBuffer = 16
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[*subscriber]struct{})}
+}
+
+// buildFrame renders one SSE frame. payload must be newline-free
+// (compact JSON is).
+func buildFrame(id uint64, payload []byte) []byte {
+	b := make([]byte, 0, len(payload)+48)
+	b = append(b, "id: "...)
+	b = strconv.AppendUint(b, id, 10)
+	b = append(b, "\nevent: sample\ndata: "...)
+	b = append(b, payload...)
+	b = append(b, '\n', '\n')
+	return b
+}
+
+// Publish encodes the payload into an SSE frame once and offers it to
+// every subscriber. It never blocks: a subscriber whose buffer is full
+// loses its oldest frame instead.
+func (h *Hub) Publish(id uint64, payload []byte) {
+	frame := buildFrame(id, payload)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.latest = frame
+	for s := range h.subs {
+		select {
+		case s.ch <- frame:
+		default:
+			// Full: drop the oldest buffered frame to make room. Publish
+			// holds the hub lock, so there is exactly one producer and
+			// the two-step drain-then-send cannot race another Publish.
+			select {
+			case <-s.ch:
+				h.dropped++
+			default:
+			}
+			select {
+			case s.ch <- frame:
+			default:
+			}
+		}
+	}
+}
+
+// Subscribe registers a consumer. The latest published frame (if any)
+// is replayed immediately so a new subscriber renders without waiting a
+// full refresh. cancel unregisters and closes the channel; it is safe
+// to call more than once.
+func (h *Hub) Subscribe() (<-chan []byte, func()) {
+	s := &subscriber{ch: make(chan []byte, subscriberBuffer)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		closed := make(chan []byte)
+		close(closed)
+		return closed, func() {}
+	}
+	if h.latest != nil {
+		s.ch <- h.latest
+	}
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.subs[s]; ok {
+				delete(h.subs, s)
+				close(s.ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return s.ch, cancel
+}
+
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Dropped returns the total count of frames discarded on full
+// subscriber buffers.
+func (h *Hub) Dropped() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// Close disconnects every subscriber and rejects future ones. In-flight
+// ServeSSE handlers observe their channel closing and return, which is
+// what lets an http.Server.Shutdown complete while streams are open.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		delete(h.subs, s)
+		close(s.ch)
+	}
+}
+
+// ServeSSE streams the hub to one HTTP client until the client goes
+// away or the hub closes.
+func (h *Hub) ServeSSE(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ch, cancel := h.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// EncodeCache memoizes one encoding per version: Get re-runs the encode
+// only when the version moved since the cached body was built, so a
+// thousand scrapers per refresh cost one encode plus cheap byte serves.
+// The cached body is immutable once returned; callers must not modify
+// it.
+type EncodeCache struct {
+	encode func(io.Writer) error
+
+	mu      sync.Mutex
+	valid   bool
+	version uint64
+	body    []byte
+	etag    string
+	buf     bytes.Buffer
+}
+
+// NewEncodeCache wraps an encoder (e.g. an OpenMetrics snapshot writer).
+func NewEncodeCache(encode func(io.Writer) error) *EncodeCache {
+	return &EncodeCache{encode: encode}
+}
+
+// Get returns the encoding for the given version, rebuilding it at most
+// once per version change, plus a strong ETag derived from the version.
+func (c *EncodeCache) Get(version uint64) (body []byte, etag string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid || c.version != version {
+		c.buf.Reset()
+		if err := c.encode(&c.buf); err != nil {
+			return nil, "", err
+		}
+		// Copy out of the reused buffer: earlier Get results may still
+		// be in flight on other goroutines.
+		c.body = append([]byte(nil), c.buf.Bytes()...)
+		c.etag = `"` + strconv.FormatUint(version, 10) + `"`
+		c.version = version
+		c.valid = true
+	}
+	return c.body, c.etag, nil
+}
+
+// ServeCached writes a cached body with ETag revalidation: a scraper
+// that presents the current ETag in If-None-Match gets a bodyless 304.
+func ServeCached(w http.ResponseWriter, r *http.Request, body []byte, etag, contentType string) {
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	if match := r.Header.Get("If-None-Match"); match != "" && match == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	_, _ = w.Write(body)
+}

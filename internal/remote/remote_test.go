@@ -1,0 +1,424 @@
+package remote
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tiptop/internal/hpm"
+)
+
+func testSample(refresh uint64, t float64) *Sample {
+	return &Sample{
+		V:               WireVersion,
+		Refresh:         refresh,
+		Machine:         "sim test box",
+		IntervalSeconds: 2,
+		TimeSeconds:     t,
+		Columns: []Column{
+			{Name: "ipc", Header: "IPC", Width: 6, Format: "%6.2f"},
+			{Name: "dmis", Header: "DMIS", Width: 6, Format: "%6.2f"},
+		},
+		Rows: []Row{
+			{
+				PID: 101, TID: 101, User: "alice", Command: "mcf", State: "R",
+				CPUPct: 99.5, IPC: 0.7, Monitored: true, StartSeconds: 1.5,
+				Values: []float64{0.7, 2.25},
+				Events: map[string]uint64{"CYCLES": 1000, "INSTRUCTIONS": 700},
+			},
+			{
+				PID: 102, User: "bob", Command: "idle", CPUPct: 0,
+				Monitored: false, Values: []float64{0, 0},
+			},
+		},
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	in := testSample(7, 12.5)
+	data, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.ContainsRune(data, '\n') {
+		t.Fatal("encoded sample contains a newline; unsafe for SSE data fields")
+	}
+	out, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+	if out.Interval() != 2*time.Second {
+		t.Fatalf("Interval = %v", out.Interval())
+	}
+	if got := out.Headers(); !reflect.DeepEqual(got, []string{"IPC", "DMIS"}) {
+		t.Fatalf("Headers = %v", got)
+	}
+	if got := out.ColumnNames(); !reflect.DeepEqual(got, []string{"ipc", "dmis"}) {
+		t.Fatalf("ColumnNames = %v", got)
+	}
+}
+
+func TestDecodeRejectsNewerVersion(t *testing.T) {
+	s := testSample(1, 0)
+	s.V = WireVersion + 1
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil {
+		t.Fatal("decoded a sample from the future")
+	}
+	if _, err := Decode([]byte("{")); err == nil {
+		t.Fatal("decoded malformed JSON")
+	}
+}
+
+func TestCoreSampleConversion(t *testing.T) {
+	cs := testSample(1, 10).CoreSample()
+	if cs.Time != 10*time.Second {
+		t.Fatalf("Time = %v", cs.Time)
+	}
+	if len(cs.Rows) != 2 {
+		t.Fatalf("rows = %d", len(cs.Rows))
+	}
+	r := cs.Rows[0]
+	if r.Info.ID.PID != 101 || r.Info.User != "alice" || r.Info.Comm != "mcf" {
+		t.Fatalf("row info = %+v", r.Info)
+	}
+	if r.Info.StartTime != 1500*time.Millisecond {
+		t.Fatalf("StartTime = %v", r.Info.StartTime)
+	}
+	if r.Events[hpm.EventCycles] != 1000 || r.Events[hpm.EventInstructions] != 700 {
+		t.Fatalf("events = %v", r.Events)
+	}
+	if !r.Valid || cs.Rows[1].Valid {
+		t.Fatal("Valid flags lost in conversion")
+	}
+}
+
+func TestCoreSampleSkipsUnknownEvents(t *testing.T) {
+	s := testSample(1, 1)
+	s.Rows[0].Events["FUTURE_EVENT"] = 42
+	cs := s.CoreSample()
+	if len(cs.Rows[0].Events) != 2 {
+		t.Fatalf("events = %v, want unknown names skipped", cs.Rows[0].Events)
+	}
+}
+
+func TestScreenSynthesis(t *testing.T) {
+	sc := testSample(1, 0).Screen()
+	if len(sc.Columns) != 2 || sc.Columns[0].Header != "IPC" || sc.Columns[0].Width != 6 {
+		t.Fatalf("screen = %+v", sc.Columns[0])
+	}
+	// Defaults fill in when the wire omits display attributes.
+	s := testSample(1, 0)
+	s.Columns[0].Width = 0
+	s.Columns[0].Format = ""
+	sc = s.Screen()
+	if sc.Columns[0].Width != 6 || sc.Columns[0].Format != "%8.2f" {
+		t.Fatalf("defaults not applied: %+v", sc.Columns[0])
+	}
+}
+
+func TestHubFanout(t *testing.T) {
+	hub := NewHub()
+	const subs = 8
+	chans := make([]<-chan []byte, subs)
+	cancels := make([]func(), subs)
+	for i := range chans {
+		chans[i], cancels[i] = hub.Subscribe()
+	}
+	payload := []byte(`{"v":1}`)
+	hub.Publish(1, payload)
+	want := "id: 1\nevent: sample\ndata: {\"v\":1}\n\n"
+	for i, ch := range chans {
+		got := <-ch
+		if string(got) != want {
+			t.Fatalf("subscriber %d frame = %q, want %q", i, got, want)
+		}
+	}
+	// A late subscriber gets the latest frame replayed.
+	late, cancelLate := hub.Subscribe()
+	if got := <-late; string(got) != want {
+		t.Fatalf("late subscriber frame = %q", got)
+	}
+	cancelLate()
+	for _, c := range cancels {
+		c()
+	}
+	if n := hub.Subscribers(); n != 0 {
+		t.Fatalf("subscribers after cancel = %d", n)
+	}
+}
+
+func TestHubSlowSubscriberDropsOldest(t *testing.T) {
+	hub := NewHub()
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	// Overfill the buffer without draining.
+	for i := 1; i <= subscriberBuffer+5; i++ {
+		hub.Publish(uint64(i), []byte(fmt.Sprintf(`{"n":%d}`, i)))
+	}
+	if hub.Dropped() == 0 {
+		t.Fatal("no frames dropped despite overfull buffer")
+	}
+	// The newest frame must still be buffered (oldest were dropped).
+	var last []byte
+	for {
+		select {
+		case f := <-ch:
+			last = f
+			continue
+		default:
+		}
+		break
+	}
+	if !bytes.Contains(last, []byte(fmt.Sprintf(`{"n":%d}`, subscriberBuffer+5))) {
+		t.Fatalf("newest frame lost; last buffered = %q", last)
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	hub := NewHub()
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	hub.Close()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel still open after hub close")
+	}
+	// Publishing and subscribing after close must not panic or block.
+	hub.Publish(1, []byte("{}"))
+	ch2, cancel2 := hub.Subscribe()
+	defer cancel2()
+	if _, ok := <-ch2; ok {
+		t.Fatal("subscribe after close returned a live channel")
+	}
+}
+
+func TestEncodeCache(t *testing.T) {
+	encodes := 0
+	c := NewEncodeCache(func(w io.Writer) error {
+		encodes++
+		fmt.Fprintf(w, "body-%d", encodes)
+		return nil
+	})
+	for i := 0; i < 5; i++ {
+		body, etag, err := c.Get(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(body) != "body-1" || etag != `"1"` {
+			t.Fatalf("Get(1) = %q %q", body, etag)
+		}
+	}
+	if encodes != 1 {
+		t.Fatalf("encodes = %d, want 1 (cache must memoize per version)", encodes)
+	}
+	body, etag, err := c.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "body-2" || etag != `"2"` || encodes != 2 {
+		t.Fatalf("Get(2) = %q %q after %d encodes", body, etag, encodes)
+	}
+}
+
+// TestServerEndpoints exercises the full server+client pair over
+// httptest: ETag revalidation on /api/v1/sample and /metrics, stream
+// push, and the client's replay deduplication.
+func TestServerEndpoints(t *testing.T) {
+	srv := NewServer(func(w io.Writer) error {
+		_, err := io.WriteString(w, "# metrics\n")
+		return err
+	})
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	defer srv.Close()
+
+	// No sample yet: 503.
+	resp, err := http.Get(ts.URL + "/api/v1/sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-publish sample status = %d", resp.StatusCode)
+	}
+
+	if err := srv.Publish(testSample(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err = http.Get(ts.URL + "/api/v1/sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag != `"1"` {
+		t.Fatalf("sample status=%d etag=%q", resp.StatusCode, etag)
+	}
+	ws, err := Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Refresh != 1 || ws.Machine != "sim test box" {
+		t.Fatalf("sample = %+v", ws)
+	}
+
+	// Revalidation: matching If-None-Match gets a bodyless 304.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/v1/sample", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified || len(b) != 0 {
+		t.Fatalf("revalidation = %d with %d body bytes", resp.StatusCode, len(b))
+	}
+
+	// /metrics is ETag'd by the same version counter.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(mb) != "# metrics\n" || resp.Header.Get("ETag") != `"1"` {
+		t.Fatalf("/metrics = %q etag=%q", mb, resp.Header.Get("ETag"))
+	}
+
+	// Client: Dial picks up the published sample; Next dedupes the
+	// stream replay and blocks until the next publish.
+	client, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if client.Machine() != "sim test box" || client.Interval() != 2*time.Second {
+		t.Fatalf("client latest = %+v", client.Latest())
+	}
+	type next struct {
+		ws  *Sample
+		err error
+	}
+	got := make(chan next, 1)
+	go func() {
+		ws, err := client.Next()
+		got <- next{ws, err}
+	}()
+	// Give Next time to connect and skip the replayed frame 1.
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Publish(testSample(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n.err != nil {
+			t.Fatal(n.err)
+		}
+		if n.ws.Refresh != 2 || n.ws.TimeSeconds != 3 {
+			t.Fatalf("Next = %+v, want the second publish", n.ws)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not deliver the published refresh")
+	}
+}
+
+// TestClientCloseUnblocksNext: Close from another goroutine must
+// unblock a pending Next with ErrClosed.
+func TestClientCloseUnblocksNext(t *testing.T) {
+	srv := NewServer(nil)
+	mux := http.NewServeMux()
+	srv.Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	defer srv.Close()
+	if err := srv.Publish(testSample(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := client.Next()
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	client.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Next after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next still blocked after Close")
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial("http://"); err == nil {
+		t.Fatal("dialed an empty host")
+	}
+	// A server without the API: Dial must fail with a useful error.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	if _, err := Dial(ts.URL); err == nil || !strings.Contains(err.Error(), "api/v1/sample") {
+		t.Fatalf("Dial against a non-tiptopd = %v", err)
+	}
+}
+
+// TestHubConcurrentPublishSubscribe is the hub's -race exercise:
+// publishers, subscribers and cancellations all racing.
+func TestHubConcurrentPublishSubscribe(t *testing.T) {
+	hub := NewHub()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(1); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hub.Publish(i, []byte(`{}`))
+		}
+	}()
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				ch, cancel := hub.Subscribe()
+				select {
+				case <-ch:
+				case <-time.After(time.Second):
+				}
+				cancel()
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	hub.Close()
+}

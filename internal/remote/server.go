@@ -1,0 +1,115 @@
+package remote
+
+import (
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Server is the serving side of the wire protocol: the sampling loop
+// publishes each refresh once, and the server fans it out over
+//
+//	/api/v1/stream   SSE push of every refresh (one encode, many subscribers)
+//	/api/v1/sample   the latest refresh as JSON, ETag'd by refresh counter
+//	/metrics         OpenMetrics text, cached per refresh and ETag'd
+//
+// The /metrics body is produced by the encode function handed to
+// NewServer (typically a Recorder snapshot writer) and re-encoded at
+// most once per published refresh regardless of scrape rate.
+type Server struct {
+	hub     *Hub
+	metrics *EncodeCache
+
+	mu         sync.RWMutex
+	version    uint64
+	latestJSON []byte
+	latestETag string
+}
+
+// NewServer creates a server; metricsEncode renders the current
+// OpenMetrics exposition (nil disables /metrics caching handlers).
+func NewServer(metricsEncode func(io.Writer) error) *Server {
+	s := &Server{hub: NewHub()}
+	if metricsEncode != nil {
+		s.metrics = NewEncodeCache(metricsEncode)
+	}
+	return s
+}
+
+// Publish stamps the sample with the next refresh version, encodes it
+// once, and hands the bytes to the stream hub and the /api/v1/sample
+// cache. It is called from the sampling loop, once per refresh.
+func (s *Server) Publish(ws *Sample) error {
+	s.mu.Lock()
+	s.version++
+	v := s.version
+	ws.V = WireVersion
+	ws.Refresh = v
+	data, err := ws.Encode()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.latestJSON = data
+	s.latestETag = `"` + strconv.FormatUint(v, 10) + `"`
+	s.mu.Unlock()
+	s.hub.Publish(v, data)
+	return nil
+}
+
+// Version returns the number of refreshes published so far.
+func (s *Server) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Hub exposes the stream hub (for subscriber accounting in tests).
+func (s *Server) Hub() *Hub { return s.hub }
+
+// Close terminates every open stream so the HTTP server can shut down.
+func (s *Server) Close() { s.hub.Close() }
+
+// HandleStream serves the SSE refresh stream.
+func (s *Server) HandleStream(w http.ResponseWriter, r *http.Request) {
+	s.hub.ServeSSE(w, r)
+}
+
+// HandleSample serves the latest wire sample with ETag revalidation.
+func (s *Server) HandleSample(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	body, etag := s.latestJSON, s.latestETag
+	s.mu.RUnlock()
+	if body == nil {
+		http.Error(w, "no sample yet", http.StatusServiceUnavailable)
+		return
+	}
+	ServeCached(w, r, body, etag, "application/json")
+}
+
+// HandleMetrics serves the per-refresh cached OpenMetrics exposition.
+func (s *Server) HandleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.metrics == nil {
+		http.NotFound(w, r)
+		return
+	}
+	s.mu.RLock()
+	v := s.version
+	s.mu.RUnlock()
+	body, etag, err := s.metrics.Get(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	ServeCached(w, r, body, etag, "text/plain; version=0.0.4; charset=utf-8")
+}
+
+// Register mounts the server's endpoints on a mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /api/v1/stream", s.HandleStream)
+	mux.HandleFunc("GET /api/v1/sample", s.HandleSample)
+	if s.metrics != nil {
+		mux.HandleFunc("GET /metrics", s.HandleMetrics)
+	}
+}

@@ -1,0 +1,177 @@
+// Package remote makes a tiptop monitor network-attachable: a versioned
+// JSON wire format for samples, an SSE fan-out hub and per-refresh
+// encode caches for the serving side, a Client that consumes a remote
+// tiptopd's refreshes, and a Fleet aggregator that merges many agents
+// into one cluster-wide view.
+//
+// The design goal is fleet-scale cost: a refresh is encoded once no
+// matter how many stream subscribers are attached (the hub fans out the
+// same byte slice), and a /metrics scrape costs one OpenMetrics encode
+// per refresh no matter how many scrapers hit it (the EncodeCache is
+// keyed by the refresh version and revalidates with ETags).
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+	"tiptop/internal/metrics"
+)
+
+// WireVersion is the protocol version stamped into every sample. A
+// decoder accepts documents up to its own version and rejects newer
+// ones, so a stale client fails loudly instead of misreading frames.
+const WireVersion = 1
+
+// Column describes one metric column of the serving monitor's screen,
+// including the display attributes (width, printf format) a remote
+// renderer needs to reproduce the local output byte-for-byte.
+type Column struct {
+	Name   string `json:"name"`
+	Header string `json:"header"`
+	Width  int    `json:"width,omitempty"`
+	Format string `json:"format,omitempty"`
+}
+
+// Row is one monitored task on the wire.
+type Row struct {
+	PID          int               `json:"pid"`
+	TID          int               `json:"tid,omitempty"`
+	User         string            `json:"user"`
+	Command      string            `json:"command"`
+	State        string            `json:"state,omitempty"`
+	CPUPct       float64           `json:"cpu_pct"`
+	IPC          float64           `json:"ipc"`
+	Monitored    bool              `json:"monitored"`
+	StartSeconds float64           `json:"start_s,omitempty"`
+	Values       []float64         `json:"values"`
+	Events       map[string]uint64 `json:"events,omitempty"`
+}
+
+// Sample is one refresh of a monitor on the wire.
+type Sample struct {
+	// V is the wire version (WireVersion when produced by this code).
+	V int `json:"v"`
+	// Refresh is the serving daemon's monotonic refresh counter; stream
+	// consumers use it to deduplicate the replayed latest frame.
+	Refresh uint64 `json:"refresh"`
+	// Source labels the originating agent in fleet streams ("" when the
+	// sample comes straight from the agent itself).
+	Source          string   `json:"source,omitempty"`
+	Machine         string   `json:"machine"`
+	IntervalSeconds float64  `json:"interval_s"`
+	TimeSeconds     float64  `json:"time_s"`
+	Dropped         int      `json:"dropped,omitempty"`
+	Columns         []Column `json:"columns"`
+	Rows            []Row    `json:"rows"`
+}
+
+// Encode serializes the sample (compact, newline-free — safe to embed
+// in an SSE data field).
+func (s *Sample) Encode() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// Decode parses and version-checks a wire sample.
+func Decode(data []byte) (*Sample, error) {
+	var s Sample
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("remote: bad wire sample: %w", err)
+	}
+	if s.V < 1 || s.V > WireVersion {
+		return nil, fmt.Errorf("remote: wire version %d not supported (this client speaks <= %d)", s.V, WireVersion)
+	}
+	return &s, nil
+}
+
+// Interval returns the serving monitor's refresh period.
+func (s *Sample) Interval() time.Duration {
+	return time.Duration(s.IntervalSeconds * float64(time.Second))
+}
+
+// Time returns the sample's monitor clock time.
+func (s *Sample) Time() time.Duration {
+	return time.Duration(s.TimeSeconds * float64(time.Second))
+}
+
+// Screen synthesizes a render-only screen from the wire columns: same
+// headers, widths and formats as the serving side, no expressions (the
+// values were computed remotely).
+func (s *Sample) Screen() *metrics.Screen {
+	sc := &metrics.Screen{Name: "remote"}
+	for _, c := range s.Columns {
+		width := c.Width
+		if width == 0 {
+			width = len(c.Header)
+			if width < 6 {
+				width = 6
+			}
+		}
+		format := c.Format
+		if format == "" {
+			format = "%8.2f"
+		}
+		sc.Columns = append(sc.Columns, &metrics.Column{
+			Name:   c.Name,
+			Header: c.Header,
+			Width:  width,
+			Format: format,
+		})
+	}
+	return sc
+}
+
+// CoreSample converts the wire sample into the engine's representation,
+// which is what recorders (history.Recorder) consume. Event names the
+// local build does not know are skipped, so a newer agent can stream
+// extra counters to an older aggregator.
+func (s *Sample) CoreSample() *core.Sample {
+	cs := &core.Sample{Time: s.Time(), Dropped: s.Dropped}
+	cs.Rows = make([]core.Row, 0, len(s.Rows))
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		row := core.Row{
+			Info: core.TaskInfo{
+				ID:        hpm.TaskID{PID: r.PID, TID: r.TID},
+				User:      r.User,
+				Comm:      r.Command,
+				State:     r.State,
+				StartTime: time.Duration(r.StartSeconds * float64(time.Second)),
+			},
+			CPUPct: r.CPUPct,
+			Values: r.Values,
+			Valid:  r.Monitored,
+		}
+		if len(r.Events) > 0 {
+			row.Events = make(map[hpm.EventID]uint64, len(r.Events))
+			for name, v := range r.Events {
+				if e, err := hpm.ParseEvent(name); err == nil {
+					row.Events[e] = v
+				}
+			}
+		}
+		cs.Rows = append(cs.Rows, row)
+	}
+	return cs
+}
+
+// ColumnNames returns the wire columns' machine-friendly names.
+func (s *Sample) ColumnNames() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Headers returns the wire columns' display headings.
+func (s *Sample) Headers() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Header
+	}
+	return out
+}

@@ -90,12 +90,19 @@ type Row struct {
 	// Monitored is false when counters could not be attached to the
 	// task (e.g. another user's process without privileges).
 	Monitored bool
+	// Start is the task's start time on the monitor clock — the
+	// PID-reuse discriminator recorders and the remote wire format
+	// carry along.
+	Start time.Duration
 }
 
 // Sample is one refresh of the monitor.
 type Sample struct {
 	Time time.Duration
 	Rows []Row
+	// Dropped counts tasks that disappeared since the previous refresh
+	// — the per-refresh churn signal.
+	Dropped int
 }
 
 // Monitor is a running tiptop engine over some backend.
@@ -215,7 +222,7 @@ func (m *Monitor) sampleNow() (*Sample, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Sample{Time: cs.Time, Rows: make([]Row, 0, len(cs.Rows))}
+	out := &Sample{Time: cs.Time, Rows: make([]Row, 0, len(cs.Rows)), Dropped: cs.Dropped}
 	for i := range cs.Rows {
 		r := &cs.Rows[i]
 		row := Row{
@@ -228,6 +235,7 @@ func (m *Monitor) sampleNow() (*Sample, error) {
 			IPC:       r.IPC(),
 			Columns:   append([]float64(nil), r.Values...),
 			Monitored: r.Valid,
+			Start:     r.Info.StartTime,
 			Events:    make(map[string]uint64, len(r.Events)),
 		}
 		for e, v := range r.Events {
@@ -241,6 +249,13 @@ func (m *Monitor) sampleNow() (*Sample, error) {
 // Render writes the sample as a batch-mode text block (the tiptop -b
 // format) to w.
 func (m *Monitor) Render(w io.Writer, s *Sample) error {
+	return renderSample(m.session.Screen(), w, s)
+}
+
+// renderSample writes a public sample as a batch text block under the
+// given screen — shared by the local and remote monitors so the same
+// refresh renders byte-identically on both sides of the wire.
+func renderSample(screen *metrics.Screen, w io.Writer, s *Sample) error {
 	// Rebuild a core sample view for the renderer.
 	cs := &core.Sample{Time: s.Time}
 	for _, row := range s.Rows {
@@ -258,7 +273,7 @@ func (m *Monitor) Render(w io.Writer, s *Sample) error {
 		cs.Rows = append(cs.Rows, cr)
 	}
 	br := &ui.BatchRenderer{W: w, Timestamps: true}
-	return br.Render(m.session.Screen(), cs)
+	return br.Render(screen, cs)
 }
 
 // Close releases the monitor's counters.
