@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt build vet test race bench
+.PHONY: verify fmt build vet test race bench fuzz
 
 verify: fmt build vet race
 
@@ -25,6 +25,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# A short coverage-guided pass over the metric-expression parser; CI
+# runs it so a grammar change that panics or breaks the canonical
+# rendering fixpoint is caught before it lands.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime 15s ./internal/metrics/
 
 # Serial vs sharded sampling on the many-task stress scenario, plus the
 # machine-readable trajectory files:

@@ -228,9 +228,13 @@ func BenchmarkPMURead(b *testing.B) {
 	}
 	task := k.Spawn("u", "j", spin, nil)
 	backend := pmu.New(k)
-	ctr, err := backend.Attach(task.ID(), []hpm.EventID{
-		hpm.EventCycles, hpm.EventInstructions, hpm.EventCacheMisses,
-	})
+	reg := hpm.DefaultRegistry()
+	var events []hpm.EventDesc
+	for _, name := range []string{hpm.EventCycles, hpm.EventInstructions, hpm.EventCacheMisses} {
+		d, _ := reg.Lookup(name)
+		events = append(events, d)
+	}
+	ctr, err := backend.Attach(task.ID(), events)
 	if err != nil {
 		b.Fatal(err)
 	}

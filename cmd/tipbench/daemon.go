@@ -268,7 +268,7 @@ func wireFromCore(cs *core.Sample) *remote.Sample {
 			Events:       make(map[string]uint64, len(r.Events)),
 		}
 		for e, v := range r.Events {
-			row.Events[e.String()] = v
+			row.Events[e] = v
 		}
 		ws.Rows = append(ws.Rows, row)
 	}

@@ -57,11 +57,12 @@ func run(args []string, stdout io.Writer) error {
 		outFormat  = fs.String("o", "", "batch output format: text, csv, jsonl (default text)")
 		recordPath = fs.String("record", "", "record every sample to this file (CSV, or JSONL for .jsonl/.ndjson)")
 		connect    = fs.String("connect", "", "monitor a remote tiptopd (host:port or URL) instead of this machine")
-		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter")
+		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios (1.0 = paper length)")
 		list       = fs.Bool("list", false, "list screens and scenarios, then exit")
+		listEvents = fs.Bool("list-events", false, "list the event registry with per-backend support, then exit")
 		dumpConf   = fs.Bool("dump-config", false, "print the built-in XML configuration and exit")
-		confFile   = fs.String("config", "", "load screens from an XML configuration file")
+		confFile   = fs.String("config", "", "load custom events and screens from an XML configuration file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,9 +107,10 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		// Custom files may override options and define screens; only
-		// the options translate through the public facade (custom
-		// screens require the library API).
+		// Custom files may override options and define events and
+		// screens; the definitions translate to the facade's
+		// EventDef/ScreenDef, so a custom screen is selectable with
+		// -screen and its expressions may reference custom events.
 		if parsed.Options.Interval() > 0 {
 			cfg.Interval = parsed.Options.Interval()
 		}
@@ -130,6 +132,10 @@ func run(args []string, stdout io.Writer) error {
 		if *connect == "" {
 			*connect = parsed.Options.Connect
 		}
+		cfg.ApplyDefinitions(parsed)
+	}
+	if *listEvents {
+		return printEvents(stdout, cfg, *simName)
 	}
 	switch format {
 	case "", "text", "csv", "jsonl":
@@ -194,6 +200,46 @@ func run(args []string, stdout io.Writer) error {
 		err = cerr
 	}
 	return err
+}
+
+// printEvents renders the -list-events table: the full event registry
+// (defaults plus -config definitions), sorted by name, with per-backend
+// support status. The sim column reflects the machine the selected
+// scenario runs on.
+func printEvents(stdout io.Writer, cfg tiptop.Config, simName string) error {
+	machine := scenarioMachine(simName)
+	infos, err := tiptop.ListEvents(cfg, machine)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "events (sim support on machine %q):\n", machine)
+	fmt.Fprintf(stdout, "  %-18s %-8s %-22s %-4s %-4s %s\n",
+		"NAME", "KIND", "ENCODING", "PERF", "SIM", "DESCRIPTION")
+	for _, info := range infos {
+		desc := info.Desc
+		if info.Unit != "" {
+			desc = fmt.Sprintf("%s [%s]", desc, info.Unit)
+		}
+		fmt.Fprintf(stdout, "  %-18s %-8s %-22s %-4s %-4s %s\n",
+			info.Name, info.Kind, info.Encoding,
+			yesNo(info.Supported["perf_event"]), yesNo(info.Supported["sim"]), desc)
+	}
+	return nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// scenarioMachine names the machine preset a -sim scenario runs on.
+func scenarioMachine(simName string) tiptop.MachineName {
+	if simName == "datacenter" {
+		return tiptop.MachineE5640
+	}
+	return tiptop.MachineXeonW3550
 }
 
 // emitter routes samples: batch output to stdout (classic text blocks

@@ -13,7 +13,7 @@ import (
 )
 
 func TestBuildScenarioAll(t *testing.T) {
-	for _, name := range []string{"spec", "revolution", "conflict", "datacenter"} {
+	for _, name := range []string{"spec", "revolution", "conflict", "datacenter", "assist"} {
 		sc, err := buildScenario(name, 0.001)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -332,5 +332,96 @@ func TestPaintDoesNotPanic(t *testing.T) {
 	paint(screen, mon, sample)
 	if !strings.Contains(sb.String(), "tiptop") {
 		t.Fatal("status bar missing")
+	}
+}
+
+// TestRunListEventsGolden pins the -list-events registry table: sorted
+// by name, deterministic run to run, with per-backend support status.
+func TestRunListEventsGolden(t *testing.T) {
+	render := func() string {
+		var sb strings.Builder
+		if err := run([]string{"-list-events"}, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	want, err := os.ReadFile(filepath.Join("testdata", "list_events.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != string(want) {
+		t.Fatalf("-list-events drifted:\n--- got ---\n%s--- want ---\n%s", first, want)
+	}
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatal("-list-events output changed between runs")
+		}
+	}
+}
+
+// TestRunListEventsWithConfig: -config <event> definitions appear in
+// the listing, and the sim column tracks the selected scenario's
+// machine (the PPC970 never decodes the FP-assist code — here approximated
+// by the datacenter/Westmere switch keeping it supported).
+func TestRunListEventsWithConfig(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-list-events", "-config", filepath.Join("..", "..", "examples", "custom-events.xml")}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FP_ASSIST_RAW", "L1D_MISSES", "hw-cache", "type=4 config=0x1ef7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list-events with config missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBatchAssistCustomGolden is the end-to-end test of the
+// extensible event registry: a custom event defined purely in XML
+// (FP_ASSIST_RAW, raw code 0x1EF7 — no registry defaults edited)
+// renders in a custom screen against the sim backend, whose machine
+// model decodes the raw code. The golden pins the §3.1 signature: the
+// x87/inf micro-kernel's IPC collapses while %ASST shows 25 assists
+// per hundred instructions.
+func TestRunBatchAssistCustomGolden(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-b", "-n", "2", "-d", "0.05", "-sim", "assist",
+		"-config", filepath.Join("..", "..", "examples", "custom-events.xml"),
+		"-screen", "fpcustom"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "batch_assist_custom.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != string(want) {
+		t.Fatalf("assist batch output drifted from %s:\n--- got ---\n%s--- want ---\n%s", golden, sb.String(), want)
+	}
+	if !strings.Contains(sb.String(), "25.00") {
+		t.Fatal("golden lost the 25%% assist signature")
+	}
+}
+
+// TestRunRejectsUnknownScreenIdentifier: a -config screen with a typo'd
+// event fails at load time, naming the column and the identifier.
+func TestRunRejectsUnknownScreenIdentifier(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "typo.xml")
+	content := `<tiptop><screen name="s"><column name="c" header="C" expr="ratio(CYCELS, INSTRUCTIONS)"/></screen></tiptop>`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-b", "-config", path, "-sim", "spec"}, io.Discard)
+	if err == nil {
+		t.Fatal("typo'd identifier accepted")
+	}
+	for _, want := range []string{`"c"`, `"CYCELS"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
 	}
 }

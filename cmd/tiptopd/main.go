@@ -12,6 +12,7 @@
 //	/api/v1/snapshot        latest refresh + aggregates, JSON
 //	/api/v1/history?pid=N   recorded time series of one process, JSON
 //	/api/v1/history         recorded PIDs, JSON
+//	/api/v1/events          the event registry with backend support, JSON
 //	/api/v1/sample          latest refresh in the versioned wire format
 //	/api/v1/stream          SSE push of every refresh (tiptop -connect)
 //
@@ -66,7 +67,7 @@ func run(args []string, stdout io.Writer) error {
 		sortBy     = fs.String("sort", "cpu", "sort key: cpu, pid, or a column name")
 		user       = fs.String("u", "", "only monitor this user's tasks")
 		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
-		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter")
+		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios")
 		historyCap = fs.Int("history", 0, "points retained per task (0 = default 600)")
 		window     = fs.Duration("window", 0, "windowed-rate horizon, capped at 128 refreshes (0 = default 1m)")
@@ -121,6 +122,10 @@ func run(args []string, stdout io.Writer) error {
 		if parsed.Options.Join != "" {
 			*join = parsed.Options.Join
 		}
+		// Event and screen definitions translate to the facade, so a
+		// daemon can sample (and stream) custom screens over
+		// user-defined events.
+		cfg.ApplyDefinitions(parsed)
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -280,6 +285,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /", d.index)
 	mux.HandleFunc("GET /api/v1/snapshot", d.snapshot)
 	mux.HandleFunc("GET /api/v1/history", d.history)
+	mux.HandleFunc("GET /api/v1/events", d.events)
 	// /metrics, /api/v1/sample and /api/v1/stream come from the wire
 	// server (cached, ETag'd, fan-out).
 	d.srv.Register(mux)
@@ -292,7 +298,16 @@ func (d *daemon) index(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "tiptopd monitoring %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/history?pid=N\n/api/v1/sample\n/api/v1/stream\n", d.mon.Machine())
+	fmt.Fprintf(w, "tiptopd monitoring %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/history?pid=N\n/api/v1/events\n/api/v1/sample\n/api/v1/stream\n", d.mon.Machine())
+}
+
+// events serves the daemon's event registry — defaults plus any
+// -config <event> definitions — with the backend's support status and
+// the set of events the session attaches, in deterministic name order.
+func (d *daemon) events(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Events []tiptop.EventInfo `json:"events"`
+	}{d.mon.EventList()})
 }
 
 func (d *daemon) snapshot(w http.ResponseWriter, _ *http.Request) {

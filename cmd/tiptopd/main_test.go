@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -234,5 +235,55 @@ func TestRunFlagValidation(t *testing.T) {
 		if err := run(args, io.Discard); err == nil {
 			t.Errorf("args %v must fail", args)
 		}
+	}
+}
+
+// TestDaemonEventsEndpoint: /api/v1/events serves the registry in
+// deterministic name order with the sim backend's support status and
+// the attached set of the default screen.
+func TestDaemonEventsEndpoint(t *testing.T) {
+	_, srv := testDaemon(t)
+	get := func() []tiptop.EventInfo {
+		resp, err := http.Get(srv.URL + "/api/v1/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var body struct {
+			Events []tiptop.EventInfo `json:"events"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Events
+	}
+	events := get()
+	if len(events) != 12 {
+		t.Fatalf("events = %d, want the 12 defaults", len(events))
+	}
+	byName := map[string]tiptop.EventInfo{}
+	for i, e := range events {
+		byName[e.Name] = e
+		if i > 0 && events[i-1].Name >= e.Name {
+			t.Fatalf("events not sorted by name: %q before %q", events[i-1].Name, e.Name)
+		}
+	}
+	cycles := byName["CYCLES"]
+	if !cycles.Supported["sim"] || !cycles.Attached || cycles.Kind != "generic" {
+		t.Fatalf("CYCLES = %+v", cycles)
+	}
+	// The default screen does not reference branches; the event is
+	// supported but unattached.
+	branches := byName["BRANCHES"]
+	if !branches.Supported["sim"] || branches.Attached {
+		t.Fatalf("BRANCHES = %+v", branches)
+	}
+	// Deterministic across requests.
+	again := get()
+	if !reflect.DeepEqual(events, again) {
+		t.Fatal("events listing changed between requests")
 	}
 }

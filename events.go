@@ -1,0 +1,79 @@
+package tiptop
+
+import (
+	"sort"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/perfevent"
+)
+
+// EventInfo describes one event of a registry for listings: the
+// canonical name, its kind and perf encoding, and which backends can
+// count it. tiptop -list-events and tiptopd's /api/v1/events serve it.
+type EventInfo struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`     // generic, hw-cache, raw
+	Encoding string `json:"encoding"` // "type=4 config=0x1ef7"
+	Unit     string `json:"unit,omitempty"`
+	Desc     string `json:"desc,omitempty"`
+	// Supported maps a backend name ("perf_event", "sim") to whether
+	// that backend can count the event.
+	Supported map[string]bool `json:"supported"`
+	// Attached is set by Monitor.EventList when the active session
+	// attaches the event to every monitored task.
+	Attached bool `json:"attached,omitempty"`
+}
+
+// ListEvents returns every event of cfg's registry — the built-in
+// defaults plus cfg.Events — sorted by name, with the support status of
+// the default perf_event backend and of the named simulated machine.
+func ListEvents(cfg Config, machine MachineName) ([]EventInfo, error) {
+	registry, err := cfg.buildRegistry()
+	if err != nil {
+		return nil, err
+	}
+	sc, err := NewScenario(machine)
+	if err != nil {
+		return nil, err
+	}
+	perf := perfevent.New()
+	sim := sc.backend()
+	return eventInfos(registry, func(d hpm.EventDesc) map[string]bool {
+		return map[string]bool{
+			perf.Name(): perf.Supported(d),
+			sim.Name():  sim.Supported(d),
+		}
+	}, nil), nil
+}
+
+// EventList returns the monitor's event registry sorted by name, with
+// the support status of the monitor's own backend and the set of events
+// the session actually attaches.
+func (m *Monitor) EventList() []EventInfo {
+	session := m.session
+	backend := session.Backend()
+	attached := make(map[string]bool)
+	for _, d := range session.Events() {
+		attached[d.Name] = true
+	}
+	return eventInfos(session.Registry(), func(d hpm.EventDesc) map[string]bool {
+		return map[string]bool{backend.Name(): backend.Supported(d)}
+	}, attached)
+}
+
+func eventInfos(registry *hpm.Registry, support func(hpm.EventDesc) map[string]bool, attached map[string]bool) []EventInfo {
+	out := make([]EventInfo, 0, registry.Len())
+	for _, d := range registry.Events() {
+		out = append(out, EventInfo{
+			Name:      d.Name,
+			Kind:      d.Kind.String(),
+			Encoding:  d.Encoding(),
+			Unit:      d.Unit,
+			Desc:      d.Desc,
+			Supported: support(d),
+			Attached:  attached[d.Name],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

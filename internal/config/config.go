@@ -9,13 +9,22 @@
 //
 //	<tiptop>
 //	  <options delay="5" batch="true" sort="ipc" max_tasks="20" parallelism="4"/>
+//	  <event name="FP_ASSIST_ALL" raw="0x1EF7" desc="micro-coded FP assists"/>
+//	  <event name="L1D_MISSES" spec="L1D_READ_MISS"/>
 //	  <screen name="fpstudy" desc="IPC next to FP assists">
 //	    <column name="ipc"  header="IPC"   format="%5.2f" width="5"
 //	            expr="ratio(INSTRUCTIONS, CYCLES)" desc="instructions per cycle"/>
 //	    <column name="asst" header="%ASST" format="%6.2f" width="6"
-//	            expr="per100(FP_ASSIST, INSTRUCTIONS)"/>
+//	            expr="per100(FP_ASSIST_ALL, INSTRUCTIONS)"/>
 //	  </screen>
 //	</tiptop>
+//
+// <event> elements define user events on top of the built-in registry
+// (hpm.DefaultRegistry): raw="0x<hex>" names a model-specific code from
+// the vendor's manual, spec= resolves any event specification the
+// registry understands (a built-in name, RAW:0x<hex>, or a hw-cache
+// event such as L1D_READ_MISS). Screen expressions reference the events
+// by name; unknown identifiers are rejected at load time.
 package config
 
 import (
@@ -26,6 +35,8 @@ import (
 	"strings"
 	"time"
 
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
 	"tiptop/internal/metrics"
 )
 
@@ -33,6 +44,7 @@ import (
 type File struct {
 	XMLName xml.Name    `xml:"tiptop"`
 	Options OptionsXML  `xml:"options"`
+	Events  []EventXML  `xml:"event"`
 	Screens []ScreenXML `xml:"screen"`
 }
 
@@ -92,6 +104,29 @@ func (o *OptionsXML) Interval() time.Duration {
 	return time.Duration(o.DelaySeconds * float64(time.Second))
 }
 
+// EventXML is one user-defined event.
+type EventXML struct {
+	// Name is the identifier screen expressions reference.
+	Name string `xml:"name,attr"`
+	// Raw is a model-specific raw event code in hex ("0x1EF7");
+	// shorthand for spec="RAW:0x1EF7".
+	Raw string `xml:"raw,attr,omitempty"`
+	// Spec is any event specification the registry resolves: a built-in
+	// event name (aliasing), "RAW:0x<hex>", or a hw-cache event such as
+	// L1D_READ_MISS. Exactly one of raw and spec must be given.
+	Spec string `xml:"spec,attr,omitempty"`
+	Unit string `xml:"unit,attr,omitempty"`
+	Desc string `xml:"desc,attr,omitempty"`
+}
+
+// EventSpec returns the registry specification string of the event.
+func (e *EventXML) EventSpec() string {
+	if e.Raw != "" {
+		return "RAW:" + e.Raw
+	}
+	return e.Spec
+}
+
 // ScreenXML is one custom screen.
 type ScreenXML struct {
 	Name    string      `xml:"name,attr"`
@@ -148,6 +183,10 @@ func (f *File) Validate() error {
 	if f.Options.Connect != "" && f.Options.Join != "" {
 		return fmt.Errorf("config: connect and join are mutually exclusive")
 	}
+	registry, err := f.BuildRegistry()
+	if err != nil {
+		return err
+	}
 	seen := map[string]bool{}
 	for _, s := range f.Screens {
 		if s.Name == "" {
@@ -161,6 +200,7 @@ func (f *File) Validate() error {
 			return fmt.Errorf("config: screen %q has no columns", s.Name)
 		}
 		cols := map[string]bool{}
+		screen := &metrics.Screen{Name: s.Name}
 		for _, c := range s.Columns {
 			if c.Name == "" || c.Header == "" {
 				return fmt.Errorf("config: screen %q: column needs name and header", s.Name)
@@ -169,12 +209,75 @@ func (f *File) Validate() error {
 				return fmt.Errorf("config: screen %q: duplicate column %q", s.Name, c.Name)
 			}
 			cols[c.Name] = true
-			if _, err := metrics.Compile(c.Expr); err != nil {
+			expr, err := metrics.Compile(c.Expr)
+			if err != nil {
 				return fmt.Errorf("config: screen %q column %q: %w", s.Name, c.Name, err)
 			}
+			screen.Columns = append(screen.Columns, &metrics.Column{Name: c.Name, Expr: expr})
+		}
+		// Reject unknown identifiers at load time: a typo'd event name
+		// must fail here, naming the column, not per-row at eval time.
+		// core.ResolveScreenEvents is the same resolution NewSession
+		// performs, so Load and the engine cannot drift.
+		if _, err := core.ResolveScreenEvents(registry, screen); err != nil {
+			return fmt.Errorf("config: %w", err)
 		}
 	}
 	return nil
+}
+
+// BuildRegistry resolves the document's <event> definitions on top of
+// the built-in defaults and returns the combined registry sessions
+// resolve screens against.
+func (f *File) BuildRegistry() (*hpm.Registry, error) {
+	registry := hpm.DefaultRegistry()
+	for _, e := range f.Events {
+		if e.Name == "" {
+			return nil, fmt.Errorf("config: event without name")
+		}
+		if !hpm.ValidEventName(e.Name) {
+			return nil, fmt.Errorf("config: event name %q is not an identifier (want e.g. FP_ASSIST_ALL)", e.Name)
+		}
+		if (e.Raw == "") == (e.Spec == "") {
+			return nil, fmt.Errorf("config: event %q needs exactly one of raw= and spec=", e.Name)
+		}
+		if err := RegisterUserEvent(registry, e.Name, e.EventSpec(), e.Unit, e.Desc); err != nil {
+			return nil, fmt.Errorf("config: %w", err)
+		}
+	}
+	return registry, nil
+}
+
+// RegisterUserEvent resolves spec against the registry and registers
+// the result under name, inheriting the base descriptor's unit and
+// description where the definition leaves them empty. It is the single
+// builder behind user-defined events — the XML <event> path and the
+// public facade's EventDef both go through it, so their validation
+// (identifier syntax, context-variable shadowing, duplicate names)
+// cannot diverge.
+func RegisterUserEvent(registry *hpm.Registry, name, spec, unit, desc string) error {
+	if metrics.IsContextVar(name) {
+		return fmt.Errorf("event %q shadows a context variable", name)
+	}
+	base, err := registry.ParseEvent(spec)
+	if err != nil {
+		return fmt.Errorf("event %q: %w", name, err)
+	}
+	d := hpm.EventDesc{
+		Name:   name,
+		Kind:   base.Kind,
+		Type:   base.Type,
+		Config: base.Config,
+		Unit:   unit,
+		Desc:   desc,
+	}
+	if d.Unit == "" {
+		d.Unit = base.Unit
+	}
+	if d.Desc == "" {
+		d.Desc = base.Desc
+	}
+	return registry.Register(d)
 }
 
 // BuildScreens converts the parsed document into engine screens.

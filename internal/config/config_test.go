@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"tiptop/internal/hpm"
 	"tiptop/internal/metrics"
 )
 
@@ -247,5 +248,132 @@ func TestPeers(t *testing.T) {
 	}
 	if f.Options.Connect != "host:9412" {
 		t.Fatalf("connect = %q", f.Options.Connect)
+	}
+}
+
+func TestEventDefinitions(t *testing.T) {
+	doc := `<tiptop>
+  <event name="FP_ASSIST_ALL" raw="0x1EF7" desc="micro-coded FP assists"/>
+  <event name="L1D_MISSES" spec="L1D_READ_MISS" unit="lines"/>
+  <event name="INSTR_ALIAS" spec="INSTRUCTIONS"/>
+  <screen name="assist" desc="ipc vs assists">
+    <column name="ipc" header="IPC" expr="ratio(INSTR_ALIAS, CYCLES)"/>
+    <column name="asst" header="%ASST" expr="per100(FP_ASSIST_ALL, INSTRUCTIONS)"/>
+    <column name="l1m" header="L1M" expr="per100(L1D_MISSES, INSTRUCTIONS)"/>
+  </screen>
+</tiptop>`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := f.BuildRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpa, ok := reg.Lookup("FP_ASSIST_ALL")
+	if !ok || fpa.Kind != hpm.KindRaw || fpa.Config != 0x1EF7 {
+		t.Fatalf("FP_ASSIST_ALL = %+v, %v", fpa, ok)
+	}
+	if fpa.Desc != "micro-coded FP assists" {
+		t.Fatalf("desc = %q", fpa.Desc)
+	}
+	l1, _ := reg.Lookup("L1D_MISSES")
+	if l1.Kind != hpm.KindHWCache || l1.Unit != "lines" {
+		t.Fatalf("L1D_MISSES = %+v", l1)
+	}
+	alias, _ := reg.Lookup("INSTR_ALIAS")
+	if alias.Kind != hpm.KindGeneric || alias.Config != hpm.HWInstructions {
+		t.Fatalf("INSTR_ALIAS = %+v", alias)
+	}
+	// Write -> Load round trip keeps the definitions.
+	var sb strings.Builder
+	if err := Write(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if len(back.Events) != 3 || back.Events[0].Name != "FP_ASSIST_ALL" {
+		t.Fatalf("events after round trip = %+v", back.Events)
+	}
+}
+
+// TestLoadRejectsUnknownIdentifiers is the satellite regression test:
+// a screen referencing an undefined identifier must fail at load time
+// with an error naming the screen, the column and the identifier —
+// previously the column silently evaluated to zero per row.
+func TestLoadRejectsUnknownIdentifiers(t *testing.T) {
+	doc := `<tiptop>
+  <screen name="typo" desc="misspelled event">
+    <column name="ipc" header="IPC" expr="ratio(INSTRUCTIONS, CYCELS)"/>
+  </screen>
+</tiptop>`
+	_, err := Parse(strings.NewReader(doc))
+	if err == nil {
+		t.Fatal("unknown identifier accepted")
+	}
+	for _, want := range []string{`"typo"`, `"ipc"`, `"CYCELS"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+	// Context variables and hw-cache names resolve without definitions.
+	ok := `<tiptop>
+  <screen name="fine" desc="context vars and hw-cache events">
+    <column name="mips" header="MIPS" expr="INSTRUCTIONS / DELTA_NS * 1000"/>
+    <column name="l1m" header="L1M" expr="per100(L1D_READ_MISS, INSTRUCTIONS)"/>
+  </screen>
+</tiptop>`
+	if _, err := Parse(strings.NewReader(ok)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"no name", `<tiptop><event raw="0x1"/></tiptop>`, "event without name"},
+		{"bad name", `<tiptop><event name="BAD-NAME" raw="0x1"/></tiptop>`, "not an identifier"},
+		{"context var", `<tiptop><event name="DELTA_NS" raw="0x1"/></tiptop>`, "shadows a context variable"},
+		{"raw and spec", `<tiptop><event name="X" raw="0x1" spec="CYCLES"/></tiptop>`, "exactly one of"},
+		{"neither", `<tiptop><event name="X"/></tiptop>`, "exactly one of"},
+		{"bad raw", `<tiptop><event name="X" raw="0xZZ"/></tiptop>`, "unknown event"},
+		{"bad spec", `<tiptop><event name="X" spec="NOPE_EVENT"/></tiptop>`, "unknown event"},
+		{"duplicate", `<tiptop><event name="X" raw="0x1"/><event name="X" raw="0x2"/></tiptop>`, "already registered"},
+		{"shadow builtin", `<tiptop><event name="CYCLES" raw="0x1"/></tiptop>`, "already registered"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestExamplesConfigLoads keeps the documented example configuration
+// honest: examples/custom-events.xml must parse, validate and define
+// the screen the README walks through.
+func TestExamplesConfigLoads(t *testing.T) {
+	f, err := Load(filepath.Join("..", "..", "examples", "custom-events.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Events) == 0 {
+		t.Fatal("example defines no events")
+	}
+	screens, err := f.BuildScreens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if screens["fpcustom"] == nil {
+		t.Fatalf("example screens = %v", screens)
 	}
 }

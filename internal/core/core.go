@@ -102,6 +102,11 @@ type Options struct {
 	// serially on the calling goroutine. Row ordering is identical at
 	// every setting.
 	Parallelism int
+	// Registry is the event universe screen expressions resolve
+	// against; nil means hpm.DefaultRegistry(). Sessions with
+	// user-defined events (XML <event> definitions) pass the extended
+	// registry here.
+	Registry *hpm.Registry
 }
 
 // Observer receives every sample a Session produces, synchronously on
@@ -120,8 +125,11 @@ type Row struct {
 	CPUPct float64
 	// Values holds one entry per screen column.
 	Values []float64
-	// Events holds the raw per-event deltas for this refresh interval.
-	Events map[hpm.EventID]uint64
+	// Events holds the raw per-event deltas for this refresh interval,
+	// keyed by canonical event name — the stable identity events have
+	// everywhere downstream of the backend (recorders, exports, the
+	// remote wire format).
+	Events map[string]uint64
 	// Valid is false when counters could not be attached or read; the
 	// renderer shows dashes and the %CPU column only.
 	Valid bool
@@ -160,12 +168,13 @@ type taskState struct {
 
 // Session is a running tiptop engine.
 type Session struct {
-	backend hpm.Backend
-	proc    ProcSource
-	clock   Clock
-	opt     Options
-	events  []hpm.EventID
-	shards  []*shard
+	backend  hpm.Backend
+	proc     ProcSource
+	clock    Clock
+	opt      Options
+	registry *hpm.Registry
+	events   []hpm.EventDesc
+	shards   []*shard
 	// attachMu serializes backend.Attach and TaskCounter.Close across
 	// shard workers: the hpm contract only requires backends to
 	// tolerate concurrent Read on distinct counters.
@@ -190,7 +199,14 @@ func NewSession(backend hpm.Backend, proc ProcSource, clock Clock, opt Options) 
 	if opt.Interval <= 0 {
 		opt.Interval = 2 * time.Second
 	}
-	events := opt.Screen.Events()
+	registry := opt.Registry
+	if registry == nil {
+		registry = hpm.DefaultRegistry()
+	}
+	events, err := ResolveScreenEvents(registry, opt.Screen)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	if len(events) == 0 {
 		return nil, errors.New("core: screen references no counter events")
 	}
@@ -210,11 +226,12 @@ func NewSession(backend hpm.Backend, proc ProcSource, clock Clock, opt Options) 
 		opt.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	s := &Session{
-		backend: backend,
-		proc:    proc,
-		clock:   clock,
-		opt:     opt,
-		events:  events,
+		backend:  backend,
+		proc:     proc,
+		clock:    clock,
+		opt:      opt,
+		registry: registry,
+		events:   events,
 	}
 	s.shards = make([]*shard, opt.Parallelism)
 	for i := range s.shards {
@@ -230,7 +247,42 @@ func (s *Session) Screen() *metrics.Screen { return s.opt.Screen }
 func (s *Session) Parallelism() int { return len(s.shards) }
 
 // Events returns the counter events the session attaches to every task.
-func (s *Session) Events() []hpm.EventID { return s.events }
+func (s *Session) Events() []hpm.EventDesc { return s.events }
+
+// Registry returns the event registry the session resolved its screen
+// against.
+func (s *Session) Registry() *hpm.Registry { return s.registry }
+
+// Backend returns the counter backend the session samples through.
+func (s *Session) Backend() hpm.Backend { return s.backend }
+
+// ResolveScreenEvents resolves every identifier the screen's column
+// expressions reference against the registry, returning the union of
+// event descriptors in first-use order. An identifier that is neither a
+// context variable nor resolvable as an event is rejected with an error
+// naming the screen, the column and the identifier — the single source
+// of truth behind both config.Load validation and NewSession.
+func ResolveScreenEvents(registry *hpm.Registry, screen *metrics.Screen) ([]hpm.EventDesc, error) {
+	var events []hpm.EventDesc
+	seen := make(map[string]bool)
+	for _, col := range screen.Columns {
+		if col.Expr == nil {
+			continue
+		}
+		for _, id := range col.Identifiers() {
+			d, err := registry.ParseEvent(id)
+			if err != nil {
+				return nil, fmt.Errorf("screen %q column %q: unknown identifier %q (not a context variable, registered event, RAW:0x code or hw-cache event)",
+					screen.Name, col.Name, id)
+			}
+			if !seen[d.Name] {
+				seen[d.Name] = true
+				events = append(events, d)
+			}
+		}
+	}
+	return events, nil
+}
 
 // Update performs one refresh: it rescans the process table, attaches
 // counters to newly discovered tasks, reads deltas for known ones, and

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -35,7 +36,7 @@ func (c *fakeClock) Advance(d time.Duration) { c.now += d }
 type fakeBackend struct {
 	clock *fakeClock
 	// rates per event per task (counts per second)
-	rates      map[int]map[hpm.EventID]float64
+	rates      map[int]map[string]float64
 	probeErr   error
 	attachErr  map[int]error
 	attachLog  []int
@@ -44,10 +45,10 @@ type fakeBackend struct {
 
 func (b *fakeBackend) Name() string { return "fake" }
 func (b *fakeBackend) Probe() error { return b.probeErr }
-func (b *fakeBackend) Supported(e hpm.EventID) bool {
+func (b *fakeBackend) Supported(e hpm.EventDesc) bool {
 	return e.Valid()
 }
-func (b *fakeBackend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+func (b *fakeBackend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCounter, error) {
 	if err := b.attachErr[task.PID]; err != nil {
 		return nil, err
 	}
@@ -58,7 +59,7 @@ func (b *fakeBackend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCou
 type fakeCounter struct {
 	b          *fakeBackend
 	task       hpm.TaskID
-	events     []hpm.EventID
+	events     []hpm.EventDesc
 	attachedAt time.Duration
 	closed     bool
 }
@@ -71,7 +72,7 @@ func (c *fakeCounter) Read() ([]hpm.Count, error) {
 	elapsed := (c.b.clock.now - c.attachedAt).Seconds()
 	out := make([]hpm.Count, len(c.events))
 	for i, e := range c.events {
-		rate := c.b.rates[c.task.PID][e]
+		rate := c.b.rates[c.task.PID][e.Name]
 		ns := uint64(c.b.clock.now - c.attachedAt)
 		out[i] = hpm.Count{Raw: uint64(rate * elapsed), Enabled: ns, Running: ns}
 	}
@@ -87,7 +88,7 @@ func fixture() (*fakeBackend, *fakeProc, *fakeClock) {
 	clock := &fakeClock{}
 	b := &fakeBackend{
 		clock:     clock,
-		rates:     map[int]map[hpm.EventID]float64{},
+		rates:     map[int]map[string]float64{},
 		attachErr: map[int]error{},
 	}
 	p := &fakeProc{}
@@ -99,7 +100,7 @@ func addTask(b *fakeBackend, p *fakeProc, pid int, user string, ipc float64, fre
 		ID: hpm.TaskID{PID: pid, TID: pid}, User: user,
 		Comm: fmt.Sprintf("proc%d", pid), State: "R",
 	})
-	b.rates[pid] = map[hpm.EventID]float64{
+	b.rates[pid] = map[string]float64{
 		hpm.EventCycles:       freq,
 		hpm.EventInstructions: freq * ipc,
 		hpm.EventCacheMisses:  1000,
@@ -352,8 +353,8 @@ func TestUnsupportedScreenEventRejected(t *testing.T) {
 
 type restrictedBackend struct{ *fakeBackend }
 
-func (r *restrictedBackend) Supported(e hpm.EventID) bool {
-	return e.Valid() && e != hpm.EventFPAssist
+func (r *restrictedBackend) Supported(e hpm.EventDesc) bool {
+	return e.Valid() && e.Name != hpm.EventFPAssist
 }
 
 func TestProcSnapshotError(t *testing.T) {
@@ -381,5 +382,70 @@ func TestCloseIdempotentAndBlocksUpdate(t *testing.T) {
 	}
 	if _, err := s.Update(); err == nil {
 		t.Fatal("update after close must fail")
+	}
+}
+
+// TestNewSessionRejectsUnknownIdentifier: an identifier that resolves
+// to no event must fail session construction with an error naming the
+// screen, the column and the identifier — not evaluate to zero per row.
+func TestNewSessionRejectsUnknownIdentifier(t *testing.T) {
+	b, p, c := fixture()
+	screen := &metrics.Screen{
+		Name: "custom",
+		Columns: []*metrics.Column{
+			{Name: "ok", Header: "OK", Width: 6, Format: "%6.2f",
+				Expr: metrics.MustCompile("mega(CYCLES)")},
+			{Name: "broken", Header: "BRK", Width: 6, Format: "%6.2f",
+				Expr: metrics.MustCompile("ratio(CYCELS, INSTRUCTIONS)")},
+		},
+	}
+	_, err := NewSession(b, p, c, Options{Screen: screen})
+	if err == nil {
+		t.Fatal("unknown identifier accepted")
+	}
+	for _, want := range []string{`"custom"`, `"broken"`, `"CYCELS"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+}
+
+// TestNewSessionResolvesThroughRegistry: user-registered events and
+// spec-style identifiers (hw-cache names) resolve without touching the
+// built-in defaults, and the session attaches them by descriptor.
+func TestNewSessionResolvesThroughRegistry(t *testing.T) {
+	b, p, c := fixture()
+	addTask(b, p, 1, "alice", 1.5, 1e9)
+	b.rates[1]["MY_RAW"] = 5e8
+	reg := hpm.DefaultRegistry()
+	if err := reg.Register(hpm.EventDesc{
+		Name: "MY_RAW", Kind: hpm.KindRaw, Type: hpm.PerfTypeRaw, Config: 0xABCD,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	screen := &metrics.Screen{
+		Name: "custom",
+		Columns: []*metrics.Column{
+			{Name: "myr", Header: "MYR", Width: 6, Format: "%6.2f",
+				Expr: metrics.MustCompile("ratio(MY_RAW, CYCLES)")},
+		},
+	}
+	s := newTestSession(t, b, p, c, Options{Screen: screen, Registry: reg, Interval: time.Second})
+	events := s.Events()
+	if len(events) != 2 || events[0].Name != "MY_RAW" || events[0].Config != 0xABCD {
+		t.Fatalf("session events = %v", events)
+	}
+	s.Update()
+	c.Advance(time.Second)
+	sam, err := s.Update()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := sam.Rows[0]
+	if got := row.Values[0]; got < 0.49 || got > 0.51 {
+		t.Fatalf("MY_RAW/CYCLES = %v, want ~0.5", got)
+	}
+	if row.Events["MY_RAW"] == 0 {
+		t.Fatal("raw deltas must be keyed by event name")
 	}
 }

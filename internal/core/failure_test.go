@@ -29,7 +29,7 @@ type readFailBackend struct {
 	failAfter int
 }
 
-func (b *readFailBackend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+func (b *readFailBackend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCounter, error) {
 	inner, err := b.fakeBackend.Attach(task, events)
 	if err != nil {
 		return nil, err
@@ -84,7 +84,7 @@ type countingBackend struct {
 	attachCalls int
 }
 
-func (b *countingBackend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+func (b *countingBackend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCounter, error) {
 	b.attachCalls++
 	return b.fakeBackend.Attach(task, events)
 }
@@ -139,7 +139,7 @@ func TestTransientAttachBackoff(t *testing.T) {
 	// with exponential backoff capped at attachBackoffMax — bounded
 	// rate, but never abandoned.
 	clock := &fakeClock{}
-	fb := &fakeBackend{clock: clock, rates: map[int]map[hpm.EventID]float64{}, attachErr: map[int]error{}}
+	fb := &fakeBackend{clock: clock, rates: map[int]map[string]float64{}, attachErr: map[int]error{}}
 	b := &countingBackend{fakeBackend: fb}
 	p := &fakeProc{}
 	addTask(fb, p, 1, "u", 1, 1e9)

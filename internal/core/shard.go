@@ -31,6 +31,13 @@ type shard struct {
 	deltas []uint64
 	env    metrics.MapEnv
 	reaped []hpm.TaskCounter
+	// eventMaps holds one name→delta map per work slot, reused across
+	// refreshes (events are keyed by canonical name; rebuilding
+	// string-keyed maps every tick would dominate the refresh cost at
+	// thousands of rows). Observers must not retain them — the engine
+	// overwrites the backing storage on the next refresh, which the
+	// Observer contract already states.
+	eventMaps []map[string]uint64
 }
 
 // workItem is one snapshot entry routed to a shard. idx is the entry's
@@ -91,22 +98,23 @@ func (sh *shard) refresh(now time.Duration, rows []Row, dropped *atomic.Int64) {
 	// One backing array serves every row's column values this refresh.
 	ncols := len(sh.s.opt.Screen.Columns)
 	values := make([]float64, len(sh.work)*ncols)
-	for _, w := range sh.work {
+	for wi, w := range sh.work {
 		info := w.info
 		sh.seen[info.ID] = true
 		vals := values[:ncols:ncols]
 		values = values[ncols:]
+		events := sh.eventMap(wi)
 		st, ok := sh.states[info.ID]
 		if !ok {
 			st = sh.admit(info, now)
 			if st == nil {
 				// Attach failed; show an unmonitored row.
-				rows[w.idx] = sh.cpuOnlyRow(info, now, nil, vals)
+				rows[w.idx] = sh.cpuOnlyRow(info, now, nil, vals, events)
 				continue
 			}
 			sh.states[info.ID] = st
 		}
-		rows[w.idx] = sh.sampleTask(st, info, now, vals)
+		rows[w.idx] = sh.sampleTask(st, info, now, vals, events)
 		st.info = info
 		st.prevCPUTime = info.CPUTime
 		st.prevSeenAt = now
@@ -193,9 +201,23 @@ func (sh *shard) noteFailure(id hpm.TaskID, now time.Duration, err error) {
 	}
 }
 
+// eventMap returns the reusable name→delta map of work slot wi,
+// cleared for this refresh.
+func (sh *shard) eventMap(wi int) map[string]uint64 {
+	if wi < len(sh.eventMaps) {
+		m := sh.eventMaps[wi]
+		clear(m)
+		return m
+	}
+	m := make(map[string]uint64, len(sh.s.events))
+	sh.eventMaps = append(sh.eventMaps, m)
+	return m
+}
+
 // sampleTask reads counter deltas and evaluates the screen columns into
-// vals, the row's pre-carved slot of the shard's value array.
-func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, vals []float64) Row {
+// vals, the row's pre-carved slot of the shard's value array; events is
+// the row's reusable name→delta map.
+func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, vals []float64, events map[string]uint64) Row {
 	s := sh.s
 	var counts []hpm.Count
 	var err error
@@ -205,19 +227,19 @@ func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, val
 		counts, err = st.counter.Read()
 	}
 	if err != nil {
-		return sh.cpuOnlyRow(info, now, st, vals)
+		return sh.cpuOnlyRow(info, now, st, vals, events)
 	}
 	sh.deltas = hpm.DeltasInto(sh.deltas, st.prevCounts, counts)
 	st.spare = st.prevCounts
 	st.prevCounts = counts
 
-	events := make(map[hpm.EventID]uint64, len(s.events))
 	// The env keys are the same every refresh (the session's event set
 	// plus the fixed variables), so the shard's map is overwritten in
 	// place rather than rebuilt.
-	for i, e := range s.events {
-		events[e] = sh.deltas[i]
-		sh.env[e.String()] = float64(sh.deltas[i])
+	for i := range s.events {
+		name := s.events[i].Name
+		events[name] = sh.deltas[i]
+		sh.env[name] = float64(sh.deltas[i])
 	}
 	cpuPct := s.cpuPct(st, info, now)
 	sh.env[metrics.VarDeltaNS] = float64(now - st.prevSeenAt)
@@ -243,12 +265,12 @@ func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, val
 }
 
 // cpuOnlyRow builds an unmonitored row (no counters available).
-func (sh *shard) cpuOnlyRow(info TaskInfo, now time.Duration, st *taskState, vals []float64) Row {
+func (sh *shard) cpuOnlyRow(info TaskInfo, now time.Duration, st *taskState, vals []float64, events map[string]uint64) Row {
 	return Row{
 		Info:   info,
 		CPUPct: sh.s.cpuPct(st, info, now),
 		Values: vals,
-		Events: map[hpm.EventID]uint64{},
+		Events: events,
 		Valid:  false,
 	}
 }

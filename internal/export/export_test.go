@@ -135,7 +135,7 @@ func recorderFixture() *history.Recorder {
 			},
 			CPUPct: 90,
 			Values: []float64{1.5, 0.2},
-			Events: map[hpm.EventID]uint64{
+			Events: map[string]uint64{
 				hpm.EventInstructions: 3000,
 				hpm.EventCycles:       2000,
 				hpm.EventCacheMisses:  10,

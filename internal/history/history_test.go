@@ -27,7 +27,7 @@ func mkSample(t time.Duration, specs []rowSpec) *core.Sample {
 			},
 			CPUPct: sp.cpuPct,
 			Values: []float64{float64(sp.instr) / float64(sp.cycle), 42},
-			Events: map[hpm.EventID]uint64{
+			Events: map[string]uint64{
 				hpm.EventInstructions: sp.instr,
 				hpm.EventCycles:       sp.cycle,
 				hpm.EventCacheMisses:  sp.instr / 100,

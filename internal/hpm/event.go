@@ -1,0 +1,334 @@
+package hpm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The event model is descriptor-based rather than a closed enum: every
+// countable event is an EventDesc carrying its canonical name and its
+// perf_event encoding (attr.Type / attr.Config), collected in a
+// Registry. The engine resolves the identifiers a screen references
+// against a registry, backends negotiate support per descriptor, and
+// everything downstream of the backend (rows, recorders, the wire
+// format) carries the stable canonical *name*. Adding an event —
+// a model-specific raw code, a hw-cache event, a user definition from
+// the XML configuration — therefore never reopens this package; this is
+// the paper's §2.2 flexibility claim ("the tool ... lets users monitor
+// any target-specific event") made structural.
+
+// EventKind classifies how an event is encoded.
+type EventKind uint8
+
+const (
+	// KindGeneric is one of the portable generic hardware events every
+	// backend must support (PERF_TYPE_HARDWARE).
+	KindGeneric EventKind = iota
+	// KindHWCache is a hardware cache event (PERF_TYPE_HW_CACHE),
+	// encoded as cache-id | op<<8 | result<<16.
+	KindHWCache
+	// KindRaw is a model-specific raw event code looked up in the
+	// vendor's architecture manual (PERF_TYPE_RAW).
+	KindRaw
+)
+
+// String names the kind as used in listings and configuration errors.
+func (k EventKind) String() string {
+	switch k {
+	case KindGeneric:
+		return "generic"
+	case KindHWCache:
+		return "hw-cache"
+	case KindRaw:
+		return "raw"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// perf_event_attr.Type values (include/uapi/linux/perf_event.h) the
+// descriptors encode against.
+const (
+	PerfTypeHardware = 0
+	PerfTypeSoftware = 1
+	PerfTypeHWCache  = 3
+	PerfTypeRaw      = 4
+)
+
+// PERF_TYPE_HARDWARE config values: the portable "generic events" the
+// paper's default configuration uses.
+const (
+	HWCPUCycles          = 0
+	HWInstructions       = 1
+	HWCacheReferences    = 2
+	HWCacheMisses        = 3
+	HWBranchInstructions = 4
+	HWBranchMisses       = 5
+)
+
+// EventDesc describes one countable event: the canonical upper-case
+// name metric expressions and configuration files reference, the kind,
+// the perf_event encoding backends negotiate against, an optional unit
+// and a one-line description for listings.
+type EventDesc struct {
+	Name   string
+	Kind   EventKind
+	Type   uint32 // perf_event_attr.Type
+	Config uint64 // perf_event_attr.Config
+	Unit   string // "" means a plain occurrence count
+	Desc   string
+}
+
+// Valid reports whether the descriptor names an event.
+func (d EventDesc) Valid() bool { return d.Name != "" }
+
+// String returns the canonical event name.
+func (d EventDesc) String() string { return d.Name }
+
+// Generic reports whether the event is one of the portable generic
+// events every backend must support. Backends may reject non-generic
+// events with ErrUnsupportedEvent.
+func (d EventDesc) Generic() bool { return d.Kind == KindGeneric }
+
+// Encoding renders the perf encoding for listings ("type=4
+// config=0x1ef7").
+func (d EventDesc) Encoding() string {
+	return fmt.Sprintf("type=%d config=0x%x", d.Type, d.Config)
+}
+
+// Canonical names of the built-in events of DefaultRegistry. They are
+// plain strings so event maps keyed by name index directly with them.
+const (
+	EventCycles          = "CYCLES"
+	EventInstructions    = "INSTRUCTIONS"
+	EventCacheReferences = "CACHE_REFERENCES" // last-level cache references
+	EventCacheMisses     = "CACHE_MISSES"     // last-level cache misses
+	EventBranches        = "BRANCHES"
+	EventBranchMisses    = "BRANCH_MISSES"
+	// Architecture-specific events (paper §2.2: "the tool is very
+	// flexible and lets users monitor any target-specific event").
+	EventFPAssist = "FP_ASSIST" // micro-code assisted FP operations (Intel specific)
+	EventL2Misses = "L2_MISSES"
+	EventLoads    = "LOADS"
+	EventStores   = "STORES"
+	EventFPOps    = "FP_OPS"
+	// EventMemStallCycles counts cycles stalled on memory (LLC-miss
+	// latency). The paper's §3.4 names memory-access-latency counters
+	// as future work for detecting DRAM-level contention; this event
+	// implements that extension.
+	EventMemStallCycles = "MEM_STALL_CYCLES"
+)
+
+// Registry is an ordered, named collection of event descriptors: the
+// universe of events a session can reference. A registry starts from
+// the defaults (DefaultRegistry) and grows by Register — typically from
+// <event> definitions in the XML configuration.
+type Registry struct {
+	byName map[string]EventDesc
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]EventDesc)}
+}
+
+// DefaultRegistry returns a fresh registry holding the built-in events:
+// the six portable generic events plus the architecture-specific events
+// the paper's use cases need, encoded with the reference raw codes of
+// the machines the paper used (Intel SDM, Nehalem/Westmere — real
+// deployments on other micro-architectures register their own codes;
+// the tool is "fully customizable").
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	mustRegister := func(d EventDesc) {
+		if err := r.Register(d); err != nil {
+			panic(err) // defaults are known-valid
+		}
+	}
+	generic := func(name string, config uint64, desc string) {
+		mustRegister(EventDesc{Name: name, Kind: KindGeneric, Type: PerfTypeHardware, Config: config, Desc: desc})
+	}
+	raw := func(name string, config uint64, unit, desc string) {
+		mustRegister(EventDesc{Name: name, Kind: KindRaw, Type: PerfTypeRaw, Config: config, Unit: unit, Desc: desc})
+	}
+	generic(EventCycles, HWCPUCycles, "execution cycles")
+	generic(EventInstructions, HWInstructions, "instructions retired")
+	generic(EventCacheReferences, HWCacheReferences, "last-level cache references")
+	generic(EventCacheMisses, HWCacheMisses, "last-level cache misses")
+	generic(EventBranches, HWBranchInstructions, "retired branch instructions")
+	generic(EventBranchMisses, HWBranchMisses, "mispredicted branches")
+	// The paper's §3.1 example: FP_ASSIST on Nehalem, event 0xF7
+	// umask 0x1E.
+	raw(EventFPAssist, 0x1EF7, "", "micro-code assisted FP operations (FP_ASSIST.ALL)")
+	raw(EventL2Misses, 0xAA24, "", "L2 cache misses (L2_RQSTS.MISS)")
+	raw(EventLoads, 0x010B, "", "retired loads (MEM_INST_RETIRED.LOADS)")
+	raw(EventStores, 0x020B, "", "retired stores (MEM_INST_RETIRED.STORES)")
+	raw(EventFPOps, 0xFF10, "", "FP operations executed (FP_COMP_OPS_EXE.ANY)")
+	raw(EventMemStallCycles, 0x06A3, "cycles", "cycles stalled on DRAM (CYCLE_ACTIVITY.STALLS_LDM_PENDING)")
+	return r
+}
+
+// ValidEventName reports whether name is usable as a registered event
+// name: a metric-expression identifier ([A-Za-z_][A-Za-z0-9_]*), by
+// convention upper-case.
+func ValidEventName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r == '_', r >= 'A' && r <= 'Z', r >= 'a' && r <= 'z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a descriptor. The name must be a valid identifier and
+// not already taken (neither by a default nor a previous registration).
+func (r *Registry) Register(d EventDesc) error {
+	if !ValidEventName(d.Name) {
+		return fmt.Errorf("hpm: invalid event name %q (want an identifier like L1D_READ_MISS)", d.Name)
+	}
+	if _, ok := r.byName[d.Name]; ok {
+		return fmt.Errorf("hpm: event %q already registered", d.Name)
+	}
+	r.byName[d.Name] = d
+	r.order = append(r.order, d.Name)
+	return nil
+}
+
+// Lookup returns the registered descriptor with the given name.
+func (r *Registry) Lookup(name string) (EventDesc, bool) {
+	d, ok := r.byName[name]
+	return d, ok
+}
+
+// Len returns the number of registered events.
+func (r *Registry) Len() int { return len(r.order) }
+
+// Events returns every registered descriptor in registration order.
+func (r *Registry) Events() []EventDesc {
+	out := make([]EventDesc, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byName[name])
+	}
+	return out
+}
+
+// Names returns the registered event names, sorted — the deterministic
+// iteration order listings use.
+func (r *Registry) Names() []string {
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// ParseEvent resolves an event specification against the registry:
+//
+//   - a registered name ("CYCLES", or a user-defined event);
+//   - "RAW:0x<hex>", a model-specific raw code taken from the vendor's
+//     architecture manual (PERF_TYPE_RAW);
+//   - a hardware-cache event "<CACHE>_<OP>_<RESULT>" with CACHE one of
+//     L1D, L1I, LLC, DTLB, ITLB, BPU, NODE; OP one of READ, WRITE,
+//     PREFETCH; RESULT one of ACCESS, MISS (PERF_TYPE_HW_CACHE) — e.g.
+//     L1D_READ_MISS.
+//
+// Raw and hw-cache specs resolve without prior registration; their
+// descriptor's name is the canonical spelling of the spec itself, so
+// hw-cache names can appear directly in metric expressions.
+func (r *Registry) ParseEvent(spec string) (EventDesc, error) {
+	if d, ok := r.byName[spec]; ok {
+		return d, nil
+	}
+	if cfg, ok := parseRawSpec(spec); ok {
+		return EventDesc{
+			Name:   fmt.Sprintf("RAW:0x%X", cfg),
+			Kind:   KindRaw,
+			Type:   PerfTypeRaw,
+			Config: cfg,
+			Desc:   "model-specific raw event code",
+		}, nil
+	}
+	if d, ok := parseHWCacheSpec(spec); ok {
+		return d, nil
+	}
+	return EventDesc{}, fmt.Errorf("hpm: unknown event %q", spec)
+}
+
+// ParseEvent resolves a spec against the default registry. Sessions
+// with user-defined events resolve through their own Registry instead.
+func ParseEvent(spec string) (EventDesc, error) {
+	return defaultRegistry.ParseEvent(spec)
+}
+
+// defaultRegistry backs the package-level ParseEvent. It is never
+// mutated; callers needing to register events take their own copy via
+// DefaultRegistry().
+var defaultRegistry = DefaultRegistry()
+
+// parseRawSpec recognizes "RAW:0x1EF7" (the 0x is optional, the prefix
+// case-insensitive).
+func parseRawSpec(spec string) (uint64, bool) {
+	rest, ok := cutPrefixFold(spec, "RAW:")
+	if !ok {
+		return 0, false
+	}
+	if h, ok2 := cutPrefixFold(rest, "0X"); ok2 {
+		rest = h
+	}
+	if rest == "" {
+		return 0, false
+	}
+	cfg, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return cfg, true
+}
+
+func cutPrefixFold(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && strings.EqualFold(s[:len(prefix)], prefix) {
+		return s[len(prefix):], true
+	}
+	return s, false
+}
+
+// Hardware-cache event encoding (PERF_TYPE_HW_CACHE):
+// config = cache-id | op<<8 | result<<16.
+var (
+	hwCacheIDs = map[string]uint64{
+		"L1D": 0, "L1I": 1, "LLC": 2, "DTLB": 3, "ITLB": 4, "BPU": 5, "NODE": 6,
+	}
+	hwCacheOps     = map[string]uint64{"READ": 0, "WRITE": 1, "PREFETCH": 2}
+	hwCacheResults = map[string]uint64{"ACCESS": 0, "MISS": 1}
+)
+
+// parseHWCacheSpec recognizes canonical hw-cache names such as
+// L1D_READ_MISS or LLC_PREFETCH_ACCESS.
+func parseHWCacheSpec(spec string) (EventDesc, bool) {
+	parts := strings.Split(spec, "_")
+	if len(parts) != 3 {
+		return EventDesc{}, false
+	}
+	id, ok1 := hwCacheIDs[parts[0]]
+	op, ok2 := hwCacheOps[parts[1]]
+	res, ok3 := hwCacheResults[parts[2]]
+	if !ok1 || !ok2 || !ok3 {
+		return EventDesc{}, false
+	}
+	return EventDesc{
+		Name:   spec,
+		Kind:   KindHWCache,
+		Type:   PerfTypeHWCache,
+		Config: id | op<<8 | res<<16,
+		Desc:   "hardware cache event",
+	}, true
+}

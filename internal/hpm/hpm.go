@@ -17,98 +17,6 @@ import (
 	"fmt"
 )
 
-// EventID identifies a generic, architecture-independent countable event.
-// The set corresponds to the "generic events" exposed by
-// linux/perf_event.h that the paper's default configuration uses, plus the
-// architecture-specific events needed by the use cases (FP assists for
-// §3.1, L2 misses for §3.4, load/store/FP-op counts for the §2.6 metrics).
-type EventID int
-
-// Generic events. Cycles and Instructions are the two counters behind IPC,
-// the paper's headline metric.
-const (
-	EventInvalid EventID = iota
-	EventCycles
-	EventInstructions
-	EventCacheReferences // last-level cache references
-	EventCacheMisses     // last-level cache misses
-	EventBranches
-	EventBranchMisses
-	// Architecture-specific events (paper §2.2: "the tool is very
-	// flexible and lets users monitor any target-specific event").
-	EventFPAssist // micro-code assisted FP operations (Intel specific)
-	EventL2Misses
-	EventLoads
-	EventStores
-	EventFPOps
-	// EventMemStallCycles counts cycles stalled on memory (LLC-miss
-	// latency). The paper's §3.4 names memory-access-latency counters
-	// as future work for detecting DRAM-level contention; this event
-	// implements that extension.
-	EventMemStallCycles
-	eventMax
-)
-
-var eventNames = [...]string{
-	EventInvalid:         "INVALID",
-	EventCycles:          "CYCLES",
-	EventInstructions:    "INSTRUCTIONS",
-	EventCacheReferences: "CACHE_REFERENCES",
-	EventCacheMisses:     "CACHE_MISSES",
-	EventBranches:        "BRANCHES",
-	EventBranchMisses:    "BRANCH_MISSES",
-	EventFPAssist:        "FP_ASSIST",
-	EventL2Misses:        "L2_MISSES",
-	EventLoads:           "LOADS",
-	EventStores:          "STORES",
-	EventFPOps:           "FP_OPS",
-	EventMemStallCycles:  "MEM_STALL_CYCLES",
-}
-
-// String returns the canonical upper-case event name used in metric
-// expressions and configuration files.
-func (e EventID) String() string {
-	if e <= EventInvalid || int(e) >= len(eventNames) {
-		return fmt.Sprintf("EVENT(%d)", int(e))
-	}
-	return eventNames[e]
-}
-
-// Valid reports whether e names a known event.
-func (e EventID) Valid() bool { return e > EventInvalid && e < eventMax }
-
-// AllEvents returns every valid event ID in declaration order.
-func AllEvents() []EventID {
-	out := make([]EventID, 0, int(eventMax)-1)
-	for e := EventCycles; e < eventMax; e++ {
-		out = append(out, e)
-	}
-	return out
-}
-
-// ParseEvent resolves a canonical event name (as produced by String) back
-// to its ID.
-func ParseEvent(name string) (EventID, error) {
-	for e := EventCycles; e < eventMax; e++ {
-		if eventNames[e] == name {
-			return e, nil
-		}
-	}
-	return EventInvalid, fmt.Errorf("hpm: unknown event %q", name)
-}
-
-// Generic reports whether the event is one of the portable generic events
-// every backend must support. Backends may reject non-generic events with
-// ErrUnsupportedEvent.
-func (e EventID) Generic() bool {
-	switch e {
-	case EventCycles, EventInstructions, EventCacheReferences,
-		EventCacheMisses, EventBranches, EventBranchMisses:
-		return true
-	}
-	return false
-}
-
 // Errors shared by backends.
 var (
 	// ErrUnsupportedEvent is returned when the backend (or underlying
@@ -225,12 +133,15 @@ type Backend interface {
 	// Probe reports whether the backend can be used at all, returning
 	// ErrUnavailable (possibly wrapped) when it cannot.
 	Probe() error
-	// Supported reports whether the backend can count the given event.
-	Supported(e EventID) bool
+	// Supported reports whether the backend can count the described
+	// event. Support is negotiated per descriptor: generic events are
+	// portable, raw and hw-cache encodings depend on the backend and
+	// the machine model behind it.
+	Supported(e EventDesc) bool
 	// Attach opens counters for the events on the given task. Counting
 	// starts at the time of the call: events that happened before are
 	// not observed (paper §2.2).
-	Attach(task TaskID, events []EventID) (TaskCounter, error)
+	Attach(task TaskID, events []EventDesc) (TaskCounter, error)
 }
 
 // Deltas computes per-event deltas between two readings taken from the

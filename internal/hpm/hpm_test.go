@@ -1,36 +1,113 @@
 package hpm
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
 )
 
-func TestEventStringRoundTrip(t *testing.T) {
-	for _, e := range AllEvents() {
-		name := e.String()
-		got, err := ParseEvent(name)
+func TestDefaultRegistryRoundTrip(t *testing.T) {
+	reg := DefaultRegistry()
+	if reg.Len() != 12 {
+		t.Fatalf("default registry has %d events, want 12", reg.Len())
+	}
+	for _, d := range reg.Events() {
+		got, err := reg.ParseEvent(d.Name)
 		if err != nil {
-			t.Fatalf("ParseEvent(%q): %v", name, err)
+			t.Fatalf("ParseEvent(%q): %v", d.Name, err)
 		}
-		if got != e {
-			t.Fatalf("round trip %v -> %q -> %v", e, name, got)
+		if got != d {
+			t.Fatalf("round trip %v -> %q -> %v", d, d.Name, got)
+		}
+		if !ValidEventName(d.Name) {
+			t.Fatalf("default event name %q not a valid identifier", d.Name)
 		}
 	}
 }
 
-func TestEventValidity(t *testing.T) {
-	if EventInvalid.Valid() {
-		t.Fatal("EventInvalid must not be valid")
+func TestRegistryNamesSorted(t *testing.T) {
+	names := DefaultRegistry().Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
 	}
-	if !EventCycles.Valid() || !EventFPOps.Valid() {
-		t.Fatal("known events must be valid")
+}
+
+func TestRegistryRegister(t *testing.T) {
+	reg := DefaultRegistry()
+	d := EventDesc{Name: "MY_RAW", Kind: KindRaw, Type: PerfTypeRaw, Config: 0x1234}
+	if err := reg.Register(d); err != nil {
+		t.Fatal(err)
 	}
-	if EventID(999).Valid() {
-		t.Fatal("out-of-range event must not be valid")
+	got, ok := reg.Lookup("MY_RAW")
+	if !ok || got != d {
+		t.Fatalf("Lookup after Register = %v, %v", got, ok)
 	}
-	if got := EventID(999).String(); got != "EVENT(999)" {
-		t.Fatalf("String of unknown = %q", got)
+	// Duplicates (including default names) are rejected.
+	if err := reg.Register(d); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := reg.Register(EventDesc{Name: EventCycles, Kind: KindGeneric}); err == nil {
+		t.Fatal("shadowing a default event accepted")
+	}
+	// Invalid identifiers are rejected.
+	for _, bad := range []string{"", "1BAD", "BAD-NAME", "RAW:0x1", "A B"} {
+		if err := reg.Register(EventDesc{Name: bad, Kind: KindRaw}); err == nil {
+			t.Fatalf("invalid name %q accepted", bad)
+		}
+	}
+	// The default registry behind package ParseEvent is unaffected.
+	if _, err := ParseEvent("MY_RAW"); err == nil {
+		t.Fatal("registration leaked into the shared default registry")
+	}
+}
+
+func TestParseEventRawSpec(t *testing.T) {
+	for _, spec := range []string{"RAW:0x1EF7", "raw:0x1ef7", "RAW:1EF7"} {
+		d, err := ParseEvent(spec)
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", spec, err)
+		}
+		if d.Kind != KindRaw || d.Type != PerfTypeRaw || d.Config != 0x1EF7 {
+			t.Fatalf("ParseEvent(%q) = %+v", spec, d)
+		}
+		if d.Name != "RAW:0x1EF7" {
+			t.Fatalf("canonical raw name = %q", d.Name)
+		}
+	}
+	for _, bad := range []string{"RAW:", "RAW:0x", "RAW:zz", "RAW:0x1 "} {
+		if _, err := ParseEvent(bad); err == nil {
+			t.Fatalf("bad raw spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParseEventHWCacheSpec(t *testing.T) {
+	cases := map[string]uint64{
+		"L1D_READ_ACCESS":     0,
+		"L1D_READ_MISS":       0 | 1<<16,
+		"L1D_WRITE_ACCESS":    0 | 1<<8,
+		"LLC_READ_MISS":       2 | 1<<16,
+		"LLC_PREFETCH_ACCESS": 2 | 2<<8,
+		"ITLB_READ_MISS":      4 | 1<<16,
+		"BPU_READ_ACCESS":     5,
+	}
+	for spec, config := range cases {
+		d, err := ParseEvent(spec)
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", spec, err)
+		}
+		if d.Kind != KindHWCache || d.Type != PerfTypeHWCache || d.Config != config {
+			t.Fatalf("ParseEvent(%q) = %+v, want config %#x", spec, d, config)
+		}
+		if d.Name != spec {
+			t.Fatalf("hw-cache name %q != spec %q", d.Name, spec)
+		}
+	}
+	for _, bad := range []string{"L1D_READ", "L1D_READ_MISS_X", "L9_READ_MISS", "L1D_EAT_MISS", "L1D_READ_WIN"} {
+		if _, err := ParseEvent(bad); err == nil {
+			t.Fatalf("bad hw-cache spec %q accepted", bad)
+		}
 	}
 }
 
@@ -41,18 +118,30 @@ func TestParseEventUnknown(t *testing.T) {
 }
 
 func TestGenericClassification(t *testing.T) {
-	generic := []EventID{EventCycles, EventInstructions, EventCacheReferences,
+	reg := DefaultRegistry()
+	generic := []string{EventCycles, EventInstructions, EventCacheReferences,
 		EventCacheMisses, EventBranches, EventBranchMisses}
-	for _, e := range generic {
-		if !e.Generic() {
-			t.Errorf("%v should be generic", e)
+	for _, name := range generic {
+		d, _ := reg.Lookup(name)
+		if !d.Generic() {
+			t.Errorf("%v should be generic", d)
 		}
 	}
-	specific := []EventID{EventFPAssist, EventL2Misses, EventLoads, EventStores, EventFPOps}
-	for _, e := range specific {
-		if e.Generic() {
-			t.Errorf("%v should not be generic", e)
+	specific := []string{EventFPAssist, EventL2Misses, EventLoads, EventStores, EventFPOps}
+	for _, name := range specific {
+		d, _ := reg.Lookup(name)
+		if d.Generic() {
+			t.Errorf("%v should not be generic", d)
 		}
+		if d.Kind != KindRaw {
+			t.Errorf("%v should be a raw event, got %v", d, d.Kind)
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if KindGeneric.String() != "generic" || KindHWCache.String() != "hw-cache" || KindRaw.String() != "raw" {
+		t.Fatal("kind names drifted")
 	}
 }
 

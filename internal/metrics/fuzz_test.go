@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseExprTable pins the parser's behaviour on the inputs the fuzz
+// target is seeded with: unary minus, division by zero, deep nesting
+// and malformed input.
+func TestParseExprTable(t *testing.T) {
+	env := MapEnv{"A": 6, "B": 3, "Z": 0}
+	evals := []struct {
+		src  string
+		want float64
+	}{
+		{"-A", -6},
+		{"--A", 6},
+		{"-(-(-A))", -6},
+		{"-A + B", -3},
+		{"-A * -B", 18},
+		{"A / Z", 0},  // division by zero yields 0, not Inf
+		{"A % Z", 0},  // modulo zero likewise
+		{"0 / 0", 0},  // constant fold path too
+		{"-A / Z", 0}, // sign does not leak through the zero guard
+		{"ratio(A, Z)", 0},
+		{"A / (B - 3)", 0},
+		{"(((((A)))))", 6},
+		{strings.Repeat("(", 50) + "A" + strings.Repeat(")", 50), 6},
+		{"1 ? -A : A / Z", -6},
+	}
+	for _, tc := range evals {
+		e, err := Compile(tc.src)
+		if err != nil {
+			t.Errorf("Compile(%q): %v", tc.src, err)
+			continue
+		}
+		got, err := e.Eval(env)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", tc.src, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("Eval(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+
+	bad := []string{
+		"",
+		"(",
+		")",
+		"A +",
+		"+ * A",
+		"A B",
+		"ratio(A)",       // arity
+		"ratio(A, B, A)", // arity
+		"nosuchfn(A)",    // unknown function
+		"A ? B",          // missing ':'
+		"1..2",           // bad number
+		"A @ B",          // bad rune
+		"ratio(A, B",     // unclosed call
+		"-",              // dangling unary
+		"--",             // dangling chain
+		strings.Repeat("(", maxExprDepth+1) + "A" + strings.Repeat(")", maxExprDepth+1),
+		strings.Repeat("-", maxExprDepth+1) + "A",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", src)
+		}
+	}
+
+	// Nesting inside the bound compiles (each parenthesis level costs
+	// two recursion frames: parseExpr and parseUnary).
+	ok := strings.Repeat("(", maxExprDepth/4) + "A" + strings.Repeat(")", maxExprDepth/4)
+	if _, err := Compile(ok); err != nil {
+		t.Errorf("Compile(%d-deep parens): %v", maxExprDepth/4, err)
+	}
+}
+
+// FuzzParseExpr throws arbitrary input at the compiler. Invariants for
+// every input that compiles:
+//
+//   - the canonical rendering (String) recompiles, and its own
+//     rendering is a fixpoint;
+//   - evaluation never panics: it produces a value or an EvalError,
+//     and with the engine's guards division by zero yields 0;
+//   - Identifiers never panics and only reports names that lex as
+//     identifiers.
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		"ratio(INSTRUCTIONS, CYCLES)",
+		"per100(CACHE_MISSES, INSTRUCTIONS)",
+		"mega(CYCLES)",
+		"-A + B*C / (D-1)",
+		"A / 0",
+		"-(-(-X))",
+		"A > B ? A : clamp(B, 0, 1)",
+		"1e9 % 7",
+		"((((((A))))))",
+		"min(max(A, B), sqrt(C))",
+		"A == B",
+		"bogus(",
+		")(",
+		"1..5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Compile(src)
+		if err != nil {
+			return
+		}
+		canon := e.String()
+		re, err := Compile(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not recompile: %v", canon, src, err)
+		}
+		if again := re.String(); again != canon {
+			t.Fatalf("rendering not a fixpoint: %q -> %q -> %q", src, canon, again)
+		}
+		env := MapEnv{}
+		for _, id := range e.Identifiers() {
+			if id == "" {
+				t.Fatalf("empty identifier from %q", src)
+			}
+			env[id] = 1
+		}
+		v, err := e.Eval(env)
+		if err != nil {
+			t.Fatalf("Eval with all identifiers bound failed for %q: %v", src, err)
+		}
+		// The guards keep zero denominators finite; other operations
+		// may legitimately produce Inf (e.g. 1e308*10), never panic.
+		_ = v
+		// Unbound identifiers surface as EvalError, not a panic.
+		if len(e.Identifiers()) > 0 {
+			if _, err := e.Eval(MapEnv{}); err == nil {
+				t.Fatalf("Eval of %q with empty env must fail", src)
+			}
+		}
+		_ = math.IsNaN(v)
+	})
+}

@@ -3,8 +3,6 @@ package metrics
 import (
 	"fmt"
 	"sort"
-
-	"tiptop/internal/hpm"
 )
 
 // Context variable names provided by the sampling engine in addition to
@@ -37,23 +35,25 @@ func (c *Column) Cell(v float64) string {
 	return s
 }
 
-// Events returns the counter events the column's expression references.
-// Context variables and unknown identifiers are skipped; the engine
-// reports unknown identifiers at evaluation time instead.
-func (c *Column) Events() []hpm.EventID {
-	var out []hpm.EventID
+// Identifiers returns the identifiers the column's expression
+// references minus the engine-provided context variables — the names
+// that must resolve to counter events in the session's registry. The
+// engine (and config.Load) reject screens whose identifiers do not
+// resolve, so a typo fails at load time rather than per-row at eval
+// time.
+func (c *Column) Identifiers() []string {
+	var out []string
 	for _, id := range c.Expr.Identifiers() {
-		if isContextVar(id) {
-			continue
-		}
-		if e, err := hpm.ParseEvent(id); err == nil {
-			out = append(out, e)
+		if !IsContextVar(id) {
+			out = append(out, id)
 		}
 	}
 	return out
 }
 
-func isContextVar(name string) bool {
+// IsContextVar reports whether name is one of the variables the
+// sampling engine provides alongside the counter deltas.
+func IsContextVar(name string) bool {
 	switch name {
 	case VarDeltaNS, VarFreqHz, VarCPUPct, VarNumCPU:
 		return true
@@ -68,16 +68,17 @@ type Screen struct {
 	Columns []*Column
 }
 
-// Events returns the union of counter events required by all columns, in
-// first-use order.
-func (s *Screen) Events() []hpm.EventID {
-	seen := make(map[hpm.EventID]bool)
-	var out []hpm.EventID
+// Identifiers returns the union of non-context identifiers referenced
+// by all columns, in first-use order — the names the session resolves
+// to counter events.
+func (s *Screen) Identifiers() []string {
+	seen := make(map[string]bool)
+	var out []string
 	for _, col := range s.Columns {
-		for _, e := range col.Events() {
-			if !seen[e] {
-				seen[e] = true
-				out = append(out, e)
+		for _, id := range col.Identifiers() {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
 			}
 		}
 	}

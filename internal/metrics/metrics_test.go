@@ -5,8 +5,6 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
-
-	"tiptop/internal/hpm"
 )
 
 func mustEval(t *testing.T, src string, env Env) float64 {
@@ -298,14 +296,17 @@ func TestColumnCellFormatting(t *testing.T) {
 	}
 }
 
-func TestColumnEvents(t *testing.T) {
+func TestColumnIdentifiers(t *testing.T) {
 	col := &Column{
 		Name: "dmis", Header: "DMIS", Width: 5, Format: "%5.1f",
 		Expr: MustCompile("per100(CACHE_MISSES, INSTRUCTIONS) + DELTA_NS*0"),
 	}
-	evs := col.Events()
-	if len(evs) != 2 || evs[0] != hpm.EventCacheMisses || evs[1] != hpm.EventInstructions {
-		t.Fatalf("Events = %v", evs)
+	ids := col.Identifiers()
+	if len(ids) != 2 || ids[0] != "CACHE_MISSES" || ids[1] != "INSTRUCTIONS" {
+		t.Fatalf("Identifiers = %v", ids)
+	}
+	if !IsContextVar("DELTA_NS") || IsContextVar("CACHE_MISSES") {
+		t.Fatal("IsContextVar misclassifies")
 	}
 }
 
@@ -335,16 +336,16 @@ func TestDefaultScreenMatchesFigure1(t *testing.T) {
 	}
 }
 
-func TestScreenEventsUnion(t *testing.T) {
+func TestScreenIdentifiersUnion(t *testing.T) {
 	s := DefaultScreen()
-	evs := s.Events()
-	want := []hpm.EventID{hpm.EventCycles, hpm.EventInstructions, hpm.EventCacheMisses}
-	if len(evs) != len(want) {
-		t.Fatalf("Events = %v", evs)
+	ids := s.Identifiers()
+	want := []string{"CYCLES", "INSTRUCTIONS", "CACHE_MISSES"}
+	if len(ids) != len(want) {
+		t.Fatalf("Identifiers = %v", ids)
 	}
 	for i := range want {
-		if evs[i] != want[i] {
-			t.Fatalf("Events[%d] = %v, want %v", i, evs[i], want[i])
+		if ids[i] != want[i] {
+			t.Fatalf("Identifiers[%d] = %v, want %v", i, ids[i], want[i])
 		}
 	}
 }
@@ -406,10 +407,9 @@ func TestLatencyScreenFutureWork(t *testing.T) {
 	if err != nil || stall != 5 {
 		t.Fatalf("%%STL = %v, %v; want 5", stall, err)
 	}
-	evs := s.Events()
 	found := false
-	for _, e := range evs {
-		if e == hpm.EventMemStallCycles {
+	for _, id := range s.Identifiers() {
+		if id == "MEM_STALL_CYCLES" {
 			found = true
 		}
 	}

@@ -98,12 +98,30 @@ func MustCompile(src string) *Expr {
 	return e
 }
 
+// maxExprDepth bounds expression nesting. The parser recurses on
+// parenthesised groups, unary operators and call arguments; without a
+// bound, adversarial input ("((((…" from a config file or fuzzer)
+// exhausts the goroutine stack instead of returning an error.
+const maxExprDepth = 200
+
 // parser is a Pratt (precedence-climbing) parser over the token stream.
 type parser struct {
-	src  string
-	toks []token
-	pos  int
+	src   string
+	toks  []token
+	pos   int
+	depth int
 }
+
+// enter tracks recursion depth; every call must be paired with leave.
+func (p *parser) enter(pos int) error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return p.errf(pos, "expression nests deeper than %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
 
@@ -137,6 +155,10 @@ func infixPower(k tokenKind) (int, bool) {
 }
 
 func (p *parser) parseExpr(minPower int) (node, error) {
+	if err := p.enter(p.peek().pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	left, err := p.parseUnary()
 	if err != nil {
 		return nil, err
@@ -173,6 +195,10 @@ func (p *parser) parseExpr(minPower int) (node, error) {
 }
 
 func (p *parser) parseUnary() (node, error) {
+	if err := p.enter(p.peek().pos); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch t := p.peek(); t.kind {
 	case tokMinus:
 		p.advance()

@@ -20,24 +20,6 @@ import (
 	"tiptop/internal/hpm"
 )
 
-// perf_event_attr type values (include/uapi/linux/perf_event.h).
-const (
-	typeHardware = 0
-	typeSoftware = 1
-	typeRaw      = 4
-)
-
-// PERF_TYPE_HARDWARE config values: the portable "generic events" the
-// paper's default configuration uses.
-const (
-	hwCPUCycles          = 0
-	hwInstructions       = 1
-	hwCacheReferences    = 2
-	hwCacheMisses        = 3
-	hwBranchInstructions = 4
-	hwBranchMisses       = 5
-)
-
 // read_format bits.
 const (
 	readFormatTotalTimeEnabled = 1 << 0
@@ -82,58 +64,20 @@ func (a *Attr) Encode() []byte {
 	return buf
 }
 
-// RawEvent is a model-specific event code, looked up in the vendor's
-// architecture manual (the paper's example: FP_ASSIST on Nehalem,
-// event 0xF7 umask 0x1 -> config 0x01F7).
-type RawEvent struct {
-	Name   string
-	Config uint64
-}
-
-// DefaultRawEvents maps the non-generic events the paper's use cases
-// need to Nehalem/Westmere raw codes. Real deployments on other
-// micro-architectures override this table (the tool is "fully
-// customizable"); values here are from the Intel SDM for the machines
-// the paper used.
-func DefaultRawEvents() map[hpm.EventID]RawEvent {
-	return map[hpm.EventID]RawEvent{
-		hpm.EventFPAssist: {Name: "FP_ASSIST.ALL", Config: 0x1EF7},
-		hpm.EventL2Misses: {Name: "L2_RQSTS.MISS", Config: 0xAA24},
-		hpm.EventLoads:    {Name: "MEM_INST_RETIRED.LOADS", Config: 0x010B},
-		hpm.EventStores:   {Name: "MEM_INST_RETIRED.STORES", Config: 0x020B},
-		hpm.EventFPOps:    {Name: "FP_COMP_OPS_EXE.ANY", Config: 0xFF10},
-	}
-}
-
-// attrFor builds the attribute block for an event. Counters exclude
-// kernel and hypervisor activity (the unprivileged configuration) and
-// start enabled, since the engine reads deltas anyway.
-func attrFor(e hpm.EventID, raw map[hpm.EventID]RawEvent) (Attr, error) {
-	a := Attr{
+// attrFor builds the attribute block for an event descriptor: the
+// encoding is carried by the descriptor itself, so this backend never
+// needs editing to count a new event (raw codes and hw-cache events
+// come straight from the registry or the XML configuration). Counters
+// exclude kernel and hypervisor activity (the unprivileged
+// configuration) and start enabled, since the engine reads deltas
+// anyway.
+func attrFor(e hpm.EventDesc) Attr {
+	return Attr{
+		Type:       e.Type,
+		Config:     e.Config,
 		ReadFormat: readFormatTotalTimeEnabled | readFormatTotalTimeRunning,
 		Flags:      flagExcludeKernel | flagExcludeHV,
 	}
-	switch e {
-	case hpm.EventCycles:
-		a.Type, a.Config = typeHardware, hwCPUCycles
-	case hpm.EventInstructions:
-		a.Type, a.Config = typeHardware, hwInstructions
-	case hpm.EventCacheReferences:
-		a.Type, a.Config = typeHardware, hwCacheReferences
-	case hpm.EventCacheMisses:
-		a.Type, a.Config = typeHardware, hwCacheMisses
-	case hpm.EventBranches:
-		a.Type, a.Config = typeHardware, hwBranchInstructions
-	case hpm.EventBranchMisses:
-		a.Type, a.Config = typeHardware, hwBranchMisses
-	default:
-		r, ok := raw[e]
-		if !ok {
-			return Attr{}, fmt.Errorf("perfevent: no raw code for %v: %w", e, hpm.ErrUnsupportedEvent)
-		}
-		a.Type, a.Config = typeRaw, r.Config
-	}
-	return a, nil
 }
 
 // DecodeReading parses the 24-byte read(2) result produced with the
@@ -152,7 +96,6 @@ func DecodeReading(buf []byte) (hpm.Count, error) {
 
 // Backend is the perf_event implementation of hpm.Backend.
 type Backend struct {
-	raw map[hpm.EventID]RawEvent
 	// enableRaw permits architecture-specific raw events. Off by
 	// default: raw codes are only valid on the micro-architecture they
 	// were taken from.
@@ -161,37 +104,45 @@ type Backend struct {
 
 var _ hpm.Backend = (*Backend)(nil)
 
-// New creates a perf_event backend supporting the generic events.
+// New creates a perf_event backend supporting the generic and hw-cache
+// events.
 func New() *Backend {
-	return &Backend{raw: DefaultRawEvents()}
+	return &Backend{}
 }
 
-// NewWithRawEvents creates a backend that additionally accepts the given
-// model-specific raw events.
-func NewWithRawEvents(raw map[hpm.EventID]RawEvent) *Backend {
-	return &Backend{raw: raw, enableRaw: true}
+// NewWithRaw creates a backend that additionally accepts raw event
+// descriptors (PERF_TYPE_RAW). The caller asserts that the codes in
+// play were taken from this machine's micro-architecture manual.
+func NewWithRaw() *Backend {
+	return &Backend{enableRaw: true}
 }
 
 // Name implements hpm.Backend.
 func (b *Backend) Name() string { return "perf_event" }
 
-// Supported implements hpm.Backend.
-func (b *Backend) Supported(e hpm.EventID) bool {
-	if e.Generic() {
-		return true
-	}
-	if !b.enableRaw {
+// Supported implements hpm.Backend: generic and hw-cache encodings are
+// portable (the kernel rejects combinations the hardware lacks at open
+// time, surfacing as a per-task attach failure); raw codes require the
+// opt-in backend because they are only meaningful on the
+// micro-architecture they were looked up for.
+func (b *Backend) Supported(e hpm.EventDesc) bool {
+	if !e.Valid() {
 		return false
 	}
-	_, ok := b.raw[e]
-	return ok
+	switch e.Kind {
+	case hpm.KindGeneric, hpm.KindHWCache:
+		return true
+	case hpm.KindRaw:
+		return b.enableRaw
+	}
+	return false
 }
 
 // Probe implements hpm.Backend: it opens (and immediately closes) a
 // cycles counter on the calling thread. Any failure is reported as
 // hpm.ErrUnavailable with the underlying errno attached.
 func (b *Backend) Probe() error {
-	a, _ := attrFor(hpm.EventCycles, b.raw)
+	a := attrFor(hpm.EventDesc{Name: hpm.EventCycles, Type: hpm.PerfTypeHardware, Config: hpm.HWCPUCycles})
 	fd, err := openSyscall(&a, 0, -1) // pid 0 = calling task
 	if err != nil {
 		return fmt.Errorf("perfevent: probe: %v: %w", err, hpm.ErrUnavailable)
@@ -201,7 +152,7 @@ func (b *Backend) Probe() error {
 }
 
 // Attach implements hpm.Backend.
-func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCounter, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("perfevent: no events: %w", hpm.ErrUnsupportedEvent)
 	}
@@ -211,11 +162,7 @@ func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter
 			c.Close()
 			return nil, fmt.Errorf("perfevent: %v: %w", e, hpm.ErrUnsupportedEvent)
 		}
-		a, err := attrFor(e, b.raw)
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
+		a := attrFor(e)
 		// cpu = -1: count the task on every CPU it runs on (per-task
 		// counting, exactly the paper's configuration: "We set cpu to
 		// -1 to monitor events per task"). Group scope targets the
@@ -239,7 +186,7 @@ func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter
 // counter holds one fd per attached event.
 type counter struct {
 	task   hpm.TaskID
-	events []hpm.EventID
+	events []hpm.EventDesc
 	fds    []int
 	closed bool
 }

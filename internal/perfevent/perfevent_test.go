@@ -11,8 +11,8 @@ import (
 
 func TestAttrEncodeLayout(t *testing.T) {
 	a := Attr{
-		Type:       typeHardware,
-		Config:     hwInstructions,
+		Type:       hpm.PerfTypeHardware,
+		Config:     hpm.HWInstructions,
 		ReadFormat: readFormatTotalTimeEnabled | readFormatTotalTimeRunning,
 		Flags:      flagExcludeKernel | flagExcludeHV,
 	}
@@ -21,13 +21,13 @@ func TestAttrEncodeLayout(t *testing.T) {
 		t.Fatalf("attr size = %d, want %d", len(blob), attrSize)
 	}
 	le := binary.LittleEndian
-	if got := le.Uint32(blob[0:]); got != typeHardware {
+	if got := le.Uint32(blob[0:]); got != hpm.PerfTypeHardware {
 		t.Fatalf("type = %d", got)
 	}
 	if got := le.Uint32(blob[4:]); got != attrSize {
 		t.Fatalf("size field = %d, want %d", got, attrSize)
 	}
-	if got := le.Uint64(blob[8:]); got != hwInstructions {
+	if got := le.Uint64(blob[8:]); got != hpm.HWInstructions {
 		t.Fatalf("config = %d", got)
 	}
 	if got := le.Uint64(blob[32:]); got != 3 {
@@ -42,37 +42,32 @@ func TestAttrEncodeLayout(t *testing.T) {
 	}
 }
 
-func TestAttrForGenericEvents(t *testing.T) {
-	cases := map[hpm.EventID]uint64{
-		hpm.EventCycles:          hwCPUCycles,
-		hpm.EventInstructions:    hwInstructions,
-		hpm.EventCacheReferences: hwCacheReferences,
-		hpm.EventCacheMisses:     hwCacheMisses,
-		hpm.EventBranches:        hwBranchInstructions,
-		hpm.EventBranchMisses:    hwBranchMisses,
+func TestAttrForDescriptors(t *testing.T) {
+	reg := hpm.DefaultRegistry()
+	cases := map[string]struct {
+		typ    uint32
+		config uint64
+	}{
+		hpm.EventCycles:       {hpm.PerfTypeHardware, hpm.HWCPUCycles},
+		hpm.EventInstructions: {hpm.PerfTypeHardware, hpm.HWInstructions},
+		hpm.EventCacheMisses:  {hpm.PerfTypeHardware, hpm.HWCacheMisses},
+		hpm.EventBranches:     {hpm.PerfTypeHardware, hpm.HWBranchInstructions},
+		hpm.EventFPAssist:     {hpm.PerfTypeRaw, 0x1EF7},
+		"L1D_READ_MISS":       {hpm.PerfTypeHWCache, 0 | 1<<16},
+		"RAW:0xABCD":          {hpm.PerfTypeRaw, 0xABCD},
 	}
-	for e, config := range cases {
-		a, err := attrFor(e, nil)
+	for spec, want := range cases {
+		d, err := reg.ParseEvent(spec)
 		if err != nil {
-			t.Fatalf("attrFor(%v): %v", e, err)
+			t.Fatalf("ParseEvent(%q): %v", spec, err)
 		}
-		if a.Type != typeHardware || a.Config != config {
-			t.Fatalf("attrFor(%v) = %+v", e, a)
+		a := attrFor(d)
+		if a.Type != want.typ || a.Config != want.config {
+			t.Fatalf("attrFor(%v) = %+v, want type=%d config=%#x", d, a, want.typ, want.config)
 		}
-	}
-}
-
-func TestAttrForRawEvents(t *testing.T) {
-	raw := DefaultRawEvents()
-	a, err := attrFor(hpm.EventFPAssist, raw)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if a.Type != typeRaw || a.Config != 0x1EF7 {
-		t.Fatalf("FP assist attr = %+v", a)
-	}
-	if _, err := attrFor(hpm.EventFPAssist, nil); !errors.Is(err, hpm.ErrUnsupportedEvent) {
-		t.Fatalf("missing raw table error = %v", err)
+		if a.ReadFormat != readFormatTotalTimeEnabled|readFormatTotalTimeRunning {
+			t.Fatalf("attrFor(%v) read_format = %#x", d, a.ReadFormat)
+		}
 	}
 }
 
@@ -98,21 +93,30 @@ func TestDecodeReading(t *testing.T) {
 }
 
 func TestSupported(t *testing.T) {
+	reg := hpm.DefaultRegistry()
 	b := New()
-	for _, e := range hpm.AllEvents() {
-		if e.Generic() && !b.Supported(e) {
-			t.Errorf("generic %v must be supported", e)
+	for _, d := range reg.Events() {
+		if d.Generic() && !b.Supported(d) {
+			t.Errorf("generic %v must be supported", d)
 		}
-		if !e.Generic() && b.Supported(e) {
-			t.Errorf("raw %v must be off by default", e)
+		if d.Kind == hpm.KindRaw && b.Supported(d) {
+			t.Errorf("raw %v must be off by default", d)
 		}
 	}
-	braw := NewWithRawEvents(DefaultRawEvents())
-	if !braw.Supported(hpm.EventFPAssist) {
+	hwCache, err := reg.ParseEvent("LLC_READ_MISS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Supported(hwCache) {
+		t.Fatal("hw-cache events must be supported by default")
+	}
+	braw := NewWithRaw()
+	fpa, _ := reg.Lookup(hpm.EventFPAssist)
+	if !braw.Supported(fpa) {
 		t.Fatal("raw-enabled backend must support FP assists")
 	}
-	if braw.Supported(hpm.EventInvalid) {
-		t.Fatal("invalid event supported")
+	if braw.Supported(hpm.EventDesc{}) {
+		t.Fatal("invalid descriptor supported")
 	}
 }
 
@@ -121,8 +125,9 @@ func TestAttachValidation(t *testing.T) {
 	if _, err := b.Attach(hpm.TaskID{PID: 1, TID: 1}, nil); !errors.Is(err, hpm.ErrUnsupportedEvent) {
 		t.Fatalf("empty events error = %v", err)
 	}
-	if _, err := b.Attach(hpm.TaskID{PID: 1, TID: 1}, []hpm.EventID{hpm.EventFPAssist}); !errors.Is(err, hpm.ErrUnsupportedEvent) {
-		t.Fatalf("raw event without enableRaw error = %v", err)
+	fpa, _ := hpm.DefaultRegistry().Lookup(hpm.EventFPAssist)
+	if _, err := b.Attach(hpm.TaskID{PID: 1, TID: 1}, []hpm.EventDesc{fpa}); !errors.Is(err, hpm.ErrUnsupportedEvent) {
+		t.Fatalf("raw event without NewWithRaw error = %v", err)
 	}
 }
 
@@ -134,8 +139,11 @@ func TestLiveCountersIfPermitted(t *testing.T) {
 		t.Skipf("perf_event unavailable here: %v", err)
 	}
 	self := os.Getpid()
+	reg := hpm.DefaultRegistry()
+	cycles, _ := reg.Lookup(hpm.EventCycles)
+	instr, _ := reg.Lookup(hpm.EventInstructions)
 	ctr, err := b.Attach(hpm.TaskID{PID: self, TID: self},
-		[]hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+		[]hpm.EventDesc{cycles, instr})
 	if err != nil {
 		t.Skipf("attach to self failed: %v", err)
 	}
@@ -175,7 +183,8 @@ func TestIoctlControlsIfPermitted(t *testing.T) {
 		t.Skipf("perf_event unavailable: %v", err)
 	}
 	self := os.Getpid()
-	ctr, err := b.Attach(hpm.TaskID{PID: self, TID: self}, []hpm.EventID{hpm.EventInstructions})
+	instr, _ := hpm.DefaultRegistry().Lookup(hpm.EventInstructions)
+	ctr, err := b.Attach(hpm.TaskID{PID: self, TID: self}, []hpm.EventDesc{instr})
 	if err != nil {
 		t.Skipf("attach failed: %v", err)
 	}

@@ -300,8 +300,8 @@ func (f *Fleet) Snapshot() *FleetSnapshot {
 			out.Cluster.CPUPct += snap.Machine.CPUPct
 			if last != nil {
 				for i := range last.Rows {
-					dInstr += last.Rows[i].Events[hpm.EventInstructions.String()]
-					dCycles += last.Rows[i].Events[hpm.EventCycles.String()]
+					dInstr += last.Rows[i].Events[hpm.EventInstructions]
+					dCycles += last.Rows[i].Events[hpm.EventCycles]
 				}
 			}
 		}

@@ -106,12 +106,16 @@ func TestCoreSampleConversion(t *testing.T) {
 	}
 }
 
-func TestCoreSampleSkipsUnknownEvents(t *testing.T) {
+// TestCoreSampleCarriesUnknownEvents: events travel by canonical name,
+// so counters this build has never heard of (a newer agent's
+// user-defined raw events) survive the wire → engine conversion intact
+// instead of being dropped.
+func TestCoreSampleCarriesUnknownEvents(t *testing.T) {
 	s := testSample(1, 1)
 	s.Rows[0].Events["FUTURE_EVENT"] = 42
 	cs := s.CoreSample()
-	if len(cs.Rows[0].Events) != 2 {
-		t.Fatalf("events = %v, want unknown names skipped", cs.Rows[0].Events)
+	if got := cs.Rows[0].Events["FUTURE_EVENT"]; got != 42 {
+		t.Fatalf("events = %v, want FUTURE_EVENT carried through", cs.Rows[0].Events)
 	}
 }
 

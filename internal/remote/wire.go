@@ -125,9 +125,10 @@ func (s *Sample) Screen() *metrics.Screen {
 }
 
 // CoreSample converts the wire sample into the engine's representation,
-// which is what recorders (history.Recorder) consume. Event names the
-// local build does not know are skipped, so a newer agent can stream
-// extra counters to an older aggregator.
+// which is what recorders (history.Recorder) consume. Events travel by
+// canonical name end to end — rows carry the names verbatim, so an
+// agent can stream counters (including user-defined raw events) that
+// the aggregator's build has never heard of.
 func (s *Sample) CoreSample() *core.Sample {
 	cs := &core.Sample{Time: s.Time(), Dropped: s.Dropped}
 	cs.Rows = make([]core.Row, 0, len(s.Rows))
@@ -146,11 +147,9 @@ func (s *Sample) CoreSample() *core.Sample {
 			Valid:  r.Monitored,
 		}
 		if len(r.Events) > 0 {
-			row.Events = make(map[hpm.EventID]uint64, len(r.Events))
+			row.Events = make(map[string]uint64, len(r.Events))
 			for name, v := range r.Events {
-				if e, err := hpm.ParseEvent(name); err == nil {
-					row.Events[e] = v
-				}
+				row.Events[name] = v
 			}
 		}
 		cs.Rows = append(cs.Rows, row)

@@ -269,10 +269,17 @@ func (d *Delta) Add(o Delta) {
 	d.MemStallCycles += o.MemStallCycles
 }
 
-// EventCount maps a generic or architecture-specific event ID to the
-// corresponding count in the delta.
-func (d Delta) EventCount(e hpm.EventID) uint64 {
-	switch e {
+// SourceL1Misses names the L1 data-cache miss count. It is not a
+// default-registry event — hw-cache descriptors (L1D_*_MISS) resolve to
+// it through the virtual PMU's decode tables.
+const SourceL1Misses = "L1_MISSES"
+
+// Count maps the name of an architectural count source — a canonical
+// event name of hpm.DefaultRegistry, or SourceL1Misses — to the
+// corresponding value in the delta. Unknown sources count zero; the
+// virtual PMU rejects them at attach time.
+func (d Delta) Count(source string) uint64 {
+	switch source {
 	case hpm.EventCycles:
 		return d.Cycles
 	case hpm.EventInstructions:
@@ -297,8 +304,23 @@ func (d Delta) EventCount(e hpm.EventID) uint64 {
 		return d.FPOps
 	case hpm.EventMemStallCycles:
 		return d.MemStallCycles
+	case SourceL1Misses:
+		return d.L1Misses
 	}
 	return 0
+}
+
+// KnownSource reports whether name is a count source Delta implements.
+func KnownSource(name string) bool {
+	switch name {
+	case hpm.EventCycles, hpm.EventInstructions, hpm.EventCacheReferences,
+		hpm.EventCacheMisses, hpm.EventBranches, hpm.EventBranchMisses,
+		hpm.EventFPAssist, hpm.EventL2Misses, hpm.EventLoads,
+		hpm.EventStores, hpm.EventFPOps, hpm.EventMemStallCycles,
+		SourceL1Misses:
+		return true
+	}
+	return false
 }
 
 // Emit converts a Result plus an instruction count into integral event

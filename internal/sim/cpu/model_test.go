@@ -152,14 +152,14 @@ func TestCapacityOrderingClamp(t *testing.T) {
 	}
 }
 
-func TestDeltaAddAndEventCount(t *testing.T) {
+func TestDeltaAddAndCount(t *testing.T) {
 	a := Delta{Instructions: 10, Cycles: 20, Loads: 3, LLCMisses: 1, FPAssists: 2}
 	b := Delta{Instructions: 5, Cycles: 10, Loads: 2, Branches: 7}
 	a.Add(b)
 	if a.Instructions != 15 || a.Cycles != 30 || a.Loads != 5 || a.Branches != 7 {
 		t.Fatalf("Add result %+v", a)
 	}
-	cases := map[hpm.EventID]uint64{
+	cases := map[string]uint64{
 		hpm.EventCycles:          30,
 		hpm.EventInstructions:    15,
 		hpm.EventLoads:           5,
@@ -167,16 +167,22 @@ func TestDeltaAddAndEventCount(t *testing.T) {
 		hpm.EventCacheMisses:     1,
 		hpm.EventFPAssist:        2,
 		hpm.EventStores:          0,
-		hpm.EventInvalid:         0,
+		"NOT_A_SOURCE":           0,
 		hpm.EventCacheReferences: 0,
 		hpm.EventBranchMisses:    0,
 		hpm.EventL2Misses:        0,
 		hpm.EventFPOps:           0,
 	}
-	for e, want := range cases {
-		if got := a.EventCount(e); got != want {
-			t.Errorf("EventCount(%v) = %d, want %d", e, got, want)
+	for name, want := range cases {
+		if got := a.Count(name); got != want {
+			t.Errorf("Count(%q) = %d, want %d", name, got, want)
 		}
+	}
+	if KnownSource("NOT_A_SOURCE") {
+		t.Error("unknown source reported as known")
+	}
+	if !KnownSource(SourceL1Misses) || !KnownSource(hpm.EventCycles) {
+		t.Error("known sources not recognized")
 	}
 }
 

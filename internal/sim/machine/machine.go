@@ -84,6 +84,16 @@ type Machine struct {
 	// (paper §2.6: "Our Intel Xeon W3550 supports up to sixteen
 	// simultaneous events"). Requests beyond this are time-multiplexed.
 	NumCounters int
+
+	// RawEvents is the machine model's raw-event decode table: it maps
+	// a model-specific raw event code (perf_event_attr.Config of a
+	// PERF_TYPE_RAW descriptor) to the name of the architectural count
+	// the simulator produces for it (see cpu.Delta.Count). This is the
+	// hook the virtual PMU resolves arch-specific events through, the
+	// way real hardware decodes event-select/umask pairs: a machine
+	// without an entry for a code cannot count that event (the PPC970
+	// has no FP-assist mechanism at all, §3.1).
+	RawEvents map[uint64]string
 }
 
 // Validate checks internal consistency.
@@ -121,6 +131,33 @@ func (m *Machine) Validate() error {
 		return fmt.Errorf("machine %q: CPIScale must be positive", m.Name)
 	}
 	return nil
+}
+
+// RawEventSource resolves a raw event code through the machine model's
+// decode table, returning the name of the architectural count backing
+// it and whether the machine implements the code.
+func (m *Machine) RawEventSource(config uint64) (string, bool) {
+	src, ok := m.RawEvents[config]
+	return src, ok
+}
+
+// referenceRawEvents returns the decode table for the reference raw
+// codes of hpm.DefaultRegistry (Intel SDM, Nehalem/Westmere — the
+// machines the paper used). Every preset accepts these codes for the
+// counts it implements; fpAssist is false for machines without the
+// micro-code assist mechanism.
+func referenceRawEvents(fpAssist bool) map[uint64]string {
+	t := map[uint64]string{
+		0xAA24: "L2_MISSES",        // L2_RQSTS.MISS
+		0x010B: "LOADS",            // MEM_INST_RETIRED.LOADS
+		0x020B: "STORES",           // MEM_INST_RETIRED.STORES
+		0xFF10: "FP_OPS",           // FP_COMP_OPS_EXE.ANY
+		0x06A3: "MEM_STALL_CYCLES", // CYCLE_ACTIVITY.STALLS_LDM_PENDING
+	}
+	if fpAssist {
+		t[0x1EF7] = "FP_ASSIST" // FP_ASSIST.ALL
+	}
+	return t
 }
 
 // NumCores returns the number of physical cores.
@@ -263,6 +300,7 @@ func XeonW3550() *Machine {
 		SMTSlowdown:       1.25,
 		CPIScale:          1.0,
 		NumCounters:       16,
+		RawEvents:         referenceRawEvents(true),
 	}
 	mustValid(m)
 	return m
@@ -292,6 +330,7 @@ func XeonE5640x2() *Machine {
 		SMTSlowdown:       1.25,
 		CPIScale:          1.05,
 		NumCounters:       16,
+		RawEvents:         referenceRawEvents(true),
 	}
 	mustValid(m)
 	return m
@@ -320,6 +359,7 @@ func Core2() *Machine {
 		SMTSlowdown:       1,
 		CPIScale:          1.18,
 		NumCounters:       4,
+		RawEvents:         referenceRawEvents(true),
 	}
 	mustValid(m)
 	return m
@@ -349,6 +389,7 @@ func PPC970() *Machine {
 		SMTSlowdown:       1,
 		CPIScale:          2.0,
 		NumCounters:       8,
+		RawEvents:         referenceRawEvents(false),
 	}
 	mustValid(m)
 	return m

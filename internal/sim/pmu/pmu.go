@@ -39,18 +39,86 @@ func (b *Backend) Name() string { return "sim" }
 // Probe implements hpm.Backend; the simulated PMU is always available.
 func (b *Backend) Probe() error { return nil }
 
-// Supported implements hpm.Backend. The simulated machine counts every
-// event the paper uses. The PPC970 has no FP-assist event — there is no
-// such micro-architectural mechanism to count (§3.1: the pathology does
-// not exist there).
-func (b *Backend) Supported(e hpm.EventID) bool {
+// resolve maps an event descriptor to the architectural count source
+// the simulated machine produces for it ("" when the machine cannot
+// count the event). Resolution goes by the perf *encoding*, exactly
+// what real hardware sees — so a user-defined alias of a built-in
+// event (same attr.Type/attr.Config under a new name) counts
+// identically:
+//
+//   - PERF_TYPE_HARDWARE configs resolve to the generic counts;
+//   - PERF_TYPE_RAW codes go through the machine model's decode table
+//     (machine.Machine.RawEvents), the way hardware decodes an
+//     event-select/umask pair — a machine without an entry cannot
+//     count the code (the PPC970 has no FP-assist mechanism at all,
+//     §3.1);
+//   - PERF_TYPE_HW_CACHE encodings resolve the L1D and LLC events the
+//     cache model simulates.
+func (b *Backend) resolve(e hpm.EventDesc) string {
 	if !e.Valid() {
-		return false
+		return ""
 	}
-	if e == hpm.EventFPAssist && b.k.Machine().FPAssistPenalty == 0 {
-		return false
+	switch e.Type {
+	case hpm.PerfTypeHardware:
+		return genericSource(e.Config)
+	case hpm.PerfTypeRaw:
+		if src, ok := b.k.Machine().RawEventSource(e.Config); ok && cpu.KnownSource(src) {
+			return src
+		}
+	case hpm.PerfTypeHWCache:
+		return hwCacheSource(e.Config)
 	}
-	return true
+	return ""
+}
+
+// genericSource decodes a PERF_TYPE_HARDWARE config into the generic
+// count it names.
+func genericSource(config uint64) string {
+	switch config {
+	case hpm.HWCPUCycles:
+		return hpm.EventCycles
+	case hpm.HWInstructions:
+		return hpm.EventInstructions
+	case hpm.HWCacheReferences:
+		return hpm.EventCacheReferences
+	case hpm.HWCacheMisses:
+		return hpm.EventCacheMisses
+	case hpm.HWBranchInstructions:
+		return hpm.EventBranches
+	case hpm.HWBranchMisses:
+		return hpm.EventBranchMisses
+	}
+	return ""
+}
+
+// hwCacheSource decodes a PERF_TYPE_HW_CACHE config (cache-id | op<<8 |
+// result<<16) into the count sources the cache model maintains.
+func hwCacheSource(config uint64) string {
+	id, op, res := config&0xff, (config>>8)&0xff, (config>>16)&0xff
+	const (
+		cacheL1D, cacheLL        = 0, 2
+		opRead, opWrite          = 0, 1
+		resultAccess, resultMiss = 0, 1
+	)
+	switch {
+	case id == cacheL1D && op == opRead && res == resultAccess:
+		return hpm.EventLoads
+	case id == cacheL1D && op == opWrite && res == resultAccess:
+		return hpm.EventStores
+	case id == cacheL1D && (op == opRead || op == opWrite) && res == resultMiss:
+		return cpu.SourceL1Misses
+	case id == cacheLL && res == resultAccess:
+		return hpm.EventCacheReferences
+	case id == cacheLL && res == resultMiss:
+		return hpm.EventCacheMisses
+	}
+	return ""
+}
+
+// Supported implements hpm.Backend by resolving the descriptor against
+// the machine model.
+func (b *Backend) Supported(e hpm.EventDesc) bool {
+	return b.resolve(e) != ""
 }
 
 // Kernel returns the kernel the backend monitors.
@@ -61,14 +129,17 @@ func (b *Backend) Kernel() *sched.Kernel { return b.k }
 // group, the semantics of perf_event's inherit flag. A concrete TID
 // counts that thread alone (paper §2.2: "Events can be counted per
 // thread, or per process").
-func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter, error) {
+func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCounter, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("pmu: no events requested: %w", hpm.ErrUnsupportedEvent)
 	}
-	for _, e := range events {
-		if !b.Supported(e) {
+	sources := make([]string, len(events))
+	for i, e := range events {
+		src := b.resolve(e)
+		if src == "" {
 			return nil, fmt.Errorf("pmu: event %v: %w", e, hpm.ErrUnsupportedEvent)
 		}
+		sources[i] = src
 	}
 	var targets []*sched.Task
 	if task.IsGroup() {
@@ -83,7 +154,7 @@ func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventID) (hpm.TaskCounter
 		backend: b,
 		targets: targets,
 		id:      task,
-		events:  append([]hpm.EventID(nil), events...),
+		sources: sources,
 		counts:  make([]hpm.Count, len(events)),
 		slots:   b.k.Machine().NumCounters,
 	}
@@ -100,7 +171,10 @@ type counter struct {
 	backend *Backend
 	targets []*sched.Task
 	id      hpm.TaskID
-	events  []hpm.EventID
+	// sources holds the resolved architectural count source of each
+	// attached event, in attach order (the descriptor → source decode
+	// happens once, at attach time).
+	sources []string
 	counts  []hpm.Count
 	slots   int // hardware counters available
 	rot     int // multiplex rotation cursor
@@ -119,7 +193,7 @@ func (c *counter) Task() hpm.TaskID { return c.id }
 // the kernel rotates the active PMU set each timer tick when more events
 // are requested than hardware counters exist.
 func (c *counter) OnQuantum(d cpu.Delta, ranNS uint64) {
-	n := len(c.events)
+	n := len(c.sources)
 	active := c.slots
 	if active > n {
 		active = n
@@ -128,10 +202,10 @@ func (c *counter) OnQuantum(d cpu.Delta, ranNS uint64) {
 	for i := 0; i < active; i++ {
 		activeSet[(c.rot+i)%n] = true
 	}
-	for i := range c.events {
+	for i := range c.sources {
 		c.counts[i].Enabled += ranNS
 		if activeSet[i] {
-			c.counts[i].Raw += d.EventCount(c.events[i])
+			c.counts[i].Raw += d.Count(c.sources[i])
 			c.counts[i].Running += ranNS
 		}
 	}

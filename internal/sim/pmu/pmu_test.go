@@ -37,34 +37,89 @@ func TestProbeAndName(t *testing.T) {
 }
 
 func TestSupportedEvents(t *testing.T) {
+	reg := hpm.DefaultRegistry()
 	_, nehalem, _ := setup(t, machine.XeonW3550())
-	for _, e := range hpm.AllEvents() {
-		if !nehalem.Supported(e) {
-			t.Errorf("W3550 must support %v", e)
+	for _, d := range reg.Events() {
+		if !nehalem.Supported(d) {
+			t.Errorf("W3550 must support %v", d)
 		}
 	}
-	if nehalem.Supported(hpm.EventInvalid) {
-		t.Fatal("invalid event supported")
+	if nehalem.Supported(hpm.EventDesc{}) {
+		t.Fatal("invalid descriptor supported")
 	}
 	_, ppc, _ := setup(t, machine.PPC970())
-	if ppc.Supported(hpm.EventFPAssist) {
+	fpa, _ := reg.Lookup(hpm.EventFPAssist)
+	if ppc.Supported(fpa) {
 		t.Fatal("PPC970 has no FP-assist event")
 	}
-	if !ppc.Supported(hpm.EventCycles) {
+	cycles, _ := reg.Lookup(hpm.EventCycles)
+	if !ppc.Supported(cycles) {
 		t.Fatal("PPC970 supports generic events")
 	}
 }
 
+// TestRawAndHWCacheResolution: raw codes resolve through the machine
+// model's decode table, hw-cache encodings through the cache model —
+// without any registry defaults in play.
+func TestRawAndHWCacheResolution(t *testing.T) {
+	k, b, task := setup(t, machine.XeonW3550())
+	// 0x1EF7 is FP_ASSIST.ALL in the W3550 decode table; an unknown
+	// code is rejected like unimplemented hardware would.
+	if !b.Supported(evs(t, "RAW:0x1EF7")[0]) {
+		t.Fatal("W3550 must decode RAW:0x1EF7")
+	}
+	if b.Supported(evs(t, "RAW:0xDEAD")[0]) {
+		t.Fatal("undecodable raw code supported")
+	}
+	if b.Supported(evs(t, "ITLB_READ_MISS")[0]) {
+		t.Fatal("unmodelled hw-cache event supported")
+	}
+	// A raw cycles-stall code and the hw-cache LLC miss count both
+	// track their named counterparts exactly.
+	ctr, err := b.Attach(task.ID(), evs(t,
+		"RAW:0x1EF7", hpm.EventFPAssist, "LLC_READ_MISS", hpm.EventCacheMisses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	k.Advance(2 * time.Second)
+	counts, err := ctr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0].Raw != counts[1].Raw {
+		t.Fatalf("RAW:0x1EF7 (%d) != FP_ASSIST (%d)", counts[0].Raw, counts[1].Raw)
+	}
+	if counts[2].Raw != counts[3].Raw {
+		t.Fatalf("LLC_READ_MISS (%d) != CACHE_MISSES (%d)", counts[2].Raw, counts[3].Raw)
+	}
+}
+
+// evs resolves canonical names (or RAW:/hw-cache specs) to descriptors
+// through the default registry.
+func evs(t *testing.T, specs ...string) []hpm.EventDesc {
+	t.Helper()
+	out := make([]hpm.EventDesc, len(specs))
+	for i, spec := range specs {
+		d, err := hpm.ParseEvent(spec)
+		if err != nil {
+			t.Fatalf("ParseEvent(%q): %v", spec, err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
 func TestAttachErrors(t *testing.T) {
 	_, b, _ := setup(t, machine.XeonW3550())
-	if _, err := b.Attach(hpm.TaskID{PID: 9999, TID: 9999}, []hpm.EventID{hpm.EventCycles}); !errors.Is(err, hpm.ErrNoSuchTask) {
+	if _, err := b.Attach(hpm.TaskID{PID: 9999, TID: 9999}, evs(t, hpm.EventCycles)); !errors.Is(err, hpm.ErrNoSuchTask) {
 		t.Fatalf("missing task error = %v", err)
 	}
 	if _, err := b.Attach(hpm.TaskID{PID: 100, TID: 100}, nil); !errors.Is(err, hpm.ErrUnsupportedEvent) {
 		t.Fatalf("empty events error = %v", err)
 	}
 	_, ppc, task := setup(t, machine.PPC970())
-	if _, err := ppc.Attach(task.ID(), []hpm.EventID{hpm.EventFPAssist}); !errors.Is(err, hpm.ErrUnsupportedEvent) {
+	if _, err := ppc.Attach(task.ID(), evs(t, hpm.EventFPAssist)); !errors.Is(err, hpm.ErrUnsupportedEvent) {
 		t.Fatalf("unsupported event error = %v", err)
 	}
 }
@@ -72,7 +127,7 @@ func TestAttachErrors(t *testing.T) {
 func TestCountsStartAtAttach(t *testing.T) {
 	k, b, task := setup(t, machine.XeonW3550())
 	k.Advance(time.Second) // pre-attach activity is invisible
-	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	ctr, err := b.Attach(task.ID(), evs(t, hpm.EventCycles, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +159,7 @@ func TestCountsStartAtAttach(t *testing.T) {
 
 func TestReadIntoReusesDestination(t *testing.T) {
 	k, b, task := setup(t, machine.XeonW3550())
-	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	ctr, err := b.Attach(task.ID(), evs(t, hpm.EventCycles, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +188,7 @@ func TestReadIntoReusesDestination(t *testing.T) {
 
 func TestIPCFromCounters(t *testing.T) {
 	k, b, task := setup(t, machine.XeonW3550())
-	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	ctr, err := b.Attach(task.ID(), evs(t, hpm.EventCycles, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +212,11 @@ func TestMultiplexingScalesCounts(t *testing.T) {
 	w := workload.Synthetic(workload.SyntheticSpec{Name: "job", IPC: 1.2})
 	task := k.Spawn("u", "job", workload.MustInstance(w, 1), nil)
 	b := New(k)
-	events := []hpm.EventID{
+	events := evs(t,
 		hpm.EventCycles, hpm.EventInstructions, hpm.EventCacheReferences,
 		hpm.EventCacheMisses, hpm.EventBranches, hpm.EventBranchMisses,
 		hpm.EventLoads, hpm.EventStores,
-	}
+	)
 	ctr, err := b.Attach(task.ID(), events)
 	if err != nil {
 		t.Fatal(err)
@@ -199,8 +254,7 @@ func TestMultiplexingScalesCounts(t *testing.T) {
 func TestSixteenEventsOnW3550NotMultiplexed(t *testing.T) {
 	// Paper §2.6: the W3550 counts up to sixteen simultaneous events.
 	k, b, task := setup(t, machine.XeonW3550())
-	events := make([]hpm.EventID, 0, 11)
-	events = append(events, hpm.AllEvents()...)
+	events := hpm.DefaultRegistry().Events()
 	ctr, err := b.Attach(task.ID(), events)
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +271,7 @@ func TestSixteenEventsOnW3550NotMultiplexed(t *testing.T) {
 
 func TestCloseDetaches(t *testing.T) {
 	k, b, task := setup(t, machine.XeonW3550())
-	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventCycles})
+	ctr, err := b.Attach(task.ID(), evs(t, hpm.EventCycles))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,13 +298,13 @@ func TestTwoIndependentMonitors(t *testing.T) {
 	// Two tools watching the same process see independent attach
 	// baselines.
 	k, b, task := setup(t, machine.XeonW3550())
-	c1, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventInstructions})
+	c1, err := b.Attach(task.ID(), evs(t, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c1.Close()
 	k.Advance(time.Second)
-	c2, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventInstructions})
+	c2, err := b.Attach(task.ID(), evs(t, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,7 +328,7 @@ func TestCountersSurviveTaskExit(t *testing.T) {
 	w := workload.Scaled(workload.Synthetic(workload.SyntheticSpec{Name: "brief", IPC: 1.5}), 0.0005)
 	task := k.Spawn("u", "brief", workload.MustInstance(w, 1), nil)
 	b := New(k)
-	ctr, err := b.Attach(task.ID(), []hpm.EventID{hpm.EventInstructions})
+	ctr, err := b.Attach(task.ID(), evs(t, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,5 +343,38 @@ func TestCountersSurviveTaskExit(t *testing.T) {
 	}
 	if counts[0].Raw == 0 {
 		t.Fatal("final counts must remain readable after exit")
+	}
+}
+
+// TestGenericAliasResolvesByEncoding: a user-defined alias of a
+// built-in generic event (same attr.Type/attr.Config under a new name)
+// must count identically — resolution goes by the perf encoding, not
+// the name (regression: aliases of generic events were rejected).
+func TestGenericAliasResolvesByEncoding(t *testing.T) {
+	k, b, task := setup(t, machine.XeonW3550())
+	reg := hpm.DefaultRegistry()
+	instr, _ := reg.Lookup(hpm.EventInstructions)
+	alias := hpm.EventDesc{
+		Name: "INSTR_ALIAS", Kind: instr.Kind, Type: instr.Type, Config: instr.Config,
+	}
+	if !b.Supported(alias) {
+		t.Fatal("generic alias must be supported")
+	}
+	ctr, err := b.Attach(task.ID(), []hpm.EventDesc{alias, instr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctr.Close()
+	k.Advance(time.Second)
+	counts, err := ctr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0].Raw == 0 || counts[0].Raw != counts[1].Raw {
+		t.Fatalf("alias (%d) != INSTRUCTIONS (%d)", counts[0].Raw, counts[1].Raw)
+	}
+	// An unknown generic config is not countable.
+	if b.Supported(hpm.EventDesc{Name: "X", Type: hpm.PerfTypeHardware, Config: 99}) {
+		t.Fatal("unknown hardware config supported")
 	}
 }

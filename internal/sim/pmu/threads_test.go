@@ -58,7 +58,7 @@ func TestSpawnThreadValidation(t *testing.T) {
 func TestPerProcessCountingAggregatesThreads(t *testing.T) {
 	k, b, leader, thread := threadFixture(t)
 	// Attach at process (group) scope: TID zero.
-	procCtr, err := b.Attach(leader.ID().Group(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	procCtr, err := b.Attach(leader.ID().Group(), evs(t, hpm.EventCycles, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestPerProcessCountingAggregatesThreads(t *testing.T) {
 
 func TestPerThreadCountingSeparates(t *testing.T) {
 	k, b, leader, thread := threadFixture(t)
-	events := []hpm.EventID{hpm.EventCycles, hpm.EventInstructions}
+	events := evs(t, hpm.EventCycles, hpm.EventInstructions)
 	tc, err := b.Attach(thread.ID(), events)
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +129,7 @@ func TestAttachToWrongThreadGroup(t *testing.T) {
 	_, b, leader, thread := threadFixture(t)
 	// A TID that exists but under a different (wrong) PID claim.
 	bad := hpm.TaskID{PID: leader.ID().PID + 999, TID: thread.ID().TID}
-	if _, err := b.Attach(bad, []hpm.EventID{hpm.EventCycles}); !errors.Is(err, hpm.ErrNoSuchTask) {
+	if _, err := b.Attach(bad, evs(t, hpm.EventCycles)); !errors.Is(err, hpm.ErrNoSuchTask) {
 		t.Fatalf("mismatched pid/tid error = %v", err)
 	}
 }
@@ -159,7 +159,7 @@ func TestSpinlockFootnote(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := New(k)
-	ctr, err := b.Attach(leader.ID().Group(), []hpm.EventID{hpm.EventCycles, hpm.EventInstructions})
+	ctr, err := b.Attach(leader.ID().Group(), evs(t, hpm.EventCycles, hpm.EventInstructions))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func sampleFixture() (*metrics.Screen, *core.Sample) {
 				},
 				CPUPct: 100.0,
 				Values: []float64{26456, 52125, 1.97, 0.0},
-				Events: map[hpm.EventID]uint64{
+				Events: map[string]uint64{
 					hpm.EventCycles:       26456e6,
 					hpm.EventInstructions: 52125e6,
 				},

@@ -87,11 +87,11 @@ func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
 }
 
 // Validate reports configuration errors a Monitor constructor would
-// reject, with tiptop-level messages: an unknown screen, an unknown
-// sort key, a negative interval or negative parallelism. Commands call
-// it to fail fast on bad flags.
+// reject, with tiptop-level messages: an unknown screen or event
+// definition, an unknown sort key, a negative interval or negative
+// parallelism. Commands call it to fail fast on bad flags.
 func (c Config) Validate() error {
-	screen, err := screenByName(c.Screen)
+	screen, _, err := c.resolve()
 	if err != nil {
 		return err
 	}

@@ -346,7 +346,7 @@ func ScenarioManyTasks(n int) (*Scenario, error) {
 
 // ScenarioNames lists the ready-made scenarios NewNamedScenario builds.
 func ScenarioNames() []string {
-	return []string{"spec", "revolution", "conflict", "datacenter"}
+	return []string{"spec", "revolution", "conflict", "datacenter", "assist"}
 }
 
 // NewNamedScenario builds one of the ready-made scenarios by name — the
@@ -356,7 +356,11 @@ func ScenarioNames() []string {
 //   - "revolution": the Figure 3 R evolutionary algorithm;
 //   - "conflict": the Figure 11 three-mcf co-run, pinned like taskset;
 //   - "datacenter": the Figure 1 bi-Xeon grid node with eleven
-//     synthetic jobs at the paper's observed IPCs.
+//     synthetic jobs at the paper's observed IPCs;
+//   - "assist": the §3.1 FP-assist pathology — the Figure 4 x87
+//     micro-kernel on infinite vs finite operands plus a synthetic
+//     control job, for watching the architecture-specific FP_ASSIST
+//     event (also reachable as raw code 0x1EF7).
 //
 // scale shrinks workload lengths (1.0 = the paper's, 0.01 is a good
 // interactive default; ignored by the endless datacenter jobs).
@@ -395,6 +399,31 @@ func NewNamedScenario(name string, scale float64) (*Scenario, error) {
 			}
 		}
 		return sc, nil
+	case "assist":
+		// §3.1 in miniature: the Nehalem workstation running the
+		// Figure 4 FP micro-kernel on non-finite operands (every x87
+		// add takes the micro-code assist path) next to its finite
+		// twin and a steady synthetic control job. The assists are an
+		// architecture-specific event: watch them through the fp
+		// screen, or through a custom screen referencing the raw code
+		// (<event name="..." raw="0x1EF7"/>).
+		sc, err := NewScenario(MachineXeonW3550)
+		if err != nil {
+			return nil, err
+		}
+		iters := int64(500_000_000 * scale)
+		if iters < 100_000 {
+			iters = 100_000
+		}
+		for _, values := range []string{"inf", "finite"} {
+			if _, err := sc.StartFPMicro("fpdev", "x87", values, iters); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := sc.StartSynthetic("ops", "control", 1.50); err != nil {
+			return nil, err
+		}
+		return sc, nil
 	case "datacenter":
 		sc, err := NewScenario(MachineE5640)
 		if err != nil {
@@ -411,7 +440,7 @@ func NewNamedScenario(name string, scale float64) (*Scenario, error) {
 		}
 		return sc, nil
 	}
-	return nil, fmt.Errorf("tiptop: unknown scenario %q (want spec, revolution, conflict or datacenter)", name)
+	return nil, fmt.Errorf("tiptop: unknown scenario %q (want spec, revolution, conflict, datacenter or assist)", name)
 }
 
 // ScenarioSPEC builds a ready-made scenario: the Nehalem workstation

@@ -35,6 +35,7 @@ import (
 	"io"
 	"time"
 
+	"tiptop/internal/config"
 	"tiptop/internal/core"
 	"tiptop/internal/hpm"
 	"tiptop/internal/metrics"
@@ -68,6 +69,42 @@ type Config struct {
 	// with row ordering identical to serial sampling. 0 selects one
 	// shard per CPU; 1 samples serially.
 	Parallelism int
+	// Events defines extra counter events on top of the built-in
+	// registry (typically from <event> elements of an XML configuration
+	// file). Screen expressions reference them by Name.
+	Events []EventDef
+	// Screens defines custom screens selectable via Screen (typically
+	// from <screen> elements of an XML configuration file). A custom
+	// screen takes precedence over a built-in of the same name.
+	Screens []ScreenDef
+}
+
+// EventDef defines one user event: Name is the identifier metric
+// expressions use, Spec is any event specification the registry
+// resolves — "RAW:0x<hex>" for a model-specific code from the vendor's
+// manual, a hw-cache event such as "L1D_READ_MISS", or an existing
+// event name (aliasing).
+type EventDef struct {
+	Name string
+	Spec string
+	Unit string
+	Desc string
+}
+
+// ColumnDef defines one column of a custom screen.
+type ColumnDef struct {
+	Name   string // machine-friendly identifier, unique in the screen
+	Header string // display heading
+	Format string // printf verb for the cell ("" = %8.2f)
+	Width  int    // minimum cell width (0 = derived from the header)
+	Expr   string // metric expression over event names
+	Desc   string
+}
+
+// ScreenDef defines a custom screen.
+type ScreenDef struct {
+	Name    string
+	Columns []ColumnDef
 }
 
 // Row is one monitored task in a sample.
@@ -116,9 +153,53 @@ type Monitor struct {
 // fall back to a simulated scenario.
 var ErrNoBackend = errors.New("tiptop: no usable counter backend")
 
-func screenByName(name string) (*metrics.Screen, error) {
+// buildRegistry resolves cfg.Events on top of the built-in defaults.
+// Registration goes through config.RegisterUserEvent — the same
+// builder behind XML <event> definitions — so the two paths validate
+// identically.
+func (cfg Config) buildRegistry() (*hpm.Registry, error) {
+	registry := hpm.DefaultRegistry()
+	for _, def := range cfg.Events {
+		if err := config.RegisterUserEvent(registry, def.Name, def.Spec, def.Unit, def.Desc); err != nil {
+			return nil, fmt.Errorf("tiptop: %w", err)
+		}
+	}
+	return registry, nil
+}
+
+// ApplyDefinitions merges a parsed XML configuration document's
+// <event> and <screen> elements into the config — the one translation
+// both commands (tiptop, tiptopd) use.
+func (cfg *Config) ApplyDefinitions(f *config.File) {
+	for _, e := range f.Events {
+		cfg.Events = append(cfg.Events, EventDef{
+			Name: e.Name, Spec: e.EventSpec(), Unit: e.Unit, Desc: e.Desc,
+		})
+	}
+	for _, sx := range f.Screens {
+		sd := ScreenDef{Name: sx.Name}
+		for _, cx := range sx.Columns {
+			sd.Columns = append(sd.Columns, ColumnDef{
+				Name: cx.Name, Header: cx.Header, Format: cx.Format,
+				Width: cx.Width, Expr: cx.Expr, Desc: cx.Desc,
+			})
+		}
+		cfg.Screens = append(cfg.Screens, sd)
+	}
+}
+
+// resolveScreen selects cfg.Screen among the custom screens (which take
+// precedence) and the built-ins.
+func (cfg Config) resolveScreen() (*metrics.Screen, error) {
+	name := cfg.Screen
 	if name == "" {
 		name = "default"
+	}
+	for _, sd := range cfg.Screens {
+		if sd.Name != name {
+			continue
+		}
+		return buildScreen(sd)
 	}
 	s, ok := metrics.BuiltinScreens()[name]
 	if !ok {
@@ -127,7 +208,41 @@ func screenByName(name string) (*metrics.Screen, error) {
 	return s, nil
 }
 
-func coreOptions(cfg Config, screen *metrics.Screen) core.Options {
+// buildScreen compiles a screen definition.
+func buildScreen(sd ScreenDef) (*metrics.Screen, error) {
+	if len(sd.Columns) == 0 {
+		return nil, fmt.Errorf("tiptop: screen %q has no columns", sd.Name)
+	}
+	s := &metrics.Screen{Name: sd.Name}
+	for _, cd := range sd.Columns {
+		expr, err := metrics.Compile(cd.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("tiptop: screen %q column %q: %w", sd.Name, cd.Name, err)
+		}
+		format := cd.Format
+		if format == "" {
+			format = "%8.2f"
+		}
+		width := cd.Width
+		if width == 0 {
+			width = len(cd.Header)
+			if width < 6 {
+				width = 6
+			}
+		}
+		s.Columns = append(s.Columns, &metrics.Column{
+			Name:   cd.Name,
+			Header: cd.Header,
+			Width:  width,
+			Format: format,
+			Expr:   expr,
+			Desc:   cd.Desc,
+		})
+	}
+	return s, nil
+}
+
+func coreOptions(cfg Config, screen *metrics.Screen, registry *hpm.Registry) core.Options {
 	return core.Options{
 		Screen:      screen,
 		Interval:    cfg.Interval,
@@ -135,6 +250,7 @@ func coreOptions(cfg Config, screen *metrics.Screen) core.Options {
 		MaxRows:     cfg.MaxRows,
 		FilterUser:  cfg.User,
 		Parallelism: cfg.Parallelism,
+		Registry:    registry,
 	}
 }
 
@@ -142,7 +258,7 @@ func coreOptions(cfg Config, screen *metrics.Screen) core.Options {
 // It returns ErrNoBackend (wrapped) when the kernel does not permit
 // perf_event_open here.
 func NewRealMonitor(cfg Config) (*Monitor, error) {
-	screen, err := screenByName(cfg.Screen)
+	screen, registry, err := cfg.resolve()
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +268,7 @@ func NewRealMonitor(cfg Config) (*Monitor, error) {
 	}
 	src := procfs.NewSource("")
 	src.PerThread = cfg.PerThread
-	session, err := core.NewSession(backend, src, core.NewRealClock(), coreOptions(cfg, screen))
+	session, err := core.NewSession(backend, src, core.NewRealClock(), coreOptions(cfg, screen, registry))
 	if err != nil {
 		return nil, err
 	}
@@ -166,17 +282,35 @@ func NewSimMonitor(sc *Scenario, cfg Config) (*Monitor, error) {
 	if sc == nil {
 		return nil, errors.New("tiptop: nil scenario")
 	}
-	screen, err := screenByName(cfg.Screen)
+	screen, registry, err := cfg.resolve()
 	if err != nil {
 		return nil, err
 	}
 	src := sc.source()
 	src.PerThread = cfg.PerThread
-	session, err := core.NewSession(sc.backend(), src, sc.clock(), coreOptions(cfg, screen))
+	session, err := core.NewSession(sc.backend(), src, sc.clock(), coreOptions(cfg, screen, registry))
 	if err != nil {
 		return nil, err
 	}
 	return &Monitor{session: session, machine: sc.Machine().Name}, nil
+}
+
+// resolve builds the screen and event registry of a configuration,
+// resolving every screen identifier so Config.Validate fails on
+// exactly what a Monitor constructor would reject.
+func (cfg Config) resolve() (*metrics.Screen, *hpm.Registry, error) {
+	registry, err := cfg.buildRegistry()
+	if err != nil {
+		return nil, nil, err
+	}
+	screen, err := cfg.resolveScreen()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := core.ResolveScreenEvents(registry, screen); err != nil {
+		return nil, nil, fmt.Errorf("tiptop: %w", err)
+	}
+	return screen, registry, nil
 }
 
 // Machine describes what the monitor observes.
@@ -239,7 +373,7 @@ func (m *Monitor) sampleNow() (*Sample, error) {
 			Events:    make(map[string]uint64, len(r.Events)),
 		}
 		for e, v := range r.Events {
-			row.Events[e.String()] = v
+			row.Events[e] = v
 		}
 		out.Rows = append(out.Rows, row)
 	}

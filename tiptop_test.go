@@ -410,3 +410,187 @@ func TestManyTasksScenarioParallelMonitor(t *testing.T) {
 		t.Fatal("n = 0 must be rejected")
 	}
 }
+
+// TestCustomEventsAndScreens drives the extensible event registry
+// through the public facade: a raw-coded event and a hw-cache event
+// defined in Config (no registry defaults edited) power a custom
+// screen against the sim backend, whose machine model decodes the
+// codes.
+func TestCustomEventsAndScreens(t *testing.T) {
+	sc, err := NewNamedScenario("assist", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Interval: 20 * time.Millisecond,
+		Screen:   "fpcustom",
+		Events: []EventDef{
+			{Name: "FP_ASSIST_RAW", Spec: "RAW:0x1EF7", Desc: "assists via raw code"},
+			{Name: "L1D_MISSES", Spec: "L1D_READ_MISS"},
+		},
+		Screens: []ScreenDef{{
+			Name: "fpcustom",
+			Columns: []ColumnDef{
+				{Name: "ipc", Header: "IPC", Format: "%5.2f", Width: 5,
+					Expr: "ratio(INSTRUCTIONS, CYCLES)"},
+				{Name: "asst", Header: "%ASST", Format: "%6.2f", Width: 6,
+					Expr: "per100(FP_ASSIST_RAW, INSTRUCTIONS)"},
+				{Name: "l1m", Header: "L1M", Format: "%6.2f", Width: 6,
+					Expr: "per100(L1D_MISSES, INSTRUCTIONS)"},
+			},
+		}},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if _, err := mon.SampleNow(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := mon.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var micro *Row
+	for i := range s.Rows {
+		if s.Rows[i].Command == "fpmicro-x87-inf" {
+			micro = &s.Rows[i]
+		}
+	}
+	if micro == nil {
+		t.Fatalf("x87/inf micro-kernel missing from %+v", s.Rows)
+	}
+	// Columns: ipc, %ASST, L1M. The x87/inf kernel assists on every
+	// fadd: 25 per hundred instructions (1 of the 4-instruction loop).
+	if asst := micro.Columns[1]; asst < 24.9 || asst > 25.1 {
+		t.Fatalf("%%ASST = %v, want ~25", asst)
+	}
+	if got := micro.Events["FP_ASSIST_RAW"]; got == 0 {
+		t.Fatal("custom event deltas must be exposed by name")
+	}
+	// The registry listing shows the definitions with backend support.
+	infos := mon.EventList()
+	byName := map[string]EventInfo{}
+	for _, info := range infos {
+		byName[info.Name] = info
+	}
+	fpa := byName["FP_ASSIST_RAW"]
+	if !fpa.Supported["sim"] || !fpa.Attached || fpa.Kind != "raw" {
+		t.Fatalf("FP_ASSIST_RAW info = %+v", fpa)
+	}
+	// A custom event the machine cannot decode is rejected up front.
+	bad := cfg
+	bad.Events = append([]EventDef{}, cfg.Events...)
+	bad.Screens = append([]ScreenDef{}, cfg.Screens...)
+	bad.Events = append(bad.Events, EventDef{Name: "NODECODE", Spec: "RAW:0xDEAD"})
+	bad.Screens[0].Columns = append(bad.Screens[0].Columns, ColumnDef{
+		Name: "nd", Header: "ND", Expr: "mega(NODECODE)",
+	})
+	sc2, err := NewNamedScenario("assist", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSimMonitor(sc2, bad); err == nil {
+		t.Fatal("undecodable raw event accepted by the sim backend")
+	}
+}
+
+func TestListEvents(t *testing.T) {
+	infos, err := ListEvents(Config{
+		Events: []EventDef{{Name: "X_RAW", Spec: "RAW:0x1EF7"}},
+	}, MachineXeonW3550)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 13 {
+		t.Fatalf("infos = %d, want 12 defaults + 1 custom", len(infos))
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i-1].Name >= infos[i].Name {
+			t.Fatalf("not sorted: %q before %q", infos[i-1].Name, infos[i].Name)
+		}
+	}
+	var x EventInfo
+	for _, info := range infos {
+		if info.Name == "X_RAW" {
+			x = info
+		}
+	}
+	// Raw codes: off for the default perf_event backend, decoded by
+	// the Nehalem machine model.
+	if x.Supported["perf_event"] || !x.Supported["sim"] {
+		t.Fatalf("X_RAW support = %+v", x.Supported)
+	}
+	if _, err := ListEvents(Config{}, "nope"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+// TestValidateMatchesConstructors: Config.Validate must reject exactly
+// what the Monitor constructors reject — including screens whose
+// identifiers do not resolve (regression: such configs passed Validate
+// and only failed at construction).
+func TestValidateMatchesConstructors(t *testing.T) {
+	cfg := Config{
+		Screen: "typo",
+		Screens: []ScreenDef{{
+			Name: "typo",
+			Columns: []ColumnDef{
+				{Name: "c", Header: "C", Expr: "ratio(CYCELS, INSTRUCTIONS)"},
+			},
+		}},
+	}
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unknown identifier passed Validate")
+	}
+	for _, want := range []string{`"typo"`, `"c"`, `"CYCELS"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %s", err, want)
+		}
+	}
+	// An alias of a generic event works end to end on the sim backend
+	// (regression: the virtual PMU resolved generic events by name and
+	// rejected aliases).
+	ok := Config{
+		Interval: 20 * time.Millisecond,
+		Screen:   "aliased",
+		Events:   []EventDef{{Name: "INSTR_ALIAS", Spec: "INSTRUCTIONS"}},
+		Screens: []ScreenDef{{
+			Name: "aliased",
+			Columns: []ColumnDef{
+				{Name: "ipc", Header: "IPC", Expr: "ratio(INSTR_ALIAS, CYCLES)"},
+			},
+		}},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewNamedScenario("datacenter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	mon.SampleNow()
+	s, err := mon.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) == 0 || s.Rows[0].Columns[0] <= 0 {
+		t.Fatalf("aliased IPC column = %+v", s.Rows)
+	}
+	// A facade event shadowing a context variable is rejected like the
+	// XML path rejects it.
+	shadow := Config{Events: []EventDef{{Name: "DELTA_NS", Spec: "RAW:0x1"}}}
+	if err := shadow.Validate(); err == nil || !strings.Contains(err.Error(), "context variable") {
+		t.Fatalf("context-variable shadowing error = %v", err)
+	}
+}
