@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: verify fmt build vet test race bench fuzz
+.PHONY: verify fmt build vet test race bench fuzz docs
 
-verify: fmt build vet race
+verify: fmt build vet race docs
 
 # The tree must be gofmt-clean; print the offenders and fail otherwise.
 fmt:
@@ -26,6 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The docs gate: flags and endpoints named in README.md and
+# ARCHITECTURE.md must exist in the source (stale docs fail the build).
+# The Example functions run under `go test`, so the documented snippets
+# are covered by race/test above.
+docs:
+	./scripts/check-docs.sh
+
 # A short coverage-guided pass over the metric-expression parser; CI
 # runs it so a grammar change that panics or breaks the canonical
 # rendering fixpoint is caught before it lands.
@@ -38,7 +45,11 @@ fuzz:
 #                               serial and sharded refreshes
 #   results/BENCH_daemon.json   tiptopd serving costs — cached vs uncached
 #                               /metrics encode, wire encode, SSE fan-out
+#   results/BENCH_store.json    durable store: steady-state append ns/op +
+#                               allocs/op, recovery of a 1M-record store,
+#                               1m-tier range query
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkUpdate[0-9]+' -benchmem ./internal/core/
 	$(GO) run ./cmd/tipbench -bench-refresh -out results
 	$(GO) run ./cmd/tipbench -bench-daemon -out results
+	$(GO) run ./cmd/tipbench -bench-store -out results

@@ -1,0 +1,217 @@
+package main
+
+// The -bench-store mode: measure the durable history store's hot paths
+// — steady-state append cost (which must stay near-zero-alloc, like
+// the recorder it tees from), crash recovery of a million-record store,
+// and a range query served from the 1-minute downsample tier — and
+// write them as machine-readable JSON (BENCH_store.json), the third
+// trajectory file next to BENCH_refresh.json and BENCH_daemon.json.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+	"tiptop/internal/store"
+)
+
+// storeBenchTasks is the refresh width the append benchmark uses.
+const storeBenchTasks = 100
+
+// storeResult is one benchmark measurement in BENCH_store.json.
+type storeResult struct {
+	Name        string  `json:"name"`
+	Tasks       int     `json:"tasks,omitempty"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// storeRecovery is the recovery measurement: reopening (and thereby
+// scanning, checksumming and clipping) a store of Records records.
+type storeRecovery struct {
+	Records       int64   `json:"records"`
+	DiskBytes     int64   `json:"disk_bytes"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// storeReport is the BENCH_store.json document.
+type storeReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoMaxProcs  int           `json:"go_max_procs"`
+	GoVersion   string        `json:"go_version"`
+	Benchmarks  []storeResult `json:"benchmarks"`
+	// AppendAllocsPerOp mirrors the StoreAppend benchmark's allocs/op —
+	// the number CI gates on (steady-state appends must stay within a
+	// few allocations).
+	AppendAllocsPerOp int64         `json:"append_allocs_per_op"`
+	Recovery          storeRecovery `json:"recovery"`
+}
+
+// benchSample builds one synthetic refresh of n tasks at time now.
+func benchSample(now time.Duration, n int) *core.Sample {
+	s := &core.Sample{Time: now}
+	for i := 0; i < n; i++ {
+		pid := 100 + i
+		s.Rows = append(s.Rows, core.Row{
+			Info: core.TaskInfo{
+				ID:   hpm.TaskID{PID: pid, TID: pid},
+				User: "bench", Comm: "job", State: "R",
+			},
+			CPUPct: 50,
+			Values: []float64{1.5, 2.5, 3.5, 4.5},
+			Events: map[string]uint64{
+				hpm.EventInstructions: uint64(1000 * pid),
+				hpm.EventCycles:       uint64(500 * pid),
+				hpm.EventCacheMisses:  uint64(pid),
+			},
+			Valid: true,
+		})
+	}
+	return s
+}
+
+// benchStore measures the store and writes <outDir>/BENCH_store.json.
+func benchStore(outDir string, recoveryRecords int64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	report := storeReport{
+		GeneratedBy: "tipbench -bench-store",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+	}
+	add := func(name string, tasks int, res testing.BenchmarkResult) {
+		report.Benchmarks = append(report.Benchmarks, storeResult{
+			Name:        name,
+			Tasks:       tasks,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		fmt.Printf("   %d iterations, %.0f ns/op, %d allocs/op\n",
+			res.N, float64(res.NsPerOp()), res.AllocsPerOp())
+	}
+
+	// Steady-state append of a 100-task refresh, downsampling included
+	// (the tee path a tiptopd -store daemon runs every interval).
+	fmt.Println("== bench StoreAppend")
+	appendDir, err := os.MkdirTemp("", "tipbench-store-append")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(appendDir)
+	st, err := store.Open(appendDir, store.Options{Budget: 1 << 30})
+	if err != nil {
+		return err
+	}
+	st.SetColumns([]string{"mcycle", "minst", "ipc", "dmis"})
+	sample := benchSample(0, storeBenchTasks)
+	now := time.Duration(0)
+	for i := 0; i < 8; i++ { // warm segments, buffers, accumulators
+		now += time.Second
+		sample.Time = now
+		if err := st.AppendSample(sample); err != nil {
+			return err
+		}
+	}
+	appendRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			now += time.Second
+			sample.Time = now
+			if err := st.AppendSample(sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("StoreAppend", storeBenchTasks, appendRes)
+	report.AppendAllocsPerOp = appendRes.AllocsPerOp()
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	// Recovery: build a store of recoveryRecords single-task refreshes,
+	// then time Open's full scan-verify-clip pass.
+	fmt.Printf("== recovery of a %d-record store\n", recoveryRecords)
+	recDir, err := os.MkdirTemp("", "tipbench-store-recovery")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(recDir)
+	st, err = store.Open(recDir, store.Options{Budget: 1 << 40})
+	if err != nil {
+		return err
+	}
+	st.SetColumns([]string{"ipc"})
+	one := benchSample(0, 1)
+	now = 0
+	for st.Records() < recoveryRecords {
+		now += time.Second
+		one.Time = now
+		if err := st.AppendSample(one); err != nil {
+			return err
+		}
+	}
+	written := st.Records()
+	usage := st.DiskUsage()
+	if err := st.Close(); err != nil {
+		return err
+	}
+	start := time.Now()
+	st, err = store.Open(recDir, store.Options{Budget: 1 << 40})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	if got := st.Records(); got != written {
+		return fmt.Errorf("recovery lost records: wrote %d, recovered %d", written, got)
+	}
+	report.Recovery = storeRecovery{
+		Records:       written,
+		DiskBytes:     usage,
+		Seconds:       elapsed.Seconds(),
+		RecordsPerSec: float64(written) / elapsed.Seconds(),
+	}
+	fmt.Printf("   %d records (%d MiB) recovered in %s (%.0f records/s)\n",
+		written, usage>>20, elapsed.Truncate(time.Millisecond), report.Recovery.RecordsPerSec)
+
+	// A week-at-a-glance query served from the 1-minute tier of the
+	// store just recovered — the read path the downsampling tiers buy.
+	fmt.Println("== bench StoreQuery1mTier")
+	add("StoreQuery1mTier", 1, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := st.Query(store.QueryOptions{PID: -1, StepSeconds: 60})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Series) == 0 {
+				b.Fatal("empty 1m tier")
+			}
+		}
+	}))
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_store.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("store benchmarks:", path)
+	return nil
+}

@@ -12,6 +12,8 @@
 //	tiptop -screen fp   the §3.1 screen: IPC next to FP assists
 //	tiptop -b -o csv    batch mode streaming CSV (also: -o jsonl)
 //	tiptop -record f.csv     additionally record every sample to a file
+//	tiptop -record data/     record into a durable store directory
+//	                         (queryable, downsampled, budget-bounded)
 //	tiptop -connect host:9412   render a remote tiptopd in the same UI
 //	tiptop -sim spec    simulate the Nehalem box running SPEC-like jobs
 //	tiptop -sim revolution   the Figure 3 scenario
@@ -55,7 +57,7 @@ func run(args []string, stdout io.Writer) error {
 		user       = fs.String("u", "", "only show this user's tasks")
 		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
 		outFormat  = fs.String("o", "", "batch output format: text, csv, jsonl (default text)")
-		recordPath = fs.String("record", "", "record every sample to this file (CSV, or JSONL for .jsonl/.ndjson)")
+		recordPath = fs.String("record", "", "record every sample to this target: a CSV file, a JSONL file (.jsonl/.ndjson), or a durable store directory (existing dir, trailing /, or .store)")
 		connect    = fs.String("connect", "", "monitor a remote tiptopd (host:port or URL) instead of this machine")
 		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios (1.0 = paper length)")
@@ -132,7 +134,20 @@ func run(args []string, stdout io.Writer) error {
 		if *connect == "" {
 			*connect = parsed.Options.Connect
 		}
+		if parsed.Options.Store != "" {
+			cfg.StoreDir = parsed.Options.Store
+		}
+		cfg.StoreRetention = parsed.Options.RetentionValue()
+		cfg.StoreBudget = parsed.Options.BudgetValue()
 		cfg.ApplyDefinitions(parsed)
+	}
+	// A -record target naming a directory (existing, trailing "/", or
+	// the .store extension) selects the durable store instead of a
+	// CSV/JSONL file; XML <options store=> is the same thing spelled in
+	// the configuration.
+	if isStoreTarget(record) {
+		cfg.StoreDir = record
+		record = ""
 	}
 	if *listEvents {
 		return printEvents(stdout, cfg, *simName)
@@ -162,7 +177,7 @@ func run(args []string, stdout io.Writer) error {
 	// bounds only the rendered display, the recording covers every
 	// monitored task (the same contract the Recorder observer has).
 	displayRows := cfg.MaxRows
-	if format != "text" || record != "" {
+	if format != "text" || record != "" || cfg.StoreDir != "" {
 		cfg.MaxRows = 0
 	}
 
@@ -183,7 +198,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer mon.Close()
 
-	em, closeSinks, err := newEmitter(mon, format, stdout, record)
+	em, closeSinks, err := newEmitter(mon, format, stdout, record, cfg)
 	if err != nil {
 		return err
 	}
@@ -242,21 +257,40 @@ func scenarioMachine(simName string) tiptop.MachineName {
 	return tiptop.MachineXeonW3550
 }
 
+// isStoreTarget reports whether a -record path selects the durable
+// store rather than a CSV/JSONL file: an existing directory, a path
+// with a trailing separator, or the .store extension.
+func isStoreTarget(path string) bool {
+	if path == "" {
+		return false
+	}
+	if strings.HasSuffix(path, "/") || strings.HasSuffix(path, string(os.PathSeparator)) {
+		return true
+	}
+	if strings.HasSuffix(path, ".store") {
+		return true
+	}
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
 // emitter routes samples: batch output to stdout (classic text blocks
-// or a structured sink) plus an optional record sink behind -record.
-// Sinks always receive the full sample; displayRows clips only the
-// rendered text/screen view (the -rows semantics).
+// or a structured sink) plus an optional record sink behind -record —
+// a CSV/JSONL file or the durable store when the target is a
+// directory. Sinks always receive the full sample; displayRows clips
+// only the rendered text/screen view (the -rows semantics).
 type emitter struct {
 	mon         tiptop.MonitorAPI
 	cols        []string
 	stdout      io.Writer
-	stdoutSink  export.Sink // nil for text format
-	recordSink  export.Sink // nil without -record
+	stdoutSink  export.Sink   // nil for text format
+	recordSink  export.Sink   // nil without a file -record target
+	recordStore *tiptop.Store // nil without a store -record target
 	displayRows int
 }
 
 // newEmitter wires the output sinks; the returned closer flushes them.
-func newEmitter(mon tiptop.MonitorAPI, format string, stdout io.Writer, recordPath string) (*emitter, func() error, error) {
+func newEmitter(mon tiptop.MonitorAPI, format string, stdout io.Writer, recordPath string, cfg tiptop.Config) (*emitter, func() error, error) {
 	e := &emitter{mon: mon, cols: mon.Columns(), stdout: stdout}
 	if format != "text" {
 		sink, err := export.NewSink(format, stdout)
@@ -283,6 +317,17 @@ func newEmitter(mon tiptop.MonitorAPI, format string, stdout io.Writer, recordPa
 		}
 		e.recordSink = sink
 	}
+	if cfg.StoreDir != "" {
+		st, err := tiptop.OpenStore(cfg.StoreDir, cfg.StoreOptions())
+		if err != nil {
+			if recordFile != nil {
+				recordFile.Close()
+			}
+			return nil, nil, err
+		}
+		st.SetColumns(e.cols)
+		e.recordStore = st
+	}
 	closer := func() error {
 		var first error
 		if e.stdoutSink != nil {
@@ -295,6 +340,11 @@ func newEmitter(mon tiptop.MonitorAPI, format string, stdout io.Writer, recordPa
 		}
 		if recordFile != nil {
 			if err := recordFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if e.recordStore != nil {
+			if err := e.recordStore.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -338,7 +388,7 @@ func (e *emitter) display(s *tiptop.Sample) *tiptop.Sample {
 	return &clipped
 }
 
-// emit writes one batch-mode sample to stdout and the record sink.
+// emit writes one batch-mode sample to stdout and the record sinks.
 func (e *emitter) emit(s *tiptop.Sample) error {
 	var es *export.Sample
 	if e.stdoutSink != nil || e.recordSink != nil {
@@ -354,15 +404,25 @@ func (e *emitter) emit(s *tiptop.Sample) error {
 		}
 	}
 	if e.recordSink != nil {
-		return e.recordSink.Write(es)
+		if err := e.recordSink.Write(es); err != nil {
+			return err
+		}
+	}
+	if e.recordStore != nil {
+		return e.recordStore.RecordSample(s)
 	}
 	return nil
 }
 
-// record writes only to the record sink (the live loop's tee).
+// record writes only to the record sinks (the live loop's tee).
 func (e *emitter) record(s *tiptop.Sample) error {
-	if e.recordSink == nil {
-		return nil
+	if e.recordSink != nil {
+		if err := e.recordSink.Write(e.toExport(s)); err != nil {
+			return err
+		}
 	}
-	return e.recordSink.Write(e.toExport(s))
+	if e.recordStore != nil {
+		return e.recordStore.RecordSample(s)
+	}
+	return nil
 }

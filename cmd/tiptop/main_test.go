@@ -425,3 +425,80 @@ func TestRunRejectsUnknownScreenIdentifier(t *testing.T) {
 		}
 	}
 }
+
+// TestRunRecordStore: a -record target naming a directory selects the
+// durable store; the recorded history must be queryable and span a
+// second run against the same directory.
+func TestRunRecordStore(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-b", "-n", "3", "-sim", "datacenter", "-d", "0.01",
+		"-record", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tiptop.OpenStore(dir, tiptop.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBoundary := st.LastTime().Seconds()
+	res, err := st.Query(tiptop.StoreQuery{PID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || len(res.Series[0].Points) == 0 {
+		t.Fatal("store recorded no series")
+	}
+	if len(res.Columns) == 0 {
+		t.Fatalf("store lost the screen columns: %+v", res)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second run appends past the first (the monotonic store clock).
+	if err := run([]string{"-b", "-n", "2", "-sim", "datacenter", "-d", "0.01",
+		"-record", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	st, err = tiptop.OpenStore(dir, tiptop.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.LastTime().Seconds(); got <= firstBoundary {
+		t.Fatalf("second run did not extend history (%g <= %g)", got, firstBoundary)
+	}
+	res, err = st.Query(tiptop.StoreQuery{PID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after int
+	for _, p := range res.Machine {
+		if p.TimeSeconds <= firstBoundary {
+			before++
+		} else {
+			after++
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Fatalf("recorded history does not span the runs: %d before, %d after", before, after)
+	}
+}
+
+// TestIsStoreTarget pins the -record target classification.
+func TestIsStoreTarget(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]bool{
+		"":                false,
+		"samples.csv":     false,
+		"samples.jsonl":   false,
+		"history.store":   true,
+		"data/":           true,
+		dir:               true, // existing directory
+		"missing-but-csv": false,
+	}
+	for path, want := range cases {
+		if got := isStoreTarget(path); got != want {
+			t.Errorf("isStoreTarget(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -13,11 +13,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
+	"tiptop"
+	"tiptop/internal/core"
 	"tiptop/internal/history"
 	"tiptop/internal/remote"
+	"tiptop/internal/store"
 )
 
 // fleetDaemon couples a remote.Fleet to the HTTP handlers. The fleet's
@@ -26,10 +30,13 @@ import (
 type fleetDaemon struct {
 	fleet   *remote.Fleet
 	metrics *remote.EncodeCache
+	// stores are the per-agent durable stores behind /api/v1/query
+	// (selected by ?agent=label); empty without -store.
+	stores map[string]*store.Store
 }
 
-func newFleetDaemon(f *remote.Fleet) *fleetDaemon {
-	return &fleetDaemon{fleet: f, metrics: remote.NewEncodeCache(f.WriteOpenMetrics)}
+func newFleetDaemon(f *remote.Fleet, stores map[string]*store.Store) *fleetDaemon {
+	return &fleetDaemon{fleet: f, metrics: remote.NewEncodeCache(f.WriteOpenMetrics), stores: stores}
 }
 
 func (fd *fleetDaemon) handler() http.Handler {
@@ -39,6 +46,7 @@ func (fd *fleetDaemon) handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/snapshot", fd.snapshot)
 	mux.HandleFunc("GET /api/v1/agents", fd.agents)
 	mux.HandleFunc("GET /api/v1/stream", fd.fleet.Hub().ServeSSE)
+	mux.HandleFunc("GET /api/v1/query", fd.query)
 	return mux
 }
 
@@ -50,6 +58,37 @@ func (fd *fleetDaemon) index(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "tiptopd aggregating %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/agents\n/api/v1/stream\n",
 		strings.Join(fd.fleet.Labels(), ", "))
+	if len(fd.stores) > 0 {
+		fmt.Fprintf(w, "/api/v1/query?agent=&pid=&from=&to=&step=\n")
+	}
+}
+
+// query routes a range query to one agent's durable store. With a
+// single agent the selector may be omitted.
+func (fd *fleetDaemon) query(w http.ResponseWriter, r *http.Request) {
+	if len(fd.stores) == 0 {
+		writeJSONError(w, http.StatusNotFound, "no durable store configured (start the aggregator with -store DIR)")
+		return
+	}
+	agent := r.URL.Query().Get("agent")
+	if agent == "" && len(fd.stores) == 1 {
+		for label := range fd.stores {
+			agent = label
+		}
+	}
+	st, ok := fd.stores[agent]
+	if !ok {
+		writeJSONError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown agent %q (want agent=%s)", agent, strings.Join(fd.fleet.Labels(), "|")))
+		return
+	}
+	store.Handler(st).ServeHTTP(w, r)
+}
+
+// agentStoreDir maps an agent label to its store directory (the colon
+// of host:port is awkward in file names).
+func agentStoreDir(base, label string) string {
+	return filepath.Join(base, strings.NewReplacer(":", "_", "/", "_").Replace(label))
 }
 
 func (fd *fleetDaemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -73,11 +112,45 @@ func (fd *fleetDaemon) agents(w http.ResponseWriter, _ *http.Request) {
 
 // runFleet serves the aggregated fleet until interrupted (or, with
 // n > 0, until n agent samples have been observed — the bounded mode
-// tests and demos use).
-func runFleet(join, addr string, n, historyCap int, window time.Duration, stdout io.Writer) error {
-	fleet, err := remote.NewFleet(strings.Split(join, ","), remote.FleetOptions{
+// tests and demos use). With cfg.StoreDir set, every agent's stream
+// persists into a per-agent store under that directory.
+func runFleet(join, addr string, n, historyCap int, window time.Duration, cfg tiptop.Config, stdout io.Writer) error {
+	stores := map[string]*store.Store{}
+	defer func() {
+		// Close returns the first latched append error of each agent's
+		// store; surface it instead of exiting silently incomplete.
+		for label, st := range stores {
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "tiptopd: store %s: %v\n", label, err)
+			}
+		}
+	}()
+	opts := remote.FleetOptions{
 		History: history.Options{Capacity: historyCap, Window: window},
-	})
+	}
+	if cfg.StoreDir != "" {
+		dirOwner := map[string]string{}
+		opts.Tee = func(label string) (core.Observer, error) {
+			dir := agentStoreDir(cfg.StoreDir, label)
+			if other, taken := dirOwner[dir]; taken {
+				// Sanitization ("host:9412" → "host_9412") must not
+				// silently point two agents' writers at one segment
+				// chain.
+				return nil, fmt.Errorf("agents %q and %q map to the same store directory %s", other, label, dir)
+			}
+			dirOwner[dir] = label
+			st, err := store.Open(dir, store.Options{
+				Retention: cfg.StoreRetention,
+				Budget:    cfg.StoreBudget,
+			})
+			if err != nil {
+				return nil, err
+			}
+			stores[label] = st
+			return st, nil
+		}
+	}
+	fleet, err := remote.NewFleet(strings.Split(join, ","), opts)
 	if err != nil {
 		return err
 	}
@@ -90,7 +163,7 @@ func runFleet(join, addr string, n, historyCap int, window time.Duration, stdout
 		cancel()
 		fleet.Wait()
 	}()
-	fd := newFleetDaemon(fleet)
+	fd := newFleetDaemon(fleet, stores)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -113,6 +186,18 @@ func runFleet(join, addr string, n, historyCap int, window time.Duration, stdout
 		_ = srv.Shutdown(sctx)
 		<-serveDone
 	}
+	// storesErr reports the first latched append error of any agent's
+	// store: like the solo daemon, an aggregator whose durable history
+	// has stopped must fail loudly, not keep serving while one agent's
+	// past silently goes missing.
+	storesErr := func() error {
+		for label, st := range stores {
+			if err := st.Err(); err != nil {
+				return fmt.Errorf("store %s: %w", label, err)
+			}
+		}
+		return nil
+	}
 	if n > 0 {
 		tick := time.NewTicker(5 * time.Millisecond)
 		defer tick.Stop()
@@ -124,16 +209,29 @@ func runFleet(join, addr string, n, historyCap int, window time.Duration, stdout
 			case err := <-serveDone:
 				return err
 			case <-tick.C:
+				if err := storesErr(); err != nil {
+					shutdown()
+					return err
+				}
 			}
 		}
 		shutdown()
 		return nil
 	}
-	select {
-	case <-interrupted:
-		shutdown()
-		return nil
-	case err := <-serveDone:
-		return err
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-interrupted:
+			shutdown()
+			return nil
+		case err := <-serveDone:
+			return err
+		case <-tick.C:
+			if err := storesErr(); err != nil {
+				shutdown()
+				return err
+			}
+		}
 	}
 }

@@ -63,7 +63,7 @@ func startAgent(t *testing.T, scenario string) *agent {
 	}
 	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 64, Window: time.Second})
 	mon.Subscribe(rec)
-	d := newDaemon(mon, rec, time.Millisecond)
+	d := newDaemon(mon, rec, time.Millisecond, nil)
 	a := &agent{
 		d:    d,
 		ts:   httptest.NewServer(d.handler()),
@@ -91,7 +91,7 @@ func startFleet(t *testing.T, agents []*agent) (*remote.Fleet, *httptest.Server)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	fleet.Start(ctx)
-	fd := newFleetDaemon(fleet)
+	fd := newFleetDaemon(fleet, nil)
 	ts := httptest.NewServer(fd.handler())
 	t.Cleanup(func() {
 		fleet.Close()

@@ -15,6 +15,9 @@
 //	/api/v1/events          the event registry with backend support, JSON
 //	/api/v1/sample          latest refresh in the versioned wire format
 //	/api/v1/stream          SSE push of every refresh (tiptop -connect)
+//	/api/v1/query           durable-store range queries (with -store):
+//	                        ?pid=&from=&to=&step=, JSON or
+//	                        &format=openmetrics text
 //
 // With -join the daemon becomes a fleet aggregator instead: it streams
 // N remote tiptopd agents and serves their merged, per-machine-labelled
@@ -30,6 +33,9 @@
 //	tiptopd -history 1800 -n 100   deeper rings, exit after 100 refreshes
 //	tiptopd -config f.xml          options (delay, sort, listen, ...) from XML
 //	tiptopd -join host1:9412,host2:9412   aggregate a fleet of agents
+//	tiptopd -store /var/lib/tiptop -retention 168h -budget 256MB
+//	                               durable history: recover on boot, tee
+//	                               every sample, serve range queries
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"tiptop"
 	"tiptop/internal/config"
 	"tiptop/internal/remote"
+	"tiptop/internal/store"
 )
 
 func main() {
@@ -73,6 +80,9 @@ func run(args []string, stdout io.Writer) error {
 		window     = fs.Duration("window", 0, "windowed-rate horizon, capped at 128 refreshes (0 = default 1m)")
 		confFile   = fs.String("config", "", "load options from an XML configuration file (set options override flags)")
 		join       = fs.String("join", "", "aggregate remote tiptopd agents (comma-separated host:port list) instead of monitoring locally")
+		storeDir   = fs.String("store", "", "durable history store directory: recover on boot, tee every sample, serve /api/v1/query")
+		retention  = fs.Duration("retention", 0, "store age horizon, e.g. 72h (0 = bounded by the byte budget only)")
+		budgetStr  = fs.String("budget", "", "store on-disk byte budget, e.g. 64MB (default 64MB)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,6 +98,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *window < 0 {
 		return fmt.Errorf("rate window cannot be negative, got -window %v", *window)
+	}
+	var budget int64
+	if *budgetStr != "" {
+		b, err := store.ParseBytes(*budgetStr)
+		if err != nil {
+			return fmt.Errorf("bad -budget: %w", err)
+		}
+		budget = b
 	}
 
 	cfg := tiptop.Config{
@@ -122,11 +140,23 @@ func run(args []string, stdout io.Writer) error {
 		if parsed.Options.Join != "" {
 			*join = parsed.Options.Join
 		}
+		if parsed.Options.Store != "" {
+			*storeDir = parsed.Options.Store
+		}
+		if parsed.Options.Retention != "" {
+			*retention = parsed.Options.RetentionValue()
+		}
+		if parsed.Options.Budget != "" {
+			budget = parsed.Options.BudgetValue()
+		}
 		// Event and screen definitions translate to the facade, so a
 		// daemon can sample (and stream) custom screens over
 		// user-defined events.
 		cfg.ApplyDefinitions(parsed)
 	}
+	cfg.StoreDir = *storeDir
+	cfg.StoreRetention = *retention
+	cfg.StoreBudget = budget
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -134,7 +164,7 @@ func run(args []string, stdout io.Writer) error {
 		if *simName != "" {
 			return fmt.Errorf("-join aggregates remote agents and cannot monitor -sim %s itself", *simName)
 		}
-		return runFleet(*join, *addr, *iterations, *historyCap, *window, stdout)
+		return runFleet(*join, *addr, *iterations, *historyCap, *window, cfg, stdout)
 	}
 
 	mon, pace, err := buildMonitor(*simName, *scale, cfg)
@@ -144,7 +174,22 @@ func run(args []string, stdout io.Writer) error {
 	defer mon.Close()
 	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: *historyCap, Window: *window})
 	mon.Subscribe(rec)
-	d := newDaemon(mon, rec, pace)
+	var hist *tiptop.Store
+	if cfg.StoreDir != "" {
+		hist, err = tiptop.OpenStore(cfg.StoreDir, cfg.StoreOptions())
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := hist.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "tiptopd: store:", cerr)
+			}
+		}()
+		rec.Tee(hist)
+		fmt.Fprintf(stdout, "tiptopd: store %s: %d records recovered (%d bytes, history to t=%s)\n",
+			cfg.StoreDir, hist.Records(), hist.DiskUsage(), hist.LastTime().Truncate(time.Second))
+	}
+	d := newDaemon(mon, rec, pace, hist)
 	defer d.srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -227,22 +272,35 @@ type daemon struct {
 	// latest wire sample, and the per-refresh cached, ETag'd /metrics
 	// body (one OpenMetrics encode per interval, however many scrapers).
 	srv *remote.Server
+	// hist is the durable store behind /api/v1/query, nil without
+	// -store.
+	hist *tiptop.Store
 }
 
-// newDaemon wires a monitor and recorder to a wire-protocol server.
-func newDaemon(mon *tiptop.Monitor, rec *tiptop.Recorder, pace time.Duration) *daemon {
+// newDaemon wires a monitor and recorder to a wire-protocol server;
+// hist (may be nil) adds the durable range-query surface.
+func newDaemon(mon *tiptop.Monitor, rec *tiptop.Recorder, pace time.Duration, hist *tiptop.Store) *daemon {
 	return &daemon{
 		mon:  mon,
 		rec:  rec,
 		pace: pace,
 		srv:  remote.NewServer(rec.WriteOpenMetrics),
+		hist: hist,
 	}
 }
 
 // publish converts one refresh to the wire format and hands it to the
 // stream hub and caches — encoded once per refresh, shared by every
-// subscriber and scraper.
+// subscriber and scraper. Store append errors (latched by the tee,
+// which cannot return them) are surfaced here, once per refresh: a
+// daemon whose durable history has stopped must fail loudly, not keep
+// serving while the past silently goes missing.
 func (d *daemon) publish(s *tiptop.Sample) error {
+	if d.hist != nil {
+		if err := d.hist.Err(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
 	return d.srv.Publish(d.mon.WireSample(s))
 }
 
@@ -286,6 +344,13 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/snapshot", d.snapshot)
 	mux.HandleFunc("GET /api/v1/history", d.history)
 	mux.HandleFunc("GET /api/v1/events", d.events)
+	if d.hist != nil {
+		mux.Handle("GET /api/v1/query", d.hist.Handler())
+	} else {
+		mux.HandleFunc("GET /api/v1/query", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSONError(w, http.StatusNotFound, "no durable store configured (start tiptopd with -store DIR)")
+		})
+	}
 	// /metrics, /api/v1/sample and /api/v1/stream come from the wire
 	// server (cached, ETag'd, fan-out).
 	d.srv.Register(mux)
@@ -299,6 +364,9 @@ func (d *daemon) index(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "tiptopd monitoring %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/history?pid=N\n/api/v1/events\n/api/v1/sample\n/api/v1/stream\n", d.mon.Machine())
+	if d.hist != nil {
+		fmt.Fprintf(w, "/api/v1/query?pid=&from=&to=&step=\n")
+	}
 }
 
 // events serves the daemon's event registry — defaults plus any

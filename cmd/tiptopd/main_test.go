@@ -29,7 +29,7 @@ func testDaemon(t *testing.T) (*daemon, *httptest.Server) {
 	}
 	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 64, Window: time.Second})
 	mon.Subscribe(rec)
-	d := newDaemon(mon, rec, time.Millisecond)
+	d := newDaemon(mon, rec, time.Millisecond, nil)
 
 	stop := make(chan struct{})
 	loopDone := make(chan error, 1)

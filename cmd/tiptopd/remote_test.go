@@ -77,7 +77,7 @@ func TestRemoteMonitorByteIdentical(t *testing.T) {
 	served := twinMonitor(t)
 	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 32})
 	served.Subscribe(rec)
-	d := newDaemon(served, rec, 0)
+	d := newDaemon(served, rec, 0, nil)
 	ts := httptest.NewServer(d.handler())
 	defer ts.Close()
 	defer d.srv.Close()
@@ -170,7 +170,7 @@ func TestDaemonMetricsETag(t *testing.T) {
 	served := twinMonitor(t)
 	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 32})
 	served.Subscribe(rec)
-	d := newDaemon(served, rec, 0)
+	d := newDaemon(served, rec, 0, nil)
 	ts := httptest.NewServer(d.handler())
 	defer ts.Close()
 	defer d.srv.Close()

@@ -1,0 +1,411 @@
+package main
+
+// End-to-end coverage of -store: the durable history behind
+// /api/v1/query must span daemon restarts — proven twice, against the
+// in-process daemon (httptest) and against the real binary restarted
+// mid-run — plus the fleet aggregator's per-agent stores and the
+// OpenMetrics query variant.
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tiptop"
+	"tiptop/internal/core"
+	"tiptop/internal/history"
+	"tiptop/internal/remote"
+	"tiptop/internal/store"
+)
+
+// bootDaemon starts one daemon "boot" over the datacenter scenario with
+// a store in dir. Returns the daemon, its HTTP server and a shutdown
+// function (which also closes the store, like a real exit).
+func bootDaemon(t *testing.T, dir string) (*daemon, *httptest.Server, func()) {
+	t.Helper()
+	sc, err := tiptop.NewNamedScenario("datacenter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{Interval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 64, Window: time.Second})
+	mon.Subscribe(rec)
+	st, err := tiptop.OpenStore(dir, tiptop.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Tee(st)
+	d := newDaemon(mon, rec, time.Millisecond, st)
+	ts := httptest.NewServer(d.handler())
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- d.loop(stop, 0) }()
+	shutdown := func() {
+		close(stop)
+		if err := <-done; err != nil {
+			t.Errorf("sampling loop: %v", err)
+		}
+		d.srv.Close()
+		ts.Close()
+		mon.Close()
+		if err := st.Err(); err != nil {
+			t.Errorf("store append: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			t.Errorf("store close: %v", err)
+		}
+	}
+	return d, ts, shutdown
+}
+
+// TestStoreQueryAcrossRestart is the tentpole acceptance test (httptest
+// half): a daemon records into -store, shuts down, a second daemon
+// recovers the same directory, and /api/v1/query serves one continuous
+// history spanning both boots.
+func TestStoreQueryAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	d1, _, shutdown1 := bootDaemon(t, dir)
+	waitUntil(t, "first boot to record", func() bool { return d1.hist.Records() >= 20 })
+	shutdown1()
+
+	st, err := tiptop.OpenStore(dir, tiptop.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := st.LastTime().Seconds()
+	if boundary <= 0 {
+		t.Fatal("first boot left no history")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, ts, shutdown2 := bootDaemon(t, dir)
+	defer shutdown2()
+	waitUntil(t, "second boot to record past the restart", func() bool {
+		return d2.hist.LastTime().Seconds() > boundary+0.05
+	})
+
+	qc, err := tiptop.NewQueryClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := qc.Query(tiptop.StoreQuery{PID: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || len(res.Machine) == 0 {
+		t.Fatalf("empty query result: %+v", res)
+	}
+	var before, after int
+	for _, p := range res.Machine {
+		if p.TimeSeconds <= boundary {
+			before++
+		} else {
+			after++
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Fatalf("history does not span the restart: %d points before t=%g, %d after", before, boundary, after)
+	}
+	// Per-task series must also be continuous across the boundary, and
+	// strictly time-ordered (the monotonic store clock).
+	spanned := false
+	for _, s := range res.Series {
+		var b, a int
+		for i, p := range s.Points {
+			if i > 0 && p.TimeSeconds <= s.Points[i-1].TimeSeconds {
+				t.Fatalf("pid %d: time not monotonic at point %d", s.PID, i)
+			}
+			if p.TimeSeconds <= boundary {
+				b++
+			} else {
+				a++
+			}
+		}
+		if b > 0 && a > 0 {
+			spanned = true
+		}
+	}
+	if !spanned {
+		t.Fatal("no task series spans the restart")
+	}
+
+	// The range filter must respect the boundary.
+	res, err = qc.Query(tiptop.StoreQuery{PID: -1, ToSeconds: boundary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Machine {
+		if p.TimeSeconds > boundary {
+			t.Fatalf("to=%g returned a point at t=%g", boundary, p.TimeSeconds)
+		}
+	}
+}
+
+// TestStoreRealProcessRestart is the other half of the acceptance test:
+// the actual tiptopd binary, restarted between runs, serves range
+// queries spanning the restart.
+func TestStoreRealProcessRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := filepath.Join(t.TempDir(), "tiptopd.bin")
+	if out, err := exec.Command("go", "build", "-o", bin, "tiptop/cmd/tiptopd").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+
+	// First run: finite, records and exits.
+	run1 := exec.Command(bin, "-sim", "datacenter", "-d", "0.02", "-n", "20",
+		"-addr", "127.0.0.1:0", "-store", dir)
+	if out, err := run1.CombinedOutput(); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+
+	st, err := tiptop.OpenStore(dir, tiptop.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundary := st.LastTime().Seconds()
+	if st.Records() == 0 || boundary <= 0 {
+		t.Fatalf("first run recorded nothing (records=%d, last=%g)", st.Records(), boundary)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second run: serve until interrupted; find its address on stdout.
+	run2 := exec.Command(bin, "-sim", "datacenter", "-d", "0.02",
+		"-addr", "127.0.0.1:0", "-store", dir)
+	stdout, err := run2.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run2.Stderr = os.Stderr
+	if err := run2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = run2.Process.Signal(os.Interrupt)
+		_ = run2.Wait()
+	}()
+	var addr string
+	scanner := bufio.NewScanner(stdout)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if i := strings.Index(line, "serving http://"); i >= 0 {
+			addr = strings.TrimSuffix(line[i+len("serving http://"):], "/metrics")
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no serving address on stdout (scan err: %v)", scanner.Err())
+	}
+
+	qc, err := tiptop.NewQueryClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		res, err := qc.Query(tiptop.StoreQuery{PID: -1})
+		if err == nil && len(res.Machine) > 0 &&
+			res.Machine[len(res.Machine)-1].TimeSeconds > boundary+0.05 {
+			var before int
+			for _, p := range res.Machine {
+				if p.TimeSeconds <= boundary {
+					before++
+				}
+			}
+			if before == 0 {
+				t.Fatalf("restarted binary lost pre-restart history (boundary t=%g)", boundary)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query never spanned the restart (last err: %v)", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestStoreQueryOpenMetricsVariant(t *testing.T) {
+	dir := t.TempDir()
+	d, ts, shutdown := bootDaemon(t, dir)
+	defer shutdown()
+	waitUntil(t, "records", func() bool { return d.hist.Records() >= 5 })
+
+	resp, err := http.Get(ts.URL + "/api/v1/query?format=openmetrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("content type %q, want application/openmetrics-text (the export carries OpenMetrics 1.0 timestamps)", ct)
+	}
+	status, body := get(t, ts.URL+"/api/v1/query?format=openmetrics")
+	if status != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", status, body)
+	}
+	for _, want := range []string{
+		"# TYPE tiptop_range_machine_ipc gauge",
+		"tiptop_range_cpu_pct{pid=",
+		"# EOF",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("OpenMetrics body missing %q:\n%s", want, body)
+		}
+	}
+
+	status, body = get(t, ts.URL+"/api/v1/query?format=nonsense")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad format got HTTP %d: %s", status, body)
+	}
+	status, body = get(t, ts.URL+"/api/v1/query?pid=banana")
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad pid got HTTP %d: %s", status, body)
+	}
+}
+
+// TestQueryWithoutStore: a daemon without -store answers the endpoint
+// with a clear 404 instead of a blank one.
+func TestQueryWithoutStore(t *testing.T) {
+	_, srv := testDaemon(t)
+	status, body := get(t, srv.URL+"/api/v1/query")
+	if status != http.StatusNotFound || !strings.Contains(body, "-store") {
+		t.Fatalf("got HTTP %d: %s", status, body)
+	}
+}
+
+// TestFleetPerAgentDurableStores: a -join -store aggregator persists
+// each agent's stream into its own store and routes /api/v1/query by
+// the agent selector.
+func TestFleetPerAgentDurableStores(t *testing.T) {
+	agents := []*agent{startAgent(t, "datacenter"), startAgent(t, "spec")}
+	defer func() {
+		for _, a := range agents {
+			a.close(t)
+		}
+	}()
+	base := t.TempDir()
+	stores := map[string]*store.Store{}
+	urls := make([]string, len(agents))
+	for i, a := range agents {
+		urls[i] = a.ts.URL
+	}
+	fleet, err := remote.NewFleet(urls, remote.FleetOptions{
+		History:        history.Options{Capacity: 64, Window: time.Second},
+		ReconnectDelay: 10 * time.Millisecond,
+		Tee: func(label string) (core.Observer, error) {
+			st, err := store.Open(agentStoreDir(base, label), store.Options{})
+			if err != nil {
+				return nil, err
+			}
+			stores[label] = st
+			return st, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fleet.Start(ctx)
+	fd := newFleetDaemon(fleet, stores)
+	ts := httptest.NewServer(fd.handler())
+	defer func() {
+		fleet.Close()
+		ts.Close()
+		cancel()
+		fleet.Wait()
+		for _, st := range stores {
+			if err := st.Close(); err != nil {
+				t.Errorf("store close: %v", err)
+			}
+		}
+	}()
+
+	if len(stores) != 2 {
+		t.Fatalf("expected one store per agent, got %d", len(stores))
+	}
+	for label, st := range stores {
+		st := st
+		waitUntil(t, "store of "+label, func() bool { return st.Records() >= 5 })
+	}
+
+	for label := range stores {
+		status, body := get(t, ts.URL+"/api/v1/query?agent="+url.QueryEscape(label))
+		if status != http.StatusOK {
+			t.Fatalf("agent %s: HTTP %d: %s", label, status, body)
+		}
+		if !strings.Contains(body, `"series"`) || !strings.Contains(body, `"points"`) {
+			t.Fatalf("agent %s: no series in %s", label, body)
+		}
+	}
+	// Ambiguous selector with two agents.
+	status, body := get(t, ts.URL+"/api/v1/query")
+	if status != http.StatusBadRequest || !strings.Contains(body, "agent=") {
+		t.Fatalf("missing agent selector got HTTP %d: %s", status, body)
+	}
+	status, body = get(t, ts.URL+"/api/v1/query?agent=nope")
+	if status != http.StatusBadRequest {
+		t.Fatalf("unknown agent got HTTP %d: %s", status, body)
+	}
+}
+
+// TestFleetStoreDirCollision: two agent labels that sanitize to the
+// same store directory must be rejected, not silently share segments.
+func TestFleetStoreDirCollision(t *testing.T) {
+	base := t.TempDir()
+	cfg := tiptop.Config{StoreDir: base}
+	err := runFleet("host:9412,host_9412", "127.0.0.1:0", 1, 0, 0, cfg, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "same store directory") {
+		t.Fatalf("colliding labels accepted: %v", err)
+	}
+}
+
+// TestLoopSurfacesStoreError: when durable appends start failing, the
+// sampling loop must stop with an error instead of serving on while
+// history silently goes missing.
+func TestLoopSurfacesStoreError(t *testing.T) {
+	sc, err := tiptop.NewNamedScenario("datacenter", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{Interval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 16})
+	mon.Subscribe(rec)
+	st, err := tiptop.OpenStore(t.TempDir(), tiptop.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Tee(st)
+	// Simulate the store failing mid-run (disk gone, etc.): every
+	// subsequent append latches an error the loop must notice.
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d := newDaemon(mon, rec, 0, st)
+	defer d.srv.Close()
+	err = d.loop(make(chan struct{}), 5)
+	if err == nil || !strings.Contains(err.Error(), "store") {
+		t.Fatalf("loop ignored the failing store: %v", err)
+	}
+}

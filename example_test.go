@@ -3,6 +3,8 @@ package tiptop_test
 import (
 	"fmt"
 	"log"
+	"net/http/httptest"
+	"os"
 	"time"
 
 	"tiptop"
@@ -70,6 +72,99 @@ func ExampleScenario_StartFPMicro() {
 	// x87 collapses below 0.02: true
 	// SSE stays above 1.3:     true
 	// slowdown is an order of 87x: true
+}
+
+// Recording: subscribe a Recorder and every subsequent sample also
+// lands in per-task history rings and per-user/command/machine
+// aggregates, queryable while sampling continues.
+func ExampleRecorder() {
+	scenario, err := tiptop.NewScenario(tiptop.MachineXeonW3550)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := scenario.StartWorkload("alice", "gromacs", 0.05); err != nil {
+		log.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(scenario, tiptop.Config{Interval: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{})
+	mon.Subscribe(rec)
+	mon.SampleNow() // attach pass — also recorded
+	for i := 0; i < 3; i++ {
+		if _, err := mon.Sample(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	snap := rec.Snapshot()
+	pids := rec.PIDs()
+	series := rec.History(pids[0])
+	fmt.Printf("refreshes recorded: %d\n", snap.Refreshes)
+	fmt.Printf("tasks live: %d, owned by alice: %v\n", snap.Machine.Tasks, snap.Users["alice"].Tasks == 1)
+	fmt.Printf("points in the task's history: %d\n", len(series[0].Points))
+	// Output:
+	// refreshes recorded: 4
+	// tasks live: 1, owned by alice: true
+	// points in the task's history: 4
+}
+
+// Durable history: tee the recorder into an on-disk store, serve it
+// over HTTP, and range-query it with the query client — the same
+// /api/v1/query contract tiptopd -store exposes.
+func ExampleQueryClient() {
+	dir, err := os.MkdirTemp("", "tiptop-store-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	st, err := tiptop.OpenStore(dir, tiptop.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	scenario, _ := tiptop.NewScenario(tiptop.MachineXeonW3550)
+	if _, err := scenario.StartWorkload("alice", "gromacs", 0.05); err != nil {
+		log.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(scenario, tiptop.Config{Interval: 2 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mon.Close()
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{})
+	mon.Subscribe(rec)
+	rec.Tee(st) // every observed sample is now also appended durably
+
+	mon.SampleNow()
+	for i := 0; i < 4; i++ {
+		if _, err := mon.Sample(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+	qc, err := tiptop.NewQueryClient(srv.URL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := qc.Query(tiptop.StoreQuery{PID: -1, FromSeconds: 1, ToSeconds: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("series: %d\n", len(res.Series))
+	fmt.Printf("raw points in [1s, 6s]: %d\n", len(res.Series[0].Points))
+	fmt.Printf("machine roll-up points: %d\n", len(res.Machine))
+	// Output:
+	// series: 1
+	// raw points in [1s, 6s]: 3
+	// machine roll-up points: 3
 }
 
 // Pinning workloads reproduces the paper's taskset experiments: co-located

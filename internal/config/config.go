@@ -38,6 +38,7 @@ import (
 	"tiptop/internal/core"
 	"tiptop/internal/hpm"
 	"tiptop/internal/metrics"
+	"tiptop/internal/store"
 )
 
 // File is the root XML document.
@@ -82,6 +83,43 @@ type OptionsXML struct {
 	// Join turns tiptopd into a fleet aggregator over the listed agents
 	// (comma-separated host:port peers).
 	Join string `xml:"join,attr,omitempty"`
+	// Store names the directory of the durable on-disk history store
+	// samples are teed into (tiptopd -store; a store -record target for
+	// tiptop). Empty means no persistence.
+	Store string `xml:"store,attr,omitempty"`
+	// Retention is the store's age horizon as a Go duration ("72h"):
+	// records older than this are retired. Empty keeps everything the
+	// byte budget allows.
+	Retention string `xml:"retention,attr,omitempty"`
+	// Budget bounds the store's size on disk ("64MB", "1G", or plain
+	// bytes). Empty selects the 64 MiB default.
+	Budget string `xml:"budget,attr,omitempty"`
+}
+
+// RetentionValue parses the store retention horizon (0 if unset).
+// Validate has already rejected malformed values on loaded documents.
+func (o *OptionsXML) RetentionValue() time.Duration {
+	if o.Retention == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(o.Retention)
+	if err != nil {
+		return 0
+	}
+	return d
+}
+
+// BudgetValue parses the store byte budget (0 if unset). Validate has
+// already rejected malformed values on loaded documents.
+func (o *OptionsXML) BudgetValue() int64 {
+	if o.Budget == "" {
+		return 0
+	}
+	n, err := store.ParseBytes(o.Budget)
+	if err != nil {
+		return 0
+	}
+	return n
 }
 
 // Peers splits the Join list into trimmed agent addresses.
@@ -179,6 +217,17 @@ func (f *File) Validate() error {
 	}
 	if f.Options.Join != "" && len(f.Options.Peers()) == 0 {
 		return fmt.Errorf("config: join %q names no agents", f.Options.Join)
+	}
+	if f.Options.Retention != "" {
+		d, err := time.ParseDuration(f.Options.Retention)
+		if err != nil || d < 0 {
+			return fmt.Errorf("config: bad store retention %q (want a Go duration such as 72h)", f.Options.Retention)
+		}
+	}
+	if f.Options.Budget != "" {
+		if _, err := store.ParseBytes(f.Options.Budget); err != nil {
+			return fmt.Errorf("config: bad store budget %q (want e.g. 64MB, 1G or plain bytes)", f.Options.Budget)
+		}
 	}
 	if f.Options.Connect != "" && f.Options.Join != "" {
 		return fmt.Errorf("config: connect and join are mutually exclusive")

@@ -170,6 +170,9 @@ func TestOptionsRoundTrip(t *testing.T) {
 		History:      1200,
 		Listen:       "127.0.0.1:9412",
 		Join:         "host1:9412, host2:9412,host3:9412",
+		Store:        "/var/lib/tiptop/store",
+		Retention:    "72h",
+		Budget:       "64MB",
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "tiptop.xml")
@@ -375,5 +378,34 @@ func TestExamplesConfigLoads(t *testing.T) {
 	}
 	if screens["fpcustom"] == nil {
 		t.Fatalf("example screens = %v", screens)
+	}
+}
+
+// TestStoreOptions covers the durable-store attributes: parsed values
+// flow through, malformed ones are rejected at load time.
+func TestStoreOptions(t *testing.T) {
+	f, err := Parse(strings.NewReader(
+		`<tiptop><options store="data" retention="48h" budget="256KB"/></tiptop>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Options.Store != "data" {
+		t.Fatalf("store = %q", f.Options.Store)
+	}
+	if got := f.Options.RetentionValue(); got != 48*time.Hour {
+		t.Fatalf("retention = %v", got)
+	}
+	if got := f.Options.BudgetValue(); got != 256<<10 {
+		t.Fatalf("budget = %d", got)
+	}
+	for _, bad := range []string{
+		`<tiptop><options retention="next tuesday"/></tiptop>`,
+		`<tiptop><options retention="-5s"/></tiptop>`,
+		`<tiptop><options budget="12XB"/></tiptop>`,
+		`<tiptop><options budget="-3MB"/></tiptop>`,
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %s", bad)
+		}
 	}
 }

@@ -263,6 +263,9 @@ type Recorder struct {
 	// cumulative totals and checkpoints are folded in once per entry;
 	// reused across refreshes.
 	touched []*aggState
+	// tee receives every observed sample after the recorder's own fold,
+	// outside the recorder lock — the hook a durable store attaches by.
+	tee core.Observer
 }
 
 // New creates a Recorder. Column names may be set later (SetColumns);
@@ -282,19 +285,52 @@ func New(opt Options) *Recorder {
 // Idempotent.
 func (r *Recorder) SetColumns(names []string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.columns = append([]string(nil), names...)
 	if r.ncols < 0 {
 		r.ncols = len(names)
 	}
+	tee := r.tee
+	r.mu.Unlock()
+	if cs, ok := tee.(columnSetter); ok {
+		cs.SetColumns(names)
+	}
 }
+
+// columnSetter is implemented by tee targets that label their records
+// with the screen's column names (store.Store does).
+type columnSetter interface{ SetColumns([]string) }
 
 // Capacity returns the per-task ring capacity.
 func (r *Recorder) Capacity() int { return r.opt.Capacity }
 
+// Tee forwards every subsequently observed sample to o after the
+// recorder's own fold — the attachment point for a durable store
+// (internal/store) or any other secondary observer. The tee runs on the
+// sampling goroutine but outside the recorder's lock, so a slow tee
+// (a disk write) delays the next refresh, not concurrent queries. Like
+// Subscribe, not safe to call concurrently with Observe; a nil o
+// detaches. Samples must not be retained by the tee (the core.Observer
+// contract).
+func (r *Recorder) Tee(o core.Observer) {
+	r.tee = o
+	r.mu.RLock()
+	cols := r.columns
+	r.mu.RUnlock()
+	if cs, ok := o.(columnSetter); ok && len(cols) > 0 {
+		cs.SetColumns(cols)
+	}
+}
+
 // Observe records one sample. It is the recorder's hot path: O(rows)
 // and allocation-free once rings and aggregate entries exist.
 func (r *Recorder) Observe(s *core.Sample) {
+	r.observe(s)
+	if r.tee != nil {
+		r.tee.Observe(s)
+	}
+}
+
+func (r *Recorder) observe(s *core.Sample) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.epoch++

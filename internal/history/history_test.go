@@ -258,3 +258,58 @@ func TestObserveSteadyStateAllocations(t *testing.T) {
 		t.Fatalf("steady-state Observe allocates %.1f times per refresh, want 0", allocs)
 	}
 }
+
+// teeTarget records what a Recorder.Tee observer receives.
+type teeTarget struct {
+	samples int
+	rows    int
+	cols    []string
+}
+
+func (t *teeTarget) Observe(s *core.Sample)   { t.samples++; t.rows += len(s.Rows) }
+func (t *teeTarget) SetColumns(cols []string) { t.cols = append([]string(nil), cols...) }
+
+// TestTee: the tee receives every observed sample after the recorder's
+// own fold, and the column names propagate regardless of whether Tee or
+// SetColumns happens first.
+func TestTee(t *testing.T) {
+	r := New(Options{})
+	tee := &teeTarget{}
+	r.SetColumns([]string{"ipc", "dmis"})
+	r.Tee(tee) // columns already known: pushed at attach time
+	if len(tee.cols) != 2 || tee.cols[0] != "ipc" {
+		t.Fatalf("columns not pushed on Tee: %v", tee.cols)
+	}
+
+	s := &core.Sample{Time: time.Second}
+	s.Rows = []core.Row{{
+		Info:   core.TaskInfo{ID: hpm.TaskID{PID: 1, TID: 1}, User: "u", Comm: "c"},
+		Values: []float64{1, 2},
+		Events: map[string]uint64{hpm.EventInstructions: 10, hpm.EventCycles: 5},
+	}}
+	r.Observe(s)
+	r.Observe(s)
+	if tee.samples != 2 || tee.rows != 2 {
+		t.Fatalf("tee saw %d samples / %d rows, want 2 / 2", tee.samples, tee.rows)
+	}
+	// The recorder's own state must be unaffected by the tee.
+	if snap := r.Snapshot(); snap.Refreshes != 2 {
+		t.Fatalf("refreshes = %d", snap.Refreshes)
+	}
+
+	// Columns set after attaching forward to the tee too.
+	r2 := New(Options{})
+	tee2 := &teeTarget{}
+	r2.Tee(tee2)
+	r2.SetColumns([]string{"a"})
+	if len(tee2.cols) != 1 || tee2.cols[0] != "a" {
+		t.Fatalf("columns not forwarded by SetColumns: %v", tee2.cols)
+	}
+
+	// Detach: no further samples.
+	r.Tee(nil)
+	r.Observe(s)
+	if tee.samples != 2 {
+		t.Fatalf("detached tee still observed (%d samples)", tee.samples)
+	}
+}

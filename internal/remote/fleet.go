@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tiptop/internal/core"
 	"tiptop/internal/export"
 	"tiptop/internal/history"
 	"tiptop/internal/hpm"
@@ -22,6 +23,11 @@ type FleetOptions struct {
 	// ReconnectDelay is the pause before re-dialing a lost agent
 	// (default 1 s).
 	ReconnectDelay time.Duration
+	// Tee, when set, is called once per agent and its result attached
+	// to that agent's recorder (history.Recorder.Tee) — how tiptopd
+	// -join -store persists every agent's stream into a per-agent
+	// durable store. Returning an error aborts NewFleet.
+	Tee func(label string) (core.Observer, error)
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -83,11 +89,19 @@ func NewFleet(addrs []string, opt FleetOptions) (*Fleet, error) {
 			return nil, fmt.Errorf("remote: duplicate agent %q", label)
 		}
 		seen[label] = true
-		f.peers = append(f.peers, &peer{
+		p := &peer{
 			label: label,
 			url:   base,
 			rec:   history.New(f.opt.History),
-		})
+		}
+		if f.opt.Tee != nil {
+			o, err := f.opt.Tee(label)
+			if err != nil {
+				return nil, fmt.Errorf("remote: agent %s: %w", label, err)
+			}
+			p.rec.Tee(o)
+		}
+		f.peers = append(f.peers, p)
 	}
 	return f, nil
 }

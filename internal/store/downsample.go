@@ -1,0 +1,183 @@
+package store
+
+// Tiered downsampling: every raw refresh folds into a 10-second
+// accumulator; each completed 10-second bucket is written as a record
+// of the 10s tier and folds into the 1-minute accumulator, and so on
+// down Resolutions. Buckets are half-open (k·res, (k+1)·res] windows of
+// the store's monotonic record clock, and a bucket's record is stamped
+// with the window's end time (so a record's data always lies at or
+// before its timestamp, and a record stamped exactly on a boundary
+// folds into the coarser bucket ending there).
+//
+// Within a bucket, CPU%, IPC and column values average and the raw
+// counters (instructions, cycles, misses) sum; a coarser tier averages
+// the finer tier's averages (buckets a task was absent from do not
+// dilute it). IPC is recomputed from the summed counters whenever they
+// are present, so a bucket's IPC is Σinstr/Σcycles, not a mean of
+// ratios.
+//
+// The accumulator reuses all storage across buckets: folding a task
+// that already has an entry allocates nothing, keeping the append hot
+// path flat. Partial buckets are lost on Close/crash — the raw tier
+// still holds their data.
+
+import (
+	"sort"
+	"time"
+
+	"tiptop/internal/hpm"
+)
+
+// dsTask accumulates one task's contribution to the current bucket.
+type dsTask struct {
+	id         hpm.TaskID
+	user, comm string
+	n          int // finer-tier records folded this bucket
+	lastBucket int64
+	cpuSum     float64
+	ipcSum     float64
+	valSums    []float64
+	avg        []float64 // scratch the flushed row's Values point into
+	instr      uint64
+	cycles     uint64
+	misses     uint64
+}
+
+// dsRow is one averaged task row of a flushed bucket.
+type dsRow struct {
+	id         hpm.TaskID
+	user, comm string
+	cpuPct     float64
+	ipc        float64
+	values     []float64
+	instr      uint64
+	cycles     uint64
+	misses     uint64
+}
+
+// bucket is a completed downsample window ready to be written.
+type bucket struct {
+	end  time.Duration
+	rows []dsRow
+}
+
+// accumulator folds finer-tier records into fixed-width buckets.
+type accumulator struct {
+	res    time.Duration
+	cur    int64 // current bucket index, -1 before the first fold
+	tasks  map[hpm.TaskID]*dsTask
+	funnel bucket // reused flush scratch
+}
+
+func newAccumulator(res time.Duration) *accumulator {
+	return &accumulator{res: res, cur: -1, tasks: make(map[hpm.TaskID]*dsTask)}
+}
+
+// advance moves the accumulator to the bucket containing now. When that
+// closes the current bucket and it holds data, the completed bucket is
+// returned for flushing (valid until the next advance).
+//
+// Buckets are the half-open (k·res, (k+1)·res] windows — the same
+// convention the query-side re-bucketing uses. The closed upper end
+// matters for tier chaining: a finer-tier record stamped exactly on a
+// boundary (10s records always are) carries data from *before* that
+// instant and must fold into the bucket ending there, not the one
+// starting there.
+func (a *accumulator) advance(now time.Duration) *bucket {
+	idx := int64(0)
+	if now > 0 {
+		idx = int64((now - 1) / a.res)
+	}
+	if a.cur < 0 {
+		a.cur = idx
+		return nil
+	}
+	if idx == a.cur {
+		return nil
+	}
+	out := a.close()
+	a.cur = idx
+	if len(out.rows) == 0 {
+		return nil
+	}
+	return out
+}
+
+// close drains the current bucket into the reused flush scratch,
+// resetting per-bucket sums and evicting tasks gone for over a bucket.
+func (a *accumulator) close() *bucket {
+	a.funnel.end = time.Duration(a.cur+1) * a.res
+	a.funnel.rows = a.funnel.rows[:0]
+	for id, t := range a.tasks {
+		if t.n == 0 {
+			if a.cur-t.lastBucket > 1 {
+				delete(a.tasks, id)
+			}
+			continue
+		}
+		n := float64(t.n)
+		if cap(t.avg) < len(t.valSums) {
+			t.avg = make([]float64, len(t.valSums))
+		}
+		t.avg = t.avg[:len(t.valSums)]
+		for i, s := range t.valSums {
+			t.avg[i] = s / n
+		}
+		ipc := t.ipcSum / n
+		if t.cycles > 0 {
+			ipc = float64(t.instr) / float64(t.cycles)
+		}
+		a.funnel.rows = append(a.funnel.rows, dsRow{
+			id: id, user: t.user, comm: t.comm,
+			cpuPct: t.cpuSum / n, ipc: ipc, values: t.avg,
+			instr: t.instr, cycles: t.cycles, misses: t.misses,
+		})
+		t.n = 0
+		t.cpuSum, t.ipcSum = 0, 0
+		t.instr, t.cycles, t.misses = 0, 0, 0
+		// Zero before truncating: a later re-extension within capacity
+		// must expose zeros, not last bucket's sums.
+		for i := range t.valSums {
+			t.valSums[i] = 0
+		}
+		t.valSums = t.valSums[:0]
+	}
+	rows := a.funnel.rows
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].id.PID != rows[j].id.PID {
+			return rows[i].id.PID < rows[j].id.PID
+		}
+		return rows[i].id.TID < rows[j].id.TID
+	})
+	return &a.funnel
+}
+
+// fold adds one finer-tier task row to the current bucket.
+func (a *accumulator) fold(id hpm.TaskID, user, comm string, cpuPct, ipc float64,
+	values []float64, instr, cycles, misses uint64) {
+	t := a.tasks[id]
+	if t == nil {
+		t = &dsTask{id: id}
+		a.tasks[id] = t
+	}
+	t.user, t.comm = user, comm
+	t.lastBucket = a.cur
+	t.n++
+	t.cpuSum += cpuPct
+	t.ipcSum += ipc
+	t.instr += instr
+	t.cycles += cycles
+	t.misses += misses
+	if len(t.valSums) < len(values) {
+		if cap(t.valSums) < len(values) {
+			grown := make([]float64, len(values))
+			copy(grown, t.valSums)
+			t.valSums = grown
+		} else {
+			t.valSums = t.valSums[:len(values)]
+		}
+	}
+	for i, v := range values {
+		t.valSums[i] += v
+	}
+}

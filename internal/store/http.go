@@ -1,0 +1,229 @@
+package store
+
+// The HTTP surface of a store: the /api/v1/query handler tiptopd
+// mounts (JSON by default, OpenMetrics text with ?format=openmetrics)
+// and the Client that consumes it — the query side of the remote
+// monitoring story, for history instead of live samples.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+)
+
+// Handler serves range queries over the store:
+//
+//	GET ...?pid=N&from=S&to=S&step=S           JSON Result
+//	GET ...?pid=N&from=S&to=S&step=S&format=openmetrics
+//
+// pid is optional (absent = every task); from/to/step are seconds on
+// the store clock (to absent or 0 = open end). The step picks the
+// downsample tier and, when coarser, the averaging bucket width.
+func Handler(st *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q, format, err := parseQuery(r.URL.Query())
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err := st.Query(q)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		switch format {
+		case "openmetrics", "om":
+			// OpenMetrics 1.0, not the 0.0.4 text format: the range
+			// export carries float-seconds timestamps and the # EOF
+			// marker, which 0.0.4 parsers would misread (0.0.4
+			// timestamps are integer milliseconds).
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			_ = WriteQueryOpenMetrics(w, res)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(res)
+		}
+	})
+}
+
+// parseQuery translates URL parameters into QueryOptions.
+func parseQuery(v url.Values) (QueryOptions, string, error) {
+	q := QueryOptions{PID: -1}
+	if s := v.Get("pid"); s != "" {
+		pid, err := strconv.Atoi(s)
+		if err != nil || pid < 0 {
+			return q, "", fmt.Errorf("bad pid %q", s)
+		}
+		q.PID = pid
+	}
+	var err error
+	if q.FromSeconds, err = floatParam(v, "from"); err != nil {
+		return q, "", err
+	}
+	if q.ToSeconds, err = floatParam(v, "to"); err != nil {
+		return q, "", err
+	}
+	if q.StepSeconds, err = floatParam(v, "step"); err != nil {
+		return q, "", err
+	}
+	if q.StepSeconds < 0 {
+		return q, "", fmt.Errorf("negative step %g", q.StepSeconds)
+	}
+	if q.ToSeconds > 0 && q.ToSeconds < q.FromSeconds {
+		return q, "", fmt.Errorf("range ends (%gs) before it starts (%gs)", q.ToSeconds, q.FromSeconds)
+	}
+	format := v.Get("format")
+	switch format {
+	case "", "json", "openmetrics", "om":
+	default:
+		return q, "", fmt.Errorf("unknown format %q (want json or openmetrics)", format)
+	}
+	return q, format, nil
+}
+
+func floatParam(v url.Values, name string) (float64, error) {
+	s := v.Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, s)
+	}
+	return f, nil
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// WriteQueryOpenMetrics renders a query result as OpenMetrics text with
+// explicit timestamps: one sample per point, so a range query exports
+// straight into tools that speak the exposition format. Ordering is
+// deterministic (series sorted by pid/tid, points by time).
+func WriteQueryOpenMetrics(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	emit := func(name string, labels string, p *Point, v float64) {
+		fmt.Fprintf(bw, "%s{%s} %g %g\n", name, labels, v, p.TimeSeconds)
+	}
+	fmt.Fprintf(bw, "# TYPE tiptop_range_machine_cpu_pct gauge\n")
+	fmt.Fprintf(bw, "# TYPE tiptop_range_machine_ipc gauge\n")
+	for i := range res.Machine {
+		p := &res.Machine[i]
+		emit("tiptop_range_machine_cpu_pct", `resolution="`+formatRes(res)+`"`, p, p.CPUPct)
+		emit("tiptop_range_machine_ipc", `resolution="`+formatRes(res)+`"`, p, p.IPC)
+	}
+	fmt.Fprintf(bw, "# TYPE tiptop_range_cpu_pct gauge\n")
+	fmt.Fprintf(bw, "# TYPE tiptop_range_ipc gauge\n")
+	if len(res.Columns) > 0 {
+		fmt.Fprintf(bw, "# TYPE tiptop_range_metric gauge\n")
+	}
+	for i := range res.Series {
+		s := &res.Series[i]
+		labels := fmt.Sprintf(`pid="%d",tid="%d",user=%s,command=%s`,
+			s.PID, s.TID, strconv.Quote(s.User), strconv.Quote(s.Command))
+		for j := range s.Points {
+			p := &s.Points[j]
+			emit("tiptop_range_cpu_pct", labels, p, p.CPUPct)
+			emit("tiptop_range_ipc", labels, p, p.IPC)
+			for k, v := range p.Values {
+				if k >= len(res.Columns) {
+					break
+				}
+				emit("tiptop_range_metric", labels+`,column=`+strconv.Quote(res.Columns[k]), p, v)
+			}
+		}
+	}
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+func formatRes(res *Result) string {
+	return strconv.FormatFloat(res.ResolutionSeconds, 'g', -1, 64)
+}
+
+// Client queries a tiptopd's /api/v1/query endpoint — the range-query
+// counterpart of remote.Client's live stream.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a query client for a daemon at base ("host:port" or
+// a full URL; the /api/v1/query path is implied).
+func NewClient(base string) (*Client, error) {
+	if base == "" {
+		return nil, fmt.Errorf("store: empty daemon address")
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return nil, fmt.Errorf("store: bad daemon address: %w", err)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	return &Client{base: u.String(), hc: &http.Client{}}, nil
+}
+
+// Query runs one range query. extra parameters (e.g. the aggregator's
+// agent selector) can be appended by name.
+func (c *Client) Query(q QueryOptions, extra ...string) (*Result, error) {
+	if len(extra)%2 != 0 {
+		return nil, fmt.Errorf("store: extra query parameters must come in pairs")
+	}
+	v := url.Values{}
+	if q.PID >= 0 {
+		v.Set("pid", strconv.Itoa(q.PID))
+	}
+	if q.FromSeconds != 0 {
+		v.Set("from", strconv.FormatFloat(q.FromSeconds, 'g', -1, 64))
+	}
+	if q.ToSeconds != 0 {
+		v.Set("to", strconv.FormatFloat(q.ToSeconds, 'g', -1, 64))
+	}
+	if q.StepSeconds != 0 {
+		v.Set("step", strconv.FormatFloat(q.StepSeconds, 'g', -1, 64))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		v.Set(extra[i], extra[i+1])
+	}
+	u := c.base + "/api/v1/query"
+	if enc := v.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("store: query: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("store: query: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("store: query: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("store: query: HTTP %d", resp.StatusCode)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("store: query: bad response: %w", err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,27 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an advisory exclusive lock on dir/.lock. Two processes
+// appending to the same segment chain would interleave frames and
+// corrupt it at the first CRC mismatch, so a second Open of a live
+// store must fail loudly instead. The lock dies with the process (no
+// stale-lock cleanup needed) and is released by Close.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, ".lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already open in another process (flock: %v)", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,229 @@
+package store
+
+// Segment files: the append-only unit of storage and retention. Every
+// record is framed as [uint32 length][uint32 crc32][payload], both
+// little-endian; the scan in openSegment is the store's only recovery
+// mechanism — a frame whose length is implausible, whose payload is
+// short, or whose checksum mismatches marks the end of the valid
+// prefix, and everything after it is clipped.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+const (
+	segmentExt = ".seg"
+	// frameHeader is the per-record framing overhead.
+	frameHeader = 8
+	// maxRecordBytes bounds a single record's payload; anything larger
+	// in a frame header is treated as corruption, not a huge record.
+	maxRecordBytes = 64 << 20
+)
+
+// segment is one on-disk segment file. The writer appends through f
+// (nil once sealed); size, n and the record-time bounds are maintained
+// in memory and rebuilt by scanning on open.
+type segment struct {
+	path  string
+	seq   int64
+	f     *os.File
+	size  int64
+	n     int64
+	first time.Duration
+	last  time.Duration
+}
+
+// segmentPath names a segment file: "<tier>-<seq>.seg", zero-padded so
+// lexical order is chain order.
+func segmentPath(dir, tier string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%010d%s", tier, seq, segmentExt))
+}
+
+// createSegment starts an empty active segment.
+func createSegment(dir, tier string, seq int64) (*segment, error) {
+	path := segmentPath(dir, tier, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &segment{path: path, seq: seq, f: f}, nil
+}
+
+// append writes one framed record. The frame slice already carries the
+// length/checksum header (encoder.frame).
+func (sg *segment) append(frame []byte) error {
+	if sg.f == nil {
+		return fmt.Errorf("store: segment %s is sealed", filepath.Base(sg.path))
+	}
+	if _, err := sg.f.Write(frame); err != nil {
+		return fmt.Errorf("store: append %s: %w", filepath.Base(sg.path), err)
+	}
+	sg.size += int64(len(frame))
+	sg.n++
+	return nil
+}
+
+// seal closes the writer; the file stays queryable.
+func (sg *segment) seal() error {
+	if sg.f == nil {
+		return nil
+	}
+	err := sg.f.Close()
+	sg.f = nil
+	if err != nil {
+		return fmt.Errorf("store: seal %s: %w", filepath.Base(sg.path), err)
+	}
+	return nil
+}
+
+// openSegment scans an existing segment, validating every frame and
+// clipping a torn or corrupt tail: logically always (size/n/first/last
+// reflect only the valid prefix), physically when writable is set (the
+// newest segment of a tier, which reopens for appending).
+func openSegment(path string, seq int64, writable bool) (*segment, error) {
+	sg := &segment{path: path, seq: seq}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	valid, n, first, last, scanErr := scanFrames(f)
+	closeErr := f.Close()
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("store: %w", closeErr)
+	}
+	sg.size, sg.n, sg.first, sg.last = valid, n, first, last
+	if fi, err := os.Stat(path); err == nil && fi.Size() > valid && writable {
+		// Crash mid-append: clip the torn tail so the chain is clean.
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, fmt.Errorf("store: clip %s: %w", filepath.Base(path), err)
+		}
+	}
+	if writable {
+		w, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		sg.f = w
+	}
+	return sg, nil
+}
+
+// scanFrames walks the segment from the start, returning the byte
+// length of the valid prefix, the record count, and the first/last
+// record times. It stops (without error) at the first invalid frame.
+func scanFrames(r io.Reader) (valid, n int64, first, last time.Duration, err error) {
+	br := newFrameReader(r)
+	for {
+		payload, ok, rerr := br.next()
+		if rerr != nil {
+			return 0, 0, 0, 0, rerr
+		}
+		if !ok {
+			return br.valid, n, first, last, nil
+		}
+		t, v, ok := recordPrefix(payload)
+		if !ok {
+			// Structurally sound frame with an unparseable payload:
+			// treat as corruption, clip here.
+			return br.valid, n, first, last, nil
+		}
+		if v > RecordVersion {
+			return 0, 0, 0, 0, fmt.Errorf("store: record version %d not supported (this build reads <= %d)", v, RecordVersion)
+		}
+		br.accept()
+		if n == 0 {
+			first = t
+		}
+		last = t
+		n++
+	}
+}
+
+// frameReader iterates frames over a reader, tracking the end offset of
+// the last accepted frame.
+type frameReader struct {
+	r     io.Reader
+	buf   []byte
+	off   int64 // offset after the frame just returned by next
+	valid int64 // offset after the last accepted frame
+	hdr   [frameHeader]byte
+}
+
+func newFrameReader(r io.Reader) *frameReader { return &frameReader{r: r} }
+
+// next returns the next frame's payload, or ok=false at a clean EOF or
+// the first invalid frame (short header, implausible length, short
+// payload, checksum mismatch).
+func (fr *frameReader) next() (payload []byte, ok bool, err error) {
+	if _, rerr := io.ReadFull(fr.r, fr.hdr[:]); rerr != nil {
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: read: %w", rerr)
+	}
+	length := binary.LittleEndian.Uint32(fr.hdr[0:4])
+	sum := binary.LittleEndian.Uint32(fr.hdr[4:8])
+	if length == 0 || length > maxRecordBytes {
+		return nil, false, nil
+	}
+	if cap(fr.buf) < int(length) {
+		fr.buf = make([]byte, length)
+	}
+	fr.buf = fr.buf[:length]
+	if _, rerr := io.ReadFull(fr.r, fr.buf); rerr != nil {
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("store: read: %w", rerr)
+	}
+	if crc32.Checksum(fr.buf, crcTable) != sum {
+		return nil, false, nil
+	}
+	fr.off = fr.valid + frameHeader + int64(length)
+	return fr.buf, true, nil
+}
+
+// accept commits the frame last returned by next into the valid prefix.
+func (fr *frameReader) accept() { fr.valid = fr.off }
+
+// recordPrefix parses the fixed leading fields of a record payload —
+// `{"v":<int>,"time_s":<float>` — without a full JSON decode, which
+// keeps recovery scans cheap (the bench recovers a million records).
+func recordPrefix(p []byte) (t time.Duration, v int, ok bool) {
+	const vKey = `{"v":`
+	if len(p) < len(vKey) || string(p[:len(vKey)]) != vKey {
+		return 0, 0, false
+	}
+	i := len(vKey)
+	start := i
+	for i < len(p) && p[i] >= '0' && p[i] <= '9' {
+		v = v*10 + int(p[i]-'0')
+		i++
+	}
+	if i == start {
+		return 0, 0, false
+	}
+	const tKey = `,"time_s":`
+	if len(p) < i+len(tKey) || string(p[i:i+len(tKey)]) != tKey {
+		return 0, 0, false
+	}
+	i += len(tKey)
+	j := i
+	for j < len(p) && p[j] != ',' && p[j] != '}' {
+		j++
+	}
+	secs, err := parseFloat(p[i:j])
+	if err != nil {
+		return 0, 0, false
+	}
+	return time.Duration(secs * float64(time.Second)), v, true
+}

@@ -1,0 +1,653 @@
+// Package store is tiptop's durable history: an append-only, segmented
+// on-disk time-series store underneath the in-memory recording
+// subsystem (internal/history), so a long-running daemon can answer
+// questions about last week, not just the last few hundred samples, and
+// survive restarts with its past intact.
+//
+// Layout and format. A store is a directory of segment files, one chain
+// per resolution tier. Every record is one refresh (per-task rows plus
+// the machine-wide roll-up) framed as
+//
+//	uint32 payload length | uint32 CRC-32 (IEEE) of payload | payload
+//
+// with lengths little-endian and the payload a versioned JSON document
+// in the same style as the remote wire format (a leading "v" field;
+// readers accept versions up to their own RecordVersion and reject
+// newer ones loudly). The write path hand-encodes the payload into a
+// reused buffer, so steady-state appends are near-zero-alloc like
+// history.Recorder.Observe — a store teed into a recorder does not
+// perturb the sampling loop.
+//
+// Crash safety. Appends go straight to the file; no in-process write
+// buffering means a crash loses at most the record being written. Open
+// scans every segment, verifies each frame's length and checksum, and
+// physically clips a torn or corrupt tail off the newest segment of
+// each tier (earlier segments are clipped logically), so recovery never
+// needs an index or a journal.
+//
+// Tiers and retention. Raw refreshes land in the raw tier and are
+// folded into 10-second averages, which fold into 1-minute averages
+// (Resolutions). Segments rotate by size and record-time age; retention
+// drops the oldest sealed segments when the configured byte budget or
+// age horizon is exceeded, rawest tier first — a week of wide-fleet
+// data degrades to 1-minute resolution instead of disappearing.
+//
+// Time. Sample clocks restart at zero whenever a monitor restarts. The
+// store keeps history monotonic across restarts by remembering the last
+// recorded time and offsetting every subsequent sample past it, so a
+// range query spans daemon restarts seamlessly.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+)
+
+// RecordVersion is the version stamped into every record payload. A
+// reader accepts documents up to its own version and rejects newer
+// ones, mirroring the remote wire contract.
+const RecordVersion = 1
+
+// Resolutions are the store's downsampling tiers: raw refreshes, then
+// 10-second averages, then 1-minute averages. Index 0 is the raw tier.
+var Resolutions = []time.Duration{0, 10 * time.Second, time.Minute}
+
+// tierNames name the segment files of each tier ("raw-00000001.seg").
+var tierNames = []string{"raw", "10s", "1m"}
+
+// budgetShare is each tier's slice of Options.Budget, raw first. The
+// raw tier gets half: it is the densest and the first to be dropped.
+var budgetShare = []float64{0.5, 0.25, 0.25}
+
+// Options tune a Store. The zero value gives 1 MiB segments sealed at
+// ten minutes of record time, a 64 MiB byte budget and no age horizon.
+type Options struct {
+	// SegmentBytes seals the active segment of a tier once it grows
+	// past this size (default 1 MiB, clamped to Budget/8 so retention
+	// can always find sealed segments to drop).
+	SegmentBytes int64
+	// SegmentAge seals the active segment once the record time it spans
+	// exceeds this (default 10 minutes). Age is measured on the
+	// monotonic record clock, not wall time, so simulated monitors
+	// rotate deterministically.
+	SegmentAge time.Duration
+	// Retention drops sealed segments whose newest record is older than
+	// this relative to the store's latest record (0 = keep forever).
+	Retention time.Duration
+	// Budget bounds the store's total size on disk across all tiers
+	// (default 64 MiB). When exceeded, the oldest sealed segments are
+	// deleted, rawest tier first.
+	Budget int64
+	// NoDownsample disables the 10s/1m tiers (raw records only); used
+	// by benchmarks isolating the append path.
+	NoDownsample bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.SegmentAge <= 0 {
+		o.SegmentAge = 10 * time.Minute
+	}
+	if o.Budget <= 0 {
+		o.Budget = 64 << 20
+	}
+	if max := o.Budget / 8; o.SegmentBytes > max {
+		o.SegmentBytes = max
+	}
+	if o.SegmentBytes < 512 {
+		o.SegmentBytes = 512
+	}
+	return o
+}
+
+// Store is an open on-disk history store. One goroutine may append
+// (Observe) while any number query concurrently.
+type Store struct {
+	dir  string
+	opt  Options
+	lock *os.File // advisory directory lock, nil where unsupported
+
+	mu      sync.Mutex
+	tiers   []*tier
+	cols    []string
+	lastErr error
+	// base offsets observed sample times so record time keeps rising
+	// across monitor restarts (sample clocks restart at zero).
+	base     time.Duration
+	lastTime time.Duration
+	records  int64 // appended + recovered, all tiers
+	enc      encoder
+}
+
+// tier is one resolution's segment chain plus the accumulator folding
+// the finer tier's records into it.
+type tier struct {
+	idx    int
+	res    time.Duration
+	sealed []*segment
+	active *segment
+	acc    *accumulator // nil for the raw tier
+	// colsWritten tracks whether the active segment already carries the
+	// column names (each segment is self-describing).
+	colsWritten bool
+}
+
+// Open creates or recovers the store in dir. A torn tail record —
+// the signature of a crash mid-append — is detected by frame length
+// and checksum and clipped from the newest segment of each tier. The
+// directory is flock'd (on linux/darwin) for the store's lifetime: a
+// second process opening a live store fails instead of corrupting the
+// segment chain with interleaved appends.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{dir: dir, opt: opt.withDefaults(), lock: lock}
+	for i, res := range Resolutions {
+		t := &tier{idx: i, res: res}
+		if i > 0 {
+			t.acc = newAccumulator(res)
+		}
+		st.tiers = append(st.tiers, t)
+	}
+	if err := st.recover(); err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, err
+	}
+	return st, nil
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Err returns the first append error latched by Observe (Observe
+// implements core.Observer and cannot return one), nil when healthy.
+func (st *Store) Err() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastErr
+}
+
+// Records counts the records in the store across all tiers, recovered
+// plus appended.
+func (st *Store) Records() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.records
+}
+
+// DiskUsage returns the store's current size on disk, in bytes.
+func (st *Store) DiskUsage() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.usageLocked()
+}
+
+// LastTime returns the newest record time (the monotonic store clock).
+func (st *Store) LastTime() time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lastTime
+}
+
+func (st *Store) usageLocked() int64 {
+	var total int64
+	for _, t := range st.tiers {
+		for _, sg := range t.sealed {
+			total += sg.size
+		}
+		if t.active != nil {
+			total += t.active.size
+		}
+	}
+	return total
+}
+
+// SetColumns records the screen's column names; they are embedded in
+// the first record of every segment so each segment is self-describing
+// after older ones are retired. Idempotent.
+func (st *Store) SetColumns(names []string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(names) == len(st.cols) {
+		same := true
+		for i := range names {
+			if names[i] != st.cols[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	st.cols = append(st.cols[:0:0], names...)
+	for _, t := range st.tiers {
+		t.colsWritten = false
+	}
+}
+
+// Observe appends one engine refresh. It implements core.Observer so a
+// history.Recorder (or a core.Session directly) can tee into the store;
+// errors are latched and reported by Err.
+func (st *Store) Observe(s *core.Sample) {
+	_ = st.AppendSample(s)
+}
+
+// AppendSample appends one engine refresh to the raw tier and folds it
+// into the downsampling tiers. The sample's own clock is offset by the
+// store's base so record time is monotonic across monitor restarts.
+//
+// The first append error poisons the store: a failed write may have
+// left a partial frame at the segment tail, and appending more frames
+// after it would bury them behind bytes the next recovery clips away.
+// Failing every subsequent append (and Err) loudly is the contract —
+// callers stop, and recovery after restart loses at most the one torn
+// record.
+func (st *Store) AppendSample(s *core.Sample) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.tiers == nil {
+		// Appending to a closed store is a lifecycle bug worth
+		// surfacing through Err, not just the return value Observe
+		// discards.
+		err := errors.New("store: closed")
+		if st.lastErr == nil {
+			st.lastErr = err
+		}
+		return err
+	}
+	if st.lastErr != nil {
+		return st.lastErr
+	}
+	if err := st.appendLocked(s); err != nil {
+		st.lastErr = err
+		return err
+	}
+	return nil
+}
+
+func (st *Store) appendLocked(s *core.Sample) error {
+	now := st.base + s.Time
+	if now <= st.lastTime && st.records > 0 {
+		// A sample at or before the recorded horizon (e.g. the first
+		// refresh after a restart, whose monitor clock reads zero):
+		// nudge strictly forward — record time never repeats or goes
+		// back. One millisecond is the record clock's precision.
+		now = st.lastTime + time.Millisecond
+	}
+	var agg rollup
+	for i := range s.Rows {
+		row := &s.Rows[i]
+		agg.tasks++
+		agg.cpuPct += row.CPUPct
+		agg.instr += row.Events[hpm.EventInstructions]
+		agg.cycles += row.Events[hpm.EventCycles]
+		agg.misses += row.Events[hpm.EventCacheMisses]
+	}
+	err := st.writeRecord(st.tiers[0], now, &agg, func(e *encoder) {
+		for i := range s.Rows {
+			row := &s.Rows[i]
+			e.row(row.Info.ID.PID, row.Info.ID.TID, row.Info.User, row.Info.Comm,
+				row.CPUPct, row.IPC(), row.Values,
+				row.Events[hpm.EventInstructions],
+				row.Events[hpm.EventCycles],
+				row.Events[hpm.EventCacheMisses])
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if !st.opt.NoDownsample {
+		if err := st.fold(1, now, func(acc *accumulator) {
+			for i := range s.Rows {
+				row := &s.Rows[i]
+				acc.fold(row.Info.ID, row.Info.User, row.Info.Comm, row.CPUPct, row.IPC(),
+					row.Values,
+					row.Events[hpm.EventInstructions],
+					row.Events[hpm.EventCycles],
+					row.Events[hpm.EventCacheMisses])
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	st.lastTime = now
+	return st.enforceLocked(now)
+}
+
+// colsFor returns the column names to embed in the next record of t:
+// set on the first record of each segment, empty afterwards.
+func (st *Store) colsFor(t *tier) []string {
+	if t.colsWritten || len(st.cols) == 0 {
+		return nil
+	}
+	return st.cols
+}
+
+// writeRecord rotates the tier's active segment if due, encodes one
+// record (header, rows via emit, the machine roll-up) into the reused
+// buffer, and appends the framed result.
+func (st *Store) writeRecord(t *tier, now time.Duration, agg *rollup, emit func(*encoder)) error {
+	if t.active == nil || t.active.size >= st.opt.SegmentBytes ||
+		(t.active.n > 0 && now-t.active.first >= st.opt.SegmentAge) {
+		if err := st.rotateLocked(t); err != nil {
+			return err
+		}
+	}
+	st.enc.beginRecord(now, t.res, st.colsFor(t))
+	emit(&st.enc)
+	st.enc.endRecord(agg)
+	if err := t.active.append(st.enc.frame()); err != nil {
+		return err
+	}
+	t.colsWritten = t.colsWritten || len(st.cols) > 0
+	if t.active.n == 1 {
+		t.active.first = now
+	}
+	t.active.last = now
+	st.records++
+	return nil
+}
+
+// fold pushes one finer-tier record into tier ti's accumulator, flushing
+// completed buckets down the chain. emit folds each task row into the
+// accumulator it is handed.
+func (st *Store) fold(ti int, now time.Duration, emit func(*accumulator)) error {
+	if ti >= len(st.tiers) {
+		return nil
+	}
+	t := st.tiers[ti]
+	if flushed := t.acc.advance(now); flushed != nil {
+		if err := st.flushBucket(t, flushed); err != nil {
+			return err
+		}
+	}
+	emit(t.acc)
+	return nil
+}
+
+// flushBucket writes one completed downsample bucket as a record of
+// tier t and folds it into the next coarser tier.
+func (st *Store) flushBucket(t *tier, b *bucket) error {
+	if len(b.rows) == 0 {
+		return nil
+	}
+	end := b.end
+	var agg rollup
+	for _, r := range b.rows {
+		agg.tasks++
+		agg.cpuPct += r.cpuPct
+		agg.instr += r.instr
+		agg.cycles += r.cycles
+		agg.misses += r.misses
+	}
+	err := st.writeRecord(t, end, &agg, func(e *encoder) {
+		for _, r := range b.rows {
+			e.row(r.id.PID, r.id.TID, r.user, r.comm, r.cpuPct, r.ipc, r.values,
+				r.instr, r.cycles, r.misses)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return st.fold(t.idx+1, end, func(acc *accumulator) {
+		for _, r := range b.rows {
+			acc.fold(r.id, r.user, r.comm, r.cpuPct, r.ipc, r.values, r.instr, r.cycles, r.misses)
+		}
+	})
+}
+
+// rotateLocked seals the tier's active segment and starts the next one.
+func (st *Store) rotateLocked(t *tier) error {
+	if t.active != nil {
+		if err := t.active.seal(); err != nil {
+			return err
+		}
+		if t.active.n > 0 {
+			t.sealed = append(t.sealed, t.active)
+		} else {
+			_ = os.Remove(t.active.path)
+		}
+	}
+	seq := int64(1)
+	if t.active != nil {
+		seq = t.active.seq + 1
+	} else if n := len(t.sealed); n > 0 {
+		seq = t.sealed[n-1].seq + 1
+	}
+	sg, err := createSegment(st.dir, tierNames[t.idx], seq)
+	if err != nil {
+		return err
+	}
+	t.active = sg
+	t.colsWritten = false
+	return nil
+}
+
+// enforceLocked applies the retention policy: first the age horizon,
+// then the byte budget (oldest sealed segments, rawest tier first,
+// preferring the tier most over its budget share).
+func (st *Store) enforceLocked(now time.Duration) error {
+	if st.opt.Retention > 0 {
+		horizon := now - st.opt.Retention
+		for _, t := range st.tiers {
+			for len(t.sealed) > 0 && t.sealed[0].last < horizon {
+				if err := st.dropOldest(t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for st.usageLocked() > st.opt.Budget {
+		victim := st.budgetVictim()
+		if victim == nil {
+			// Only active segments remain; seal the largest so the next
+			// pass can drop it. If nothing is big enough to seal, the
+			// budget is smaller than one segment — stop rather than spin.
+			var largest *tier
+			for _, t := range st.tiers {
+				if t.active != nil && t.active.n > 1 &&
+					(largest == nil || t.active.size > largest.active.size) {
+					largest = t
+				}
+			}
+			if largest == nil {
+				return nil
+			}
+			if err := st.rotateLocked(largest); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := st.dropOldest(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// budgetVictim picks the tier to shed a segment from: the rawest tier
+// that is over its budget share and has sealed segments; failing that,
+// any tier with sealed segments, rawest first.
+func (st *Store) budgetVictim() *tier {
+	for _, t := range st.tiers {
+		if len(t.sealed) == 0 {
+			continue
+		}
+		var usage int64
+		for _, sg := range t.sealed {
+			usage += sg.size
+		}
+		if t.active != nil {
+			usage += t.active.size
+		}
+		if float64(usage) > budgetShare[t.idx]*float64(st.opt.Budget) {
+			return t
+		}
+	}
+	for _, t := range st.tiers {
+		if len(t.sealed) > 0 {
+			return t
+		}
+	}
+	return nil
+}
+
+func (st *Store) dropOldest(t *tier) error {
+	sg := t.sealed[0]
+	t.sealed = t.sealed[1:]
+	st.records -= sg.n
+	if err := os.Remove(sg.path); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: retention: %w", err)
+	}
+	return nil
+}
+
+// Close seals the store. Partial downsample buckets are discarded (the
+// raw tier holds their data); reopening resumes where the log ends.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var first error
+	for _, t := range st.tiers {
+		if t.active != nil {
+			if err := t.active.seal(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	st.tiers = nil
+	if st.lock != nil {
+		_ = st.lock.Close()
+		st.lock = nil
+	}
+	if first == nil {
+		first = st.lastErr
+	}
+	return first
+}
+
+// recover scans the directory, rebuilding each tier's segment chain and
+// clipping torn tails. The newest record time becomes the base offset
+// for subsequent appends.
+func (st *Store) recover() error {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	type named struct {
+		tier int
+		seq  int64
+		path string
+	}
+	var files []named
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), segmentExt) {
+			continue
+		}
+		base := strings.TrimSuffix(e.Name(), segmentExt)
+		dash := strings.LastIndexByte(base, '-')
+		if dash < 0 {
+			continue
+		}
+		ti := -1
+		for i, n := range tierNames {
+			if base[:dash] == n {
+				ti = i
+				break
+			}
+		}
+		seq, err := strconv.ParseInt(base[dash+1:], 10, 64)
+		if ti < 0 || err != nil || seq <= 0 {
+			continue
+		}
+		files = append(files, named{tier: ti, seq: seq, path: filepath.Join(st.dir, e.Name())})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].tier != files[j].tier {
+			return files[i].tier < files[j].tier
+		}
+		return files[i].seq < files[j].seq
+	})
+	for i, f := range files {
+		t := st.tiers[f.tier]
+		lastOfTier := i == len(files)-1 || files[i+1].tier != f.tier
+		sg, err := openSegment(f.path, f.seq, lastOfTier)
+		if err != nil {
+			return err
+		}
+		if sg.n == 0 && !lastOfTier {
+			_ = os.Remove(f.path)
+			continue
+		}
+		st.records += sg.n
+		if sg.last > st.lastTime {
+			st.lastTime = sg.last
+		}
+		if lastOfTier {
+			t.active = sg
+			// The recovered tail already carries its columns; don't
+			// rewrite them mid-segment.
+			t.colsWritten = sg.n > 0
+		} else {
+			_ = sg.seal()
+			t.sealed = append(t.sealed, sg)
+		}
+	}
+	st.base = st.lastTime
+	return nil
+}
+
+// crcTable is the IEEE table every frame checksum uses.
+var crcTable = crc32.IEEETable
+
+// ParseBytes parses a byte size with an optional binary suffix: plain
+// digits, or K/M/G (also KB/MB/GB, KiB/MiB/GiB), e.g. "64MB" — the
+// format of the XML budget= attribute and the -budget flag.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(t)
+	for _, suf := range []struct {
+		s string
+		m int64
+	}{
+		{"GIB", 1 << 30}, {"GB", 1 << 30}, {"G", 1 << 30},
+		{"MIB", 1 << 20}, {"MB", 1 << 20}, {"M", 1 << 20},
+		{"KIB", 1 << 10}, {"KB", 1 << 10}, {"K", 1 << 10},
+	} {
+		if strings.HasSuffix(upper, suf.s) {
+			mult = suf.m
+			t = t[:len(t)-len(suf.s)]
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("store: bad byte size %q (want e.g. 1048576, 64MB, 1G)", s)
+	}
+	if n > (1<<62)/mult {
+		return 0, fmt.Errorf("store: byte size %q overflows", s)
+	}
+	return n * mult, nil
+}

@@ -104,5 +104,11 @@ func (c Config) Validate() error {
 	if err := core.ValidateSortKey(screen, c.SortBy); err != nil {
 		return fmt.Errorf("tiptop: %w", err)
 	}
+	if c.StoreRetention < 0 {
+		return fmt.Errorf("tiptop: negative store retention %v", c.StoreRetention)
+	}
+	if c.StoreBudget < 0 {
+		return fmt.Errorf("tiptop: negative store budget %d", c.StoreBudget)
+	}
 	return nil
 }

@@ -1,0 +1,70 @@
+#!/bin/sh
+# Docs gate: fail CI when README.md or ARCHITECTURE.md reference flags
+# or endpoints that no longer exist in the source. Two checks run in the
+# docs -> source direction (stale documentation is the failure mode):
+#
+#  1. every /api/v1/* endpoint and /metrics mentioned in the docs must
+#     appear in cmd/ or internal/ Go sources;
+#  2. every `<command> -flag` pair in the docs, plus the flag manifest
+#     below (the flags the docs describe in prose or tables), must be
+#     defined by that command's flag set.
+#
+# Run as `make docs` (part of `make verify`).
+set -eu
+cd "$(dirname "$0")/.."
+fail=0
+
+docs="README.md ARCHITECTURE.md"
+
+# --- 1. endpoints -----------------------------------------------------
+for ep in $(grep -ohE '/api/v1/[a-z]+|/metrics' $docs | sort -u); do
+    if ! grep -rqF "\"GET $ep" cmd internal && ! grep -rqF "$ep" cmd/*/[a-z]*.go internal/remote internal/store; then
+        echo "docs gate: endpoint $ep is documented but not served by any source file"
+        fail=1
+    fi
+done
+
+# --- 2. flags ---------------------------------------------------------
+# flag_defined CMD FLAG -> 0 when cmd/CMD defines the flag.
+flag_defined() {
+    grep -qE "fs\.[A-Za-z0-9]+\(\"$2\"" "cmd/$1"/*.go
+}
+
+# 2a. `cmd -flag` adjacencies found in the docs. The leading character
+# class keeps path suffixes like /var/lib/tiptop from matching the
+# command name.
+for cmd in tiptop tiptopd tipbench; do
+    for flag in $(grep -ohE "(^|[^[:alnum:]/._-])$cmd +-[a-z][a-z-]*" $docs | grep -oE -- '-[a-z][a-z-]*$' | sed 's/^-//' | sort -u); do
+        if ! flag_defined "$cmd" "$flag"; then
+            echo "docs gate: docs show '$cmd -$flag' but cmd/$cmd defines no -$flag flag"
+            fail=1
+        fi
+    done
+done
+
+# 2b. The manifest: every flag the docs describe, one cmd:flag per word.
+manifest="
+tiptop:b tiptop:d tiptop:n tiptop:screen tiptop:sort tiptop:rows
+tiptop:u tiptop:j tiptop:o tiptop:record tiptop:connect tiptop:sim
+tiptop:scale tiptop:list tiptop:list-events tiptop:dump-config
+tiptop:config
+tiptopd:addr tiptopd:d tiptopd:n tiptopd:history tiptopd:window
+tiptopd:sim tiptopd:config tiptopd:join tiptopd:store
+tiptopd:retention tiptopd:budget
+tipbench:run tipbench:scale tipbench:out tipbench:list
+tipbench:bench-refresh tipbench:bench-daemon tipbench:bench-store
+"
+for entry in $manifest; do
+    cmd=${entry%%:*}
+    flag=${entry#*:}
+    if ! flag_defined "$cmd" "$flag"; then
+        echo "docs gate: manifest names $cmd -$flag but cmd/$cmd defines no -$flag flag"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs gate: FAILED (update README.md/ARCHITECTURE.md or the manifest in scripts/check-docs.sh)"
+    exit 1
+fi
+echo "docs gate: OK"

@@ -1,0 +1,135 @@
+package tiptop
+
+// The durable-history facade: OpenStore and the Recorder.Tee hook give
+// library users the same persistent, queryable store tiptopd -store
+// runs on, and NewQueryClient consumes a daemon's /api/v1/query
+// endpoint remotely. See internal/store for the format and retention
+// semantics.
+
+import (
+	"net/http"
+	"time"
+
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+	"tiptop/internal/store"
+)
+
+// StoreOptions tune a Store: segment rotation, the retention age
+// horizon and the on-disk byte budget. The zero value gives 1 MiB
+// segments, a 64 MiB budget and no age horizon.
+type StoreOptions = store.Options
+
+// StoreQuery selects a time range (and optionally one PID and a step)
+// of recorded history.
+type StoreQuery = store.QueryOptions
+
+// StoreResult is a range-query response: per-task series plus the
+// machine-wide roll-up, at the resolution the step selected.
+type StoreResult = store.Result
+
+// StoreSeries is one task's points inside a queried range.
+type StoreSeries = store.Series
+
+// StorePoint is one observation of a queried series.
+type StorePoint = store.Point
+
+// Store is a durable, segmented on-disk history store: every sample
+// teed into it is appended crash-safely, downsampled into 10-second
+// and 1-minute tiers, and retired by age and byte budget. One
+// goroutine may record while any number query.
+type Store struct {
+	s *store.Store
+}
+
+// OpenStore creates or recovers a store in dir. Recovery scans every
+// segment, clips a torn tail record (the signature of a crash
+// mid-append), and resumes the store's monotonic clock past the newest
+// recovered record so history spans restarts without time going
+// backwards.
+func OpenStore(dir string, opt StoreOptions) (*Store, error) {
+	s, err := store.Open(dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{s: s}, nil
+}
+
+// Tee attaches the store to the recorder: every sample the recorder
+// observes (from a local Monitor or a remote stream) is also appended
+// to the store, on the sampling goroutine but outside the recorder's
+// lock. Append errors are latched — check Store.Err. Not safe to call
+// concurrently with sampling.
+func (r *Recorder) Tee(st *Store) {
+	if st == nil {
+		r.h.Tee(nil)
+		return
+	}
+	r.h.Tee(st.s)
+}
+
+// Dir returns the store's directory.
+func (st *Store) Dir() string { return st.s.Dir() }
+
+// Err returns the first append error since opening, nil while healthy.
+func (st *Store) Err() error { return st.s.Err() }
+
+// Records counts the records on disk across all resolution tiers.
+func (st *Store) Records() int64 { return st.s.Records() }
+
+// DiskUsage returns the store's current size on disk, in bytes.
+func (st *Store) DiskUsage() int64 { return st.s.DiskUsage() }
+
+// LastTime returns the newest record's time on the store's monotonic
+// clock.
+func (st *Store) LastTime() time.Duration { return st.s.LastTime() }
+
+// SetColumns labels subsequent records with the screen's column names.
+// Recorder.Tee and RecordSample-based sinks call it for you.
+func (st *Store) SetColumns(names []string) { st.s.SetColumns(names) }
+
+// Query scans the store for a time range, serving from the downsample
+// tier the query's step selects.
+func (st *Store) Query(q StoreQuery) (*StoreResult, error) { return st.s.Query(q) }
+
+// Handler serves the store's range queries over HTTP — the same
+// /api/v1/query contract tiptopd mounts (JSON, or OpenMetrics text
+// with ?format=openmetrics).
+func (st *Store) Handler() http.Handler { return store.Handler(st.s) }
+
+// RecordSample appends one public sample — the path `tiptop -record`
+// uses when its target is a store directory rather than a CSV/JSONL
+// file.
+func (st *Store) RecordSample(s *Sample) error {
+	cs := &core.Sample{Time: s.Time, Dropped: s.Dropped}
+	cs.Rows = make([]core.Row, 0, len(s.Rows))
+	for i := range s.Rows {
+		r := &s.Rows[i]
+		cs.Rows = append(cs.Rows, core.Row{
+			Info: core.TaskInfo{
+				ID:        hpm.TaskID{PID: r.PID, TID: r.TID},
+				User:      r.User,
+				Comm:      r.Command,
+				State:     r.State,
+				StartTime: r.Start,
+			},
+			CPUPct: r.CPUPct,
+			Values: r.Columns,
+			Events: r.Events,
+			Valid:  r.Monitored,
+		})
+	}
+	return st.s.AppendSample(cs)
+}
+
+// Close seals the store. Partial downsample buckets are discarded (the
+// raw tier holds their data); reopening resumes where the log ends.
+func (st *Store) Close() error { return st.s.Close() }
+
+// QueryClient queries a remote tiptopd's /api/v1/query endpoint — the
+// durable-history counterpart of NewRemoteMonitor's live stream.
+type QueryClient = store.Client
+
+// NewQueryClient builds a query client for a daemon at addr
+// ("host:port" or a full URL, as served by tiptopd -addr).
+func NewQueryClient(addr string) (*QueryClient, error) { return store.NewClient(addr) }

@@ -77,6 +77,25 @@ type Config struct {
 	// from <screen> elements of an XML configuration file). A custom
 	// screen takes precedence over a built-in of the same name.
 	Screens []ScreenDef
+	// StoreDir, when set, names the directory of the durable on-disk
+	// history store (OpenStore) samples are teed into: tiptopd -store
+	// and tiptop -record with a store target plumb it here, as does the
+	// XML <options store=> attribute.
+	StoreDir string
+	// StoreRetention is the store's age horizon: records older than
+	// this (on the store's monotonic clock) are retired. 0 keeps
+	// everything the byte budget allows.
+	StoreRetention time.Duration
+	// StoreBudget bounds the store's size on disk in bytes (0 = the
+	// 64 MiB default). Oldest segments are retired first, raw tier
+	// before the downsampled ones.
+	StoreBudget int64
+}
+
+// StoreOptions translates the Config's store fields into options for
+// OpenStore — the one place the commands build them.
+func (cfg Config) StoreOptions() StoreOptions {
+	return StoreOptions{Retention: cfg.StoreRetention, Budget: cfg.StoreBudget}
 }
 
 // EventDef defines one user event: Name is the identifier metric
