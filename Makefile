@@ -33,11 +33,13 @@ race:
 docs:
 	./scripts/check-docs.sh
 
-# A short coverage-guided pass over the metric-expression parser; CI
-# runs it so a grammar change that panics or breaks the canonical
-# rendering fixpoint is caught before it lands.
+# Short coverage-guided passes over the metric-expression parser and
+# the query-layer compiler; CI runs them so a grammar change that
+# panics, breaks the canonical rendering fixpoint, or lets a
+# non-finite value through the totality rule is caught before it lands.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime 15s ./internal/metrics/
+	$(GO) test -run '^$$' -fuzz '^FuzzCompileQuery$$' -fuzztime 15s ./internal/query/
 
 # Serial vs sharded sampling on the many-task stress scenario, plus the
 # machine-readable trajectory files:
@@ -48,8 +50,12 @@ fuzz:
 #   results/BENCH_store.json    durable store: steady-state append ns/op +
 #                               allocs/op, recovery of a 1M-record store,
 #                               1m-tier range query
+#   results/BENCH_query.json    expression query engine: IPC over a
+#                               1M-record store from the 10s and 1m tiers,
+#                               topk-by-user ranking, 3-agent fleet merge
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkUpdate[0-9]+' -benchmem ./internal/core/
 	$(GO) run ./cmd/tipbench -bench-refresh -out results
 	$(GO) run ./cmd/tipbench -bench-daemon -out results
 	$(GO) run ./cmd/tipbench -bench-store -out results
+	$(GO) run ./cmd/tipbench -bench-query -out results

@@ -20,6 +20,7 @@ import (
 	"tiptop"
 	"tiptop/internal/core"
 	"tiptop/internal/history"
+	"tiptop/internal/query"
 	"tiptop/internal/remote"
 	"tiptop/internal/store"
 )
@@ -31,8 +32,12 @@ type fleetDaemon struct {
 	fleet   *remote.Fleet
 	metrics *remote.EncodeCache
 	// stores are the per-agent durable stores behind /api/v1/query
-	// (selected by ?agent=label); empty without -store.
+	// (selected by ?agent=label, merged fleet-wide by ?agent=*); empty
+	// without -store.
 	stores map[string]*store.Store
+	// named maps stored expression names (config <expr> elements) to
+	// their sources for /api/v1/query?expr=<name>.
+	named map[string]string
 }
 
 func newFleetDaemon(f *remote.Fleet, stores map[string]*store.Store) *fleetDaemon {
@@ -46,7 +51,7 @@ func (fd *fleetDaemon) handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/snapshot", fd.snapshot)
 	mux.HandleFunc("GET /api/v1/agents", fd.agents)
 	mux.HandleFunc("GET /api/v1/stream", fd.fleet.Hub().ServeSSE)
-	mux.HandleFunc("GET /api/v1/query", fd.query)
+	mux.Handle("GET /api/v1/query", query.NamedExprs(fd.named, query.FleetHandler(fd.stores, fd.fleet.Labels)))
 	return mux
 }
 
@@ -59,30 +64,9 @@ func (fd *fleetDaemon) index(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "tiptopd aggregating %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/agents\n/api/v1/stream\n",
 		strings.Join(fd.fleet.Labels(), ", "))
 	if len(fd.stores) > 0 {
+		fmt.Fprintf(w, "/api/v1/query?agent=*&expr=&from=&to=&step=\n")
 		fmt.Fprintf(w, "/api/v1/query?agent=&pid=&from=&to=&step=\n")
 	}
-}
-
-// query routes a range query to one agent's durable store. With a
-// single agent the selector may be omitted.
-func (fd *fleetDaemon) query(w http.ResponseWriter, r *http.Request) {
-	if len(fd.stores) == 0 {
-		writeJSONError(w, http.StatusNotFound, "no durable store configured (start the aggregator with -store DIR)")
-		return
-	}
-	agent := r.URL.Query().Get("agent")
-	if agent == "" && len(fd.stores) == 1 {
-		for label := range fd.stores {
-			agent = label
-		}
-	}
-	st, ok := fd.stores[agent]
-	if !ok {
-		writeJSONError(w, http.StatusBadRequest,
-			fmt.Sprintf("unknown agent %q (want agent=%s)", agent, strings.Join(fd.fleet.Labels(), "|")))
-		return
-	}
-	store.Handler(st).ServeHTTP(w, r)
 }
 
 // agentStoreDir maps an agent label to its store directory (the colon
@@ -164,6 +148,7 @@ func runFleet(join, addr string, n, historyCap int, window time.Duration, cfg ti
 		fleet.Wait()
 	}()
 	fd := newFleetDaemon(fleet, stores)
+	fd.named = cfg.NamedExprs()
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -190,6 +190,7 @@ func run(args []string, stdout io.Writer) error {
 			cfg.StoreDir, hist.Records(), hist.DiskUsage(), hist.LastTime().Truncate(time.Second))
 	}
 	d := newDaemon(mon, rec, pace, hist)
+	d.named = cfg.NamedExprs()
 	defer d.srv.Close()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -275,6 +276,9 @@ type daemon struct {
 	// hist is the durable store behind /api/v1/query, nil without
 	// -store.
 	hist *tiptop.Store
+	// named maps stored expression names (config <expr> elements) to
+	// their sources for /api/v1/query?expr=<name>.
+	named map[string]string
 }
 
 // newDaemon wires a monitor and recorder to a wire-protocol server;
@@ -344,13 +348,10 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/snapshot", d.snapshot)
 	mux.HandleFunc("GET /api/v1/history", d.history)
 	mux.HandleFunc("GET /api/v1/events", d.events)
-	if d.hist != nil {
-		mux.Handle("GET /api/v1/query", d.hist.Handler())
-	} else {
-		mux.HandleFunc("GET /api/v1/query", func(w http.ResponseWriter, _ *http.Request) {
-			writeJSONError(w, http.StatusNotFound, "no durable store configured (start tiptopd with -store DIR)")
-		})
-	}
+	// With a store: raw and expression queries over durable history.
+	// Without one, expression queries still run against the recorder's
+	// live rings; only raw range queries need the store.
+	mux.Handle("GET /api/v1/query", tiptop.NamedExprHandler(d.named, tiptop.QueryHandler(d.hist, d.rec)))
 	// /metrics, /api/v1/sample and /api/v1/stream come from the wire
 	// server (cached, ETag'd, fan-out).
 	d.srv.Register(mux)
@@ -364,6 +365,7 @@ func (d *daemon) index(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "tiptopd monitoring %s\n\n/metrics\n/api/v1/snapshot\n/api/v1/history?pid=N\n/api/v1/events\n/api/v1/sample\n/api/v1/stream\n", d.mon.Machine())
+	fmt.Fprintf(w, "/api/v1/query?expr=&from=&to=&step=\n")
 	if d.hist != nil {
 		fmt.Fprintf(w, "/api/v1/query?pid=&from=&to=&step=\n")
 	}

@@ -38,6 +38,7 @@ import (
 	"tiptop/internal/core"
 	"tiptop/internal/hpm"
 	"tiptop/internal/metrics"
+	"tiptop/internal/query"
 	"tiptop/internal/store"
 )
 
@@ -46,6 +47,7 @@ type File struct {
 	XMLName xml.Name    `xml:"tiptop"`
 	Options OptionsXML  `xml:"options"`
 	Events  []EventXML  `xml:"event"`
+	Exprs   []ExprXML   `xml:"expr"`
 	Screens []ScreenXML `xml:"screen"`
 }
 
@@ -165,6 +167,23 @@ func (e *EventXML) EventSpec() string {
 	return e.Spec
 }
 
+// ExprXML is one named stored expression:
+//
+//	<expr name="fleet_ipc" expr="delta(INSTRUCTIONS)/delta(CYCLES)"
+//	      desc="cluster-wide instructions per cycle"/>
+//
+// The name is usable wherever an expression is: as a screen column's
+// expr= attribute (it expands to the stored source), and as the expr=
+// parameter of /api/v1/query on daemons started with this config.
+// Stored expressions may use the full query grammar — topk(), `by`
+// grouping, *_over_time() — which screen columns reject but range
+// queries serve.
+type ExprXML struct {
+	Name string `xml:"name,attr"`
+	Expr string `xml:"expr,attr"`
+	Desc string `xml:"desc,attr,omitempty"`
+}
+
 // ScreenXML is one custom screen.
 type ScreenXML struct {
 	Name    string      `xml:"name,attr"`
@@ -236,6 +255,10 @@ func (f *File) Validate() error {
 	if err != nil {
 		return err
 	}
+	if err := f.validateExprs(registry); err != nil {
+		return err
+	}
+	named := f.NamedExprs()
 	seen := map[string]bool{}
 	for _, s := range f.Screens {
 		if s.Name == "" {
@@ -258,7 +281,7 @@ func (f *File) Validate() error {
 				return fmt.Errorf("config: screen %q: duplicate column %q", s.Name, c.Name)
 			}
 			cols[c.Name] = true
-			expr, err := metrics.Compile(c.Expr)
+			expr, err := metrics.Compile(expandExpr(c.Expr, named))
 			if err != nil {
 				return fmt.Errorf("config: screen %q column %q: %w", s.Name, c.Name, err)
 			}
@@ -273,6 +296,101 @@ func (f *File) Validate() error {
 		}
 	}
 	return nil
+}
+
+// validateExprs checks the document's named stored expressions: each
+// needs a distinct identifier name that shadows nothing, and a source
+// that compiles under the query grammar (topk, `by` grouping and the
+// *_over_time folds allowed) against the vocabulary a daemon running
+// this config will serve — registry events plus every screen column
+// (built-in and custom).
+func (f *File) validateExprs(registry *hpm.Registry) error {
+	if len(f.Exprs) == 0 {
+		return nil
+	}
+	known := query.KnownNames(nil)
+	known = append(known, registry.Names()...)
+	colSeen := map[string]bool{}
+	addCols := func(s *metrics.Screen) {
+		for _, c := range s.Columns {
+			if !colSeen[c.Name] {
+				colSeen[c.Name] = true
+				known = append(known, c.Name)
+			}
+		}
+	}
+	for _, s := range metrics.BuiltinScreens() {
+		addCols(s)
+	}
+	for _, sx := range f.Screens {
+		for _, cx := range sx.Columns {
+			if !colSeen[cx.Name] {
+				colSeen[cx.Name] = true
+				known = append(known, cx.Name)
+			}
+		}
+	}
+	names := map[string]bool{}
+	for _, e := range f.Exprs {
+		if e.Name == "" {
+			return fmt.Errorf("config: expr without name")
+		}
+		if !hpm.ValidEventName(e.Name) && !validLowerName(e.Name) {
+			return fmt.Errorf("config: expr name %q is not an identifier (want e.g. fleet_ipc)", e.Name)
+		}
+		if metrics.IsContextVar(e.Name) {
+			return fmt.Errorf("config: expr %q shadows a context variable", e.Name)
+		}
+		if _, taken := registry.Lookup(e.Name); taken {
+			return fmt.Errorf("config: expr %q shadows event %q", e.Name, e.Name)
+		}
+		if names[e.Name] {
+			return fmt.Errorf("config: duplicate expr %q", e.Name)
+		}
+		names[e.Name] = true
+		if _, err := query.Compile(e.Expr, known); err != nil {
+			return fmt.Errorf("config: expr %q: %w", e.Name, err)
+		}
+	}
+	return nil
+}
+
+// validLowerName accepts lower-case identifier names for stored
+// expressions (event names are conventionally upper-case, column and
+// expression names lower-case).
+func validLowerName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || i > 0 && c >= '0' && c <= '9' {
+			continue
+		}
+		return false
+	}
+	return len(s) > 0
+}
+
+// NamedExprs returns the document's stored expressions as a name →
+// source map — what daemons hand the query endpoint and screen
+// building uses for expansion.
+func (f *File) NamedExprs() map[string]string {
+	if len(f.Exprs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(f.Exprs))
+	for _, e := range f.Exprs {
+		m[e.Name] = e.Expr
+	}
+	return m
+}
+
+// expandExpr substitutes a stored expression's source when src is
+// exactly a stored expression's name (whole-attribute reference; no
+// splicing inside larger expressions).
+func expandExpr(src string, named map[string]string) string {
+	if e, ok := named[strings.TrimSpace(src)]; ok {
+		return e
+	}
+	return src
 }
 
 // BuildRegistry resolves the document's <event> definitions on top of
@@ -329,13 +447,15 @@ func RegisterUserEvent(registry *hpm.Registry, name, spec, unit, desc string) er
 	return registry.Register(d)
 }
 
-// BuildScreens converts the parsed document into engine screens.
+// BuildScreens converts the parsed document into engine screens,
+// expanding column references to named stored expressions.
 func (f *File) BuildScreens() (map[string]*metrics.Screen, error) {
+	named := f.NamedExprs()
 	out := map[string]*metrics.Screen{}
 	for _, sx := range f.Screens {
 		s := &metrics.Screen{Name: sx.Name}
 		for _, cx := range sx.Columns {
-			expr, err := metrics.Compile(cx.Expr)
+			expr, err := metrics.Compile(expandExpr(cx.Expr, named))
 			if err != nil {
 				return nil, fmt.Errorf("config: %w", err)
 			}

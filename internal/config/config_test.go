@@ -409,3 +409,71 @@ func TestStoreOptions(t *testing.T) {
 		}
 	}
 }
+
+// TestNamedExprs covers <expr> elements: validation of names and
+// sources, expansion into screen columns, and the round trip.
+func TestNamedExprs(t *testing.T) {
+	doc := `<tiptop>
+  <expr name="fleet_ipc" expr="delta(INSTRUCTIONS)/delta(CYCLES)" desc="cluster IPC"/>
+  <expr name="busy_users" expr="topk(3, rate(CYCLES)) by user"/>
+  <screen name="s" desc="uses a stored expr">
+    <column name="ipc" header="IPC" expr="fleet_ipc"/>
+  </screen>
+</tiptop>`
+	f, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := f.NamedExprs()
+	if named["fleet_ipc"] != "delta(INSTRUCTIONS)/delta(CYCLES)" {
+		t.Fatalf("NamedExprs = %v", named)
+	}
+	screens, err := f.BuildScreens()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := screens["s"].Columns[0].Expr.Source(); got != "delta(INSTRUCTIONS)/delta(CYCLES)" {
+		t.Fatalf("column expr not expanded: %q", got)
+	}
+
+	// Round trip preserves the expressions.
+	var buf strings.Builder
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2.Exprs) != 2 || f2.Exprs[1].Expr != "topk(3, rate(CYCLES)) by user" {
+		t.Fatalf("round trip lost exprs: %+v", f2.Exprs)
+	}
+
+	for _, bad := range []string{
+		// A series-only stored expr cannot be a screen column.
+		`<tiptop><expr name="t" expr="topk(2, CYCLES)"/><screen name="s"><column name="c" header="C" expr="t"/></screen></tiptop>`,
+		// Unknown identifier inside a stored expr, caught at load time.
+		`<tiptop><expr name="x" expr="delta(CYCLE)"/></tiptop>`,
+		// Duplicates and shadowing.
+		`<tiptop><expr name="x" expr="CYCLES"/><expr name="x" expr="CYCLES"/></tiptop>`,
+		`<tiptop><expr name="CYCLES" expr="CYCLES"/></tiptop>`,
+		`<tiptop><expr name="DELTA_NS" expr="CYCLES"/></tiptop>`,
+		`<tiptop><expr name="" expr="CYCLES"/></tiptop>`,
+		`<tiptop><expr name="no spaces" expr="CYCLES"/></tiptop>`,
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %s", bad)
+		}
+	}
+
+	// Stored expressions may reference built-in screen columns (the
+	// query backends serve them) and user events.
+	ok := `<tiptop>
+  <event name="MY_ASSISTS" raw="0x1EF7"/>
+  <expr name="assist_rate" expr="rate(MY_ASSISTS)"/>
+  <expr name="avg_ipc" expr="avg_over_time(ipc)"/>
+</tiptop>`
+	if _, err := Parse(strings.NewReader(ok)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -269,6 +269,13 @@ func ResolveScreenEvents(registry *hpm.Registry, screen *metrics.Screen) ([]hpm.
 		if col.Expr == nil {
 			continue
 		}
+		// Screen columns are instant, per-task expressions; constructs
+		// that only make sense across a series of buckets (topk
+		// ranking, `by` grouping) belong to range queries.
+		if why := col.Expr.SeriesOnly(); why != "" {
+			return nil, fmt.Errorf("screen %q column %q: %s needs a range query (/api/v1/query?expr=), not a screen column",
+				screen.Name, col.Name, why)
+		}
 		for _, id := range col.Identifiers() {
 			d, err := registry.ParseEvent(id)
 			if err != nil {

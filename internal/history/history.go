@@ -55,12 +55,18 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Point is one recorded observation of a task.
+// Point is one recorded observation of a task. Instr, Cycles and
+// Misses are the raw counter deltas of the refresh interval — what the
+// expression query engine evaluates INSTRUCTIONS/CYCLES/CACHE_MISSES
+// against when querying live history instead of the durable store.
 type Point struct {
 	TimeSeconds float64   `json:"time_s"`
 	CPUPct      float64   `json:"cpu_pct"`
 	IPC         float64   `json:"ipc"`
 	Values      []float64 `json:"values"` // one per screen column
+	Instr       uint64    `json:"instr,omitempty"`
+	Cycles      uint64    `json:"cycles,omitempty"`
+	Misses      uint64    `json:"misses,omitempty"`
 }
 
 // Series is the recorded history of one task.
@@ -220,10 +226,13 @@ type ring struct {
 	cpu       []float64
 	ipc       []float64
 	vals      []float64 // len = cap(times) * ncols, row-major
+	instr     []uint64  // per-interval counter deltas, for expression queries
+	cycles    []uint64
+	misses    []uint64
 	head, n   int
 }
 
-func (rg *ring) push(now time.Duration, cpuPct, ipc float64, values []float64, ncols int) {
+func (rg *ring) push(now time.Duration, cpuPct, ipc float64, values []float64, ncols int, instr, cycles, misses uint64) {
 	if ncols != rg.ncols {
 		// The screen's column count was learned after this ring was
 		// created (a first refresh with no rows): rebuild the value
@@ -242,6 +251,9 @@ func (rg *ring) push(now time.Duration, cpuPct, ipc float64, values []float64, n
 	rg.times[idx] = now
 	rg.cpu[idx] = cpuPct
 	rg.ipc[idx] = ipc
+	rg.instr[idx] = instr
+	rg.cycles[idx] = cycles
+	rg.misses[idx] = misses
 	copy(rg.vals[idx*ncols:(idx+1)*ncols], values)
 }
 
@@ -355,11 +367,10 @@ func (r *Recorder) observe(s *core.Sample) {
 		rg.lastEpoch = r.epoch
 		rg.state = row.Info.State
 		ipc := row.IPC()
-		rg.push(s.Time, row.CPUPct, ipc, row.Values, r.ncols)
-
 		instr := row.Events[hpm.EventInstructions]
 		cycles := row.Events[hpm.EventCycles]
 		misses := row.Events[hpm.EventCacheMisses]
+		rg.push(s.Time, row.CPUPct, ipc, row.Values, r.ncols, instr, cycles, misses)
 		r.fold(&r.machine, row, instr, cycles, misses)
 		ua := r.users[row.Info.User]
 		if ua == nil {
@@ -407,15 +418,18 @@ func (r *Recorder) admit(info core.TaskInfo) *ring {
 		ncols = 0
 	}
 	rg := &ring{
-		id:    info.ID,
-		user:  info.User,
-		comm:  info.Comm,
-		start: info.StartTime,
-		ncols: ncols,
-		times: make([]time.Duration, c),
-		cpu:   make([]float64, c),
-		ipc:   make([]float64, c),
-		vals:  make([]float64, c*ncols),
+		id:     info.ID,
+		user:   info.User,
+		comm:   info.Comm,
+		start:  info.StartTime,
+		ncols:  ncols,
+		times:  make([]time.Duration, c),
+		cpu:    make([]float64, c),
+		ipc:    make([]float64, c),
+		vals:   make([]float64, c*ncols),
+		instr:  make([]uint64, c),
+		cycles: make([]uint64, c),
+		misses: make([]uint64, c),
 	}
 	r.series[info.ID] = rg
 	return rg
@@ -542,9 +556,40 @@ func (r *Recorder) copySeries(rg *ring) Series {
 			CPUPct:      rg.cpu[idx],
 			IPC:         rg.ipc[idx],
 			Values:      append([]float64(nil), rg.vals[idx*ncols:(idx+1)*ncols]...),
+			Instr:       rg.instr[idx],
+			Cycles:      rg.cycles[idx],
+			Misses:      rg.misses[idx],
 		})
 	}
 	return s
+}
+
+// AllSeries copies out every recorded series, sorted by PID then TID —
+// the snapshot the expression query engine evaluates against when its
+// backend is live history rather than the durable store.
+func (r *Recorder) AllSeries() []Series {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Series, 0, len(r.series))
+	for _, rg := range r.series {
+		out = append(out, r.copySeries(rg))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PID != out[j].PID {
+			return out[i].PID < out[j].PID
+		}
+		return out[i].TID < out[j].TID
+	})
+	return out
+}
+
+// Columns returns the screen column names in force, as set by
+// SetColumns — the names a query expression can reference in addition
+// to the raw counters.
+func (r *Recorder) Columns() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.columns...)
 }
 
 // PIDs lists the recorded process IDs, sorted.

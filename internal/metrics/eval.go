@@ -34,12 +34,31 @@ func (e *EvalError) Error() string {
 	return fmt.Sprintf("metrics: %s evaluating %q", e.Msg, e.Expr)
 }
 
-// Eval computes the expression in env. Division by zero yields 0 rather
-// than an error or Inf: a task that retired no instructions during an
-// interval simply shows an empty/zero ratio in the table, exactly as a
-// freshly attached counter pair would in the original tool.
+// Eval computes the expression in env. Evaluation is total: division
+// and modulo by zero yield 0 rather than an error or Inf (a task that
+// retired no instructions during an interval simply shows an
+// empty/zero ratio in the table, exactly as a freshly attached counter
+// pair would in the original tool), and any non-finite result that
+// still arises (overflow to ±Inf, NaN from Inf-Inf) is clamped to 0 at
+// the evaluation boundary. The same rule holds on every path — live
+// screen cells, store-backed range queries and fleet merges — so an
+// expression renders identically wherever it runs and OpenMetrics
+// output never carries NaN.
 func (e *Expr) Eval(env Env) (float64, error) {
-	return e.root.eval(env)
+	v, err := e.root.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return finite(v), nil
+}
+
+// finite implements the total-evaluation rule: non-finite values
+// become 0 at the evaluation boundary.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 func (n *numberNode) eval(Env) (float64, error) { return n.val, nil }
@@ -103,14 +122,26 @@ func (n *binaryNode) eval(env Env) (float64, error) {
 }
 
 func (n *condNode) eval(env Env) (float64, error) {
+	// Both branches evaluate eagerly: evaluation is total and
+	// side-effect-free, so the only observable difference is that an
+	// unbound identifier errors even when its branch is not taken —
+	// `0 ? A : 0` must not silently mask a missing name.
 	c, err := n.cond.eval(env)
 	if err != nil {
 		return 0, err
 	}
-	if c != 0 {
-		return n.then.eval(env)
+	tv, err := n.then.eval(env)
+	if err != nil {
+		return 0, err
 	}
-	return n.els.eval(env)
+	ev, err := n.els.eval(env)
+	if err != nil {
+		return 0, err
+	}
+	if c != 0 {
+		return tv, nil
+	}
+	return ev, nil
 }
 
 func (n *callNode) eval(env Env) (float64, error) {
@@ -122,6 +153,9 @@ func (n *callNode) eval(env Env) (float64, error) {
 		}
 		args[i] = v
 	}
+	if n.fn.envImpl != nil {
+		return n.fn.envImpl(env, args), nil
+	}
 	return n.fn.impl(args), nil
 }
 
@@ -132,53 +166,79 @@ func boolVal(b bool) float64 {
 	return 0
 }
 
-// builtin is a pure function callable from expressions.
+// builtin is a function callable from expressions. Most are pure
+// (impl); a few read context variables from the environment (envImpl,
+// used instead of impl when set) or carry series-level meaning the
+// bucket evaluator intercepts (the *_over_time family, topk).
 type builtin struct {
-	arity int
-	impl  func(args []float64) float64
-	doc   string
+	arity   int
+	impl    func(args []float64) float64
+	envImpl func(env Env, args []float64) float64
+	doc     string
+}
+
+// overTimeFolds maps the *_over_time functions to their point-fold.
+// Over a bucket the argument is evaluated at every point and folded;
+// in an instant context (a live screen cell, where the bucket is the
+// single refresh interval) the fold of one point is the point itself,
+// so the instant impl is the identity.
+var overTimeFolds = map[string]func(acc, v float64, n int) float64{
+	"avg_over_time": func(acc, v float64, n int) float64 { return acc + v },
+	"sum_over_time": func(acc, v float64, n int) float64 { return acc + v },
+	"min_over_time": func(acc, v float64, n int) float64 {
+		if n == 0 || v < acc {
+			return v
+		}
+		return acc
+	},
+	"max_over_time": func(acc, v float64, n int) float64 {
+		if n == 0 || v > acc {
+			return v
+		}
+		return acc
+	},
 }
 
 // builtins is the function table. All functions are total: they return 0
 // instead of NaN/Inf on degenerate inputs, keeping table cells printable.
 var builtins = map[string]*builtin{
-	"ratio": {2, func(a []float64) float64 {
+	"ratio": {arity: 2, impl: func(a []float64) float64 {
 		if a[1] == 0 {
 			return 0
 		}
 		return a[0] / a[1]
-	}, "ratio(a,b) = a/b, 0 when b==0"},
-	"per100": {2, func(a []float64) float64 {
+	}, doc: "ratio(a,b) = a/b, 0 when b==0"},
+	"per100": {arity: 2, impl: func(a []float64) float64 {
 		if a[1] == 0 {
 			return 0
 		}
 		return 100 * a[0] / a[1]
-	}, "per100(a,b) = occurrences of a per hundred b (e.g. misses per 100 instructions)"},
-	"per1000": {2, func(a []float64) float64 {
+	}, doc: "per100(a,b) = occurrences of a per hundred b (e.g. misses per 100 instructions)"},
+	"per1000": {arity: 2, impl: func(a []float64) float64 {
 		if a[1] == 0 {
 			return 0
 		}
 		return 1000 * a[0] / a[1]
-	}, "per1000(a,b) = occurrences of a per thousand b"},
-	"min": {2, func(a []float64) float64 { return math.Min(a[0], a[1]) },
-		"min(a,b)"},
-	"max": {2, func(a []float64) float64 { return math.Max(a[0], a[1]) },
-		"max(a,b)"},
-	"abs": {1, func(a []float64) float64 { return math.Abs(a[0]) },
-		"abs(a)"},
-	"sqrt": {1, func(a []float64) float64 {
+	}, doc: "per1000(a,b) = occurrences of a per thousand b"},
+	"min": {arity: 2, impl: func(a []float64) float64 { return math.Min(a[0], a[1]) },
+		doc: "min(a,b)"},
+	"max": {arity: 2, impl: func(a []float64) float64 { return math.Max(a[0], a[1]) },
+		doc: "max(a,b)"},
+	"abs": {arity: 1, impl: func(a []float64) float64 { return math.Abs(a[0]) },
+		doc: "abs(a)"},
+	"sqrt": {arity: 1, impl: func(a []float64) float64 {
 		if a[0] < 0 {
 			return 0
 		}
 		return math.Sqrt(a[0])
-	}, "sqrt(a), 0 for negative input"},
-	"log2": {1, func(a []float64) float64 {
+	}, doc: "sqrt(a), 0 for negative input"},
+	"log2": {arity: 1, impl: func(a []float64) float64 {
 		if a[0] <= 0 {
 			return 0
 		}
 		return math.Log2(a[0])
-	}, "log2(a), 0 for non-positive input"},
-	"clamp": {3, func(a []float64) float64 {
+	}, doc: "log2(a), 0 for non-positive input"},
+	"clamp": {arity: 3, impl: func(a []float64) float64 {
 		v := a[0]
 		if v < a[1] {
 			v = a[1]
@@ -187,11 +247,34 @@ var builtins = map[string]*builtin{
 			v = a[2]
 		}
 		return v
-	}, "clamp(x,lo,hi)"},
-	"mega": {1, func(a []float64) float64 { return a[0] / 1e6 },
-		"mega(a) = a/1e6 (counts in millions, as the Mcycle/Minst columns)"},
-	"giga": {1, func(a []float64) float64 { return a[0] / 1e9 },
-		"giga(a) = a/1e9"},
+	}, doc: "clamp(x,lo,hi)"},
+	"mega": {arity: 1, impl: func(a []float64) float64 { return a[0] / 1e6 },
+		doc: "mega(a) = a/1e6 (counts in millions, as the Mcycle/Minst columns)"},
+	"giga": {arity: 1, impl: func(a []float64) float64 { return a[0] / 1e9 },
+		doc: "giga(a) = a/1e9"},
+
+	// Series-oriented functions shared with the query engine. Their
+	// instant forms are chosen so a live screen cell and a one-point
+	// query bucket agree exactly.
+	"delta": {arity: 1, impl: func(a []float64) float64 { return a[0] },
+		doc: "delta(e) = change of counter e over the interval (identifiers already are interval deltas, so this is the identity — kept for .tiptoprc compatibility)"},
+	"rate": {arity: 1, envImpl: func(env Env, a []float64) float64 {
+		dt, ok := env.Lookup(VarDeltaNS)
+		if !ok || dt <= 0 {
+			return 0
+		}
+		return a[0] * 1e9 / dt
+	}, doc: "rate(e) = delta(e) per second of wall clock (delta * 1e9 / DELTA_NS), 0 when the interval is unknown"},
+	"avg_over_time": {arity: 1, impl: func(a []float64) float64 { return a[0] },
+		doc: "avg_over_time(e) = mean of e over the points inside the query bucket"},
+	"min_over_time": {arity: 1, impl: func(a []float64) float64 { return a[0] },
+		doc: "min_over_time(e) = minimum of e over the points inside the query bucket"},
+	"max_over_time": {arity: 1, impl: func(a []float64) float64 { return a[0] },
+		doc: "max_over_time(e) = maximum of e over the points inside the query bucket"},
+	"sum_over_time": {arity: 1, impl: func(a []float64) float64 { return a[0] },
+		doc: "sum_over_time(e) = sum of e over the points inside the query bucket"},
+	"topk": {arity: 2, impl: func(a []float64) float64 { return a[1] },
+		doc: "topk(k, e) = the k series with the highest mean e (query engine only; must be the outermost construct)"},
 }
 
 // Builtins returns the names and one-line docs of all expression

@@ -104,6 +104,16 @@ func FuzzParseExpr(f *testing.F) {
 		"bogus(",
 		")(",
 		"1..5",
+		"rate(INSTRUCTIONS)",
+		"delta(INSTRUCTIONS) / delta(CYCLES)",
+		"topk(5, rate(CYCLES))",
+		"avg_over_time(ratio(INSTRUCTIONS, CYCLES))",
+		"max_over_time(CPU_PCT) by user",
+		"sum_over_time(CACHE_MISSES) by command",
+		"rate(INSTRUCTIONS) by agent",
+		"topk(3, min_over_time(A + B)) by user",
+		"A by bogus",
+		"topk(A, B)",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -132,15 +142,35 @@ func FuzzParseExpr(f *testing.F) {
 		if err != nil {
 			t.Fatalf("Eval with all identifiers bound failed for %q: %v", src, err)
 		}
-		// The guards keep zero denominators finite; other operations
-		// may legitimately produce Inf (e.g. 1e308*10), never panic.
-		_ = v
+		// Evaluation is total: zero denominators yield 0 and anything
+		// non-finite is clamped at the boundary, on every path.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("Eval(%q) = %v, want finite", src, v)
+		}
+		bv, err := e.EvalBucket(env, []Env{env, env})
+		if err != nil {
+			t.Fatalf("EvalBucket of %q failed: %v", src, err)
+		}
+		if math.IsNaN(bv) || math.IsInf(bv, 0) {
+			t.Fatalf("EvalBucket(%q) = %v, want finite", src, bv)
+		}
 		// Unbound identifiers surface as EvalError, not a panic.
 		if len(e.Identifiers()) > 0 {
 			if _, err := e.Eval(MapEnv{}); err == nil {
 				t.Fatalf("Eval of %q with empty env must fail", src)
 			}
 		}
-		_ = math.IsNaN(v)
+		// The series helpers never panic on arbitrary compiled input.
+		_ = e.NodeCount()
+		_ = e.NeedsPointwise()
+		_ = e.SeriesOnly()
+		if k, inner, err := e.SplitTopK(); err == nil && inner != nil {
+			if k < 1 {
+				t.Fatalf("SplitTopK(%q) k = %d", src, k)
+			}
+			if _, err := Compile(inner.String()); err != nil {
+				t.Fatalf("topk inner %q of %q does not recompile: %v", inner.String(), src, err)
+			}
+		}
 	})
 }

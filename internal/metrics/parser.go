@@ -38,12 +38,16 @@ type callNode struct {
 	name string
 	fn   *builtin
 	args []node
+	pos  int // byte offset of the call in the source, for semantic errors
 }
 
 // Expr is a compiled, immutable metric expression.
 type Expr struct {
 	src  string
 	root node
+	// groupBy is the optional `by user|command|agent` grouping clause:
+	// a series-level roll-up key that only the query engine acts on.
+	groupBy string
 }
 
 // Source returns the original expression text.
@@ -53,8 +57,16 @@ func (e *Expr) Source() string { return e.src }
 func (e *Expr) String() string {
 	var b strings.Builder
 	e.root.render(&b)
+	if e.groupBy != "" {
+		b.WriteString(" by ")
+		b.WriteString(e.groupBy)
+	}
 	return b.String()
 }
+
+// GroupBy returns the grouping key of a `... by user|command|agent`
+// expression, or "" for ungrouped expressions.
+func (e *Expr) GroupBy() string { return e.groupBy }
 
 // Identifiers returns the distinct identifiers referenced by the
 // expression, in first-appearance order. The sampling engine uses this to
@@ -71,7 +83,24 @@ func (e *Expr) Identifiers() []string {
 	return out
 }
 
-// Compile parses src into an executable expression.
+// GroupKeys are the identifiers allowed after the `by` keyword: the
+// roll-up dimensions the query engine can group series on.
+var GroupKeys = []string{"agent", "command", "user"}
+
+func validGroupKey(k string) bool {
+	for _, g := range GroupKeys {
+		if g == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Compile parses src into an executable expression. The grammar is the
+// screen-column expression language plus an optional trailing grouping
+// clause (`expr by user`), which only the series-oriented query engine
+// acts on — column compilation rejects grouped expressions via
+// SeriesOnly.
 func Compile(src string) (*Expr, error) {
 	toks, err := lex(src)
 	if err != nil {
@@ -82,10 +111,21 @@ func Compile(src string) (*Expr, error) {
 	if err != nil {
 		return nil, err
 	}
+	groupBy := ""
+	if t := p.peek(); t.kind == tokIdent && t.text == "by" {
+		p.advance()
+		key := p.peek()
+		if key.kind != tokIdent || !validGroupKey(key.text) {
+			return nil, p.errf(key.pos, "expected grouping key after 'by' (one of %s), got %s",
+				strings.Join(GroupKeys, ", "), key.kind)
+		}
+		p.advance()
+		groupBy = key.text
+	}
 	if p.peek().kind != tokEOF {
 		return nil, p.errf(p.peek().pos, "unexpected %s after expression", p.peek().kind)
 	}
-	return &Expr{src: src, root: root}, nil
+	return &Expr{src: src, root: root, groupBy: groupBy}, nil
 }
 
 // MustCompile is Compile that panics on error, for statically known
@@ -275,7 +315,7 @@ func (p *parser) parseCall(name token) (node, error) {
 	if len(args) != fn.arity {
 		return nil, p.errf(name.pos, "%s expects %d argument(s), got %d", name.text, fn.arity, len(args))
 	}
-	return &callNode{name: name.text, fn: fn, args: args}, nil
+	return &callNode{name: name.text, fn: fn, args: args, pos: name.pos}, nil
 }
 
 // --- rendering ---

@@ -1,0 +1,441 @@
+package query
+
+// The evaluation engine: a push-based accumulator that sources feed
+// time-stamped frames of task observations into. The engine buckets
+// each observation on the query step using the store's (start, end]
+// convention, accumulates per-series per-bucket sums (counters) and
+// means (column values, CPU), and evaluates the compiled expression
+// once per bucket at Finish — so a source can stream records straight
+// off a segment scan, or merge several agents' scans, without
+// materialising intermediate series.
+//
+// Within a bucket, counter identifiers (INSTRUCTIONS, CYCLES,
+// CACHE_MISSES) carry the bucket *sum* — so delta() is the bucket
+// delta and ratios recompute from sums (Σinstr/Σcycles), matching the
+// store's downsampling and the fleet snapshot's aggregate semantics.
+// Column identifiers and CPU_PCT carry the mean over the contributing
+// observations. DELTA_NS is the bucket width (step), or the source's
+// refresh interval at raw resolution.
+
+import (
+	"sort"
+	"time"
+
+	"tiptop/internal/hpm"
+	"tiptop/internal/metrics"
+)
+
+// Options select the range, step and output shape of one query.
+type Options struct {
+	// FromSeconds/ToSeconds bound the range (inclusive) on the
+	// backend's clock; ToSeconds <= 0 means "to the end".
+	FromSeconds float64
+	ToSeconds   float64
+	// StepSeconds is the bucket width; 0 evaluates at the serving
+	// resolution (one bucket per record/point).
+	StepSeconds float64
+}
+
+// Point is one evaluated value of a query series.
+type Point struct {
+	TimeSeconds float64 `json:"time_s"`
+	Value       float64 `json:"value"`
+}
+
+// Series is one evaluated series: a task, a group (user/command/agent)
+// or the total roll-up.
+type Series struct {
+	// Key is the display label: "total", a group value, or
+	// "[agent/]pid[:tid]".
+	Key     string `json:"key"`
+	PID     int    `json:"pid,omitempty"`
+	TID     int    `json:"tid,omitempty"`
+	User    string `json:"user,omitempty"`
+	Command string `json:"command,omitempty"`
+	Agent   string `json:"agent,omitempty"`
+	Total   bool   `json:"total,omitempty"`
+	// Mean is the series' mean value over the range — the topk
+	// ranking key.
+	Mean   float64 `json:"mean"`
+	Points []Point `json:"points"`
+}
+
+// Result is an expression query response.
+type Result struct {
+	// Expr is the canonical form of the evaluated expression.
+	Expr    string `json:"expr"`
+	GroupBy string `json:"group_by,omitempty"`
+	K       int    `json:"k,omitempty"`
+	// ResolutionSeconds is the serving tier's resolution (0 = raw).
+	ResolutionSeconds float64  `json:"resolution_s"`
+	StepSeconds       float64  `json:"step_s,omitempty"`
+	Series            []Series `json:"series"`
+}
+
+// Frame is one time-stamped batch of observations pushed into the
+// engine: all tasks one backend saw at one instant.
+type Frame struct {
+	// Agent labels the source in fleet merges; "" solo.
+	Agent string
+	// TimeSeconds is the frame's time on its backend's clock.
+	TimeSeconds float64
+	// DTNanos is the interval the frame's deltas cover, when the
+	// source knows it (a downsample tier's resolution); 0 lets the
+	// engine derive it from successive frame times per agent, and a
+	// negative value marks it genuinely unknown (a series' first
+	// point), evaluating DELTA_NS as 0 rather than guessing.
+	DTNanos float64
+	Rows    []FrameRow
+}
+
+// FrameRow is one task's observation inside a frame.
+type FrameRow struct {
+	PID, TID      int
+	User, Command string
+	CPUPct        float64
+	// Values are the screen column values, aligned to the engine's
+	// current columns (SetColumns).
+	Values []float64
+	// Counter deltas over the frame's interval.
+	Instr, Cycles, Misses float64
+}
+
+// seriesKey identifies one output series while accumulating.
+type seriesKey struct {
+	agent    string
+	pid, tid int
+	group    string
+	total    bool
+}
+
+type bucketAcc struct {
+	n                     int
+	instr, cycles, misses float64
+	cpu                   float64
+	vals                  []float64
+	dtNS                  float64
+	points                []metrics.Env
+}
+
+type seriesAcc struct {
+	key        seriesKey
+	user, comm string
+	buckets    map[float64]*bucketAcc
+}
+
+// Engine accumulates frames and evaluates the expression per bucket.
+type Engine struct {
+	c        *Compiled
+	opt      Options
+	step     time.Duration
+	cols     []string
+	colIdx   map[string]int
+	series   map[seriesKey]*seriesAcc
+	lastTime map[string]float64 // per agent, for derived frame intervals
+	res      float64            // serving resolution, set by the source
+}
+
+// NewEngine builds an engine for one compiled query.
+func NewEngine(c *Compiled, opt Options) *Engine {
+	return &Engine{
+		c:        c,
+		opt:      opt,
+		step:     time.Duration(opt.StepSeconds * float64(time.Second)),
+		series:   make(map[seriesKey]*seriesAcc),
+		lastTime: make(map[string]float64),
+	}
+}
+
+// SetColumns aligns subsequent frames' Values with the named screen
+// columns. Sources call it before the first frame and again whenever
+// the scan crosses a screen change.
+func (e *Engine) SetColumns(cols []string) {
+	e.cols = cols
+	e.colIdx = make(map[string]int, len(cols))
+	for i, c := range cols {
+		e.colIdx[c] = i
+	}
+}
+
+// SetResolution records the serving tier's resolution for the result.
+// The coarsest resolution wins when sources differ (a fleet merge
+// across agents whose stores picked different tiers).
+func (e *Engine) SetResolution(resSeconds float64) {
+	if resSeconds > e.res {
+		e.res = resSeconds
+	}
+}
+
+// Push folds one frame into the accumulators.
+func (e *Engine) Push(f *Frame) {
+	if e.opt.ToSeconds > 0 && f.TimeSeconds > e.opt.ToSeconds {
+		return
+	}
+	if f.TimeSeconds < e.opt.FromSeconds {
+		e.lastTime[f.Agent] = f.TimeSeconds
+		return
+	}
+	dtNS := f.DTNanos
+	if dtNS == 0 {
+		if last, ok := e.lastTime[f.Agent]; ok && f.TimeSeconds > last {
+			dtNS = (f.TimeSeconds - last) * 1e9
+		}
+	}
+	if dtNS < 0 {
+		dtNS = 0
+	}
+	e.lastTime[f.Agent] = f.TimeSeconds
+	bt := e.bucketTime(f.TimeSeconds)
+	for i := range f.Rows {
+		r := &f.Rows[i]
+		e.fold(e.rowKey(f.Agent, r), r, bt, dtNS)
+		e.fold(seriesKey{total: true}, r, bt, dtNS)
+	}
+}
+
+// rowKey maps a row to its output series under the query's grouping.
+func (e *Engine) rowKey(agent string, r *FrameRow) seriesKey {
+	switch e.c.GroupBy {
+	case "user":
+		return seriesKey{group: r.User}
+	case "command":
+		return seriesKey{group: r.Command}
+	case "agent":
+		return seriesKey{group: agent}
+	}
+	return seriesKey{agent: agent, pid: r.PID, tid: r.TID}
+}
+
+// bucketTime maps a frame time to its bucket's end time. Buckets are
+// the store's half-open (start, end] windows: a point at exactly t=30
+// belongs to the bucket ending at 30, not the one starting there.
+func (e *Engine) bucketTime(t float64) float64 {
+	if e.step <= 0 {
+		return t
+	}
+	d := time.Duration(t * float64(time.Second))
+	idx := int64(0)
+	if d > 0 {
+		idx = int64((d - 1) / e.step)
+	}
+	return (time.Duration(idx+1) * e.step).Seconds()
+}
+
+func (e *Engine) fold(key seriesKey, r *FrameRow, bt, dtNS float64) {
+	acc := e.series[key]
+	if acc == nil {
+		acc = &seriesAcc{key: key, buckets: make(map[float64]*bucketAcc)}
+		e.series[key] = acc
+	}
+	acc.user, acc.comm = r.User, r.Command
+	b := acc.buckets[bt]
+	if b == nil {
+		b = &bucketAcc{}
+		acc.buckets[bt] = b
+	}
+	b.n++
+	b.instr += r.Instr
+	b.cycles += r.Cycles
+	b.misses += r.Misses
+	b.cpu += r.CPUPct
+	b.dtNS = dtNS
+	if len(b.vals) < len(r.Values) {
+		grown := make([]float64, len(r.Values))
+		copy(grown, b.vals)
+		b.vals = grown
+	}
+	for i, v := range r.Values {
+		b.vals[i] += v
+	}
+	if e.c.Pointwise {
+		b.points = append(b.points, &bucketEnv{
+			instr: r.Instr, cycles: r.Cycles, misses: r.Misses,
+			cpu: r.CPUPct, dtNS: dtNS,
+			vals: append([]float64(nil), r.Values...), cols: e.colIdx,
+		})
+	}
+}
+
+// bucketEnv is the evaluation environment of one bucket (or one point
+// inside a bucket): counters, context variables and column values.
+type bucketEnv struct {
+	instr, cycles, misses float64
+	cpu                   float64
+	dtNS                  float64
+	vals                  []float64
+	cols                  map[string]int
+}
+
+func (b *bucketEnv) Lookup(name string) (float64, bool) {
+	switch name {
+	case hpm.EventInstructions:
+		return b.instr, true
+	case hpm.EventCycles:
+		return b.cycles, true
+	case hpm.EventCacheMisses:
+		return b.misses, true
+	case metrics.VarDeltaNS:
+		return b.dtNS, true
+	case metrics.VarCPUPct:
+		return b.cpu, true
+	}
+	if i, ok := b.cols[name]; ok && i < len(b.vals) {
+		return b.vals[i], true
+	}
+	return 0, false
+}
+
+// Finish evaluates every accumulated bucket and assembles the result:
+// series sorted deterministically (total first, then groups or tasks),
+// topk ranking applied when the query asked for one.
+func (e *Engine) Finish() (*Result, error) {
+	out := &Result{
+		Expr:              e.c.Expr.String(),
+		GroupBy:           e.c.GroupBy,
+		K:                 e.c.K,
+		ResolutionSeconds: e.res,
+		StepSeconds:       e.opt.StepSeconds,
+	}
+	stepNS := e.opt.StepSeconds * 1e9
+	for _, acc := range e.series {
+		times := make([]float64, 0, len(acc.buckets))
+		for bt := range acc.buckets {
+			times = append(times, bt)
+		}
+		sort.Float64s(times)
+		s := Series{
+			PID: acc.key.pid, TID: acc.key.tid,
+			Agent: acc.key.agent, Total: acc.key.total,
+			Points: make([]Point, 0, len(times)),
+		}
+		switch {
+		case acc.key.total:
+			s.Key = "total"
+		case e.c.GroupBy != "":
+			s.Key = acc.key.group
+		default:
+			s.Key = taskKey(acc.key)
+			s.User, s.Command = acc.user, acc.comm
+		}
+		sum := 0.0
+		for _, bt := range times {
+			b := acc.buckets[bt]
+			n := float64(b.n)
+			env := &bucketEnv{
+				instr: b.instr, cycles: b.cycles, misses: b.misses,
+				cpu: b.cpu / n, dtNS: b.dtNS, cols: e.colIdx,
+			}
+			if stepNS > 0 {
+				env.dtNS = stepNS
+			}
+			env.vals = make([]float64, len(b.vals))
+			for i, v := range b.vals {
+				env.vals[i] = v / n
+			}
+			var v float64
+			var err error
+			if e.c.Pointwise {
+				v, err = e.c.Expr.EvalBucket(env, b.points)
+			} else {
+				v, err = e.c.Expr.Eval(env)
+			}
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{TimeSeconds: bt, Value: v})
+			sum += v
+		}
+		if len(s.Points) > 0 {
+			s.Mean = sum / float64(len(s.Points))
+		}
+		out.Series = append(out.Series, s)
+	}
+	sortSeries(out.Series)
+	if e.c.K > 0 {
+		out.Series = applyTopK(out.Series, e.c.K)
+	}
+	return out, nil
+}
+
+func taskKey(k seriesKey) string {
+	key := ""
+	if k.agent != "" {
+		key = k.agent + "/"
+	}
+	key += "pid:" + itoa(k.pid)
+	if k.tid != 0 && k.tid != k.pid {
+		key += ":" + itoa(k.tid)
+	}
+	return key
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// sortSeries orders output deterministically: the total roll-up first,
+// then groups by key, then tasks by agent/pid/tid.
+func sortSeries(ss []Series) {
+	sort.Slice(ss, func(i, j int) bool {
+		a, b := &ss[i], &ss[j]
+		if a.Total != b.Total {
+			return a.Total
+		}
+		if a.Agent != b.Agent {
+			return a.Agent < b.Agent
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Key < b.Key
+	})
+}
+
+// applyTopK keeps the total roll-up plus the k series with the highest
+// mean, preserving the deterministic ordering within the survivors.
+func applyTopK(ss []Series, k int) []Series {
+	ranked := make([]int, 0, len(ss))
+	for i := range ss {
+		if !ss[i].Total {
+			ranked = append(ranked, i)
+		}
+	}
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return ss[ranked[a]].Mean > ss[ranked[b]].Mean
+	})
+	keep := make(map[int]bool, k)
+	for i, idx := range ranked {
+		if i >= k {
+			break
+		}
+		keep[idx] = true
+	}
+	out := ss[:0]
+	for i := range ss {
+		if ss[i].Total || keep[i] {
+			out = append(out, ss[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCompileQuery fuzzes the query-layer compiler: whatever the input,
+// Compile must return cleanly (no panic), any accepted expression must
+// render to a canonical form that recompiles to the same form
+// (fixpoint), and the compiled pieces must stay within the DoS caps.
+func FuzzCompileQuery(f *testing.F) {
+	for _, seed := range []string{
+		"delta(INSTRUCTIONS) / delta(CYCLES)",
+		"rate(INSTRUCTIONS) by user",
+		"topk(3, rate(CYCLES)) by command",
+		"avg_over_time(ipc)",
+		"max_over_time(rate(CACHE_MISSES))",
+		"topk(2, delta(INSTRUCTIONS) / delta(CYCLES))",
+		"CYCLES by agent",
+		"delta(CYCLE)",
+		"topk(CYCLES, 1)",
+		"1 + topk(2, CYCLES)",
+		"(INSTRUCTIONS + CYCLES) % 7 ? ipc : 0",
+		"sum_over_time(cpu) by user",
+	} {
+		f.Add(seed)
+	}
+	known := KnownNames([]string{"ipc", "cpu", "mem_mb"})
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile(src, known)
+		if err != nil {
+			return
+		}
+		if c.Expr.NodeCount() > MaxExprNodes {
+			t.Fatalf("accepted expression with %d nodes: %q", c.Expr.NodeCount(), src)
+		}
+		// Render → recompile fixpoint on the canonical form. The
+		// canonical form is the inner expression plus the topk/by
+		// clauses Compile split off, so rebuild it the way a client
+		// would display it.
+		canon := c.Expr.String()
+		c2, err := Compile(canon, known)
+		if err != nil {
+			t.Fatalf("canonical form %q (of %q) does not recompile: %v", canon, src, err)
+		}
+		if got := c2.Expr.String(); got != canon {
+			t.Fatalf("render not a fixpoint: %q -> %q", canon, got)
+		}
+		if c2.GroupBy != c.GroupBy {
+			t.Fatalf("grouping lost in round-trip of %q: %q vs %q", src, c.GroupBy, c2.GroupBy)
+		}
+		if strings.Contains(canon, "\n") {
+			t.Fatalf("canonical form of %q contains a newline: %q", src, canon)
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package query
+
+// The HTTP surface: /api/v1/query grows an expr= parameter. Without
+// expr the endpoint keeps its PR-5 contract (raw range queries served
+// by store.Handler); with expr the shared engine evaluates it over the
+// durable store (or live history when no store is configured), solo or
+// fleet-wide. Parse and validation failures are always HTTP 400 with
+// the offending position — never 500 — and unknown identifiers name
+// the nearest known ones.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tiptop/internal/history"
+	"tiptop/internal/metrics"
+	"tiptop/internal/store"
+)
+
+// Handler serves expression and raw range queries for a solo daemon:
+//
+//	GET ...?expr=E&from=S&to=S&step=S[&format=openmetrics]  expression query
+//	GET ...?pid=N&from=S&to=S&step=S                        raw series (store.Handler)
+//
+// st may be nil (no -store): raw queries are rejected with a hint,
+// expression queries fall back to the recorder's live rings. rec may
+// be nil when only a store exists (tiptop -record archives).
+func Handler(st *store.Store, rec *history.Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		expr := r.URL.Query().Get("expr")
+		if expr == "" {
+			if st == nil {
+				writeError(w, http.StatusNotFound,
+					"no durable store configured (start tiptopd with -store DIR, or pass expr= to query live history)")
+				return
+			}
+			store.Handler(st).ServeHTTP(w, r)
+			return
+		}
+		opt, format, live, err := parseExprQuery(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if st == nil || live {
+			if rec == nil {
+				writeError(w, http.StatusNotFound, "no live recorder to query")
+				return
+			}
+			serveExpr(w, expr, format, KnownNames(rec.Columns()), func(c *Compiled) (*Result, error) {
+				return QueryHistory(rec, c, opt)
+			})
+			return
+		}
+		serveExpr(w, expr, format, KnownNames(st.Columns()), func(c *Compiled) (*Result, error) {
+			return QueryStore(st, c, opt)
+		})
+	})
+}
+
+// FleetHandler serves /api/v1/query for an aggregator: ?agent=label
+// routes to one agent's store (raw or expression), ?agent=* (or an
+// absent selector with expr=) merges every agent's store through the
+// shared engine.
+func FleetHandler(stores map[string]*store.Store, labels func() []string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(stores) == 0 {
+			writeError(w, http.StatusNotFound, "no durable store configured (start the aggregator with -store DIR)")
+			return
+		}
+		expr := r.URL.Query().Get("expr")
+		agent := r.URL.Query().Get("agent")
+		if expr == "" {
+			// Raw range query: exactly one agent's store serves it.
+			if agent == "" && len(stores) == 1 {
+				for label := range stores {
+					agent = label
+				}
+			}
+			st, ok := stores[agent]
+			if !ok {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("unknown agent %q (want agent=%s, or agent=* with expr=)", agent, strings.Join(labels(), "|")))
+				return
+			}
+			store.Handler(st).ServeHTTP(w, r)
+			return
+		}
+		opt, format, _, err := parseExprQuery(r.URL.Query())
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		selected := stores
+		if agent != "" && agent != "*" {
+			st, ok := stores[agent]
+			if !ok {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("unknown agent %q (want agent=%s or agent=*)", agent, strings.Join(labels(), "|")))
+				return
+			}
+			selected = map[string]*store.Store{agent: st}
+		}
+		if len(selected) > 1 && opt.StepSeconds <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("merging %d agents needs an explicit step (buckets align per-agent clocks); pass step=", len(selected)))
+			return
+		}
+		serveExpr(w, expr, format, fleetKnownNames(selected), func(c *Compiled) (*Result, error) {
+			return QueryFleet(selected, c, opt)
+		})
+	})
+}
+
+// NamedExprs wraps a query handler so that expr=<name> references to a
+// configuration's stored expressions (<expr name= expr=>) expand to
+// their sources before compilation — the same names screens may use as
+// column expressions.
+func NamedExprs(named map[string]string, h http.Handler) http.Handler {
+	if len(named) == 0 {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if src, ok := named[r.URL.Query().Get("expr")]; ok {
+			q := r.URL.Query()
+			q.Set("expr", src)
+			r2 := r.Clone(r.Context())
+			r2.URL.RawQuery = q.Encode()
+			r = r2
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// fleetKnownNames is the identifier vocabulary of a fleet query: the
+// union of every selected agent's columns.
+func fleetKnownNames(stores map[string]*store.Store) []string {
+	seen := map[string]bool{}
+	var cols []string
+	for _, st := range stores {
+		for _, c := range st.Columns() {
+			if !seen[c] {
+				seen[c] = true
+				cols = append(cols, c)
+			}
+		}
+	}
+	sort.Strings(cols)
+	return KnownNames(cols)
+}
+
+// serveExpr compiles and runs one expression query, mapping
+// compilation failures to 400 (with position) and evaluation failures
+// to 400 as well — an expression can only fail on what the request
+// supplied, never on server state.
+func serveExpr(w http.ResponseWriter, expr, format string, known []string, run func(*Compiled) (*Result, error)) {
+	c, err := Compile(expr, known)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := run(c)
+	if err != nil {
+		status := http.StatusBadRequest
+		if _, ok := err.(*metrics.SyntaxError); !ok {
+			if _, ok := err.(*metrics.EvalError); !ok {
+				status = http.StatusInternalServerError // I/O against the store
+			}
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	switch format {
+	case "openmetrics", "om":
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = WriteOpenMetrics(w, res)
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(res)
+	}
+}
+
+// parseExprQuery reads the range/step/format parameters of an
+// expression query. The step accepts both bare seconds and duration
+// suffixes ("30s", "1m", "1h"). source=live forces the recorder
+// backend on a solo daemon that also has a store.
+func parseExprQuery(v url.Values) (Options, string, bool, error) {
+	var opt Options
+	var err error
+	if opt.FromSeconds, err = floatParam(v, "from"); err != nil {
+		return opt, "", false, err
+	}
+	if opt.ToSeconds, err = floatParam(v, "to"); err != nil {
+		return opt, "", false, err
+	}
+	if opt.StepSeconds, err = metrics.ParseStep(v.Get("step")); err != nil {
+		return opt, "", false, err
+	}
+	if opt.ToSeconds > 0 && opt.ToSeconds < opt.FromSeconds {
+		return opt, "", false, fmt.Errorf("range ends (%gs) before it starts (%gs)", opt.ToSeconds, opt.FromSeconds)
+	}
+	format := v.Get("format")
+	switch format {
+	case "", "json", "openmetrics", "om":
+	default:
+		return opt, "", false, fmt.Errorf("unknown format %q (want json or openmetrics)", format)
+	}
+	live := false
+	switch v.Get("source") {
+	case "":
+	case "live":
+		live = true
+	case "store":
+	default:
+		return opt, "", false, fmt.Errorf("unknown source %q (want live or store)", v.Get("source"))
+	}
+	return opt, format, live, nil
+}
+
+func floatParam(v url.Values, name string) (float64, error) {
+	s := v.Get(name)
+	if s == "" {
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, s)
+	}
+	return f, nil
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// WriteOpenMetrics renders an expression query result as OpenMetrics
+// 1.0 text, one sample per evaluated point. The totality rule
+// guarantees every value is finite, so the exposition never carries
+// NaN. Ordering is deterministic (the engine sorts series; points are
+// time-ordered).
+func WriteOpenMetrics(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# TYPE tiptop_query gauge\n")
+	fmt.Fprintf(bw, "# HELP tiptop_query %s\n", strings.ReplaceAll(res.Expr, "\n", " "))
+	for i := range res.Series {
+		s := &res.Series[i]
+		labels := `expr=` + strconv.Quote(res.Expr) + `,key=` + strconv.Quote(s.Key)
+		if s.Agent != "" {
+			labels += `,agent=` + strconv.Quote(s.Agent)
+		}
+		if s.PID != 0 {
+			labels += fmt.Sprintf(`,pid="%d"`, s.PID)
+		}
+		if s.User != "" {
+			labels += `,user=` + strconv.Quote(s.User)
+		}
+		if s.Command != "" {
+			labels += `,command=` + strconv.Quote(s.Command)
+		}
+		for j := range s.Points {
+			p := &s.Points[j]
+			fmt.Fprintf(bw, "tiptop_query{%s} %g %g\n", labels, p.Value, p.TimeSeconds)
+		}
+	}
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+// Client consumes a daemon's /api/v1/query?expr= endpoint — the
+// expression counterpart of store.Client's raw range queries, sharing
+// its transport.
+type Client struct {
+	c *store.Client
+}
+
+// NewClient builds an expression query client for a daemon at addr
+// ("host:port" or a full URL, as served by tiptopd -addr).
+func NewClient(addr string) (*Client, error) {
+	c, err := store.NewClient(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// NewClientFrom wraps an existing raw query client.
+func NewClientFrom(c *store.Client) *Client { return &Client{c: c} }
+
+// QueryExpr runs one expression query. extra parameters (the
+// aggregator's agent selector, source=live) can be appended by name.
+func (c *Client) QueryExpr(expr string, opt Options, extra ...string) (*Result, error) {
+	if len(extra)%2 != 0 {
+		return nil, fmt.Errorf("query: extra parameters must come in pairs")
+	}
+	v := url.Values{}
+	v.Set("expr", expr)
+	if opt.FromSeconds != 0 {
+		v.Set("from", strconv.FormatFloat(opt.FromSeconds, 'g', -1, 64))
+	}
+	if opt.ToSeconds != 0 {
+		v.Set("to", strconv.FormatFloat(opt.ToSeconds, 'g', -1, 64))
+	}
+	if opt.StepSeconds != 0 {
+		v.Set("step", strconv.FormatFloat(opt.StepSeconds, 'g', -1, 64))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		v.Set(extra[i], extra[i+1])
+	}
+	body, err := c.c.Get("/api/v1/query", v)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("query: bad response: %w", err)
+	}
+	return &res, nil
+}

@@ -1,0 +1,184 @@
+package query
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tiptop/internal/store"
+)
+
+func get(t *testing.T, h http.Handler, target string) (int, string) {
+	t.Helper()
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", target, nil))
+	return w.Code, w.Body.String()
+}
+
+func TestHandlerParseErrorsAre400(t *testing.T) {
+	st := seedStore(t, 1, 10)
+	h := Handler(st, nil)
+
+	// Syntax error: 400, never 500, and the offending position named.
+	code, body := get(t, h, "/api/v1/query?expr="+strings.ReplaceAll("delta(INSTRUCTIONS", " ", "%20"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("syntax error: status %d, want 400; body %s", code, body)
+	}
+	if !strings.Contains(body, "offset") {
+		t.Fatalf("syntax error body %q does not name the offset", body)
+	}
+
+	// Unknown event name: 400 with the nearest registered names.
+	code, body = get(t, h, "/api/v1/query?expr=delta(CYCLE)")
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown name: status %d, want 400; body %s", code, body)
+	}
+	if !strings.Contains(body, "did you mean") || !strings.Contains(body, "CYCLES") {
+		t.Fatalf("unknown name body %q lacks a CYCLES suggestion", body)
+	}
+
+	// Bad step.
+	if code, body = get(t, h, "/api/v1/query?expr=CYCLES&step=never"); code != http.StatusBadRequest {
+		t.Fatalf("bad step: status %d, body %s", code, body)
+	}
+}
+
+func TestHandlerExprOverStore(t *testing.T) {
+	st := seedStore(t, 2, 63)
+	h := Handler(st, nil)
+	code, body := get(t, h, "/api/v1/query?expr=delta(INSTRUCTIONS)/delta(CYCLES)&step=1m")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	var res Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if res.StepSeconds != 60 || len(res.Series) != 3 {
+		t.Fatalf("result = step %g, %d series; want 60s and 3", res.StepSeconds, len(res.Series))
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.Value != 2 {
+				t.Fatalf("series %q = %v, want IPC 2", s.Key, p.Value)
+			}
+		}
+	}
+
+	// Raw queries (no expr) keep the PR-5 contract.
+	code, body = get(t, h, "/api/v1/query?pid=100")
+	if code != http.StatusOK {
+		t.Fatalf("raw query: status %d, body %s", code, body)
+	}
+	if !strings.Contains(body, "series") {
+		t.Fatalf("raw query body %q is not a store response", body)
+	}
+}
+
+func TestHandlerOpenMetrics(t *testing.T) {
+	st := seedStore(t, 1, 63)
+	h := Handler(st, nil)
+	code, body := get(t, h, "/api/v1/query?expr=delta(INSTRUCTIONS)/delta(CYCLES)&step=1m&format=openmetrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+	for _, want := range []string{"# TYPE tiptop_query gauge", "tiptop_query{", `key="total"`, "# EOF"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("openmetrics body lacks %q:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, "NaN") || strings.Contains(body, "Inf") {
+		t.Fatalf("openmetrics body carries non-finite values:\n%s", body)
+	}
+}
+
+func TestHandlerLiveFallback(t *testing.T) {
+	rec := seedRecorder(2, 20)
+	h := Handler(nil, rec)
+
+	// No store: raw range queries get a hint, expression queries run
+	// against the live rings.
+	if code, body := get(t, h, "/api/v1/query?pid=100"); code != http.StatusNotFound || !strings.Contains(body, "-store") {
+		t.Fatalf("raw query without store: status %d, body %s", code, body)
+	}
+	code, body := get(t, h, "/api/v1/query?expr=delta(INSTRUCTIONS)/delta(CYCLES)&step=10")
+	if code != http.StatusOK {
+		t.Fatalf("live expr: status %d, body %s", code, body)
+	}
+	var res Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("live expr: %d series, want 3", len(res.Series))
+	}
+}
+
+func TestFleetHandler(t *testing.T) {
+	stores := map[string]*store.Store{
+		"a:1": seedStore(t, 2, 63),
+		"b:2": seedStore(t, 2, 63),
+	}
+	labels := func() []string { return []string{"a:1", "b:2"} }
+	h := FleetHandler(stores, labels)
+
+	// agent=* merges the fleet.
+	code, body := get(t, h, "/api/v1/query?expr=delta(INSTRUCTIONS)/delta(CYCLES)&step=1m&agent=*")
+	if code != http.StatusOK {
+		t.Fatalf("agent=*: status %d, body %s", code, body)
+	}
+	var res Result
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 { // total + 2 tasks × 2 agents
+		t.Fatalf("agent=*: %d series, want 5", len(res.Series))
+	}
+	if !res.Series[0].Total || res.Series[0].Points[0].Value != 2 {
+		t.Fatalf("fleet total = %+v, want recomputed Σinstr/Σcycles = 2", res.Series[0])
+	}
+
+	// A named agent restricts the merge.
+	code, body = get(t, h, "/api/v1/query?expr=delta(INSTRUCTIONS)&step=1m&agent=a:1")
+	if code != http.StatusOK {
+		t.Fatalf("agent=a:1: status %d, body %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("agent=a:1: %d series, want 3", len(res.Series))
+	}
+
+	// Unknown agents are a 400 naming the known ones.
+	if code, body = get(t, h, "/api/v1/query?expr=CYCLES&step=1m&agent=nope"); code != http.StatusBadRequest || !strings.Contains(body, "a:1") {
+		t.Fatalf("unknown agent: status %d, body %s", code, body)
+	}
+	// Merging without a step is the caller's error.
+	if code, body = get(t, h, "/api/v1/query?expr=CYCLES&agent=*"); code != http.StatusBadRequest || !strings.Contains(body, "step") {
+		t.Fatalf("fleet merge without step: status %d, body %s", code, body)
+	}
+}
+
+func TestQueryExprClient(t *testing.T) {
+	st := seedStore(t, 2, 63)
+	srv := httptest.NewServer(Handler(st, nil))
+	defer srv.Close()
+	c, err := NewClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.QueryExpr("delta(INSTRUCTIONS)/delta(CYCLES)", Options{StepSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 || res.Series[0].Points[0].Value != 2 {
+		t.Fatalf("client result = %+v", res)
+	}
+	// Server-side errors surface as client errors, not decode failures.
+	if _, err := c.QueryExpr("delta(CYCLE)", Options{}); err == nil || !strings.Contains(err.Error(), "CYCLES") {
+		t.Fatalf("client error = %v, want the server's suggestion passed through", err)
+	}
+}

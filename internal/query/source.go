@@ -1,0 +1,135 @@
+package query
+
+// The three backends: the durable store's tiers, live history rings,
+// and fleet mode's per-agent stores merged on aligned steps. Each
+// adapts its records into engine frames; the bucketing, grouping and
+// evaluation semantics live in the engine alone.
+
+import (
+	"fmt"
+	"sort"
+
+	"tiptop/internal/history"
+	"tiptop/internal/store"
+)
+
+// QueryStore evaluates a compiled expression over one durable store,
+// streaming the records of the selected tier through the engine.
+func QueryStore(st *store.Store, c *Compiled, opt Options) (*Result, error) {
+	eng := NewEngine(c, opt)
+	if err := scanInto(eng, st, "", opt); err != nil {
+		return nil, err
+	}
+	return eng.Finish()
+}
+
+// scanInto streams one store's records into an engine, labelling the
+// frames with the agent name (empty solo).
+func scanInto(eng *Engine, st *store.Store, agent string, opt Options) error {
+	q := store.QueryOptions{
+		PID:         -1,
+		FromSeconds: opt.FromSeconds,
+		ToSeconds:   opt.ToSeconds,
+		StepSeconds: opt.StepSeconds,
+	}
+	frame := Frame{Agent: agent}
+	res, err := st.Scan(q, func(rec *store.Record, cols []string) error {
+		eng.SetColumns(cols)
+		frame.TimeSeconds = rec.TimeSeconds
+		frame.DTNanos = rec.ResSeconds * 1e9
+		frame.Rows = frame.Rows[:0]
+		for i := range rec.Rows {
+			r := &rec.Rows[i]
+			frame.Rows = append(frame.Rows, FrameRow{
+				PID: r.PID, TID: r.TID,
+				User: r.User, Command: r.Command,
+				CPUPct: r.CPUPct, Values: r.Values,
+				Instr:  float64(r.Instr),
+				Cycles: float64(r.Cycles),
+				Misses: float64(r.Misses),
+			})
+		}
+		eng.Push(&frame)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	eng.SetResolution(res.Seconds())
+	return nil
+}
+
+// QueryHistory evaluates a compiled expression over a live recorder's
+// ring buffers — the same data the interactive screens render, queried
+// as series. Points arrive already holding per-interval counter
+// deltas; the interval is derived from successive point times.
+func QueryHistory(rec *history.Recorder, c *Compiled, opt Options) (*Result, error) {
+	eng := NewEngine(c, opt)
+	eng.SetColumns(rec.Columns())
+	type obs struct {
+		t    float64
+		dtNS float64
+		row  FrameRow
+	}
+	var all []obs
+	for _, s := range rec.AllSeries() {
+		prev := -1.0
+		for i := range s.Points {
+			p := &s.Points[i]
+			dtNS := -1.0 // first point: interval unknown
+			if prev >= 0 && p.TimeSeconds > prev {
+				dtNS = (p.TimeSeconds - prev) * 1e9
+			}
+			prev = p.TimeSeconds
+			all = append(all, obs{t: p.TimeSeconds, dtNS: dtNS, row: FrameRow{
+				PID: s.PID, TID: s.TID,
+				User: s.User, Command: s.Command,
+				CPUPct: p.CPUPct, Values: p.Values,
+				Instr:  float64(p.Instr),
+				Cycles: float64(p.Cycles),
+				Misses: float64(p.Misses),
+			}})
+		}
+	}
+	// The engine derives unknown intervals from successive frame
+	// times, so observations must arrive time-ordered; each carries
+	// its own interval here, computed per ring above.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].t < all[j].t })
+	for i := range all {
+		eng.Push(&Frame{
+			TimeSeconds: all[i].t,
+			DTNanos:     all[i].dtNS,
+			Rows:        []FrameRow{all[i].row},
+		})
+	}
+	return eng.Finish()
+}
+
+// QueryFleet evaluates a compiled expression across several agents'
+// stores, merging their scans in one engine: per-task series stay
+// labelled by agent, grouped roll-ups (`by user`, `by agent`) and the
+// total sum across the fleet on aligned step buckets, with ratios
+// recomputed from the summed counters — the same Σinstr/Σcycles
+// semantics as the fleet's /api/v1/snapshot. Merging across agents
+// aligns bucket ends on each store's own monotonic clock, so a step is
+// required when more than one agent is queried.
+func QueryFleet(stores map[string]*store.Store, c *Compiled, opt Options) (*Result, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("query: no agent stores to query")
+	}
+	if len(stores) > 1 && opt.StepSeconds <= 0 {
+		return nil, fmt.Errorf("query: merging %d agents needs an explicit step (buckets align per-agent clocks)", len(stores))
+	}
+	labels := make([]string, 0, len(stores))
+	for label := range stores {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	eng := NewEngine(c, opt)
+	for _, label := range labels {
+		if err := scanInto(eng, stores[label], label, opt); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Finish()
+}

@@ -177,6 +177,38 @@ func NewClient(base string) (*Client, error) {
 	return &Client{base: u.String(), hc: &http.Client{}}, nil
 }
 
+// Get performs one GET against the daemon — path is the endpoint
+// ("/api/v1/query") and v its parameters — and returns the response
+// body. Non-200 responses are turned into errors carrying the server's
+// {"error": ...} message, so callers layered on other endpoints (the
+// expression query client in internal/query) share the transport and
+// error handling.
+func (c *Client) Get(path string, v url.Values) ([]byte, error) {
+	u := c.base + path
+	if enc := v.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("store: query: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("store: query: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("store: query: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return nil, fmt.Errorf("store: query: HTTP %d", resp.StatusCode)
+	}
+	return body, nil
+}
+
 // Query runs one range query. extra parameters (e.g. the aggregator's
 // agent selector) can be appended by name.
 func (c *Client) Query(q QueryOptions, extra ...string) (*Result, error) {
@@ -199,27 +231,9 @@ func (c *Client) Query(q QueryOptions, extra ...string) (*Result, error) {
 	for i := 0; i+1 < len(extra); i += 2 {
 		v.Set(extra[i], extra[i+1])
 	}
-	u := c.base + "/api/v1/query"
-	if enc := v.Encode(); enc != "" {
-		u += "?" + enc
-	}
-	resp, err := c.hc.Get(u)
+	body, err := c.Get("/api/v1/query", v)
 	if err != nil {
-		return nil, fmt.Errorf("store: query: %w", err)
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("store: query: %w", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("store: query: %s (HTTP %d)", e.Error, resp.StatusCode)
-		}
-		return nil, fmt.Errorf("store: query: HTTP %d", resp.StatusCode)
+		return nil, err
 	}
 	var res Result
 	if err := json.Unmarshal(body, &res); err != nil {

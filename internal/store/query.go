@@ -84,27 +84,62 @@ type queryFile struct {
 	last  time.Duration
 }
 
-// Query scans the selected tier and returns every matching series,
-// sorted by PID then TID, plus the machine roll-up.
-func (st *Store) Query(q QueryOptions) (*Result, error) {
+// TierFor returns the resolution of the downsample tier a query step
+// selects: the coarsest tier whose resolution is <= step (0, the raw
+// tier, for steps under 10s). Pure on the step, so callers can size
+// their buckets before scanning.
+func TierFor(step time.Duration) time.Duration {
+	for i := len(Resolutions) - 1; i > 0; i-- {
+		if step >= Resolutions[i] {
+			return Resolutions[i]
+		}
+	}
+	return Resolutions[0]
+}
+
+// Scan streams every record of a time range through fn in time order,
+// serving from the tier the query's step selects — the shared iterator
+// both Query and the expression engine (internal/query) ride on. fn
+// receives each decoded record inside the range together with the
+// column names in force at that record's time (each segment's first
+// record carries the columns; a range can start after the carrying
+// record). Scan does not filter rows by PID — consumers that care
+// filter per row. It returns the serving tier's resolution.
+func (st *Store) Scan(q QueryOptions, fn func(rec *Record, cols []string) error) (time.Duration, error) {
 	from := time.Duration(q.FromSeconds * float64(time.Second))
 	to := time.Duration(q.ToSeconds * float64(time.Second))
 	if q.ToSeconds <= 0 {
 		to = 1<<63 - 1
 	}
 	if to < from {
-		return nil, fmt.Errorf("store: query range ends (%gs) before it starts (%gs)", q.ToSeconds, q.FromSeconds)
+		return 0, fmt.Errorf("store: query range ends (%gs) before it starts (%gs)", q.ToSeconds, q.FromSeconds)
 	}
 	step := time.Duration(q.StepSeconds * float64(time.Second))
 	if step < 0 {
-		return nil, fmt.Errorf("store: negative query step %gs", q.StepSeconds)
+		return 0, fmt.Errorf("store: negative query step %gs", q.StepSeconds)
 	}
-
 	view, res, err := st.snapshotTier(step)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	out := &Result{PID: q.PID, ResolutionSeconds: res.Seconds(), Columns: view.cols}
+	cols := view.cols
+	for _, f := range view.files {
+		if f.last < from || f.first > to {
+			continue
+		}
+		if err := scanQueryFile(f, from, to, &cols, fn); err != nil {
+			return 0, err
+		}
+	}
+	return res, nil
+}
+
+// Query scans the selected tier and returns every matching series,
+// sorted by PID then TID, plus the machine roll-up.
+func (st *Store) Query(q QueryOptions) (*Result, error) {
+	step := time.Duration(q.StepSeconds * float64(time.Second))
+	res := TierFor(step)
+	out := &Result{PID: q.PID, ResolutionSeconds: res.Seconds()}
 	if q.PID < 0 {
 		out.PID = -1
 	}
@@ -112,15 +147,28 @@ func (st *Store) Query(q QueryOptions) (*Result, error) {
 	if rebucket {
 		out.StepSeconds = step.Seconds()
 	}
-
 	agg := newSeriesSet(rebucket, step)
-	for _, f := range view.files {
-		if f.last < from || f.first > to {
-			continue
+	_, err := st.Scan(q, func(rec *Record, cols []string) error {
+		out.Columns = cols
+		agg.addMachine(rec.TimeSeconds, &rec.Machine)
+		for i := range rec.Rows {
+			r := &rec.Rows[i]
+			if q.PID >= 0 && r.PID != q.PID {
+				continue
+			}
+			agg.addRow(rec.TimeSeconds, r)
 		}
-		if err := scanQueryFile(f, from, to, q.PID, agg, out); err != nil {
-			return nil, err
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out.Columns == nil {
+		// Empty range: label with the store's current columns, as a
+		// scan with records would have.
+		st.mu.Lock()
+		out.Columns = append([]string(nil), st.cols...)
+		st.mu.Unlock()
 	}
 	agg.finish(out)
 	return out, nil
@@ -135,10 +183,9 @@ func (st *Store) snapshotTier(step time.Duration) (*queryView, time.Duration, er
 		return nil, 0, fmt.Errorf("store: closed")
 	}
 	ti := 0
-	for i := len(Resolutions) - 1; i > 0; i-- {
-		if step >= Resolutions[i] {
+	for i, r := range Resolutions {
+		if r == TierFor(step) {
 			ti = i
-			break
 		}
 	}
 	t := st.tiers[ti]
@@ -163,13 +210,13 @@ func (st *Store) snapshotTier(step time.Duration) (*queryView, time.Duration, er
 // escaped), so a substring match never false-positives on task names.
 var colsKey = []byte(`,"cols":[`)
 
-// scanQueryFile walks one segment's valid prefix, decoding the records
-// inside the range and folding rows into the series set. Records before
-// the range are normally skipped undecoded, but ones carrying column
-// names (each segment's first record, and any screen change) are
-// decoded so the result is labelled with the columns in force where the
-// range starts — not with an older screen's.
-func scanQueryFile(f queryFile, from, to time.Duration, pid int, agg *seriesSet, out *Result) error {
+// scanQueryFile walks one segment's valid prefix, streaming the
+// records inside the range through fn. Records before the range are
+// normally skipped undecoded, but ones carrying column names (each
+// segment's first record, and any screen change) are decoded so *cols
+// tracks the columns in force where the range starts — not an older
+// screen's.
+func scanQueryFile(f queryFile, from, to time.Duration, cols *[]string, fn func(rec *Record, cols []string) error) error {
 	fh, err := os.Open(f.path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -198,7 +245,7 @@ func scanQueryFile(f queryFile, from, to time.Duration, pid int, agg *seriesSet,
 		if t < from {
 			if bytes.Contains(payload, colsKey) {
 				if rec, derr := DecodeRecord(payload); derr == nil && len(rec.Cols) > 0 {
-					out.Columns = rec.Cols
+					*cols = rec.Cols
 				}
 			}
 			continue
@@ -208,15 +255,10 @@ func scanQueryFile(f queryFile, from, to time.Duration, pid int, agg *seriesSet,
 			return err
 		}
 		if len(rec.Cols) > 0 {
-			out.Columns = rec.Cols
+			*cols = rec.Cols
 		}
-		agg.addMachine(rec.TimeSeconds, &rec.Machine)
-		for i := range rec.Rows {
-			r := &rec.Rows[i]
-			if pid >= 0 && r.PID != pid {
-				continue
-			}
-			agg.addRow(rec.TimeSeconds, r)
+		if err := fn(rec, *cols); err != nil {
+			return err
 		}
 	}
 }

@@ -246,6 +246,14 @@ func (st *Store) SetColumns(names []string) {
 	}
 }
 
+// Columns returns the column names currently labelling records — the
+// vocabulary an expression query over the store can reference.
+func (st *Store) Columns() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]string(nil), st.cols...)
+}
+
 // Observe appends one engine refresh. It implements core.Observer so a
 // history.Recorder (or a core.Session directly) can tee into the store;
 // errors are latched and reported by Err.

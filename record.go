@@ -7,6 +7,7 @@ import (
 	"tiptop/internal/core"
 	"tiptop/internal/export"
 	"tiptop/internal/history"
+	"tiptop/internal/query"
 )
 
 // RecorderOptions tune a Recorder; the zero value gives a 600-point
@@ -84,6 +85,19 @@ func (r *Recorder) PIDs() []int { return r.h.PIDs() }
 // values in the OpenMetrics / Prometheus text format.
 func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
 	return export.WriteOpenMetrics(w, r.h.Snapshot())
+}
+
+// QueryExpr evaluates a screen-language expression over the recorder's
+// live ring buffers — the same data the interactive screens render,
+// served as series. Semantics match Store.QueryExpr on the same
+// observations; counters (INSTRUCTIONS, CYCLES, CACHE_MISSES) sum per
+// bucket while columns and CPU_PCT average.
+func (r *Recorder) QueryExpr(expr string, opt QueryOptions) (*QueryResult, error) {
+	c, err := query.Compile(expr, query.KnownNames(r.h.Columns()))
+	if err != nil {
+		return nil, err
+	}
+	return query.QueryHistory(r.h, c, opt)
 }
 
 // Validate reports configuration errors a Monitor constructor would

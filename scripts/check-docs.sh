@@ -53,6 +53,7 @@ tiptopd:sim tiptopd:config tiptopd:join tiptopd:store
 tiptopd:retention tiptopd:budget
 tipbench:run tipbench:scale tipbench:out tipbench:list
 tipbench:bench-refresh tipbench:bench-daemon tipbench:bench-store
+tipbench:bench-query tipbench:query-records
 "
 for entry in $manifest; do
     cmd=${entry%%:*}

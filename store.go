@@ -11,7 +11,9 @@ import (
 	"time"
 
 	"tiptop/internal/core"
+	"tiptop/internal/history"
 	"tiptop/internal/hpm"
+	"tiptop/internal/query"
 	"tiptop/internal/store"
 )
 
@@ -92,10 +94,47 @@ func (st *Store) SetColumns(names []string) { st.s.SetColumns(names) }
 // tier the query's step selects.
 func (st *Store) Query(q StoreQuery) (*StoreResult, error) { return st.s.Query(q) }
 
+// QueryExpr evaluates a screen-language expression over the store's
+// recorded history: `delta(INSTRUCTIONS)/delta(CYCLES)`,
+// `topk(3, rate(CYCLES)) by user`, `avg_over_time(ipc)` and friends,
+// bucketed to opt.StepSeconds. The same engine answers live recorders
+// (Recorder.QueryExpr) and fleet aggregators.
+func (st *Store) QueryExpr(expr string, opt QueryOptions) (*QueryResult, error) {
+	c, err := query.Compile(expr, query.KnownNames(st.s.Columns()))
+	if err != nil {
+		return nil, err
+	}
+	return query.QueryStore(st.s, c, opt)
+}
+
 // Handler serves the store's range queries over HTTP — the same
-// /api/v1/query contract tiptopd mounts (JSON, or OpenMetrics text
-// with ?format=openmetrics).
-func (st *Store) Handler() http.Handler { return store.Handler(st.s) }
+// /api/v1/query contract tiptopd mounts: raw per-task series without
+// parameters, expression queries with ?expr= (JSON, or OpenMetrics
+// text with ?format=openmetrics).
+func (st *Store) Handler() http.Handler { return query.Handler(st.s, nil) }
+
+// QueryHandler serves the full /api/v1/query contract for a daemon:
+// raw range queries against the store, expression queries against the
+// store (or the recorder's live rings when st is nil, or with
+// ?source=live). Either argument may be nil.
+func QueryHandler(st *Store, rec *Recorder) http.Handler {
+	var s *store.Store
+	if st != nil {
+		s = st.s
+	}
+	var h *history.Recorder
+	if rec != nil {
+		h = rec.h
+	}
+	return query.Handler(s, h)
+}
+
+// NamedExprHandler wraps a query handler (QueryHandler, or a fleet
+// aggregator's) so expr=<name> references to the configuration's
+// stored expressions (Config.NamedExprs) expand to their sources.
+func NamedExprHandler(named map[string]string, h http.Handler) http.Handler {
+	return query.NamedExprs(named, h)
+}
 
 // RecordSample appends one public sample — the path `tiptop -record`
 // uses when its target is a store directory rather than a CSV/JSONL
@@ -126,10 +165,46 @@ func (st *Store) RecordSample(s *Sample) error {
 // raw tier holds their data); reopening resumes where the log ends.
 func (st *Store) Close() error { return st.s.Close() }
 
+// QueryOptions select the time range and step of an expression query.
+type QueryOptions = query.Options
+
+// QueryResult is an expression query's response: one value series per
+// task, group or agent, plus the recomputed total roll-up.
+type QueryResult = query.Result
+
+// QuerySeries is one series of an expression query result.
+type QuerySeries = query.Series
+
+// QueryPoint is one evaluated point of a query series.
+type QueryPoint = query.Point
+
 // QueryClient queries a remote tiptopd's /api/v1/query endpoint — the
-// durable-history counterpart of NewRemoteMonitor's live stream.
-type QueryClient = store.Client
+// durable-history counterpart of NewRemoteMonitor's live stream. It
+// serves both raw range queries (Query) and expression queries
+// (QueryExpr) over one connection.
+type QueryClient struct {
+	c *store.Client
+	q *query.Client
+}
 
 // NewQueryClient builds a query client for a daemon at addr
 // ("host:port" or a full URL, as served by tiptopd -addr).
-func NewQueryClient(addr string) (*QueryClient, error) { return store.NewClient(addr) }
+func NewQueryClient(addr string) (*QueryClient, error) {
+	c, err := store.NewClient(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryClient{c: c, q: query.NewClientFrom(c)}, nil
+}
+
+// Query runs a raw range query: per-task series in a time window, at
+// the resolution tier the step selects.
+func (c *QueryClient) Query(q StoreQuery) (*StoreResult, error) { return c.c.Query(q) }
+
+// QueryExpr runs an expression query on the daemon. Optional extra
+// parameters come in name/value pairs — "agent", "*" merges a fleet
+// aggregator's agents, "source", "live" forces a solo daemon's live
+// rings.
+func (c *QueryClient) QueryExpr(expr string, opt QueryOptions, extra ...string) (*QueryResult, error) {
+	return c.q.QueryExpr(expr, opt, extra...)
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"tiptop/internal/config"
@@ -77,6 +78,11 @@ type Config struct {
 	// from <screen> elements of an XML configuration file). A custom
 	// screen takes precedence over a built-in of the same name.
 	Screens []ScreenDef
+	// Exprs defines named stored expressions (typically from <expr>
+	// elements of an XML configuration file): query-grammar sources a
+	// daemon serves under their name at /api/v1/query?expr=<name>, and
+	// screen columns may reference as their whole expression.
+	Exprs []ExprDef
 	// StoreDir, when set, names the directory of the durable on-disk
 	// history store (OpenStore) samples are teed into: tiptopd -store
 	// and tiptop -record with a store target plumb it here, as does the
@@ -107,6 +113,16 @@ type EventDef struct {
 	Name string
 	Spec string
 	Unit string
+	Desc string
+}
+
+// ExprDef defines one named stored expression. Expr may use the full
+// query grammar — topk(), `by user|command|agent` grouping,
+// *_over_time() folds — which range queries serve and screen columns
+// reject.
+type ExprDef struct {
+	Name string
+	Expr string
 	Desc string
 }
 
@@ -187,24 +203,48 @@ func (cfg Config) buildRegistry() (*hpm.Registry, error) {
 }
 
 // ApplyDefinitions merges a parsed XML configuration document's
-// <event> and <screen> elements into the config — the one translation
-// both commands (tiptop, tiptopd) use.
+// <event>, <expr> and <screen> elements into the config — the one
+// translation both commands (tiptop, tiptopd) use. Screen columns
+// whose expression is exactly a stored expression's name are expanded
+// here, so the facade's screen builder needs no expression registry.
 func (cfg *Config) ApplyDefinitions(f *config.File) {
 	for _, e := range f.Events {
 		cfg.Events = append(cfg.Events, EventDef{
 			Name: e.Name, Spec: e.EventSpec(), Unit: e.Unit, Desc: e.Desc,
 		})
 	}
+	for _, e := range f.Exprs {
+		cfg.Exprs = append(cfg.Exprs, ExprDef{Name: e.Name, Expr: e.Expr, Desc: e.Desc})
+	}
+	named := f.NamedExprs()
 	for _, sx := range f.Screens {
 		sd := ScreenDef{Name: sx.Name}
 		for _, cx := range sx.Columns {
+			expr := cx.Expr
+			if src, ok := named[strings.TrimSpace(expr)]; ok {
+				expr = src
+			}
 			sd.Columns = append(sd.Columns, ColumnDef{
 				Name: cx.Name, Header: cx.Header, Format: cx.Format,
-				Width: cx.Width, Expr: cx.Expr, Desc: cx.Desc,
+				Width: cx.Width, Expr: expr, Desc: cx.Desc,
 			})
 		}
 		cfg.Screens = append(cfg.Screens, sd)
 	}
+}
+
+// NamedExprs returns the config's stored expressions as a name →
+// source map, nil when none are defined — the form QueryHandler
+// consumers pass to NamedExprHandler.
+func (cfg Config) NamedExprs() map[string]string {
+	if len(cfg.Exprs) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(cfg.Exprs))
+	for _, e := range cfg.Exprs {
+		m[e.Name] = e.Expr
+	}
+	return m
 }
 
 // resolveScreen selects cfg.Screen among the custom screens (which take
