@@ -59,3 +59,4 @@ bench:
 	$(GO) run ./cmd/tipbench -bench-daemon -out results
 	$(GO) run ./cmd/tipbench -bench-store -out results
 	$(GO) run ./cmd/tipbench -bench-query -out results
+	$(GO) run ./cmd/tipbench -bench-mux -out results

@@ -1,0 +1,270 @@
+package main
+
+// The -bench-mux mode: measure what counter multiplexing costs and
+// what it gives up. Cost: steady-state refreshes of the 12-event
+// "wide" screen on a 4-counter Cortex-A7 model, through the rotating
+// mux layer versus an unconstrained backend that pretends every event
+// fits. Fidelity: the relative error of the Enabled/Running
+// extrapolated totals against the simulator's ground truth on the
+// steady scenario — the number CI gates at 5%.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"tiptop"
+	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+	"tiptop/internal/metrics"
+	"tiptop/internal/mux"
+	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/pmu"
+	"tiptop/internal/sim/proc"
+	"tiptop/internal/sim/sched"
+	"tiptop/internal/sim/workload"
+)
+
+// muxBenchResult is one refresh-cost measurement in BENCH_mux.json.
+type muxBenchResult struct {
+	Name        string  `json:"name"`
+	Multiplexed bool    `json:"multiplexed"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// muxErrorResult is the extrapolation fidelity of one event.
+type muxErrorResult struct {
+	Event       string  `json:"event"`
+	MaxRelError float64 `json:"max_rel_error"` // worst task, |extrapolated/true - 1|
+}
+
+// muxReport is the BENCH_mux.json document.
+type muxReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	GoVersion   string `json:"go_version"`
+	// Machine and screen shape of the measurement.
+	Machine  string `json:"machine"`
+	Capacity int    `json:"capacity"`
+	Events   int    `json:"events"`
+
+	Benchmarks []muxBenchResult `json:"benchmarks"`
+
+	// Extrapolation fidelity on the steady scenario; MaxRelError is the
+	// overall worst case, the number the CI gate checks against 0.05.
+	Refreshes     int              `json:"refreshes"`
+	Extrapolation []muxErrorResult `json:"extrapolation"`
+	MaxRelError   float64          `json:"max_rel_error"`
+}
+
+// benchMux measures the mux layer and writes <outDir>/BENCH_mux.json.
+func benchMux(outDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	report := muxReport{
+		GeneratedBy: "tipbench -bench-mux",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Machine:     "a7",
+		Capacity:    machine.CortexA7().NumCounters,
+	}
+	wideEvents, err := core.ResolveScreenEvents(hpm.DefaultRegistry(), metrics.WideScreen())
+	if err != nil {
+		return err
+	}
+	report.Events = len(wideEvents)
+
+	for _, muxed := range []bool{true, false} {
+		name := "RefreshWideUnconstrained"
+		if muxed {
+			name = "RefreshWideMuxed"
+		}
+		fmt.Printf("== bench %s\n", name)
+		res, err := measureMuxRefresh(muxed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		report.Benchmarks = append(report.Benchmarks, muxBenchResult{
+			Name:        name,
+			Multiplexed: muxed,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		fmt.Printf("   %d iterations, %.0f ns/op, %d allocs/op\n",
+			res.N, float64(res.NsPerOp()), res.AllocsPerOp())
+	}
+
+	errs, refreshes, err := measureMuxError()
+	if err != nil {
+		return fmt.Errorf("extrapolation error: %w", err)
+	}
+	report.Refreshes = refreshes
+	for _, e := range errs {
+		report.Extrapolation = append(report.Extrapolation, e)
+		if e.MaxRelError > report.MaxRelError {
+			report.MaxRelError = e.MaxRelError
+		}
+	}
+	fmt.Printf("== extrapolation error over %d refreshes: %.2f%% worst case\n",
+		refreshes, report.MaxRelError*100)
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, "BENCH_mux.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("mux benchmarks:", path)
+	return nil
+}
+
+// steadyA7Kernel builds a Cortex-A7 kernel running the steady
+// scenario's four synthetic jobs.
+func steadyA7Kernel() (*sched.Kernel, error) {
+	k, err := sched.New(machine.CortexA7(), sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	specs := []workload.SyntheticSpec{
+		{Name: "steady-cpu", IPC: 1.60},
+		{Name: "steady-mix", IPC: 1.10, MemRefsPKI: 120},
+		{Name: "steady-mem", IPC: 0.70, MemRefsPKI: 300, HotBytes: 512 << 10, WarmBytes: 4 << 20},
+		{Name: "steady-low", IPC: 0.40, MemRefsPKI: 200, HotBytes: 256 << 10, WarmBytes: 2 << 20},
+	}
+	for i, spec := range specs {
+		spin, err := workload.NewSpin(workload.Synthetic(spec), int64(i+1))
+		if err != nil {
+			return nil, err
+		}
+		k.Spawn("bench", spec.Name, spin, machine.MaskOf(machine.CPUID(i)))
+	}
+	return k, nil
+}
+
+// measureMuxRefresh runs testing.Benchmark over steady-state refreshes
+// of the wide screen on the A7, with the PMU behind the rotating mux
+// (12 events on 4 counters) or raw (the backend attaches everything,
+// capacity ignored — the pre-multiplexing baseline).
+func measureMuxRefresh(muxed bool) (testing.BenchmarkResult, error) {
+	k, err := steadyA7Kernel()
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var backend hpm.Backend = pmu.New(k)
+	if muxed {
+		backend = mux.Wrap(backend)
+	}
+	s, err := core.NewSession(backend, proc.NewSource(k), proc.NewClock(k), core.Options{
+		Screen:   metrics.WideScreen(),
+		Interval: 100 * time.Millisecond,
+		FreqHz:   k.Machine().FreqHz,
+		NumCPUs:  k.Machine().NumLogical(),
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer s.Close()
+	if _, err := s.Update(); err != nil { // attach pass
+		return testing.BenchmarkResult{}, err
+	}
+	s.AdvanceClock()
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Update(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, benchErr
+}
+
+// measureMuxError replays the golden convergence setup through the
+// public facade: the wide screen on the steady scenario, extrapolated
+// refresh deltas summed and compared against the simulator's true
+// per-task totals.
+func measureMuxError() ([]muxErrorResult, int, error) {
+	const refreshes = 100
+	events := []string{"INSTRUCTIONS", "CYCLES"}
+
+	sc, err := tiptop.NewNamedScenario("steady", 0.05)
+	if err != nil {
+		return nil, 0, err
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{Screen: "wide", Interval: 100 * time.Millisecond})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer mon.Close()
+	if _, err := mon.SampleNow(); err != nil { // attach pass
+		return nil, 0, err
+	}
+	first, err := mon.SampleNow()
+	if err != nil {
+		return nil, 0, err
+	}
+	base := map[int]map[string]uint64{}
+	for _, r := range first.Rows {
+		base[r.PID] = map[string]uint64{}
+		for _, ev := range events {
+			v, err := sc.TaskTotal(r.PID, ev)
+			if err != nil {
+				return nil, 0, err
+			}
+			base[r.PID][ev] = v
+		}
+	}
+	sums := map[int]map[string]uint64{}
+	for i := 0; i < refreshes; i++ {
+		s, err := mon.Sample()
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, r := range s.Rows {
+			if sums[r.PID] == nil {
+				sums[r.PID] = map[string]uint64{}
+			}
+			for _, ev := range events {
+				sums[r.PID][ev] += r.Events[ev]
+			}
+		}
+	}
+
+	var out []muxErrorResult
+	for _, ev := range events {
+		worst := 0.0
+		for pid, got := range sums {
+			truth, err := sc.TaskTotal(pid, ev)
+			if err != nil {
+				return nil, 0, err
+			}
+			want := truth - base[pid][ev]
+			if want == 0 {
+				return nil, 0, fmt.Errorf("pid %d %s: ground truth did not advance", pid, ev)
+			}
+			rel := float64(got[ev])/float64(want) - 1
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > worst {
+				worst = rel
+			}
+		}
+		out = append(out, muxErrorResult{Event: ev, MaxRelError: worst})
+	}
+	return out, refreshes, nil
+}

@@ -51,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		batch      = fs.Bool("b", false, "batch mode: stream text, no screen control")
 		delay      = fs.Float64("d", 2, "delay between refreshes, seconds")
 		iterations = fs.Int("n", 0, "number of refreshes (0 = until interrupted / scenario ends)")
-		screenName = fs.String("screen", "default", "screen: default, branch, fp, mem (or one from -config)")
+		screenName = fs.String("screen", "", "screen: default, branch, fp, mem, wide, system (or one from -config; default \"default\", or \"system\" with -system-wide)")
 		sortBy     = fs.String("sort", "cpu", "sort key: cpu, pid, or a column name")
 		maxRows    = fs.Int("rows", 0, "maximum rows displayed (0 = all)")
 		user       = fs.String("u", "", "only show this user's tasks")
@@ -59,7 +59,9 @@ func run(args []string, stdout io.Writer) error {
 		outFormat  = fs.String("o", "", "batch output format: text, csv, jsonl (default text)")
 		recordPath = fs.String("record", "", "record every sample to this target: a CSV file, a JSONL file (.jsonl/.ndjson), or a durable store directory (existing dir, trailing /, or .store)")
 		connect    = fs.String("connect", "", "monitor a remote tiptopd (host:port or URL) instead of this machine")
-		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist")
+		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist, steady")
+		systemWide = fs.Bool("system-wide", false, "monitor logical CPUs instead of tasks (perf's -a; one row per CPU)")
+		counters   = fs.Int("counters", 0, "PMU counter capacity for the real backend: rotate events beyond it in userland (0 = kernel multiplexing)")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios (1.0 = paper length)")
 		list       = fs.Bool("list", false, "list screens and scenarios, then exit")
 		listEvents = fs.Bool("list-events", false, "list the event registry with per-backend support, then exit")
@@ -94,6 +96,9 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("sampling shards cannot be negative, got -j %d", *parallel)
 	}
 
+	if *counters < 0 {
+		return fmt.Errorf("counter capacity cannot be negative, got -counters %d", *counters)
+	}
 	cfg := tiptop.Config{
 		Interval:    time.Duration(*delay * float64(time.Second)),
 		Screen:      *screenName,
@@ -101,6 +106,8 @@ func run(args []string, stdout io.Writer) error {
 		MaxRows:     *maxRows,
 		User:        *user,
 		Parallelism: *parallel,
+		SystemWide:  *systemWide,
+		Counters:    *counters,
 	}
 	format := *outFormat
 	record := *recordPath
@@ -124,6 +131,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if parsed.Options.Parallelism > 0 {
 			cfg.Parallelism = parsed.Options.Parallelism
+		}
+		if parsed.Options.SystemWide {
+			cfg.SystemWide = true
+		}
+		if parsed.Options.Counters > 0 && cfg.Counters == 0 {
+			cfg.Counters = parsed.Options.Counters
 		}
 		if format == "" {
 			format = parsed.Options.Format
@@ -227,19 +240,35 @@ func printEvents(stdout io.Writer, cfg tiptop.Config, simName string) error {
 	if err != nil {
 		return err
 	}
+	caps, err := tiptop.Capacities(machine)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(stdout, "events (sim support on machine %q):\n", machine)
-	fmt.Fprintf(stdout, "  %-18s %-8s %-22s %-4s %-4s %s\n",
-		"NAME", "KIND", "ENCODING", "PERF", "SIM", "DESCRIPTION")
+	fmt.Fprintf(stdout, "counter capacity: perf_event=%s, sim=%s (COST 0 = software/fixed, never occupies a register)\n",
+		capacityString(caps["perf_event"]), capacityString(caps["sim"]))
+	fmt.Fprintf(stdout, "  %-18s %-8s %-22s %-4s %-4s %-4s %s\n",
+		"NAME", "KIND", "ENCODING", "PERF", "SIM", "COST", "DESCRIPTION")
 	for _, info := range infos {
 		desc := info.Desc
 		if info.Unit != "" {
 			desc = fmt.Sprintf("%s [%s]", desc, info.Unit)
 		}
-		fmt.Fprintf(stdout, "  %-18s %-8s %-22s %-4s %-4s %s\n",
+		fmt.Fprintf(stdout, "  %-18s %-8s %-22s %-4s %-4s %-4d %s\n",
 			info.Name, info.Kind, info.Encoding,
-			yesNo(info.Supported["perf_event"]), yesNo(info.Supported["sim"]), desc)
+			yesNo(info.Supported["perf_event"]), yesNo(info.Supported["sim"]),
+			info.SlotCost["sim"], desc)
 	}
 	return nil
+}
+
+// capacityString renders a backend capacity: 0 means no userland limit
+// (the kernel multiplexes, or capacity is unknown).
+func capacityString(n int) string {
+	if n <= 0 {
+		return "kernel-multiplexed"
+	}
+	return fmt.Sprintf("%d", n)
 }
 
 func yesNo(b bool) string {
@@ -251,8 +280,11 @@ func yesNo(b bool) string {
 
 // scenarioMachine names the machine preset a -sim scenario runs on.
 func scenarioMachine(simName string) tiptop.MachineName {
-	if simName == "datacenter" {
+	switch simName {
+	case "datacenter":
 		return tiptop.MachineE5640
+	case "steady":
+		return tiptop.MachineCortexA7
 	}
 	return tiptop.MachineXeonW3550
 }

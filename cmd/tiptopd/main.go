@@ -70,12 +70,14 @@ func run(args []string, stdout io.Writer) error {
 		addr       = fs.String("addr", ":9412", "HTTP listen address")
 		delay      = fs.Float64("d", 2, "delay between refreshes, seconds")
 		iterations = fs.Int("n", 0, "number of refreshes to serve (0 = until interrupted)")
-		screenName = fs.String("screen", "default", "screen: default, branch, fp, mem, lat, roofline")
+		screenName = fs.String("screen", "", "screen: default, branch, fp, mem, lat, roofline, wide, system (default \"default\", or \"system\" with -system-wide)")
 		sortBy     = fs.String("sort", "cpu", "sort key: cpu, pid, or a column name")
 		user       = fs.String("u", "", "only monitor this user's tasks")
 		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
-		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist")
+		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist, steady")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios")
+		systemWide = fs.Bool("system-wide", false, "monitor logical CPUs instead of tasks (perf's -a; one row per CPU)")
+		counters   = fs.Int("counters", 0, "PMU counter capacity for the real backend: rotate events beyond it in userland (0 = kernel multiplexing)")
 		historyCap = fs.Int("history", 0, "points retained per task (0 = default 600)")
 		window     = fs.Duration("window", 0, "windowed-rate horizon, capped at 128 refreshes (0 = default 1m)")
 		confFile   = fs.String("config", "", "load options from an XML configuration file (set options override flags)")
@@ -99,6 +101,9 @@ func run(args []string, stdout io.Writer) error {
 	if *window < 0 {
 		return fmt.Errorf("rate window cannot be negative, got -window %v", *window)
 	}
+	if *counters < 0 {
+		return fmt.Errorf("counter capacity cannot be negative, got -counters %d", *counters)
+	}
 	var budget int64
 	if *budgetStr != "" {
 		b, err := store.ParseBytes(*budgetStr)
@@ -114,6 +119,8 @@ func run(args []string, stdout io.Writer) error {
 		SortBy:      *sortBy,
 		User:        *user,
 		Parallelism: *parallel,
+		SystemWide:  *systemWide,
+		Counters:    *counters,
 	}
 	if *confFile != "" {
 		parsed, err := config.Load(*confFile)
@@ -128,6 +135,12 @@ func run(args []string, stdout io.Writer) error {
 		}
 		if parsed.Options.Parallelism > 0 {
 			cfg.Parallelism = parsed.Options.Parallelism
+		}
+		if parsed.Options.SystemWide {
+			cfg.SystemWide = true
+		}
+		if parsed.Options.Counters > 0 {
+			cfg.Counters = parsed.Options.Counters
 		}
 		// Like delay/sort/parallelism above (and cmd/tiptop), options
 		// the config file sets override flags.
@@ -372,12 +385,17 @@ func (d *daemon) index(w http.ResponseWriter, r *http.Request) {
 }
 
 // events serves the daemon's event registry — defaults plus any
-// -config <event> definitions — with the backend's support status and
-// the set of events the session attaches, in deterministic name order.
+// -config <event> definitions — with the backend's support status, the
+// per-event slot cost, the backend's counter capacity (0 = unlimited
+// or kernel-multiplexed), and the set of events the session attaches,
+// in deterministic name order.
 func (d *daemon) events(w http.ResponseWriter, _ *http.Request) {
+	backend, capacity := d.mon.BackendCapacity()
 	writeJSON(w, http.StatusOK, struct {
-		Events []tiptop.EventInfo `json:"events"`
-	}{d.mon.EventList()})
+		Backend  string             `json:"backend"`
+		Capacity int                `json:"capacity"`
+		Events   []tiptop.EventInfo `json:"events"`
+	}{backend, capacity, d.mon.EventList()})
 }
 
 func (d *daemon) snapshot(w http.ResponseWriter, _ *http.Request) {

@@ -238,6 +238,96 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 }
 
+// TestDaemonSystemWideEndToEnd: a system-wide (per-CPU) simulated
+// monitor behind the full daemon, with a durable store teed in. The
+// per-CPU rows must surface on /metrics as cpuN tasks and round-trip
+// through the store-backed /api/v1/query?expr= endpoint.
+func TestDaemonSystemWideEndToEnd(t *testing.T) {
+	sc, err := tiptop.NewNamedScenario("steady", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := tiptop.NewSimMonitor(sc, tiptop.Config{
+		Interval:   10 * time.Millisecond,
+		SystemWide: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tiptop.NewRecorder(tiptop.RecorderOptions{Capacity: 64, Window: time.Second})
+	mon.Subscribe(rec)
+	hist, err := tiptop.OpenStore(t.TempDir(), tiptop.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Tee(hist)
+	d := newDaemon(mon, rec, time.Millisecond, hist)
+
+	stop := make(chan struct{})
+	loopDone := make(chan error, 1)
+	go func() { loopDone <- d.loop(stop, 0) }()
+	srv := httptest.NewServer(d.handler())
+	t.Cleanup(func() {
+		d.srv.Close()
+		srv.Close()
+		close(stop)
+		if err := <-loopDone; err != nil {
+			t.Errorf("sampling loop: %v", err)
+		}
+		mon.Close()
+		if err := hist.Close(); err != nil {
+			t.Errorf("store close: %v", err)
+		}
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.Snapshot().Refreshes < 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampling loop produced no refreshes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The scrape carries one task per logical CPU of the A7.
+	_, metrics := get(t, srv.URL+"/metrics")
+	for cpu := 0; cpu < 4; cpu++ {
+		want := fmt.Sprintf("command=%q", fmt.Sprintf("cpu%d", cpu))
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing per-CPU task %s", want)
+		}
+	}
+	if !strings.Contains(metrics, "tiptop_task_coverage") {
+		t.Error("/metrics missing the coverage gauge family")
+	}
+
+	// Store-backed expression query over the recorded per-CPU history.
+	status, body := get(t, srv.URL+"/api/v1/query?expr=rate(CYCLES)")
+	if status != http.StatusOK {
+		t.Fatalf("query status = %d: %s", status, body)
+	}
+	var res struct {
+		Series []struct {
+			Command string `json:"command"`
+			Points  []struct {
+				Value float64 `json:"value"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatalf("query JSON: %v\n%s", err, body)
+	}
+	cpus := map[string]bool{}
+	for _, s := range res.Series {
+		if strings.HasPrefix(s.Command, "cpu") && len(s.Points) > 0 {
+			cpus[s.Command] = true
+		}
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if name := fmt.Sprintf("cpu%d", cpu); !cpus[name] {
+			t.Errorf("query result missing series for %s (got %v)", name, cpus)
+		}
+	}
+}
+
 // TestDaemonEventsEndpoint: /api/v1/events serves the registry in
 // deterministic name order with the sim backend's support status and
 // the attached set of the default screen.
@@ -261,8 +351,8 @@ func TestDaemonEventsEndpoint(t *testing.T) {
 		return body.Events
 	}
 	events := get()
-	if len(events) != 12 {
-		t.Fatalf("events = %d, want the 12 defaults", len(events))
+	if len(events) != 15 {
+		t.Fatalf("events = %d, want the 15 defaults", len(events))
 	}
 	byName := map[string]tiptop.EventInfo{}
 	for i, e := range events {

@@ -96,6 +96,13 @@ type OptionsXML struct {
 	// Budget bounds the store's size on disk ("64MB", "1G", or plain
 	// bytes). Empty selects the 64 MiB default.
 	Budget string `xml:"budget,attr,omitempty"`
+	// SystemWide monitors logical CPUs instead of tasks (perf's -a
+	// mode): one row per CPU, counters opened system-wide.
+	SystemWide bool `xml:"systemwide,attr,omitempty"`
+	// Counters declares the PMU's simultaneous-counter capacity for
+	// the real backend, enabling userland rotation beyond it (0 =
+	// kernel multiplexing).
+	Counters int `xml:"counters,attr,omitempty"`
 }
 
 // RetentionValue parses the store retention horizon (0 if unset).
@@ -225,6 +232,9 @@ func (f *File) Validate() error {
 	}
 	if f.Options.Parallelism < 0 {
 		return fmt.Errorf("config: negative parallelism")
+	}
+	if f.Options.Counters < 0 {
+		return fmt.Errorf("config: negative counters capacity")
 	}
 	switch f.Options.Format {
 	case "", "text", "csv", "jsonl":
@@ -522,6 +532,7 @@ func Default() *File {
 		metrics.DefaultScreen(), metrics.BranchScreen(),
 		metrics.FPScreen(), metrics.MemoryScreen(),
 		metrics.LatencyScreen(), metrics.RooflineScreen(),
+		metrics.WideScreen(), metrics.SystemScreen(),
 	} {
 		sx := ScreenXML{Name: s.Name}
 		for _, c := range s.Columns {

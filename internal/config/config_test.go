@@ -133,7 +133,8 @@ func TestDefaultRoundTrip(t *testing.T) {
 				"BRANCHES": 20, "BRANCH_MISSES": 1, "FP_ASSIST": 2,
 				"FP_OPS": 30, "LOADS": 40, "L2_MISSES": 3,
 				"MEM_STALL_CYCLES": 250, "CACHE_REFERENCES": 9,
-				"STORES": 11,
+				"STORES": 11, "SMPL_PCT": 75,
+				"PAGE_FAULTS": 7, "CONTEXT_SWITCHES": 13, "CPU_MIGRATIONS": 2,
 			}
 			v1, err1 := want.Columns[i].Expr.Eval(env)
 			v2, err2 := got.Columns[i].Expr.Eval(env)

@@ -130,6 +130,13 @@ type Row struct {
 	// everywhere downstream of the backend (recorders, exports, the
 	// remote wire format).
 	Events map[string]uint64
+	// Coverage is the fraction of the refresh interval the task's
+	// events were actually counted, averaged over the events: 1 when
+	// the PMU accommodated everything, lower when counts are
+	// Enabled/Running extrapolations (kernel multiplexing or the
+	// internal/mux rotation). Exposed to column expressions as
+	// SMPL_PCT (coverage*100).
+	Coverage float64
 	// Valid is false when counters could not be attached or read; the
 	// renderer shows dashes and the %CPU column only.
 	Valid bool

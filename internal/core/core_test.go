@@ -43,8 +43,10 @@ type fakeBackend struct {
 	closeCount int
 }
 
-func (b *fakeBackend) Name() string { return "fake" }
-func (b *fakeBackend) Probe() error { return b.probeErr }
+func (b *fakeBackend) Name() string               { return "fake" }
+func (b *fakeBackend) Probe() error               { return b.probeErr }
+func (b *fakeBackend) Capacity() int              { return 0 }
+func (b *fakeBackend) SlotCost(hpm.EventDesc) int { return 1 }
 func (b *fakeBackend) Supported(e hpm.EventDesc) bool {
 	return e.Valid()
 }

@@ -230,6 +230,7 @@ func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, val
 		return sh.cpuOnlyRow(info, now, st, vals, events)
 	}
 	sh.deltas = hpm.DeltasInto(sh.deltas, st.prevCounts, counts)
+	coverage := coverageOf(st.prevCounts, counts)
 	st.spare = st.prevCounts
 	st.prevCounts = counts
 
@@ -246,13 +247,15 @@ func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, val
 	sh.env[metrics.VarFreqHz] = s.opt.FreqHz
 	sh.env[metrics.VarCPUPct] = cpuPct
 	sh.env[metrics.VarNumCPU] = float64(s.opt.NumCPUs)
+	sh.env[metrics.VarSamplePct] = coverage * 100
 
 	row := Row{
-		Info:   info,
-		CPUPct: cpuPct,
-		Events: events,
-		Values: vals,
-		Valid:  true,
+		Info:     info,
+		CPUPct:   cpuPct,
+		Events:   events,
+		Values:   vals,
+		Coverage: coverage,
+		Valid:    true,
 	}
 	for i, col := range s.opt.Screen.Columns {
 		v, err := col.Expr.Eval(sh.env)
@@ -262,6 +265,37 @@ func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, val
 		vals[i] = v
 	}
 	return row
+}
+
+// coverageOf computes the refresh's counter coverage: the mean over
+// events of the interval's Running/Enabled ratio. An event whose
+// Enabled time did not advance (a stopped task, or a backend that does
+// not track scheduling time) counts as fully covered — only positive
+// evidence of descheduling lowers the figure.
+func coverageOf(prev, cur []hpm.Count) float64 {
+	if len(cur) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for i := range cur {
+		// A reset counter (cur below prev) restarts the baseline at
+		// zero, mirroring hpm.DeltasInto's clamp.
+		dEn, dRun := cur[i].Enabled, cur[i].Running
+		if i < len(prev) {
+			if p := prev[i].Enabled; p <= dEn {
+				dEn -= p
+			}
+			if p := prev[i].Running; p <= dRun {
+				dRun -= p
+			}
+		}
+		if dEn == 0 || dRun >= dEn {
+			sum++
+			continue
+		}
+		sum += float64(dRun) / float64(dEn)
+	}
+	return sum / float64(len(cur))
 }
 
 // cpuOnlyRow builds an unmonitored row (no counters available).

@@ -53,6 +53,14 @@ func WriteOpenMetrics(w io.Writer, snap *history.Snapshot) error {
 	for _, t := range snap.Tasks {
 		e.sample("tiptop_task_ipc", taskLabels(t), t.IPC)
 	}
+	e.family("tiptop_task_coverage", "gauge", "Counted fraction of the last refresh interval (1 = exact, lower = multiplexed extrapolation).")
+	for _, t := range snap.Tasks {
+		coverage := t.Coverage
+		if coverage <= 0 || coverage > 1 {
+			coverage = 1 // elided on the snapshot means exact counting
+		}
+		e.sample("tiptop_task_coverage", taskLabels(t), coverage)
+	}
 	if len(snap.Columns) > 0 {
 		e.family("tiptop_task_metric", "gauge", "Screen column value of the task (label \"column\" names it).")
 		for _, t := range snap.Tasks {

@@ -99,14 +99,17 @@ type Aggregate struct {
 
 // TaskSnap is the latest observation of one task in a Snapshot.
 type TaskSnap struct {
-	PID     int       `json:"pid"`
-	TID     int       `json:"tid"`
-	User    string    `json:"user"`
-	Command string    `json:"command"`
-	State   string    `json:"state"`
-	CPUPct  float64   `json:"cpu_pct"`
-	IPC     float64   `json:"ipc"`
-	Values  []float64 `json:"values"`
+	PID     int     `json:"pid"`
+	TID     int     `json:"tid"`
+	User    string  `json:"user"`
+	Command string  `json:"command"`
+	State   string  `json:"state"`
+	CPUPct  float64 `json:"cpu_pct"`
+	IPC     float64 `json:"ipc"`
+	// Coverage is the counted fraction of the last interval (1 = exact,
+	// lower = a multiplexed extrapolation). Omitted when exact.
+	Coverage float64   `json:"coverage,omitempty"`
+	Values   []float64 `json:"values"`
 }
 
 // Snapshot is a consistent copy of the recorder's current state.
@@ -219,6 +222,7 @@ type ring struct {
 	user      string
 	comm      string
 	state     string
+	coverage  float64       // counted fraction of the latest interval
 	start     time.Duration // TaskInfo.StartTime, the pid-reuse detector
 	lastEpoch uint64
 	ncols     int
@@ -366,6 +370,7 @@ func (r *Recorder) observe(s *core.Sample) {
 		}
 		rg.lastEpoch = r.epoch
 		rg.state = row.Info.State
+		rg.coverage = row.Coverage
 		ipc := row.IPC()
 		instr := row.Events[hpm.EventInstructions]
 		cycles := row.Events[hpm.EventCycles]
@@ -498,15 +503,20 @@ func (r *Recorder) Snapshot() *Snapshot {
 		if ncols < 0 {
 			ncols = 0
 		}
+		coverage := rg.coverage
+		if coverage >= 1 {
+			coverage = 0 // exact counting is elided from the JSON
+		}
 		snap.Tasks = append(snap.Tasks, TaskSnap{
-			PID:     rg.id.PID,
-			TID:     rg.id.TID,
-			User:    rg.user,
-			Command: rg.comm,
-			State:   rg.state,
-			CPUPct:  rg.cpu[last],
-			IPC:     rg.ipc[last],
-			Values:  append([]float64(nil), rg.vals[last*ncols:(last+1)*ncols]...),
+			PID:      rg.id.PID,
+			TID:      rg.id.TID,
+			User:     rg.user,
+			Command:  rg.comm,
+			State:    rg.state,
+			CPUPct:   rg.cpu[last],
+			IPC:      rg.ipc[last],
+			Coverage: coverage,
+			Values:   append([]float64(nil), rg.vals[last*ncols:(last+1)*ncols]...),
 		})
 	}
 	sort.Slice(snap.Tasks, func(i, j int) bool {

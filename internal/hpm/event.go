@@ -32,6 +32,11 @@ const (
 	// KindRaw is a model-specific raw event code looked up in the
 	// vendor's architecture manual (PERF_TYPE_RAW).
 	KindRaw
+	// KindSoftware is a kernel-counted software event
+	// (PERF_TYPE_SOFTWARE): page faults, context switches, CPU
+	// migrations. Software events occupy no PMU register and are never
+	// multiplexed.
+	KindSoftware
 )
 
 // String names the kind as used in listings and configuration errors.
@@ -43,6 +48,8 @@ func (k EventKind) String() string {
 		return "hw-cache"
 	case KindRaw:
 		return "raw"
+	case KindSoftware:
+		return "software"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -65,6 +72,14 @@ const (
 	HWCacheMisses        = 3
 	HWBranchInstructions = 4
 	HWBranchMisses       = 5
+)
+
+// PERF_TYPE_SOFTWARE config values for the kernel-counted software
+// events system-wide mode displays alongside the hardware counters.
+const (
+	SWPageFaults    = 2
+	SWCtxSwitches   = 3
+	SWCPUMigrations = 4
 )
 
 // EventDesc describes one countable event: the canonical upper-case
@@ -118,6 +133,11 @@ const (
 	// as future work for detecting DRAM-level contention; this event
 	// implements that extension.
 	EventMemStallCycles = "MEM_STALL_CYCLES"
+	// Software events (PERF_TYPE_SOFTWARE): counted by the kernel, not
+	// the PMU, so they cost no counter slot and are always exact.
+	EventPageFaults    = "PAGE_FAULTS"
+	EventCtxSwitches   = "CONTEXT_SWITCHES"
+	EventCPUMigrations = "CPU_MIGRATIONS"
 )
 
 // Registry is an ordered, named collection of event descriptors: the
@@ -167,6 +187,12 @@ func DefaultRegistry() *Registry {
 	raw(EventStores, 0x020B, "", "retired stores (MEM_INST_RETIRED.STORES)")
 	raw(EventFPOps, 0xFF10, "", "FP operations executed (FP_COMP_OPS_EXE.ANY)")
 	raw(EventMemStallCycles, 0x06A3, "cycles", "cycles stalled on DRAM (CYCLE_ACTIVITY.STALLS_LDM_PENDING)")
+	software := func(name string, config uint64, desc string) {
+		mustRegister(EventDesc{Name: name, Kind: KindSoftware, Type: PerfTypeSoftware, Config: config, Desc: desc})
+	}
+	software(EventPageFaults, SWPageFaults, "page faults (kernel software event)")
+	software(EventCtxSwitches, SWCtxSwitches, "context switches (kernel software event)")
+	software(EventCPUMigrations, SWCPUMigrations, "CPU migrations (kernel software event)")
 	return r
 }
 

@@ -45,6 +45,20 @@ type TaskID struct {
 	TID int // thread id; equal to PID for the main thread, 0 for group scope
 }
 
+// CPUTask returns the ID addressing system-wide counting on one logical
+// CPU (perf_event's pid=-1, cpu=N scope). CPU scopes are encoded as
+// negative PIDs so they flow through every PID-keyed layer above the
+// backend — history series, the durable store, the wire format, the
+// query engine — without any of them learning a new key type.
+func CPUTask(cpu int) TaskID { return TaskID{PID: -(cpu + 1), TID: -(cpu + 1)} }
+
+// IsCPU reports whether the ID addresses a logical CPU rather than a
+// task (system-wide counting scope).
+func (t TaskID) IsCPU() bool { return t.PID < 0 }
+
+// CPU returns the logical CPU index of a CPU-scope ID.
+func (t TaskID) CPU() int { return -t.PID - 1 }
+
 // IsProcess reports whether the task is a thread-group leader.
 func (t TaskID) IsProcess() bool { return t.PID == t.TID }
 
@@ -56,6 +70,9 @@ func (t TaskID) IsGroup() bool { return t.TID == 0 }
 func (t TaskID) Group() TaskID { return TaskID{PID: t.PID} }
 
 func (t TaskID) String() string {
+	if t.IsCPU() {
+		return fmt.Sprintf("cpu %d (system-wide)", t.CPU())
+	}
 	if t.IsGroup() {
 		return fmt.Sprintf("pid %d (group)", t.PID)
 	}
@@ -142,6 +159,16 @@ type Backend interface {
 	// starts at the time of the call: events that happened before are
 	// not observed (paper §2.2).
 	Attach(task TaskID, events []EventDesc) (TaskCounter, error)
+	// Capacity returns how many hardware counter slots one attach can
+	// occupy before events must be time-multiplexed: the number of PMU
+	// counting registers (e.g. 4 on a Cortex-A7). Zero means unlimited
+	// or unknown — the caller attaches everything at once and relies on
+	// Enabled/Running for any kernel-side multiplexing.
+	Capacity() int
+	// SlotCost returns how many counter slots the event occupies: 1 for
+	// an ordinary hardware event, 0 for events counted outside the PMU
+	// (software events, fixed counters), which never need multiplexing.
+	SlotCost(e EventDesc) int
 }
 
 // Deltas computes per-event deltas between two readings taken from the

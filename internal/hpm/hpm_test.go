@@ -9,8 +9,8 @@ import (
 
 func TestDefaultRegistryRoundTrip(t *testing.T) {
 	reg := DefaultRegistry()
-	if reg.Len() != 12 {
-		t.Fatalf("default registry has %d events, want 12", reg.Len())
+	if reg.Len() != 15 {
+		t.Fatalf("default registry has %d events, want 15", reg.Len())
 	}
 	for _, d := range reg.Events() {
 		got, err := reg.ParseEvent(d.Name)
@@ -140,8 +140,25 @@ func TestGenericClassification(t *testing.T) {
 }
 
 func TestEventKindString(t *testing.T) {
-	if KindGeneric.String() != "generic" || KindHWCache.String() != "hw-cache" || KindRaw.String() != "raw" {
+	if KindGeneric.String() != "generic" || KindHWCache.String() != "hw-cache" || KindRaw.String() != "raw" || KindSoftware.String() != "software" {
 		t.Fatal("kind names drifted")
+	}
+}
+
+func TestSoftwareEventsRegistered(t *testing.T) {
+	r := DefaultRegistry()
+	for name, config := range map[string]uint64{
+		EventPageFaults:    SWPageFaults,
+		EventCtxSwitches:   SWCtxSwitches,
+		EventCPUMigrations: SWCPUMigrations,
+	} {
+		d, ok := r.Lookup(name)
+		if !ok {
+			t.Fatalf("software event %s missing from DefaultRegistry", name)
+		}
+		if d.Kind != KindSoftware || d.Type != PerfTypeSoftware || d.Config != config {
+			t.Fatalf("%s = %+v, want software type=%d config=%d", name, d, PerfTypeSoftware, config)
+		}
 	}
 }
 
@@ -194,6 +211,48 @@ func TestCountScaled(t *testing.T) {
 	c = Count{Raw: 1000, Enabled: 100, Running: 0}
 	if got := c.Scaled(); got != 0 {
 		t.Fatalf("never-ran count = %d, want 0", got)
+	}
+}
+
+// Regression: an event that was enabled but never scheduled onto a
+// counter (Running==0, Enabled>0 — e.g. its rotation group never got a
+// turn) must report 0, not the raw value, and must not claim exactness.
+func TestCountNeverScheduled(t *testing.T) {
+	c := Count{Raw: 7777, Enabled: 1_000_000, Running: 0}
+	if got := c.Scaled(); got != 0 {
+		t.Fatalf("never-scheduled Scaled() = %d, want 0", got)
+	}
+	if c.Exact() {
+		t.Fatal("never-scheduled count claims Exact()")
+	}
+	// The degenerate zero count (never enabled at all) stays exact: no
+	// multiplexing happened, there is simply nothing to report.
+	z := Count{}
+	if !z.Exact() || z.Scaled() != 0 {
+		t.Fatalf("zero count: Scaled=%d Exact=%v", z.Scaled(), z.Exact())
+	}
+}
+
+func TestCPUScope(t *testing.T) {
+	for _, n := range []int{0, 1, 7} {
+		id := CPUTask(n)
+		if !id.IsCPU() || id.CPU() != n {
+			t.Fatalf("CPUTask(%d) = %+v (IsCPU=%v CPU=%d)", n, id, id.IsCPU(), id.CPU())
+		}
+		if id.IsGroup() {
+			t.Fatalf("CPU scope %v must not be group scope", id)
+		}
+		if !strings.Contains(id.String(), "cpu") {
+			t.Fatalf("CPU scope String = %q", id)
+		}
+	}
+	// Distinct CPUs map to distinct PIDs so PID-keyed layers (history,
+	// store, wire) keep them apart.
+	if CPUTask(0) == CPUTask(1) {
+		t.Fatal("CPU scopes collide")
+	}
+	if (TaskID{PID: 10, TID: 10}).IsCPU() {
+		t.Fatal("ordinary task claims CPU scope")
 	}
 }
 

@@ -12,6 +12,11 @@ const (
 	VarFreqHz  = "FREQ_HZ"  // nominal core clock of the machine
 	VarCPUPct  = "CPU_PCT"  // OS-reported %CPU over the interval
 	VarNumCPU  = "NUM_CPUS" // logical CPUs on the machine
+	// VarSamplePct is the counter coverage of the refresh, percent: 100
+	// when every event counted the whole interval, lower when the PMU
+	// was oversubscribed and counts are Enabled/Running extrapolations
+	// (kernel multiplexing or internal/mux rotation).
+	VarSamplePct = "SMPL_PCT"
 )
 
 // Column describes one displayed metric column: a header, a printf format
@@ -55,7 +60,7 @@ func (c *Column) Identifiers() []string {
 // sampling engine provides alongside the counter deltas.
 func IsContextVar(name string) bool {
 	switch name {
-	case VarDeltaNS, VarFreqHz, VarCPUPct, VarNumCPU:
+	case VarDeltaNS, VarFreqHz, VarCPUPct, VarNumCPU, VarSamplePct:
 		return true
 	}
 	return false
@@ -278,10 +283,132 @@ func RooflineScreen() *Screen {
 	}
 }
 
+// WideScreen returns a deliberately oversubscribed screen: twelve
+// hardware events at once, far beyond any real PMU's register count
+// (the Cortex-A7 has four). It only renders meaningfully above a
+// multiplexing backend — kernel-side scaling or internal/mux rotation —
+// and carries the %SMPL column so the coverage behind the
+// extrapolation stays visible.
+func WideScreen() *Screen {
+	return &Screen{
+		Name: "wide",
+		Columns: []*Column{
+			{
+				Name: "mcycle", Header: "Mcycle", Width: 8, Format: "%8.0f",
+				Expr: MustCompile("mega(CYCLES)"),
+				Desc: "execution cycles since last refresh, in millions",
+			},
+			{
+				Name: "minst", Header: "Minst", Width: 8, Format: "%8.0f",
+				Expr: MustCompile("mega(INSTRUCTIONS)"),
+				Desc: "instructions retired since last refresh, in millions",
+			},
+			{
+				Name: "ipc", Header: "IPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+				Desc: "executed instructions per cycle",
+			},
+			{
+				Name: "ref", Header: "REF", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(CACHE_REFERENCES, INSTRUCTIONS)"),
+				Desc: "last-level cache references per hundred instructions",
+			},
+			{
+				Name: "dmis", Header: "DMIS", Width: 5, Format: "%5.1f",
+				Expr: MustCompile("per100(CACHE_MISSES, INSTRUCTIONS)"),
+				Desc: "last-level cache misses per hundred instructions",
+			},
+			{
+				Name: "l2m", Header: "L2M", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(L2_MISSES, INSTRUCTIONS)"),
+				Desc: "L2 cache misses per hundred instructions",
+			},
+			{
+				Name: "misp", Header: "%MISP", Width: 6, Format: "%6.2f",
+				Expr: MustCompile("per100(BRANCH_MISSES, BRANCHES)"),
+				Desc: "branch misprediction ratio, percent",
+			},
+			{
+				Name: "lpi", Header: "LPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(LOADS, INSTRUCTIONS)"),
+				Desc: "loads per instruction",
+			},
+			{
+				Name: "spi", Header: "SPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(STORES, INSTRUCTIONS)"),
+				Desc: "stores per instruction",
+			},
+			{
+				Name: "fpi", Header: "FPI", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(FP_OPS, INSTRUCTIONS)"),
+				Desc: "floating-point operations per instruction",
+			},
+			{
+				Name: "pgflt", Header: "PGFLT", Width: 6, Format: "%6.0f",
+				Expr: MustCompile("PAGE_FAULTS"),
+				Desc: "page faults taken since last refresh (software event, occupies no counter)",
+			},
+			{
+				Name: "stall", Header: "%STL", Width: 5, Format: "%5.1f",
+				Expr: MustCompile("per100(MEM_STALL_CYCLES, CYCLES)"),
+				Desc: "fraction of cycles stalled on memory, percent",
+			},
+			{
+				Name: "smpl", Header: "%SMPL", Width: 6, Format: "%6.1f",
+				Expr: MustCompile("SMPL_PCT"),
+				Desc: "counter coverage: fraction of the interval the events were actually counted, percent",
+			},
+		},
+	}
+}
+
+// SystemScreen returns the screen for system-wide (per-CPU) monitoring:
+// cycles and instructions next to the kernel software events — page
+// faults, context switches, CPU migrations. Two hardware events plus
+// three zero-cost software events fit even a two-register PMU without
+// rotation.
+func SystemScreen() *Screen {
+	return &Screen{
+		Name: "system",
+		Columns: []*Column{
+			{
+				Name: "mcycle", Header: "Mcycle", Width: 8, Format: "%8.0f",
+				Expr: MustCompile("mega(CYCLES)"),
+				Desc: "execution cycles since last refresh, in millions",
+			},
+			{
+				Name: "minst", Header: "Minst", Width: 8, Format: "%8.0f",
+				Expr: MustCompile("mega(INSTRUCTIONS)"),
+				Desc: "instructions retired since last refresh, in millions",
+			},
+			{
+				Name: "ipc", Header: "IPC", Width: 5, Format: "%5.2f",
+				Expr: MustCompile("ratio(INSTRUCTIONS, CYCLES)"),
+				Desc: "executed instructions per cycle",
+			},
+			{
+				Name: "pgflt", Header: "PGFLT", Width: 7, Format: "%7.0f",
+				Expr: MustCompile("PAGE_FAULTS"),
+				Desc: "page faults since last refresh (software event)",
+			},
+			{
+				Name: "csw", Header: "CSW", Width: 7, Format: "%7.0f",
+				Expr: MustCompile("CONTEXT_SWITCHES"),
+				Desc: "context switches since last refresh (software event)",
+			},
+			{
+				Name: "migr", Header: "MIGR", Width: 5, Format: "%5.0f",
+				Expr: MustCompile("CPU_MIGRATIONS"),
+				Desc: "cross-CPU task migrations since last refresh (software event)",
+			},
+		},
+	}
+}
+
 // BuiltinScreens returns all predefined screens keyed by name.
 func BuiltinScreens() map[string]*Screen {
 	out := map[string]*Screen{}
-	for _, s := range []*Screen{DefaultScreen(), BranchScreen(), FPScreen(), MemoryScreen(), LatencyScreen(), RooflineScreen()} {
+	for _, s := range []*Screen{DefaultScreen(), BranchScreen(), FPScreen(), MemoryScreen(), LatencyScreen(), RooflineScreen(), WideScreen(), SystemScreen()} {
 		out[s.Name] = s
 	}
 	return out

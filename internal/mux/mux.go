@@ -1,0 +1,336 @@
+// Package mux implements userland counter scheduling: an hpm.Backend
+// decorator that lets a screen request more events than the PMU has
+// counting registers. Real PMUs are small — the ARM Cortex-A7 has four
+// counting registers, the RISC-V U74 two programmable ones next to its
+// fixed cycle/instret CSRs — while tiptop's default screen alone wants
+// six hardware events.
+//
+// When the requested events fit the inner backend's advertised capacity
+// (hpm.Backend.Capacity), Attach passes straight through. When they do
+// not, the decorator partitions the slot-costing events into rotation
+// groups of at most Capacity slots, keeps zero-cost events (software
+// events, fixed counters) attached continuously, and round-robins one
+// group per refresh: each Read harvests the counts of the group that
+// was live since the previous Read, credits every rotated event with
+// the elapsed enabled time, then closes the live group and attaches the
+// next one.
+//
+// The result is reported through the existing hpm.Count mechanism —
+// Raw/Running grow only while an event's group is live, Enabled grows
+// every refresh — so hpm.Count.Scaled() performs the same
+// Raw*Enabled/Running extrapolation the kernel's own multiplexing
+// relies on, and every layer above the backend (engine shards, history,
+// store, query, wire) works unchanged. The Running/Enabled ratio is the
+// per-event coverage fraction the UI surfaces as %SMPL.
+package mux
+
+import (
+	"fmt"
+	"sync"
+
+	"tiptop/internal/hpm"
+)
+
+// Backend decorates an inner backend with userland counter rotation.
+type Backend struct {
+	inner hpm.Backend
+	// mu serializes every Attach and Close on the inner backend. The
+	// engine serializes its own Attach/Close calls, but rotation makes
+	// additional ones from TaskCounter.Read, which the engine runs
+	// concurrently across shards — without this lock those would break
+	// the inner backend's concurrency contract.
+	mu sync.Mutex
+}
+
+var _ hpm.Backend = (*Backend)(nil)
+
+// Wrap decorates inner with counter rotation. Attaches whose events fit
+// the inner capacity are passed through untouched, so wrapping an
+// unconstrained backend (Capacity 0) costs nothing.
+func Wrap(inner hpm.Backend) *Backend { return &Backend{inner: inner} }
+
+// Unwrap returns the decorated backend.
+func (b *Backend) Unwrap() hpm.Backend { return b.inner }
+
+// Name implements hpm.Backend; the decorator is transparent.
+func (b *Backend) Name() string { return b.inner.Name() }
+
+// Probe implements hpm.Backend.
+func (b *Backend) Probe() error { return b.inner.Probe() }
+
+// Supported implements hpm.Backend.
+func (b *Backend) Supported(e hpm.EventDesc) bool { return b.inner.Supported(e) }
+
+// Capacity implements hpm.Backend, reporting the inner backend's limit
+// (the decorator itself accepts any number of events).
+func (b *Backend) Capacity() int { return b.inner.Capacity() }
+
+// SlotCost implements hpm.Backend.
+func (b *Backend) SlotCost(e hpm.EventDesc) int { return b.inner.SlotCost(e) }
+
+// Attach implements hpm.Backend. When the events fit the PMU it
+// delegates; otherwise it builds a rotating counter.
+func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCounter, error) {
+	capacity := b.inner.Capacity()
+	total := 0
+	for _, e := range events {
+		total += b.inner.SlotCost(e)
+	}
+	if capacity <= 0 || total <= capacity {
+		// Fits the PMU: no rotation needed. The inner Attach (and the
+		// returned counter's Close) still synchronize with rotation
+		// attaches happening on Read goroutines of other counters.
+		b.mu.Lock()
+		inner, err := b.inner.Attach(task, events)
+		b.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return &passthrough{b: b, ctr: inner}, nil
+	}
+
+	// Partition: zero-cost events count continuously; slot-costing
+	// events fill rotation groups of at most capacity slots, greedily
+	// in request order (deterministic, and neighbouring columns rotate
+	// together so ratios like IPC come from the same live window).
+	c := &counter{
+		b:      b,
+		task:   task,
+		events: events,
+		acc:    make([]hpm.Count, len(events)),
+	}
+	var group []int
+	used := 0
+	for i, e := range events {
+		cost := b.inner.SlotCost(e)
+		if cost == 0 {
+			c.free = append(c.free, i)
+			continue
+		}
+		if used+cost > capacity && len(group) > 0 {
+			c.groups = append(c.groups, group)
+			group, used = nil, 0
+		}
+		group = append(group, i)
+		used += cost
+	}
+	if len(group) > 0 {
+		c.groups = append(c.groups, group)
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(c.free) > 0 {
+		fc, err := b.inner.Attach(task, c.descs(c.free))
+		if err != nil {
+			return nil, err
+		}
+		c.freeCtr = fc
+	}
+	if err := c.attachGroupLocked(0); err != nil {
+		if c.freeCtr != nil {
+			c.freeCtr.Close()
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// passthrough wraps an unrotated inner counter so that its Close takes
+// the backend mutex: the engine serializes its own Attach/Close calls,
+// but rotations of *other* counters issue inner Attach/Close from Read
+// goroutines, and the inner backend is promised those never overlap.
+type passthrough struct {
+	b   *Backend
+	ctr hpm.TaskCounter
+}
+
+var _ hpm.TaskCounter = (*passthrough)(nil)
+var _ hpm.CountReader = (*passthrough)(nil)
+
+func (p *passthrough) Task() hpm.TaskID           { return p.ctr.Task() }
+func (p *passthrough) Read() ([]hpm.Count, error) { return p.ctr.Read() }
+
+func (p *passthrough) ReadInto(dst []hpm.Count) ([]hpm.Count, error) {
+	if r, ok := p.ctr.(hpm.CountReader); ok {
+		return r.ReadInto(dst)
+	}
+	return p.ctr.Read()
+}
+
+func (p *passthrough) Close() error {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	return p.ctr.Close()
+}
+
+// liveGroup is one attached inner counter of the currently live
+// rotation group with the event indices it covers. Normally the whole
+// group is one inner counter; after a partial attach failure it decays
+// to one counter per still-working event.
+type liveGroup struct {
+	ctr  hpm.TaskCounter
+	idxs []int
+}
+
+// counter is the rotating TaskCounter. All mutable state is guarded by
+// the backend mutex during rotation; the engine guarantees Read/Close
+// of one counter are never concurrent with each other.
+type counter struct {
+	b      *Backend
+	task   hpm.TaskID
+	events []hpm.EventDesc
+	free   []int   // indices of zero-cost events, attached continuously
+	groups [][]int // rotation groups over slot-costing event indices
+
+	freeCtr hpm.TaskCounter
+	// freeEnabled is the free counter's last Enabled reading, used to
+	// measure the refresh window when a rotation attach failed and no
+	// live group can report it.
+	freeEnabled uint64
+
+	cur    int // index of the live group
+	live   []liveGroup
+	acc    []hpm.Count // accumulated totals per event, in attach order
+	closed bool
+}
+
+var _ hpm.TaskCounter = (*counter)(nil)
+var _ hpm.CountReader = (*counter)(nil)
+
+// Task implements hpm.TaskCounter.
+func (c *counter) Task() hpm.TaskID { return c.task }
+
+func (c *counter) descs(idxs []int) []hpm.EventDesc {
+	out := make([]hpm.EventDesc, len(idxs))
+	for i, idx := range idxs {
+		out[i] = c.events[idx]
+	}
+	return out
+}
+
+// attachGroupLocked attaches rotation group g, preferring one inner
+// counter for the whole group and decaying to per-event counters when
+// the group attach fails — a transiently failing event must not stall
+// its groupmates (they keep counting; the failed event is simply
+// skipped this turn and retried when its group next comes up). The
+// error is only returned when not a single event of the group could be
+// attached. Caller holds b.mu.
+func (c *counter) attachGroupLocked(g int) error {
+	idxs := c.groups[g]
+	ctr, err := c.b.inner.Attach(c.task, c.descs(idxs))
+	if err == nil {
+		c.live = append(c.live, liveGroup{ctr: ctr, idxs: idxs})
+		return nil
+	}
+	firstErr := err
+	for _, idx := range idxs {
+		ctr, err := c.b.inner.Attach(c.task, c.descs([]int{idx}))
+		if err != nil {
+			continue
+		}
+		c.live = append(c.live, liveGroup{ctr: ctr, idxs: []int{idx}})
+	}
+	if len(c.live) == 0 {
+		return fmt.Errorf("mux: group %d of %v: %w", g, c.task, firstErr)
+	}
+	return nil
+}
+
+// Read implements hpm.TaskCounter.
+func (c *counter) Read() ([]hpm.Count, error) {
+	return c.ReadInto(nil)
+}
+
+// ReadInto implements hpm.CountReader: harvest the live group, credit
+// the elapsed window to every rotated event's Enabled time, rotate to
+// the next group, and report the accumulated totals. The totals are
+// monotonic, so the engine's delta computation over Scaled() endpoints
+// works exactly as with a real multiplexing kernel.
+func (c *counter) ReadInto(dst []hpm.Count) ([]hpm.Count, error) {
+	if c.closed {
+		return nil, fmt.Errorf("mux: read of closed counter for %v", c.task)
+	}
+	c.b.mu.Lock()
+	// Harvest the group that was live since the previous Read. The
+	// window length is what the inner backend reports as enabled time
+	// since the group's attach.
+	var windowNS uint64
+	for _, lg := range c.live {
+		counts, err := lg.ctr.Read()
+		if err == nil {
+			for j, idx := range lg.idxs {
+				c.acc[idx].Raw += counts[j].Raw
+				c.acc[idx].Running += counts[j].Running
+				if counts[j].Enabled > windowNS {
+					windowNS = counts[j].Enabled
+				}
+			}
+		}
+		lg.ctr.Close()
+	}
+	c.live = c.live[:0]
+	// Free (zero-cost) events stay attached: their cumulative reading
+	// is authoritative and always exact. Their Enabled progression also
+	// measures the window when no live group could (every rotation
+	// attach failed last turn).
+	if c.freeCtr != nil {
+		counts, err := c.freeCtr.Read()
+		if err == nil {
+			for j, idx := range c.free {
+				c.acc[idx] = counts[j]
+			}
+			if len(counts) > 0 {
+				delta := counts[0].Enabled - c.freeEnabled
+				c.freeEnabled = counts[0].Enabled
+				if windowNS == 0 {
+					windowNS = delta
+				}
+			}
+		}
+	}
+	// Every rotated event was schedulable during the window, live or
+	// not: that is what makes Scaled() extrapolate the idle groups.
+	for _, g := range c.groups {
+		for _, idx := range g {
+			c.acc[idx].Enabled += windowNS
+		}
+	}
+	c.cur = (c.cur + 1) % len(c.groups)
+	// A failure here (task died, transient EBUSY) leaves this turn
+	// uncounted; the next Read simply tries the following group. The
+	// engine notices dead tasks through its process snapshot.
+	_ = c.attachGroupLocked(c.cur)
+	c.b.mu.Unlock()
+
+	if cap(dst) < len(c.acc) {
+		dst = make([]hpm.Count, len(c.acc))
+	}
+	dst = dst[:len(c.acc)]
+	copy(dst, c.acc)
+	return dst, nil
+}
+
+// Close implements hpm.TaskCounter.
+func (c *counter) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.b.mu.Lock()
+	defer c.b.mu.Unlock()
+	var err error
+	for _, lg := range c.live {
+		if cerr := lg.ctr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	c.live = nil
+	if c.freeCtr != nil {
+		if cerr := c.freeCtr.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		c.freeCtr = nil
+	}
+	return err
+}

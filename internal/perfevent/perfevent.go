@@ -100,6 +100,9 @@ type Backend struct {
 	// default: raw codes are only valid on the micro-architecture they
 	// were taken from.
 	enableRaw bool
+	// capacity is the advertised PMU register count (see Capacity). 0
+	// means unknown: attach everything and let the kernel multiplex.
+	capacity int
 }
 
 var _ hpm.Backend = (*Backend)(nil)
@@ -117,6 +120,30 @@ func NewWithRaw() *Backend {
 	return &Backend{enableRaw: true}
 }
 
+// SetCapacity declares how many hardware events the PMU can count
+// simultaneously, enabling userland rotation (internal/mux) instead of
+// kernel-side multiplexing. The kernel exposes no portable probe for
+// this, so the limit is configuration: 0 (the default) keeps the
+// classic behaviour — open every fd and scale by Enabled/Running.
+func (b *Backend) SetCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	b.capacity = n
+}
+
+// Capacity implements hpm.Backend.
+func (b *Backend) Capacity() int { return b.capacity }
+
+// SlotCost implements hpm.Backend: software events are counted by the
+// kernel, not the PMU, and never cost a counter register.
+func (b *Backend) SlotCost(e hpm.EventDesc) int {
+	if e.Type == hpm.PerfTypeSoftware {
+		return 0
+	}
+	return 1
+}
+
 // Name implements hpm.Backend.
 func (b *Backend) Name() string { return "perf_event" }
 
@@ -130,7 +157,7 @@ func (b *Backend) Supported(e hpm.EventDesc) bool {
 		return false
 	}
 	switch e.Kind {
-	case hpm.KindGeneric, hpm.KindHWCache:
+	case hpm.KindGeneric, hpm.KindHWCache, hpm.KindSoftware:
 		return true
 	case hpm.KindRaw:
 		return b.enableRaw
@@ -167,13 +194,19 @@ func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCount
 		// counting, exactly the paper's configuration: "We set cpu to
 		// -1 to monitor events per task"). Group scope targets the
 		// leader with the inherit flag, so threads spawned afterwards
-		// are counted too.
-		target := task.TID
+		// are counted too. A CPU-scope ID inverts both: pid = -1,
+		// cpu = N counts everything that runs on one logical CPU
+		// (system-wide mode; needs perf_event_paranoid <= 0 or
+		// CAP_PERFMON).
+		target, onCPU := task.TID, -1
 		if task.IsGroup() {
 			target = task.PID
 			a.Flags |= flagInherit
 		}
-		fd, err := openSyscall(&a, target, -1)
+		if task.IsCPU() {
+			target, onCPU = -1, task.CPU()
+		}
+		fd, err := openSyscall(&a, target, onCPU)
 		if err != nil {
 			c.Close()
 			return nil, mapOpenError(task, err)

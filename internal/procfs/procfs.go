@@ -145,6 +145,11 @@ type Source struct {
 	// than one entry per process (paper §2.2: "Events can be counted
 	// per thread, or per process").
 	PerThread bool
+	// SystemWide replaces the task list with one pseudo-task per
+	// logical CPU (IDs hpm.CPUTask(n), from /proc/stat): attaching
+	// counters to such rows opens perf_event with pid=-1, cpu=N and
+	// counts everything on that CPU. PerThread is ignored in this mode.
+	SystemWide bool
 	// userCache memoizes uid -> name lookups.
 	userCache map[int]string
 }
@@ -161,6 +166,9 @@ func NewSource(root string) *Source {
 
 // Snapshot implements core.ProcSource.
 func (s *Source) Snapshot() ([]core.TaskInfo, error) {
+	if s.SystemWide {
+		return s.cpuSnapshot()
+	}
 	entries, err := os.ReadDir(s.Root)
 	if err != nil {
 		return nil, fmt.Errorf("procfs: %w", err)
@@ -244,6 +252,76 @@ func (s *Source) taskInfo(pid, tid int) (core.TaskInfo, error) {
 		StartTime: st.StartTime,
 		LastCPU:   st.Processor,
 	}, nil
+}
+
+// CPUStat is one per-CPU line of /proc/stat.
+type CPUStat struct {
+	CPU  int
+	Busy time.Duration // everything but idle and iowait
+}
+
+// ParseCPUStats extracts the per-CPU accounting lines ("cpu0 ...",
+// "cpu1 ...") from /proc/stat content. The aggregate "cpu " line is
+// skipped. Busy time sums every column except idle (4th) and iowait
+// (5th), in USER_HZ ticks like the rest of /proc.
+func ParseCPUStats(data string) ([]CPUStat, error) {
+	var out []CPUStat
+	for _, line := range strings.Split(data, "\n") {
+		rest, ok := strings.CutPrefix(line, "cpu")
+		if !ok || len(rest) == 0 || rest[0] == ' ' || rest[0] == '\t' {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 5 {
+			continue
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			continue
+		}
+		var busy int64
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("procfs: bad cpu%d stat field %q: %v", n, f, err)
+			}
+			if i == 3 || i == 4 { // idle, iowait
+				continue
+			}
+			busy += v
+		}
+		out = append(out, CPUStat{CPU: n, Busy: time.Duration(busy) * time.Second / userHz})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("procfs: no per-cpu lines in stat")
+	}
+	return out, nil
+}
+
+// cpuSnapshot lists one pseudo-task per logical CPU from /proc/stat.
+// CPUTime is the CPU's cumulative busy time, so the engine's %CPU
+// column becomes per-CPU utilization.
+func (s *Source) cpuSnapshot() ([]core.TaskInfo, error) {
+	raw, err := os.ReadFile(filepath.Join(s.Root, "stat"))
+	if err != nil {
+		return nil, fmt.Errorf("procfs: %w", err)
+	}
+	stats, err := ParseCPUStats(string(raw))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.TaskInfo, 0, len(stats))
+	for _, st := range stats {
+		out = append(out, core.TaskInfo{
+			ID:      hpm.CPUTask(st.CPU),
+			User:    "system",
+			Comm:    fmt.Sprintf("cpu%d", st.CPU),
+			State:   "R",
+			CPUTime: st.Busy,
+			LastCPU: st.CPU,
+		})
+	}
+	return out, nil
 }
 
 func (s *Source) userName(uid int) string {

@@ -38,17 +38,21 @@ type Column struct {
 
 // Row is one monitored task on the wire.
 type Row struct {
-	PID          int               `json:"pid"`
-	TID          int               `json:"tid,omitempty"`
-	User         string            `json:"user"`
-	Command      string            `json:"command"`
-	State        string            `json:"state,omitempty"`
-	CPUPct       float64           `json:"cpu_pct"`
-	IPC          float64           `json:"ipc"`
-	Monitored    bool              `json:"monitored"`
-	StartSeconds float64           `json:"start_s,omitempty"`
-	Values       []float64         `json:"values"`
-	Events       map[string]uint64 `json:"events,omitempty"`
+	PID          int     `json:"pid"`
+	TID          int     `json:"tid,omitempty"`
+	User         string  `json:"user"`
+	Command      string  `json:"command"`
+	State        string  `json:"state,omitempty"`
+	CPUPct       float64 `json:"cpu_pct"`
+	IPC          float64 `json:"ipc"`
+	Monitored    bool    `json:"monitored"`
+	StartSeconds float64 `json:"start_s,omitempty"`
+	// Coverage is the counted fraction of the interval (1 = exact,
+	// lower = multiplexed extrapolation). Omitted when exact, so
+	// version-1 decoders keep working unchanged.
+	Coverage float64           `json:"coverage,omitempty"`
+	Values   []float64         `json:"values"`
+	Events   map[string]uint64 `json:"events,omitempty"`
 }
 
 // Sample is one refresh of a monitor on the wire.
@@ -144,7 +148,9 @@ func (s *Sample) CoreSample() *core.Sample {
 			},
 			CPUPct: r.CPUPct,
 			Values: r.Values,
-			Valid:  r.Monitored,
+			// Absent on the wire means exact counting.
+			Coverage: normCoverage(r.Coverage),
+			Valid:    r.Monitored,
 		}
 		if len(r.Events) > 0 {
 			row.Events = make(map[string]uint64, len(r.Events))
@@ -155,6 +161,15 @@ func (s *Sample) CoreSample() *core.Sample {
 		cs.Rows = append(cs.Rows, row)
 	}
 	return cs
+}
+
+// normCoverage maps the wire encoding (0 or absent = exact) back to
+// the engine's coverage fraction.
+func normCoverage(c float64) float64 {
+	if c <= 0 || c > 1 {
+		return 1
+	}
+	return c
 }
 
 // ColumnNames returns the wire columns' machine-friendly names.

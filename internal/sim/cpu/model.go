@@ -250,6 +250,12 @@ type Delta struct {
 	// MemStallCycles is the cycles spent waiting on DRAM (exposed
 	// LLC-miss latency), the §3.4 future-work latency counter.
 	MemStallCycles uint64
+	// Software events: produced by the scheduler (not Emit) — context
+	// switches and migrations are scheduling decisions, page faults are
+	// modelled from the memory behaviour at quantum granularity.
+	PageFaults    uint64
+	CtxSwitches   uint64
+	CPUMigrations uint64
 }
 
 // Add accumulates o into d.
@@ -267,6 +273,9 @@ func (d *Delta) Add(o Delta) {
 	d.LLCRefs += o.LLCRefs
 	d.LLCMisses += o.LLCMisses
 	d.MemStallCycles += o.MemStallCycles
+	d.PageFaults += o.PageFaults
+	d.CtxSwitches += o.CtxSwitches
+	d.CPUMigrations += o.CPUMigrations
 }
 
 // SourceL1Misses names the L1 data-cache miss count. It is not a
@@ -306,6 +315,12 @@ func (d Delta) Count(source string) uint64 {
 		return d.MemStallCycles
 	case SourceL1Misses:
 		return d.L1Misses
+	case hpm.EventPageFaults:
+		return d.PageFaults
+	case hpm.EventCtxSwitches:
+		return d.CtxSwitches
+	case hpm.EventCPUMigrations:
+		return d.CPUMigrations
 	}
 	return 0
 }
@@ -317,7 +332,8 @@ func KnownSource(name string) bool {
 		hpm.EventCacheMisses, hpm.EventBranches, hpm.EventBranchMisses,
 		hpm.EventFPAssist, hpm.EventL2Misses, hpm.EventLoads,
 		hpm.EventStores, hpm.EventFPOps, hpm.EventMemStallCycles,
-		SourceL1Misses:
+		SourceL1Misses,
+		hpm.EventPageFaults, hpm.EventCtxSwitches, hpm.EventCPUMigrations:
 		return true
 	}
 	return false

@@ -85,6 +85,12 @@ type Machine struct {
 	// simultaneous events"). Requests beyond this are time-multiplexed.
 	NumCounters int
 
+	// FixedCounters names events counted by dedicated fixed-function
+	// hardware outside the NumCounters programmable slots — the RISC-V
+	// mcycle/minstret CSRs are the canonical example. Fixed events cost
+	// no programmable counter and are never multiplexed.
+	FixedCounters []string
+
 	// RawEvents is the machine model's raw-event decode table: it maps
 	// a model-specific raw event code (perf_event_attr.Config of a
 	// PERF_TYPE_RAW descriptor) to the name of the architectural count
@@ -139,6 +145,17 @@ func (m *Machine) Validate() error {
 func (m *Machine) RawEventSource(config uint64) (string, bool) {
 	src, ok := m.RawEvents[config]
 	return src, ok
+}
+
+// HasFixedCounter reports whether the named event is counted by a
+// dedicated fixed-function counter on this machine.
+func (m *Machine) HasFixedCounter(name string) bool {
+	for _, f := range m.FixedCounters {
+		if f == name {
+			return true
+		}
+	}
+	return false
 }
 
 // referenceRawEvents returns the decode table for the reference raw
@@ -395,6 +412,71 @@ func PPC970() *Machine {
 	return m
 }
 
+// CortexA7 returns a quad-core ARM Cortex-A7 (the Raspberry Pi 2 class
+// of machine): in-order partial-dual-issue cores at 900 MHz with a small
+// shared L2 — and, crucially for the multiplexing subsystem, only four
+// PMU counting registers (SNIPPETS exemplar: "the Cortex A7 has four
+// counting registers"). Any screen beyond four hardware events must be
+// rotated.
+func CortexA7() *Machine {
+	m := &Machine{
+		Name:           "ARM Cortex-A7",
+		MicroArch:      "Cortex-A7",
+		Sockets:        1,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 1,
+		FreqHz:         900e6,
+		MemoryBytes:    1 << 30,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64, Shared: SharedPerCore, LatencyCycles: 2},
+			{Level: 2, SizeBytes: 512 << 10, Assoc: 8, LineBytes: 64, Shared: SharedPerSocket, LatencyCycles: 10},
+		},
+		IssueWidth:        2,
+		MemLatencyCycles:  180,
+		BranchMissPenalty: 8,
+		FPAssistPenalty:   0, // no micro-code assist mechanism
+		SMTSlowdown:       1,
+		CPIScale:          1.6,
+		NumCounters:       4,
+		RawEvents:         referenceRawEvents(false),
+	}
+	mustValid(m)
+	return m
+}
+
+// SiFiveU74 returns a RISC-V SiFive U74 quad-core (the HiFive
+// Unmatched class), the platform shape of the PAPERS.md Perf/RISC-V
+// study: the cycle and instret CSRs are fixed-function counters that
+// cost no programmable slot, while only two mhpmcounter registers are
+// available for everything else — the tightest multiplexing budget of
+// any preset.
+func SiFiveU74() *Machine {
+	m := &Machine{
+		Name:           "SiFive U74 (RISC-V)",
+		MicroArch:      "U74",
+		Sockets:        1,
+		CoresPerSocket: 4,
+		ThreadsPerCore: 1,
+		FreqHz:         1.2e9,
+		MemoryBytes:    16 << 30,
+		Caches: []CacheLevel{
+			{Level: 1, SizeBytes: 32 << 10, Assoc: 4, LineBytes: 64, Shared: SharedPerCore, LatencyCycles: 2},
+			{Level: 2, SizeBytes: 2 << 20, Assoc: 16, LineBytes: 64, Shared: SharedPerSocket, LatencyCycles: 12},
+		},
+		IssueWidth:        2,
+		MemLatencyCycles:  160,
+		BranchMissPenalty: 6,
+		FPAssistPenalty:   0,
+		SMTSlowdown:       1,
+		CPIScale:          1.4,
+		NumCounters:       2,
+		FixedCounters:     []string{"CYCLES", "INSTRUCTIONS"},
+		RawEvents:         referenceRawEvents(false),
+	}
+	mustValid(m)
+	return m
+}
+
 // Presets returns all machine presets keyed by a short name.
 func Presets() map[string]*Machine {
 	return map[string]*Machine{
@@ -402,6 +484,8 @@ func Presets() map[string]*Machine {
 		"e5640":  XeonE5640x2(),
 		"core2":  Core2(),
 		"ppc970": PPC970(),
+		"a7":     CortexA7(),
+		"u74":    SiFiveU74(),
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"tiptop/internal/hpm"
 	"tiptop/internal/sim/cpu"
+	"tiptop/internal/sim/machine"
 	"tiptop/internal/sim/sched"
 )
 
@@ -61,12 +62,30 @@ func (b *Backend) resolve(e hpm.EventDesc) string {
 	switch e.Type {
 	case hpm.PerfTypeHardware:
 		return genericSource(e.Config)
+	case hpm.PerfTypeSoftware:
+		return softwareSource(e.Config)
 	case hpm.PerfTypeRaw:
 		if src, ok := b.k.Machine().RawEventSource(e.Config); ok && cpu.KnownSource(src) {
 			return src
 		}
 	case hpm.PerfTypeHWCache:
 		return hwCacheSource(e.Config)
+	}
+	return ""
+}
+
+// softwareSource decodes a PERF_TYPE_SOFTWARE config into the
+// kernel-counted source it names. Software events exist on every
+// machine model: they are produced by the simulated scheduler, not the
+// PMU.
+func softwareSource(config uint64) string {
+	switch config {
+	case hpm.SWPageFaults:
+		return hpm.EventPageFaults
+	case hpm.SWCtxSwitches:
+		return hpm.EventCtxSwitches
+	case hpm.SWCPUMigrations:
+		return hpm.EventCPUMigrations
 	}
 	return ""
 }
@@ -121,6 +140,25 @@ func (b *Backend) Supported(e hpm.EventDesc) bool {
 	return b.resolve(e) != ""
 }
 
+// Capacity implements hpm.Backend: the machine model's PMU register
+// count bounds how many slot-costing events one attach can count at
+// full coverage.
+func (b *Backend) Capacity() int { return b.k.Machine().NumCounters }
+
+// SlotCost implements hpm.Backend. Software events are counted by the
+// simulated scheduler and fixed-counter events (the RISC-V
+// cycle/instret CSRs) by dedicated hardware; neither occupies a
+// programmable PMU register.
+func (b *Backend) SlotCost(e hpm.EventDesc) int {
+	if e.Type == hpm.PerfTypeSoftware {
+		return 0
+	}
+	if src := b.resolve(e); src != "" && b.k.Machine().HasFixedCounter(src) {
+		return 0
+	}
+	return 1
+}
+
 // Kernel returns the kernel the backend monitors.
 func (b *Backend) Kernel() *sched.Kernel { return b.k }
 
@@ -134,12 +172,37 @@ func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCount
 		return nil, fmt.Errorf("pmu: no events requested: %w", hpm.ErrUnsupportedEvent)
 	}
 	sources := make([]string, len(events))
+	c := &counter{
+		backend: b,
+		id:      task,
+		sources: sources,
+		counts:  make([]hpm.Count, len(events)),
+		slots:   b.k.Machine().NumCounters,
+	}
 	for i, e := range events {
 		src := b.resolve(e)
 		if src == "" {
 			return nil, fmt.Errorf("pmu: event %v: %w", e, hpm.ErrUnsupportedEvent)
 		}
 		sources[i] = src
+		// Zero-cost events (software, fixed counters) count
+		// continuously; only slot-costing events rotate.
+		if b.SlotCost(e) == 0 {
+			c.free = append(c.free, i)
+		} else {
+			c.costed = append(c.costed, i)
+		}
+	}
+	if task.IsCPU() {
+		// System-wide scope: count everything executed on one logical
+		// CPU (perf_event's pid=-1, cpu=N).
+		cpuID := machine.CPUID(task.CPU())
+		if err := b.k.AttachCPUSink(cpuID, c); err != nil {
+			return nil, fmt.Errorf("pmu: %v: %w", task, hpm.ErrNoSuchTask)
+		}
+		c.cpu = cpuID
+		c.cpuScope = true
+		return c, nil
 	}
 	var targets []*sched.Task
 	if task.IsGroup() {
@@ -150,14 +213,7 @@ func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCount
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("pmu: %v: %w", task, hpm.ErrNoSuchTask)
 	}
-	c := &counter{
-		backend: b,
-		targets: targets,
-		id:      task,
-		sources: sources,
-		counts:  make([]hpm.Count, len(events)),
-		slots:   b.k.Machine().NumCounters,
-	}
+	c.targets = targets
 	for _, t := range targets {
 		t.AttachSink(c)
 	}
@@ -176,9 +232,15 @@ type counter struct {
 	// happens once, at attach time).
 	sources []string
 	counts  []hpm.Count
-	slots   int // hardware counters available
-	rot     int // multiplex rotation cursor
+	free    []int // indices of zero-cost events (always counting)
+	costed  []int // indices of slot-costing events (rotated when needed)
+	slots   int   // hardware counters available
+	rot     int   // multiplex rotation cursor over costed
 	closed  bool
+
+	// CPU scope (system-wide counting on one logical CPU).
+	cpuScope bool
+	cpu      machine.CPUID
 }
 
 var _ hpm.TaskCounter = (*counter)(nil)
@@ -193,21 +255,24 @@ func (c *counter) Task() hpm.TaskID { return c.id }
 // the kernel rotates the active PMU set each timer tick when more events
 // are requested than hardware counters exist.
 func (c *counter) OnQuantum(d cpu.Delta, ranNS uint64) {
-	n := len(c.sources)
+	for i := range c.sources {
+		c.counts[i].Enabled += ranNS
+	}
+	// Zero-cost events (software, fixed counters) never contend for a
+	// PMU register: they count every quantum.
+	for _, i := range c.free {
+		c.counts[i].Raw += d.Count(c.sources[i])
+		c.counts[i].Running += ranNS
+	}
+	n := len(c.costed)
 	active := c.slots
 	if active > n {
 		active = n
 	}
-	activeSet := make(map[int]bool, active)
-	for i := 0; i < active; i++ {
-		activeSet[(c.rot+i)%n] = true
-	}
-	for i := range c.sources {
-		c.counts[i].Enabled += ranNS
-		if activeSet[i] {
-			c.counts[i].Raw += d.Count(c.sources[i])
-			c.counts[i].Running += ranNS
-		}
+	for j := 0; j < active; j++ {
+		i := c.costed[(c.rot+j)%n]
+		c.counts[i].Raw += d.Count(c.sources[i])
+		c.counts[i].Running += ranNS
 	}
 	if n > c.slots {
 		c.rot = (c.rot + 1) % n
@@ -233,6 +298,10 @@ func (c *counter) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.cpuScope {
+		c.backend.k.DetachCPUSink(c.cpu, c)
+		return nil
+	}
 	for _, t := range c.targets {
 		t.DetachSink(c)
 	}

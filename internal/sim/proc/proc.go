@@ -5,9 +5,12 @@
 package proc
 
 import (
+	"fmt"
 	"time"
 
 	"tiptop/internal/core"
+	"tiptop/internal/hpm"
+	"tiptop/internal/sim/machine"
 	"tiptop/internal/sim/sched"
 )
 
@@ -21,6 +24,11 @@ type Source struct {
 	// (paper §2.2). In process mode, a multi-threaded process shows
 	// the summed CPU time of its group.
 	PerThread bool
+	// SystemWide replaces the task list with one row per logical CPU
+	// (IDs hpm.CPUTask(n)): attaching counters to those rows counts
+	// everything that runs on each CPU, the perf "-a" mode. PerThread
+	// is ignored in this mode.
+	SystemWide bool
 
 	// Scratch reused across snapshots, so a refresh over thousands of
 	// tasks costs O(1) allocations in steady state.
@@ -37,6 +45,9 @@ func NewSource(k *sched.Kernel) *Source { return &Source{k: k} }
 // the next Snapshot call; callers must not retain it across refreshes
 // (the engine copies what it keeps).
 func (s *Source) Snapshot() ([]core.TaskInfo, error) {
+	if s.SystemWide {
+		return s.cpuSnapshot()
+	}
 	tasks := s.k.Tasks()
 	out := s.buf[:0]
 	if s.cpuByPID == nil {
@@ -72,6 +83,26 @@ func (s *Source) Snapshot() ([]core.TaskInfo, error) {
 			info.CPUTime = cpuByPID[t.ID().PID]
 		}
 		out = append(out, info)
+	}
+	s.buf = out
+	return out, nil
+}
+
+// cpuSnapshot lists one pseudo-task per logical CPU. CPUTime is the
+// CPU's cumulative busy time, so the engine's %CPU column becomes
+// per-CPU utilization; StartTime stays 0 (a CPU exists since boot).
+func (s *Source) cpuSnapshot() ([]core.TaskInfo, error) {
+	n := s.k.Machine().NumLogical()
+	out := s.buf[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, core.TaskInfo{
+			ID:      hpm.CPUTask(i),
+			User:    "system",
+			Comm:    fmt.Sprintf("cpu%d", i),
+			State:   "R",
+			CPUTime: s.k.CPUBusy(machine.CPUID(i)),
+			LastCPU: i,
+		})
 	}
 	s.buf = out
 	return out, nil

@@ -164,6 +164,12 @@ type Kernel struct {
 	// CPU, for context-switch detection and affinity.
 	lastOnCPU []*Task
 
+	// System-wide counting state: per-CPU event aggregation for the
+	// pid=-1,cpu=N attach scope, indexed by logical CPU.
+	cpuSinks  [][]EventSink
+	cpuTotals []cpu.Delta
+	cpuBusyNS []uint64
+
 	totalSwitches uint64
 }
 
@@ -181,6 +187,9 @@ func New(m *machine.Machine, opt Options) (*Kernel, error) {
 		nextPID:   100,
 		byTID:     make(map[int]*Task),
 		lastOnCPU: make([]*Task, m.NumLogical()),
+		cpuSinks:  make([][]EventSink, m.NumLogical()),
+		cpuTotals: make([]cpu.Delta, m.NumLogical()),
+		cpuBusyNS: make([]uint64, m.NumLogical()),
 	}, nil
 }
 
@@ -192,6 +201,48 @@ func (k *Kernel) Now() time.Duration { return time.Duration(k.nowNS) }
 
 // TotalContextSwitches returns the machine-wide context switch count.
 func (k *Kernel) TotalContextSwitches() uint64 { return k.totalSwitches }
+
+// AttachCPUSink registers a sink receiving every quantum executed on one
+// logical CPU regardless of task — the system-wide (pid=-1, cpu=N)
+// counting scope. Counting starts with the next quantum.
+func (k *Kernel) AttachCPUSink(cpu machine.CPUID, s EventSink) error {
+	if int(cpu) < 0 || int(cpu) >= len(k.cpuSinks) {
+		return fmt.Errorf("sched: no such cpu %d", cpu)
+	}
+	k.cpuSinks[cpu] = append(k.cpuSinks[cpu], s)
+	return nil
+}
+
+// DetachCPUSink removes a previously attached per-CPU sink.
+func (k *Kernel) DetachCPUSink(cpu machine.CPUID, s EventSink) {
+	if int(cpu) < 0 || int(cpu) >= len(k.cpuSinks) {
+		return
+	}
+	sinks := k.cpuSinks[cpu]
+	for i, cur := range sinks {
+		if cur == s {
+			k.cpuSinks[cpu] = append(sinks[:i], sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// CPUBusy returns the accumulated busy (non-idle) time of a logical CPU.
+func (k *Kernel) CPUBusy(cpu machine.CPUID) time.Duration {
+	if int(cpu) < 0 || int(cpu) >= len(k.cpuBusyNS) {
+		return 0
+	}
+	return time.Duration(k.cpuBusyNS[cpu])
+}
+
+// CPUTotals returns the cumulative architectural events executed on a
+// logical CPU, summed over every task that ran there.
+func (k *Kernel) CPUTotals(c machine.CPUID) cpu.Delta {
+	if int(c) < 0 || int(c) >= len(k.cpuTotals) {
+		return cpu.Delta{}
+	}
+	return k.cpuTotals[c]
+}
 
 // Spawn creates a runnable task executing r.
 func (k *Kernel) Spawn(user, comm string, r workload.Runner, aff machine.AffinityMask) *Task {
@@ -308,6 +359,14 @@ func (k *Kernel) Advance(d time.Duration) {
 	}
 }
 
+// Page-fault model parameters: a task faults its working set in on
+// first execution and then takes a demand-paging fault for a fixed
+// fraction of its DRAM accesses (file-backed reads, copy-on-write).
+const (
+	initialPageFaults   = 64
+	pageFaultPerLLCMiss = 64
+)
+
 // assignment maps logical CPUs to the task chosen for the quantum.
 type assignment struct {
 	cpu  machine.CPUID
@@ -345,7 +404,8 @@ func (k *Kernel) quantum(nsec uint64) {
 		t := a.task
 		// Context switch detection and counter save/restore cost.
 		taskBudget := budget
-		if k.lastOnCPU[a.cpu] != t {
+		switched := k.lastOnCPU[a.cpu] != t
+		if switched {
 			k.totalSwitches++
 			t.ctxSwitches++
 			if t.Monitored() && k.opt.MonitorSwitchCycles > 0 {
@@ -356,9 +416,27 @@ func (k *Kernel) quantum(nsec uint64) {
 				}
 			}
 		}
+		migrated := t.hasRun && t.lastCPU != a.cpu
+		firstRun := !t.hasRun
 		k.lastOnCPU[a.cpu] = t
 
 		delta := t.runner.Exec(contexts[i], taskBudget)
+		// Software events are scheduling-level, not pipeline-level, so
+		// the kernel injects them into the quantum's delta: one context
+		// switch when a different task was switched in, one migration
+		// when the task moved between CPUs, and page faults modelled as
+		// the initial working-set fault-in plus a demand-paging trickle
+		// proportional to DRAM traffic.
+		if switched {
+			delta.CtxSwitches++
+		}
+		if migrated {
+			delta.CPUMigrations++
+		}
+		delta.PageFaults += delta.LLCMisses / pageFaultPerLLCMiss
+		if firstRun {
+			delta.PageFaults += initialPageFaults
+		}
 		usedNS := uint64(float64(delta.Cycles) / k.mach.FreqHz * 1e9)
 		if usedNS > nsec {
 			usedNS = nsec
@@ -368,6 +446,8 @@ func (k *Kernel) quantum(nsec uint64) {
 		t.lastCPU = a.cpu
 		t.hasRun = true
 		t.totals.Add(delta)
+		k.cpuTotals[a.cpu].Add(delta)
+		k.cpuBusyNS[a.cpu] += usedNS
 
 		// Update observed insertion rates for next quantum's
 		// contention partition.
@@ -377,6 +457,9 @@ func (k *Kernel) quantum(nsec uint64) {
 			t.llcRefRate = float64(delta.LLCRefs) / sec
 		}
 		for _, s := range t.sinks {
+			s.OnQuantum(delta, usedNS)
+		}
+		for _, s := range k.cpuSinks[a.cpu] {
 			s.OnQuantum(delta, usedNS)
 		}
 		if t.runner.Done() {

@@ -28,10 +28,16 @@ func Header(s *metrics.Screen) string {
 	return b.String()
 }
 
-// FormatRow renders one task row under the given screen.
+// FormatRow renders one task row under the given screen. System-wide
+// per-CPU rows (negative hpm.CPUTask PIDs) show the CPU name in the
+// PID column instead of the internal encoding.
 func FormatRow(s *metrics.Screen, r *core.Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%7d %-8.8s %5.1f", r.Info.ID.PID, r.Info.User, r.CPUPct)
+	if r.Info.ID.IsCPU() {
+		fmt.Fprintf(&b, "%7s %-8.8s %5.1f", fmt.Sprintf("cpu%d", r.Info.ID.CPU()), r.Info.User, r.CPUPct)
+	} else {
+		fmt.Fprintf(&b, "%7d %-8.8s %5.1f", r.Info.ID.PID, r.Info.User, r.CPUPct)
+	}
 	for i, col := range s.Columns {
 		if !r.Valid {
 			fmt.Fprintf(&b, " %*s", col.Width, "-")

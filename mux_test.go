@@ -1,0 +1,231 @@
+package tiptop
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMuxConvergenceSteadyA7 is the multiplexing subsystem's golden
+// scenario: the 12-hardware-event "wide" screen on a Cortex-A7 sim
+// (4 counters) forces the mux layer to rotate counter groups, and the
+// Enabled/Running-extrapolated counts must converge to the simulator's
+// true totals within 5% under the steady workloads.
+func TestMuxConvergenceSteadyA7(t *testing.T) {
+	sc, err := NewNamedScenario("steady", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, Config{Screen: "wide", Interval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// The scenario genuinely oversubscribes the PMU: 12 hardware events
+	// on a 4-counter machine.
+	if name, capacity := mon.BackendCapacity(); name != "sim" || capacity != 4 {
+		t.Fatalf("backend = %s capacity %d, want sim with the A7's 4 counters", name, capacity)
+	}
+	headers := strings.Join(mon.Headers(), " ")
+	if !strings.Contains(headers, "%SMPL") {
+		t.Fatalf("wide screen headers = %q, want the %%SMPL coverage column", headers)
+	}
+
+	if _, err := mon.SampleNow(); err != nil { // attach pass
+		t.Fatal(err)
+	}
+	// Ground-truth baseline right after the counters attached.
+	base := map[int]map[string]uint64{}
+	first, err := mon.SampleNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Rows) != 4 {
+		t.Fatalf("rows = %d, want the 4 pinned steady jobs", len(first.Rows))
+	}
+	for _, r := range first.Rows {
+		base[r.PID] = map[string]uint64{}
+		for _, ev := range []string{"INSTRUCTIONS", "CYCLES"} {
+			v, err := sc.TaskTotal(r.PID, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base[r.PID][ev] = v
+		}
+	}
+
+	// Accumulate extrapolated per-refresh deltas over many rotations.
+	sums := map[int]map[string]uint64{}
+	sawPartial := false
+	var last *Sample
+	for i := 0; i < 60; i++ {
+		s, err := mon.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range s.Rows {
+			if sums[r.PID] == nil {
+				sums[r.PID] = map[string]uint64{}
+			}
+			sums[r.PID]["INSTRUCTIONS"] += r.Events["INSTRUCTIONS"]
+			sums[r.PID]["CYCLES"] += r.Events["CYCLES"]
+			if r.Coverage < 1 {
+				sawPartial = true
+			}
+			if len(r.Columns) != len(mon.Headers()) {
+				t.Fatalf("row has %d values for %d columns", len(r.Columns), len(mon.Headers()))
+			}
+		}
+		last = s
+	}
+	if !sawPartial {
+		t.Fatal("no row ever reported coverage < 1: the mux never rotated")
+	}
+
+	// Every one of the 12 metric columns must carry a finite value on
+	// the final refresh — rotation fills them all in, just more slowly.
+	for _, r := range last.Rows {
+		for i, v := range r.Columns {
+			if v < 0 {
+				t.Fatalf("pid %d column %q = %v", r.PID, mon.Columns()[i], v)
+			}
+		}
+	}
+
+	for pid, got := range sums {
+		for _, ev := range []string{"INSTRUCTIONS", "CYCLES"} {
+			truth, err := sc.TaskTotal(pid, ev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := truth - base[pid][ev]
+			if want == 0 {
+				t.Fatalf("pid %d %s: ground truth did not advance", pid, ev)
+			}
+			rel := float64(got[ev])/float64(want) - 1
+			if rel < -0.05 || rel > 0.05 {
+				t.Errorf("pid %d %s: extrapolated %d vs true %d (%.2f%% error), want within 5%%",
+					pid, ev, got[ev], want, rel*100)
+			}
+		}
+	}
+}
+
+// TestMuxFixedCountersU74 exercises the tightest preset: the RISC-V
+// U74 has two programmable registers next to fixed cycle/instret CSRs.
+// The wide screen's ten other hardware events must rotate five groups
+// deep, while CYCLES and INSTRUCTIONS — costing no slot — stay
+// attached continuously and read exactly (Enabled == Running, no
+// extrapolation).
+func TestMuxFixedCountersU74(t *testing.T) {
+	sc, err := NewScenario(MachineSiFiveU74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := sc.StartSynthetic("bench", "steady", 1.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, Config{Screen: "wide", Interval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+	if name, capacity := mon.BackendCapacity(); name != "sim" || capacity != 2 {
+		t.Fatalf("backend = %s capacity %d, want sim with the U74's 2 programmable registers", name, capacity)
+	}
+
+	if _, err := mon.SampleNow(); err != nil { // attach pass
+		t.Fatal(err)
+	}
+	if _, err := mon.SampleNow(); err != nil {
+		t.Fatal(err)
+	}
+	baseInstr, err := sc.TaskTotal(pid, "INSTRUCTIONS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	sawPartial := false
+	for i := 0; i < 20; i++ {
+		s, err := mon.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range s.Rows {
+			sum += r.Events["INSTRUCTIONS"]
+			if r.Coverage < 1 {
+				sawPartial = true
+			}
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no rotation on a 2-register PMU running the 12-event wide screen")
+	}
+	truth, err := sc.TaskTotal(pid, "INSTRUCTIONS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixed instret CSR never left the task: its deltas are exact,
+	// not extrapolated, even while the programmable events rotated.
+	if want := truth - baseInstr; sum != want {
+		t.Fatalf("fixed-counter INSTRUCTIONS drifted: summed %d, true %d", sum, want)
+	}
+}
+
+// TestSystemWideSimMonitor drives the facade in system-wide mode: rows
+// are per-CPU (one per logical CPU of the machine), carry the cpu
+// pseudo-identity, and count the software events of the "system"
+// screen.
+func TestSystemWideSimMonitor(t *testing.T) {
+	sc, err := NewNamedScenario("steady", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := NewSimMonitor(sc, Config{SystemWide: true, Interval: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	// System-wide defaults to the "system" screen.
+	headers := strings.Join(mon.Headers(), " ")
+	for _, h := range []string{"PGFLT", "CSW", "MIGR"} {
+		if !strings.Contains(headers, h) {
+			t.Fatalf("system screen headers = %q, missing %q", headers, h)
+		}
+	}
+
+	mon.SampleNow() // attach pass
+	s, err := mon.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 4 {
+		t.Fatalf("rows = %d, want one per A7 CPU", len(s.Rows))
+	}
+	seen := map[int]bool{}
+	for _, r := range s.Rows {
+		cpu, ok := r.CPU()
+		if !ok {
+			t.Fatalf("row %+v is not a per-CPU row", r)
+		}
+		seen[cpu] = true
+		if want := "cpu" + string(rune('0'+cpu)); r.Command != want {
+			t.Fatalf("command = %q, want %q", r.Command, want)
+		}
+		if !r.Monitored {
+			t.Fatalf("cpu%d row unmonitored", cpu)
+		}
+		// Every core runs a pinned steady job, so cycles accumulate.
+		if r.Events["CYCLES"] == 0 {
+			t.Fatalf("cpu%d counted no cycles", cpu)
+		}
+	}
+	for cpu := 0; cpu < 4; cpu++ {
+		if !seen[cpu] {
+			t.Fatalf("cpu%d missing from sample", cpu)
+		}
+	}
+}

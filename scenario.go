@@ -26,12 +26,15 @@ type Scenario struct {
 // MachineName selects a hardware preset.
 type MachineName string
 
-// The paper's machines.
+// The paper's machines, plus two counter-constrained embedded models
+// for exercising the multiplexing path (internal/mux).
 const (
 	MachineXeonW3550 MachineName = "w3550"  // quad-core Nehalem workstation, 3.07 GHz
 	MachineE5640     MachineName = "e5640"  // bi-Xeon E5640 data-center node, 16 logical CPUs
 	MachineCore2     MachineName = "core2"  // Intel Core 2
 	MachinePPC970    MachineName = "ppc970" // PowerPC PPC970, 1.8 GHz
+	MachineCortexA7  MachineName = "a7"     // quad-core ARM Cortex-A7, 4 PMU counters
+	MachineSiFiveU74 MachineName = "u74"    // quad-core RISC-V U74, 2 programmable + fixed cycle/instret
 )
 
 // NewScenario creates an empty simulated machine.
@@ -283,6 +286,18 @@ func (sc *Scenario) AddSyntheticThread(pid int, job SyntheticJob, pinned ...int)
 	return t.ID().TID, nil
 }
 
+// TaskTotal returns the simulator's exact cumulative count of a named
+// event (CYCLES, INSTRUCTIONS, ...) for process pid since it started —
+// the ground truth that extrapolated multiplexed counts are validated
+// against in the mux convergence tests and tipbench -bench-mux.
+func (sc *Scenario) TaskTotal(pid int, event string) (uint64, error) {
+	t, ok := sc.kernel.Task(pid)
+	if !ok {
+		return 0, fmt.Errorf("tiptop: no process %d", pid)
+	}
+	return t.Totals().Count(event), nil
+}
+
 // Kill terminates a process.
 func (sc *Scenario) Kill(pid int) error { return sc.kernel.Kill(pid) }
 
@@ -346,7 +361,7 @@ func ScenarioManyTasks(n int) (*Scenario, error) {
 
 // ScenarioNames lists the ready-made scenarios NewNamedScenario builds.
 func ScenarioNames() []string {
-	return []string{"spec", "revolution", "conflict", "datacenter", "assist"}
+	return []string{"spec", "revolution", "conflict", "datacenter", "assist", "steady"}
 }
 
 // NewNamedScenario builds one of the ready-made scenarios by name — the
@@ -360,7 +375,12 @@ func ScenarioNames() []string {
 //   - "assist": the §3.1 FP-assist pathology — the Figure 4 x87
 //     micro-kernel on infinite vs finite operands plus a synthetic
 //     control job, for watching the architecture-specific FP_ASSIST
-//     event (also reachable as raw code 0x1EF7).
+//     event (also reachable as raw code 0x1EF7);
+//   - "steady": endless constant-rate synthetic jobs on the quad-core
+//     Cortex-A7, whose four PMU counters force counter rotation for
+//     any wide screen — the validation bed for internal/mux (steady
+//     rates make Enabled/Running extrapolation converge to the true
+//     counts, which TaskTotal exposes).
 //
 // scale shrinks workload lengths (1.0 = the paper's, 0.01 is a good
 // interactive default; ignored by the endless datacenter jobs).
@@ -424,6 +444,26 @@ func NewNamedScenario(name string, scale float64) (*Scenario, error) {
 			return nil, err
 		}
 		return sc, nil
+	case "steady":
+		sc, err := NewScenario(MachineCortexA7)
+		if err != nil {
+			return nil, err
+		}
+		// One steady job per core, each pinned so rates stay constant
+		// across the whole run: the ideal regime for validating
+		// rotation-extrapolated counts against TaskTotal ground truth.
+		jobs := []SyntheticJob{
+			{Name: "steady-cpu", IPC: 1.60},
+			{Name: "steady-mix", IPC: 1.10, MemRefsPKI: 120},
+			{Name: "steady-mem", IPC: 0.70, MemRefsPKI: 300, HotMB: 0.5, WarmMB: 4},
+			{Name: "steady-low", IPC: 0.40, MemRefsPKI: 200, HotMB: 0.25, WarmMB: 2},
+		}
+		for i, job := range jobs {
+			if _, err := sc.StartSyntheticJob("bench", job, i); err != nil {
+				return nil, err
+			}
+		}
+		return sc, nil
 	case "datacenter":
 		sc, err := NewScenario(MachineE5640)
 		if err != nil {
@@ -440,7 +480,7 @@ func NewNamedScenario(name string, scale float64) (*Scenario, error) {
 		}
 		return sc, nil
 	}
-	return nil, fmt.Errorf("tiptop: unknown scenario %q (want spec, revolution, conflict, datacenter or assist)", name)
+	return nil, fmt.Errorf("tiptop: unknown scenario %q (want spec, revolution, conflict, datacenter, assist or steady)", name)
 }
 
 // ScenarioSPEC builds a ready-made scenario: the Nehalem workstation

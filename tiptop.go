@@ -40,6 +40,7 @@ import (
 	"tiptop/internal/core"
 	"tiptop/internal/hpm"
 	"tiptop/internal/metrics"
+	"tiptop/internal/mux"
 	"tiptop/internal/perfevent"
 	"tiptop/internal/procfs"
 	"tiptop/internal/ui"
@@ -64,6 +65,21 @@ type Config struct {
 	// PerThread monitors individual threads instead of whole processes
 	// (paper §2.2: "Events can be counted per thread, or per process").
 	PerThread bool
+	// SystemWide monitors logical CPUs instead of tasks (perf's "-a"
+	// mode): one row per CPU, counters opened with pid=-1/cpu=N on the
+	// real backend and per-CPU scheduler aggregation on the simulator.
+	// The default screen becomes "system" (cycles, instructions and the
+	// kernel software events). Needs perf_event_paranoid <= 0 or
+	// CAP_PERFMON on real machines. PerThread and User are ignored.
+	SystemWide bool
+	// Counters declares how many events the PMU can count at once,
+	// enabling userland counter rotation (internal/mux) when a screen
+	// wants more: events are cycled through the registers and counts
+	// extrapolated by enabled/running time, with coverage visible as
+	// SMPL_PCT. 0 (the default) leaves multiplexing to the kernel. The
+	// simulated backend takes its capacity from the machine model and
+	// ignores this.
+	Counters int
 	// Parallelism is the number of sampling shards the engine
 	// partitions the process table across: counters are read and
 	// metric columns evaluated concurrently, one goroutine per shard,
@@ -159,6 +175,11 @@ type Row struct {
 	// Events holds raw counter deltas keyed by canonical event name
 	// (CYCLES, INSTRUCTIONS, CACHE_MISSES, ...).
 	Events map[string]uint64
+	// Coverage is the fraction of the refresh interval the row's
+	// counters were actually counting: 1 when exact, lower when the
+	// values are enabled/running extrapolations because the PMU was
+	// oversubscribed (kernel multiplexing or internal/mux rotation).
+	Coverage float64
 	// Monitored is false when counters could not be attached to the
 	// task (e.g. another user's process without privileges).
 	Monitored bool
@@ -166,6 +187,16 @@ type Row struct {
 	// PID-reuse discriminator recorders and the remote wire format
 	// carry along.
 	Start time.Duration
+}
+
+// CPU reports whether the row is a system-wide per-CPU pseudo-task
+// (Config.SystemWide) and, if so, which logical CPU it covers. The
+// negative-PID encoding is hpm.CPUTask's.
+func (r *Row) CPU() (int, bool) {
+	if r.PID >= 0 {
+		return 0, false
+	}
+	return -r.PID - 1, true
 }
 
 // Sample is one refresh of the monitor.
@@ -253,6 +284,9 @@ func (cfg Config) resolveScreen() (*metrics.Screen, error) {
 	name := cfg.Screen
 	if name == "" {
 		name = "default"
+		if cfg.SystemWide {
+			name = "system"
+		}
 	}
 	for _, sd := range cfg.Screens {
 		if sd.Name != name {
@@ -322,12 +356,14 @@ func NewRealMonitor(cfg Config) (*Monitor, error) {
 		return nil, err
 	}
 	backend := perfevent.New()
+	backend.SetCapacity(cfg.Counters)
 	if err := backend.Probe(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrNoBackend, err)
 	}
 	src := procfs.NewSource("")
 	src.PerThread = cfg.PerThread
-	session, err := core.NewSession(backend, src, core.NewRealClock(), coreOptions(cfg, screen, registry))
+	src.SystemWide = cfg.SystemWide
+	session, err := core.NewSession(mux.Wrap(backend), src, core.NewRealClock(), coreOptions(cfg, screen, registry))
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +383,8 @@ func NewSimMonitor(sc *Scenario, cfg Config) (*Monitor, error) {
 	}
 	src := sc.source()
 	src.PerThread = cfg.PerThread
-	session, err := core.NewSession(sc.backend(), src, sc.clock(), coreOptions(cfg, screen, registry))
+	src.SystemWide = cfg.SystemWide
+	session, err := core.NewSession(mux.Wrap(sc.backend()), src, sc.clock(), coreOptions(cfg, screen, registry))
 	if err != nil {
 		return nil, err
 	}
@@ -427,6 +464,7 @@ func (m *Monitor) sampleNow() (*Sample, error) {
 			CPUPct:    r.CPUPct,
 			IPC:       r.IPC(),
 			Columns:   append([]float64(nil), r.Values...),
+			Coverage:  r.Coverage,
 			Monitored: r.Valid,
 			Start:     r.Info.StartTime,
 			Events:    make(map[string]uint64, len(r.Events)),

@@ -506,8 +506,8 @@ func TestListEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != 13 {
-		t.Fatalf("infos = %d, want 12 defaults + 1 custom", len(infos))
+	if len(infos) != 16 {
+		t.Fatalf("infos = %d, want 15 defaults + 1 custom", len(infos))
 	}
 	for i := 1; i < len(infos); i++ {
 		if infos[i-1].Name >= infos[i].Name {
