@@ -43,6 +43,17 @@ type storeRecovery struct {
 	RecordsPerSec float64 `json:"records_per_sec"`
 }
 
+// storeCompaction is the compaction measurement: rewriting the
+// recovery store's sealed segments into the columnar record format v2.
+type storeCompaction struct {
+	Segments    int     `json:"segments"`
+	Records     int64   `json:"records"`
+	BytesBefore int64   `json:"bytes_before"`
+	BytesAfter  int64   `json:"bytes_after"`
+	Ratio       float64 `json:"ratio"`
+	Seconds     float64 `json:"seconds"`
+}
+
 // storeReport is the BENCH_store.json document.
 type storeReport struct {
 	GeneratedBy string        `json:"generated_by"`
@@ -52,8 +63,12 @@ type storeReport struct {
 	// AppendAllocsPerOp mirrors the StoreAppend benchmark's allocs/op —
 	// the number CI gates on (steady-state appends must stay within a
 	// few allocations).
-	AppendAllocsPerOp int64         `json:"append_allocs_per_op"`
-	Recovery          storeRecovery `json:"recovery"`
+	AppendAllocsPerOp int64           `json:"append_allocs_per_op"`
+	Recovery          storeRecovery   `json:"recovery"`
+	Compaction        storeCompaction `json:"compaction"`
+	// CompactionRatio mirrors Compaction.Ratio — CI gates on the v2
+	// rewrite shrinking the JSON log at least 3x.
+	CompactionRatio float64 `json:"compaction_ratio"`
 }
 
 // benchSample builds one synthetic refresh of n tasks at time now.
@@ -140,6 +155,42 @@ func benchStore(outDir string, recoveryRecords int64) error {
 		return err
 	}
 
+	// The same refresh under a group-commit fsync policy (flush every
+	// 100 appends): what -fsync 100-records costs per append, amortized
+	// over the batch.
+	fmt.Println("== bench StoreAppendFsync100")
+	fsyncDir, err := os.MkdirTemp("", "tipbench-store-fsync")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(fsyncDir)
+	st, err = store.Open(fsyncDir, store.Options{Budget: 1 << 30, Fsync: store.FsyncPolicy{Records: 100}})
+	if err != nil {
+		return err
+	}
+	st.SetColumns([]string{"mcycle", "minst", "ipc", "dmis"})
+	now = 0
+	for i := 0; i < 8; i++ {
+		now += time.Second
+		sample.Time = now
+		if err := st.AppendSample(sample); err != nil {
+			return err
+		}
+	}
+	add("StoreAppendFsync100", storeBenchTasks, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			now += time.Second
+			sample.Time = now
+			if err := st.AppendSample(sample); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	if err := st.Close(); err != nil {
+		return err
+	}
+
 	// Recovery: build a store of recoveryRecords single-task refreshes,
 	// then time Open's full scan-verify-clip pass.
 	fmt.Printf("== recovery of a %d-record store\n", recoveryRecords)
@@ -185,8 +236,36 @@ func benchStore(outDir string, recoveryRecords int64) error {
 	fmt.Printf("   %d records (%d MiB) recovered in %s (%.0f records/s)\n",
 		written, usage>>20, elapsed.Truncate(time.Millisecond), report.Recovery.RecordsPerSec)
 
+	// Compaction: rewrite the recovered store's sealed JSON segments
+	// into the columnar record format v2 and report the byte ratio —
+	// the density the format buys on real append-shaped history.
+	fmt.Println("== compaction to record format v2")
+	start = time.Now()
+	cres, err := st.Compact(store.CompactOptions{})
+	if err != nil {
+		return err
+	}
+	celapsed := time.Since(start)
+	var comp storeCompaction
+	for _, t := range cres.Tiers {
+		comp.Segments += t.Segments
+		comp.Records += t.Records
+		comp.BytesBefore += t.BytesBefore
+		comp.BytesAfter += t.BytesAfter
+	}
+	comp.Seconds = celapsed.Seconds()
+	if comp.BytesAfter > 0 {
+		comp.Ratio = float64(comp.BytesBefore) / float64(comp.BytesAfter)
+	}
+	report.Compaction = comp
+	report.CompactionRatio = comp.Ratio
+	fmt.Printf("   %d segments (%d records): %d -> %d bytes (%.1fx) in %s\n",
+		comp.Segments, comp.Records, comp.BytesBefore, comp.BytesAfter,
+		comp.Ratio, celapsed.Truncate(time.Millisecond))
+
 	// A week-at-a-glance query served from the 1-minute tier of the
-	// store just recovered — the read path the downsampling tiers buy.
+	// store just recovered and compacted — the read path the
+	// downsampling tiers buy, now decoding v2 segments.
 	fmt.Println("== bench StoreQuery1mTier")
 	add("StoreQuery1mTier", 1, testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()

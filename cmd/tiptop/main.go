@@ -59,6 +59,8 @@ func run(args []string, stdout io.Writer) error {
 		outFormat  = fs.String("o", "", "batch output format: text, csv, jsonl (default text)")
 		recordPath = fs.String("record", "", "record every sample to this target: a CSV file, a JSONL file (.jsonl/.ndjson), or a durable store directory (existing dir, trailing /, or .store)")
 		connect    = fs.String("connect", "", "monitor a remote tiptopd (host:port or URL) instead of this machine")
+		wireFormat = fs.String("wire", "", "stream encoding for -connect: json or binary (default json; binary falls back against older daemons)")
+		fsyncStr   = fs.String("fsync", "", "store -record durability: off, an interval (2s), a record count (1000-records), or both comma-combined (default off)")
 		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist, steady")
 		systemWide = fs.Bool("system-wide", false, "monitor logical CPUs instead of tasks (perf's -a; one row per CPU)")
 		counters   = fs.Int("counters", 0, "PMU counter capacity for the real backend: rotate events beyond it in userland (0 = kernel multiplexing)")
@@ -147,6 +149,12 @@ func run(args []string, stdout io.Writer) error {
 		if *connect == "" {
 			*connect = parsed.Options.Connect
 		}
+		if parsed.Options.Wire != "" {
+			*wireFormat = parsed.Options.Wire
+		}
+		if parsed.Options.Fsync != "" {
+			*fsyncStr = parsed.Options.Fsync
+		}
 		if parsed.Options.Store != "" {
 			cfg.StoreDir = parsed.Options.Store
 		}
@@ -154,6 +162,16 @@ func run(args []string, stdout io.Writer) error {
 		cfg.StoreBudget = parsed.Options.BudgetValue()
 		cfg.ApplyDefinitions(parsed)
 	}
+	switch *wireFormat {
+	case "", "json", "binary":
+	default:
+		return fmt.Errorf("unknown wire format %q, want -wire json or -wire binary", *wireFormat)
+	}
+	fsync, err := tiptop.ParseFsync(*fsyncStr)
+	if err != nil {
+		return fmt.Errorf("bad -fsync: %w", err)
+	}
+	cfg.StoreFsync = fsync
 	// A -record target naming a directory (existing, trailing "/", or
 	// the .store extension) selects the durable store instead of a
 	// CSV/JSONL file; XML <options store=> is the same thing spelled in
@@ -195,14 +213,13 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var mon tiptop.MonitorAPI
-	var err error
 	if *connect != "" {
 		if *simName != "" {
 			return fmt.Errorf("-connect monitors a remote daemon and cannot be combined with -sim %s", *simName)
 		}
 		// The remote daemon's screen, sort order and cadence are
 		// authoritative: -connect renders what the agent samples.
-		mon, err = tiptop.NewRemoteMonitor(*connect)
+		mon, err = tiptop.NewRemoteMonitorWire(*connect, *wireFormat)
 	} else {
 		mon, err = buildMonitor(*simName, *scale, cfg)
 	}

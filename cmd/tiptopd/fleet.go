@@ -50,7 +50,7 @@ func (fd *fleetDaemon) handler() http.Handler {
 	mux.HandleFunc("GET /metrics", fd.handleMetrics)
 	mux.HandleFunc("GET /api/v1/snapshot", fd.snapshot)
 	mux.HandleFunc("GET /api/v1/agents", fd.agents)
-	mux.HandleFunc("GET /api/v1/stream", fd.fleet.Hub().ServeSSE)
+	mux.HandleFunc("GET /api/v1/stream", fd.fleet.Hub().ServeStream)
 	mux.Handle("GET /api/v1/query", query.NamedExprs(fd.named, query.FleetHandler(fd.stores, fd.fleet.Labels)))
 	return mux
 }
@@ -78,7 +78,7 @@ func agentStoreDir(base, label string) string {
 func (fd *fleetDaemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	body, etag, err := fd.metrics.Get(fd.fleet.Version())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		remote.WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	remote.ServeCached(w, r, body, etag, "text/plain; version=0.0.4; charset=utf-8")
@@ -98,7 +98,7 @@ func (fd *fleetDaemon) agents(w http.ResponseWriter, _ *http.Request) {
 // n > 0, until n agent samples have been observed — the bounded mode
 // tests and demos use). With cfg.StoreDir set, every agent's stream
 // persists into a per-agent store under that directory.
-func runFleet(join, addr string, n, historyCap int, window time.Duration, cfg tiptop.Config, stdout io.Writer) error {
+func runFleet(join, addr string, n, historyCap int, window time.Duration, wire string, cfg tiptop.Config, stdout io.Writer) error {
 	stores := map[string]*store.Store{}
 	defer func() {
 		// Close returns the first latched append error of each agent's
@@ -111,6 +111,9 @@ func runFleet(join, addr string, n, historyCap int, window time.Duration, cfg ti
 	}()
 	opts := remote.FleetOptions{
 		History: history.Options{Capacity: historyCap, Window: window},
+		// The encoding the aggregator negotiates with each agent;
+		// binary falls back per agent against daemons that predate it.
+		Wire: wire,
 	}
 	if cfg.StoreDir != "" {
 		dirOwner := map[string]string{}
@@ -126,6 +129,7 @@ func runFleet(join, addr string, n, historyCap int, window time.Duration, cfg ti
 			st, err := store.Open(dir, store.Options{
 				Retention: cfg.StoreRetention,
 				Budget:    cfg.StoreBudget,
+				Fsync:     cfg.StoreFsync,
 			})
 			if err != nil {
 				return nil, err

@@ -36,6 +36,9 @@
 //	tiptopd -store /var/lib/tiptop -retention 168h -budget 256MB
 //	                               durable history: recover on boot, tee
 //	                               every sample, serve range queries
+//	tiptopd -fsync 2s,1000-records -compact 1h
+//	                               group-commit durability; periodic
+//	                               compaction to record format v2
 package main
 
 import (
@@ -85,6 +88,9 @@ func run(args []string, stdout io.Writer) error {
 		storeDir   = fs.String("store", "", "durable history store directory: recover on boot, tee every sample, serve /api/v1/query")
 		retention  = fs.Duration("retention", 0, "store age horizon, e.g. 72h (0 = bounded by the byte budget only)")
 		budgetStr  = fs.String("budget", "", "store on-disk byte budget, e.g. 64MB (default 64MB)")
+		fsyncStr   = fs.String("fsync", "", "store group-commit durability: off, an interval (2s), a record count (1000-records), or both comma-combined (default off)")
+		compact    = fs.Duration("compact", 0, "compact the store into record format v2 at startup and then every period, e.g. 1h (0 = never)")
+		wire       = fs.String("wire", "", "stream encoding used when dialing -join agents: json or binary (default json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +117,13 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("bad -budget: %w", err)
 		}
 		budget = b
+	}
+	fsync, err := store.ParseFsync(*fsyncStr)
+	if err != nil {
+		return fmt.Errorf("bad -fsync: %w", err)
+	}
+	if *compact < 0 {
+		return fmt.Errorf("compaction period cannot be negative, got -compact %v", *compact)
 	}
 
 	cfg := tiptop.Config{
@@ -162,6 +175,15 @@ func run(args []string, stdout io.Writer) error {
 		if parsed.Options.Budget != "" {
 			budget = parsed.Options.BudgetValue()
 		}
+		if parsed.Options.Fsync != "" {
+			fsync = parsed.Options.FsyncValue()
+		}
+		if parsed.Options.Compact != "" {
+			*compact = parsed.Options.CompactValue()
+		}
+		if parsed.Options.Wire != "" {
+			*wire = parsed.Options.Wire
+		}
 		// Event and screen definitions translate to the facade, so a
 		// daemon can sample (and stream) custom screens over
 		// user-defined events.
@@ -170,15 +192,24 @@ func run(args []string, stdout io.Writer) error {
 	cfg.StoreDir = *storeDir
 	cfg.StoreRetention = *retention
 	cfg.StoreBudget = budget
+	cfg.StoreFsync = fsync
+	cfg.StoreCompact = *compact
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+	switch *wire {
+	case "", "json", "binary":
+	default:
+		return fmt.Errorf("unknown wire format %q, want -wire json or -wire binary", *wire)
 	}
 	if *join != "" {
 		if *simName != "" {
 			return fmt.Errorf("-join aggregates remote agents and cannot monitor -sim %s itself", *simName)
 		}
-		return runFleet(*join, *addr, *iterations, *historyCap, *window, cfg, stdout)
+		return runFleet(*join, *addr, *iterations, *historyCap, *window, *wire, cfg, stdout)
 	}
+	// A solo daemon always serves both encodings; -wire (and a shared
+	// config's wire= attribute) only selects how -join dials agents.
 
 	mon, pace, err := buildMonitor(*simName, *scale, cfg)
 	if err != nil {
@@ -201,6 +232,37 @@ func run(args []string, stdout io.Writer) error {
 		rec.Tee(hist)
 		fmt.Fprintf(stdout, "tiptopd: store %s: %d records recovered (%d bytes, history to t=%s)\n",
 			cfg.StoreDir, hist.Records(), hist.DiskUsage(), hist.LastTime().Truncate(time.Second))
+		if cfg.StoreCompact > 0 {
+			// One pass over the recovered history now, then periodically:
+			// long-running daemons keep their on-disk format at v2
+			// density without an operator cron job.
+			res, err := hist.Compact(tiptop.CompactOptions{})
+			if err != nil {
+				return fmt.Errorf("store compaction: %w", err)
+			}
+			fmt.Fprintf(stdout, "tiptopd: store compacted: %s\n", compactSummary(res))
+			stopCompact := make(chan struct{})
+			compactDone := make(chan struct{})
+			go func() {
+				defer close(compactDone)
+				tick := time.NewTicker(cfg.StoreCompact)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopCompact:
+						return
+					case <-tick.C:
+						// Appends and queries continue during the pass;
+						// a failed pass is logged, not fatal — the store
+						// keeps serving its current segments.
+						if _, err := hist.Compact(tiptop.CompactOptions{}); err != nil {
+							fmt.Fprintln(os.Stderr, "tiptopd: store compaction:", err)
+						}
+					}
+				}
+			}()
+			defer func() { close(stopCompact); <-compactDone }()
+		}
 	}
 	d := newDaemon(mon, rec, pace, hist)
 	d.named = cfg.NamedExprs()
@@ -431,6 +493,22 @@ func (d *daemon) history(w http.ResponseWriter, r *http.Request) {
 		PID    int                    `json:"pid"`
 		Series []tiptop.HistorySeries `json:"series"`
 	}{pid, series})
+}
+
+// compactSummary renders one compaction pass for the startup log line:
+// total input segments and the byte ratio achieved across tiers.
+func compactSummary(res *tiptop.CompactionResult) string {
+	var segs int
+	var before, after int64
+	for _, t := range res.Tiers {
+		segs += t.Segments
+		before += t.BytesBefore
+		after += t.BytesAfter
+	}
+	if segs == 0 {
+		return "nothing to rewrite"
+	}
+	return fmt.Sprintf("%d segments rewritten, %d -> %d bytes", segs, before, after)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -371,7 +371,7 @@ func TestFleetPerAgentDurableStores(t *testing.T) {
 func TestFleetStoreDirCollision(t *testing.T) {
 	base := t.TempDir()
 	cfg := tiptop.Config{StoreDir: base}
-	err := runFleet("host:9412,host_9412", "127.0.0.1:0", 1, 0, 0, cfg, io.Discard)
+	err := runFleet("host:9412,host_9412", "127.0.0.1:0", 1, 0, 0, "", cfg, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "same store directory") {
 		t.Fatalf("colliding labels accepted: %v", err)
 	}

@@ -96,6 +96,19 @@ type OptionsXML struct {
 	// Budget bounds the store's size on disk ("64MB", "1G", or plain
 	// bytes). Empty selects the 64 MiB default.
 	Budget string `xml:"budget,attr,omitempty"`
+	// Fsync is the store's group-commit durability policy: "off", a
+	// flush interval ("2s"), a record count ("1000-records"), or both
+	// comma-combined ("2s,1000-records"). Empty never syncs.
+	Fsync string `xml:"fsync,attr,omitempty"`
+	// Compact is the period at which a daemon compacts its store into
+	// the columnar record format v2, as a Go duration ("1h"). Empty
+	// never compacts automatically.
+	Compact string `xml:"compact,attr,omitempty"`
+	// Wire selects the stream encoding a client negotiates when
+	// dialing a daemon (tiptop -connect, tiptopd -join): "json" (the
+	// SSE default) or "binary" (the length-prefixed binary frame,
+	// falling back to SSE against older daemons).
+	Wire string `xml:"wire,attr,omitempty"`
 	// SystemWide monitors logical CPUs instead of tasks (perf's -a
 	// mode): one row per CPU, counters opened system-wide.
 	SystemWide bool `xml:"systemwide,attr,omitempty"`
@@ -129,6 +142,30 @@ func (o *OptionsXML) BudgetValue() int64 {
 		return 0
 	}
 	return n
+}
+
+// FsyncValue parses the store durability policy (never-sync if
+// unset). Validate has already rejected malformed values on loaded
+// documents.
+func (o *OptionsXML) FsyncValue() store.FsyncPolicy {
+	p, err := store.ParseFsync(o.Fsync)
+	if err != nil {
+		return store.FsyncPolicy{}
+	}
+	return p
+}
+
+// CompactValue parses the store compaction period (0 if unset).
+// Validate has already rejected malformed values on loaded documents.
+func (o *OptionsXML) CompactValue() time.Duration {
+	if o.Compact == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(o.Compact)
+	if err != nil {
+		return 0
+	}
+	return d
 }
 
 // Peers splits the Join list into trimmed agent addresses.
@@ -257,6 +294,22 @@ func (f *File) Validate() error {
 		if _, err := store.ParseBytes(f.Options.Budget); err != nil {
 			return fmt.Errorf("config: bad store budget %q (want e.g. 64MB, 1G or plain bytes)", f.Options.Budget)
 		}
+	}
+	if f.Options.Fsync != "" {
+		if _, err := store.ParseFsync(f.Options.Fsync); err != nil {
+			return fmt.Errorf("config: bad store fsync %q (want off, an interval such as 2s, a record count such as 1000-records, or both comma-combined)", f.Options.Fsync)
+		}
+	}
+	if f.Options.Compact != "" {
+		d, err := time.ParseDuration(f.Options.Compact)
+		if err != nil || d < 0 {
+			return fmt.Errorf("config: bad store compaction period %q (want a Go duration such as 1h)", f.Options.Compact)
+		}
+	}
+	switch f.Options.Wire {
+	case "", "json", "binary":
+	default:
+		return fmt.Errorf("config: unknown wire format %q (want json or binary)", f.Options.Wire)
 	}
 	if f.Options.Connect != "" && f.Options.Join != "" {
 		return fmt.Errorf("config: connect and join are mutually exclusive")

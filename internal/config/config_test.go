@@ -174,6 +174,9 @@ func TestOptionsRoundTrip(t *testing.T) {
 		Store:        "/var/lib/tiptop/store",
 		Retention:    "72h",
 		Budget:       "64MB",
+		Fsync:        "2s,1000-records",
+		Compact:      "1h",
+		Wire:         "binary",
 	}
 	dir := t.TempDir()
 	path := filepath.Join(dir, "tiptop.xml")
@@ -217,6 +220,11 @@ func TestNewOptionValidation(t *testing.T) {
 		`<tiptop><options history="-1"/></tiptop>`,
 		`<tiptop><options join=" , "/></tiptop>`,
 		`<tiptop><options connect="host1:9412" join="host2:9412"/></tiptop>`,
+		`<tiptop><options fsync="sometimes"/></tiptop>`,
+		`<tiptop><options fsync="-2s"/></tiptop>`,
+		`<tiptop><options compact="hourly"/></tiptop>`,
+		`<tiptop><options compact="-1h"/></tiptop>`,
+		`<tiptop><options wire="carrier-pigeon"/></tiptop>`,
 	}
 	for i, src := range bad {
 		if _, err := Parse(strings.NewReader(src)); err == nil {
@@ -231,6 +239,19 @@ func TestNewOptionValidation(t *testing.T) {
 	if f.Options.Format != "csv" || f.Options.Record != "out.csv" ||
 		f.Options.History != 300 || f.Options.Listen != ":9412" {
 		t.Fatalf("options = %+v", f.Options)
+	}
+	f, err = Parse(strings.NewReader(`<tiptop><options fsync="2s,1000-records" compact="30m" wire="binary"/></tiptop>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.Options.FsyncValue(); p.Interval != 2*time.Second || p.Records != 1000 {
+		t.Fatalf("FsyncValue = %+v", p)
+	}
+	if d := f.Options.CompactValue(); d != 30*time.Minute {
+		t.Fatalf("CompactValue = %v", d)
+	}
+	if f.Options.Wire != "binary" {
+		t.Fatalf("wire = %q", f.Options.Wire)
 	}
 }
 

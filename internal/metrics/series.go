@@ -310,12 +310,21 @@ func editDistance(a, b string) int {
 	return prev[len(b)]
 }
 
+// UnknownNameHint builds the "did you mean" suggestion for an unknown
+// identifier, or "" when nothing known is close.
+func UnknownNameHint(name string, known []string) string {
+	if s := SuggestNames(name, known); len(s) > 0 {
+		return "did you mean " + strings.Join(s, ", ") + "?"
+	}
+	return ""
+}
+
 // FormatUnknownName builds the standard unknown-identifier message,
 // attaching nearest-name suggestions when any are close.
 func FormatUnknownName(name string, known []string) string {
 	msg := fmt.Sprintf("unknown event or column %q", name)
-	if s := SuggestNames(name, known); len(s) > 0 {
-		msg += " (did you mean " + strings.Join(s, ", ") + "?)"
+	if h := UnknownNameHint(name, known); h != "" {
+		msg += " (" + h + ")"
 	}
 	return msg
 }

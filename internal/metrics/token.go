@@ -102,10 +102,18 @@ type SyntaxError struct {
 	Pos int
 	Msg string
 	Src string
+	// Hint is an optional actionable suggestion ("did you mean
+	// CYCLES?"), kept separate from Msg so the HTTP error envelope can
+	// carry it structurally.
+	Hint string
 }
 
 func (e *SyntaxError) Error() string {
-	return fmt.Sprintf("metrics: %s at offset %d in %q", e.Msg, e.Pos, e.Src)
+	msg := e.Msg
+	if e.Hint != "" {
+		msg += " (" + e.Hint + ")"
+	}
+	return fmt.Sprintf("metrics: %s at offset %d in %q", msg, e.Pos, e.Src)
 }
 
 // lexer produces tokens from an expression source string.

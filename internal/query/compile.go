@@ -90,9 +90,13 @@ func Compile(src string, known []string) (*Compiled, error) {
 	}
 	for _, id := range c.Expr.Identifiers() {
 		if !knownName(id, known) {
+			// Msg and Hint stay separate so the HTTP envelope can carry
+			// the did-you-mean structurally; Error() renders both,
+			// matching FormatUnknownName.
 			return nil, &metrics.SyntaxError{
 				Src: src, Pos: identPos(src, id),
-				Msg: metrics.FormatUnknownName(id, known),
+				Msg:  fmt.Sprintf("unknown event or column %q", id),
+				Hint: metrics.UnknownNameHint(id, known),
 			}
 		}
 	}

@@ -1,0 +1,146 @@
+package query
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"tiptop/internal/remote"
+	"tiptop/internal/store"
+)
+
+// TestErrorEnvelope drives every failure path of the solo and fleet
+// query handlers through one table and asserts the uniform JSON
+// envelope: the right status, a parseable {"error","hint","offset"}
+// body with Content-Type application/json, and — for expression
+// failures — the byte offset and did-you-mean hint carried
+// structurally, not just embedded in prose.
+func TestErrorEnvelope(t *testing.T) {
+	st := seedStore(t, 1, 10)
+	solo := Handler(st, nil)
+	bare := Handler(nil, nil)
+	stores := map[string]*store.Store{"a:1": seedStore(t, 1, 10), "b:2": seedStore(t, 1, 10)}
+	fleet := FleetHandler(stores, func() []string { return []string{"a:1", "b:2"} })
+	empty := FleetHandler(nil, func() []string { return nil })
+
+	intp := func(n int) *int { return &n }
+	tests := []struct {
+		name       string
+		h          http.Handler
+		target     string
+		status     int
+		wantErr    string // substring of .error
+		wantHint   string // substring of .hint ("" = hint must be absent)
+		wantOffset *int   // nil = offset must be absent
+	}{
+		{"syntax error carries offset", solo,
+			"/api/v1/query?expr=" + url.QueryEscape("delta(INSTRUCTIONS"),
+			http.StatusBadRequest, "expected", "", intp(18)},
+		{"unknown name carries hint and offset", solo,
+			"/api/v1/query?expr=" + url.QueryEscape("delta(CYCLE)"),
+			http.StatusBadRequest, `unknown event or column "CYCLE"`, "did you mean CYCLES", intp(6)},
+		{"bad step", solo, "/api/v1/query?expr=CYCLES&step=never",
+			http.StatusBadRequest, "step", "", nil},
+		{"bad from", solo, "/api/v1/query?expr=CYCLES&from=soon",
+			http.StatusBadRequest, `bad from "soon"`, "", nil},
+		{"inverted range", solo, "/api/v1/query?expr=CYCLES&from=100&to=50",
+			http.StatusBadRequest, "ends (50s) before it starts (100s)", "", nil},
+		{"unknown format", solo, "/api/v1/query?expr=CYCLES&format=yaml",
+			http.StatusBadRequest, `unknown format "yaml"`, "", nil},
+		{"unknown source", solo, "/api/v1/query?expr=CYCLES&source=tape",
+			http.StatusBadRequest, `unknown source "tape"`, "", nil},
+		{"raw query without store", bare, "/api/v1/query?pid=100",
+			http.StatusNotFound, "no durable store configured", "-store DIR", nil},
+		{"live query without recorder", bare, "/api/v1/query?expr=CYCLES",
+			http.StatusNotFound, "no live recorder", "source=live", nil},
+		{"fleet without stores", empty, "/api/v1/query?expr=CYCLES",
+			http.StatusNotFound, "no durable store configured", "-store DIR", nil},
+		{"fleet raw unknown agent", fleet, "/api/v1/query?pid=100&agent=nope",
+			http.StatusBadRequest, `unknown agent "nope"`, "agent=a:1|b:2", nil},
+		{"fleet expr unknown agent", fleet, "/api/v1/query?expr=CYCLES&step=10&agent=nope",
+			http.StatusBadRequest, `unknown agent "nope"`, "agent=a:1|b:2 or agent=*", nil},
+		{"fleet merge without step", fleet, "/api/v1/query?expr=CYCLES&agent=*",
+			http.StatusBadRequest, "needs an explicit step", "pass step=", nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			w := httptest.NewRecorder()
+			tc.h.ServeHTTP(w, httptest.NewRequest("GET", tc.target, nil))
+			if w.Code != tc.status {
+				t.Fatalf("status %d, want %d; body %s", w.Code, tc.status, w.Body)
+			}
+			if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type %q, want application/json", ct)
+			}
+			var e remote.APIError
+			if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+				t.Fatalf("body is not an envelope: %v\n%s", err, w.Body)
+			}
+			if !strings.Contains(e.Message, tc.wantErr) {
+				t.Errorf("error %q lacks %q", e.Message, tc.wantErr)
+			}
+			if tc.wantHint == "" {
+				if e.Hint != "" {
+					t.Errorf("unexpected hint %q", e.Hint)
+				}
+			} else if !strings.Contains(e.Hint, tc.wantHint) {
+				t.Errorf("hint %q lacks %q", e.Hint, tc.wantHint)
+			}
+			switch {
+			case tc.wantOffset == nil && e.Offset != nil:
+				t.Errorf("unexpected offset %d", *e.Offset)
+			case tc.wantOffset != nil && e.Offset == nil:
+				t.Errorf("offset absent, want %d", *tc.wantOffset)
+			case tc.wantOffset != nil && *e.Offset != *tc.wantOffset:
+				t.Errorf("offset %d, want %d", *e.Offset, *tc.wantOffset)
+			}
+		})
+	}
+}
+
+// TestHandlerAcceptNegotiation: an Accept header asking for
+// application/openmetrics-text selects the exposition format on both
+// solo and fleet expression queries, and an explicit ?format= always
+// wins over it.
+func TestHandlerAcceptNegotiation(t *testing.T) {
+	st := seedStore(t, 1, 63)
+	stores := map[string]*store.Store{"a:1": seedStore(t, 1, 63)}
+	cases := []struct {
+		name   string
+		h      http.Handler
+		target string
+	}{
+		{"solo", Handler(st, nil), "/api/v1/query?expr=delta(CYCLES)&step=1m"},
+		{"fleet", FleetHandler(stores, func() []string { return []string{"a:1"} }),
+			"/api/v1/query?expr=delta(CYCLES)&step=1m&agent=*"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("GET", tc.target, nil)
+			req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+			w := httptest.NewRecorder()
+			tc.h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				t.Fatalf("status %d, body %s", w.Code, w.Body)
+			}
+			if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+				t.Fatalf("Content-Type %q, want openmetrics", ct)
+			}
+			if !strings.Contains(w.Body.String(), "# EOF") {
+				t.Fatalf("body is not an exposition:\n%s", w.Body)
+			}
+
+			// The explicit parameter wins over the Accept header.
+			req = httptest.NewRequest("GET", tc.target+"&format=json", nil)
+			req.Header.Set("Accept", "application/openmetrics-text")
+			w = httptest.NewRecorder()
+			tc.h.ServeHTTP(w, req)
+			if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("format=json with openmetrics Accept: Content-Type %q", ct)
+			}
+		})
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"tiptop/internal/history"
 	"tiptop/internal/metrics"
+	"tiptop/internal/remote"
 	"tiptop/internal/store"
 )
 
@@ -37,8 +38,8 @@ func Handler(st *store.Store, rec *history.Recorder) http.Handler {
 		expr := r.URL.Query().Get("expr")
 		if expr == "" {
 			if st == nil {
-				writeError(w, http.StatusNotFound,
-					"no durable store configured (start tiptopd with -store DIR, or pass expr= to query live history)")
+				remote.WriteErrorHint(w, http.StatusNotFound, "no durable store configured",
+					"start tiptopd with -store DIR, or pass expr= to query live history")
 				return
 			}
 			store.Handler(st).ServeHTTP(w, r)
@@ -46,12 +47,14 @@ func Handler(st *store.Store, rec *history.Recorder) http.Handler {
 		}
 		opt, format, live, err := parseExprQuery(r.URL.Query())
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			remote.WriteError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		format = negotiateFormat(format, r)
 		if st == nil || live {
 			if rec == nil {
-				writeError(w, http.StatusNotFound, "no live recorder to query")
+				remote.WriteErrorHint(w, http.StatusNotFound, "no live recorder to query",
+					"this daemon records neither live history nor a store; drop source=live or configure one")
 				return
 			}
 			serveExpr(w, expr, format, KnownNames(rec.Columns()), func(c *Compiled) (*Result, error) {
@@ -72,7 +75,8 @@ func Handler(st *store.Store, rec *history.Recorder) http.Handler {
 func FleetHandler(stores map[string]*store.Store, labels func() []string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if len(stores) == 0 {
-			writeError(w, http.StatusNotFound, "no durable store configured (start the aggregator with -store DIR)")
+			remote.WriteErrorHint(w, http.StatusNotFound, "no durable store configured",
+				"start the aggregator with -store DIR")
 			return
 		}
 		expr := r.URL.Query().Get("expr")
@@ -86,8 +90,9 @@ func FleetHandler(stores map[string]*store.Store, labels func() []string) http.H
 			}
 			st, ok := stores[agent]
 			if !ok {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("unknown agent %q (want agent=%s, or agent=* with expr=)", agent, strings.Join(labels(), "|")))
+				remote.WriteErrorHint(w, http.StatusBadRequest,
+					fmt.Sprintf("unknown agent %q", agent),
+					fmt.Sprintf("want agent=%s, or agent=* with expr=", strings.Join(labels(), "|")))
 				return
 			}
 			store.Handler(st).ServeHTTP(w, r)
@@ -95,22 +100,25 @@ func FleetHandler(stores map[string]*store.Store, labels func() []string) http.H
 		}
 		opt, format, _, err := parseExprQuery(r.URL.Query())
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
+			remote.WriteError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		format = negotiateFormat(format, r)
 		selected := stores
 		if agent != "" && agent != "*" {
 			st, ok := stores[agent]
 			if !ok {
-				writeError(w, http.StatusBadRequest,
-					fmt.Sprintf("unknown agent %q (want agent=%s or agent=*)", agent, strings.Join(labels(), "|")))
+				remote.WriteErrorHint(w, http.StatusBadRequest,
+					fmt.Sprintf("unknown agent %q", agent),
+					fmt.Sprintf("want agent=%s or agent=*", strings.Join(labels(), "|")))
 				return
 			}
 			selected = map[string]*store.Store{agent: st}
 		}
 		if len(selected) > 1 && opt.StepSeconds <= 0 {
-			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("merging %d agents needs an explicit step (buckets align per-agent clocks); pass step=", len(selected)))
+			remote.WriteErrorHint(w, http.StatusBadRequest,
+				fmt.Sprintf("merging %d agents needs an explicit step (buckets align per-agent clocks)", len(selected)),
+				"pass step=, e.g. step=10")
 			return
 		}
 		serveExpr(w, expr, format, fleetKnownNames(selected), func(c *Compiled) (*Result, error) {
@@ -163,7 +171,7 @@ func fleetKnownNames(stores map[string]*store.Store) []string {
 func serveExpr(w http.ResponseWriter, expr, format string, known []string, run func(*Compiled) (*Result, error)) {
 	c, err := Compile(expr, known)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeExprError(w, http.StatusBadRequest, err)
 		return
 	}
 	res, err := run(c)
@@ -174,7 +182,7 @@ func serveExpr(w http.ResponseWriter, expr, format string, known []string, run f
 				status = http.StatusInternalServerError // I/O against the store
 			}
 		}
-		writeError(w, status, err.Error())
+		writeExprError(w, status, err)
 		return
 	}
 	switch format {
@@ -238,12 +246,27 @@ func floatParam(v url.Values, name string) (float64, error) {
 	return f, nil
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-	}{msg})
+// negotiateFormat resolves the response format: the ?format= parameter
+// (already validated) wins; with no parameter, an Accept header asking
+// for application/openmetrics-text selects the exposition format.
+func negotiateFormat(format string, r *http.Request) string {
+	if format == "" && remote.WantsOpenMetrics(r) {
+		return "openmetrics"
+	}
+	return format
+}
+
+// writeExprError maps an expression failure onto the API error
+// envelope, carrying a syntax error's byte offset and did-you-mean
+// hint structurally.
+func writeExprError(w http.ResponseWriter, status int, err error) {
+	e := remote.APIError{Message: err.Error()}
+	if se, ok := err.(*metrics.SyntaxError); ok {
+		pos := se.Pos
+		e.Offset = &pos
+		e.Hint = se.Hint
+	}
+	remote.WriteAPIError(w, status, e)
 }
 
 // WriteOpenMetrics renders an expression query result as OpenMetrics

@@ -28,6 +28,9 @@ var ErrClosed = errors.New("remote: client closed")
 type Client struct {
 	base string
 	host string
+	// wire is the requested stream encoding ("" or "json" for SSE,
+	// "binary" for length-prefixed binary frames).
+	wire string
 	// poll is the request client for one-shot fetches; stream requests
 	// use their own context and must not carry a timeout.
 	poll   *http.Client
@@ -40,6 +43,10 @@ type Client struct {
 	cancel      context.CancelFunc
 	body        io.ReadCloser
 	br          *bufio.Reader
+	// binary records whether the current stream connection actually
+	// negotiated binary frames (a server that does not speak them keeps
+	// serving SSE JSON, and the client follows the Content-Type).
+	binary bool
 }
 
 // DialTimeout bounds the one-shot requests (and the stream connect).
@@ -64,10 +71,29 @@ func normalizeBase(addr string) (base, host string, err error) {
 	return base, u.Host, nil
 }
 
+// DialOptions tune a client connection.
+type DialOptions struct {
+	// Wire selects the stream encoding: "" or "json" for the SSE JSON
+	// stream, "binary" for length-prefixed binary frames. Binary is a
+	// request, not a demand — a server that does not speak it answers
+	// with the SSE stream and the client falls back transparently.
+	Wire string
+}
+
 // Dial connects to a tiptopd at base ("host:port" or a full URL) and
 // fetches its current sample, so Machine/Interval/Columns are known
 // before the first Next.
 func Dial(base string) (*Client, error) {
+	return DialWith(base, DialOptions{})
+}
+
+// DialWith is Dial with explicit options.
+func DialWith(base string, opt DialOptions) (*Client, error) {
+	switch opt.Wire {
+	case "", "json", "binary":
+	default:
+		return nil, fmt.Errorf("remote: unknown wire format %q (want json or binary)", opt.Wire)
+	}
 	base, host, err := normalizeBase(base)
 	if err != nil {
 		return nil, err
@@ -75,6 +101,7 @@ func Dial(base string) (*Client, error) {
 	c := &Client{
 		base:   base,
 		host:   host,
+		wire:   opt.Wire,
 		poll:   &http.Client{Timeout: DialTimeout},
 		stream: &http.Client{},
 	}
@@ -143,11 +170,16 @@ func (c *Client) remember(ws *Sample) {
 // at or below the last seen refresh counter are skipped).
 func (c *Client) Next() (*Sample, error) {
 	for {
-		br, err := c.ensureStream()
+		br, binary, err := c.ensureStream()
 		if err != nil {
 			return nil, err
 		}
-		data, err := readSSEData(br)
+		var data []byte
+		if binary {
+			data, err = readBinaryFrame(br)
+		} else {
+			data, err = readSSEData(br)
+		}
 		if err != nil {
 			c.dropStream()
 			c.mu.Lock()
@@ -158,7 +190,12 @@ func (c *Client) Next() (*Sample, error) {
 			}
 			return nil, fmt.Errorf("remote: %s stream: %w", c.base, err)
 		}
-		ws, err := Decode(data)
+		var ws *Sample
+		if binary {
+			ws, err = DecodeBinary(data)
+		} else {
+			ws, err = Decode(data)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -173,37 +210,49 @@ func (c *Client) Next() (*Sample, error) {
 	}
 }
 
-// ensureStream opens the SSE connection on first use.
-func (c *Client) ensureStream() (*bufio.Reader, error) {
+// ensureStream opens the stream connection on first use, asking for
+// the configured wire encoding and following whatever the server
+// actually granted (the response Content-Type is authoritative, which
+// is how a binary-wanting client falls back against an older server).
+func (c *Client) ensureStream() (*bufio.Reader, bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, ErrClosed
+		return nil, false, ErrClosed
 	}
 	if c.br != nil {
-		return c.br, nil
+		return c.br, c.binary, nil
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/api/v1/stream", nil)
+	url := c.base + "/api/v1/stream"
+	if c.wire == "binary" {
+		url += "?wire=binary"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		cancel()
-		return nil, err
+		return nil, false, err
 	}
-	req.Header.Set("Accept", "text/event-stream")
+	if c.wire == "binary" {
+		req.Header.Set("Accept", ContentTypeBinary+", text/event-stream")
+	} else {
+		req.Header.Set("Accept", "text/event-stream")
+	}
 	resp, err := c.stream.Do(req)
 	if err != nil {
 		cancel()
-		return nil, fmt.Errorf("remote: %s: %w", c.base, err)
+		return nil, false, fmt.Errorf("remote: %s: %w", c.base, err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		resp.Body.Close()
 		cancel()
-		return nil, fmt.Errorf("remote: %s/api/v1/stream: %s", c.base, resp.Status)
+		return nil, false, fmt.Errorf("remote: %s/api/v1/stream: %s", c.base, resp.Status)
 	}
 	c.cancel = cancel
 	c.body = resp.Body
 	c.br = bufio.NewReader(resp.Body)
-	return c.br, nil
+	c.binary = strings.HasPrefix(resp.Header.Get("Content-Type"), ContentTypeBinary)
+	return c.br, c.binary, nil
 }
 
 func (c *Client) dropStream() {

@@ -28,6 +28,9 @@ type FleetOptions struct {
 	// -join -store persists every agent's stream into a per-agent
 	// durable store. Returning an error aborts NewFleet.
 	Tee func(label string) (core.Observer, error)
+	// Wire selects the per-agent stream encoding ("binary" asks each
+	// agent for binary frames, falling back to SSE JSON per agent).
+	Wire string
 }
 
 func (o FleetOptions) withDefaults() FleetOptions {
@@ -143,7 +146,7 @@ func (f *Fleet) Labels() []string {
 // runPeer dials, streams and re-dials one agent until ctx ends.
 func (f *Fleet) runPeer(ctx context.Context, p *peer) {
 	for ctx.Err() == nil {
-		client, err := Dial(p.url)
+		client, err := DialWith(p.url, DialOptions{Wire: f.opt.Wire})
 		if err != nil {
 			p.setDown(err)
 			if !sleepCtx(ctx, f.opt.ReconnectDelay) {
@@ -235,7 +238,7 @@ func (f *Fleet) observe(p *peer, ws *Sample) {
 	tagged.Source = p.label
 	tagged.Refresh = v
 	if data, err := tagged.Encode(); err == nil {
-		f.hub.Publish(v, data)
+		f.hub.PublishWire(v, data, tagged.EncodeBinary())
 	}
 }
 

@@ -8,11 +8,14 @@ import (
 	"sync"
 )
 
-// Hub fans one stream of pre-encoded frames out to many SSE
-// subscribers. The frame — "id: N\nevent: sample\ndata: <json>\n\n" —
-// is built exactly once per Publish and every subscriber receives the
-// same byte slice, so the per-refresh serving cost grows with the
-// subscriber count only by channel sends, never by re-encoding.
+// Hub fans one stream of pre-encoded frames out to many subscribers,
+// in up to two encodings: SSE frames carrying the JSON sample —
+// "id: N\nevent: sample\ndata: <json>\n\n" — and, when the publisher
+// supplies one, a length-prefixed binary frame. Each frame is built
+// exactly once per Publish and every subscriber of that format
+// receives the same byte slice, so the per-refresh serving cost grows
+// with the subscriber count only by channel sends, never by
+// re-encoding.
 //
 // Subscribers that fall behind lose the oldest buffered frames first:
 // for a monitor stream the newest refresh is the valuable one, and a
@@ -21,7 +24,7 @@ import (
 type Hub struct {
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
-	latest []byte
+	latest [2][]byte // indexed by WireFormat
 	closed bool
 	// dropped counts frames discarded because a subscriber's buffer was
 	// full (visible to tests and debugging).
@@ -29,7 +32,8 @@ type Hub struct {
 }
 
 type subscriber struct {
-	ch chan []byte
+	ch     chan []byte
+	format WireFormat
 }
 
 // subscriberBuffer is each subscriber's frame backlog. One frame per
@@ -54,18 +58,37 @@ func buildFrame(id uint64, payload []byte) []byte {
 	return b
 }
 
-// Publish encodes the payload into an SSE frame once and offers it to
-// every subscriber. It never blocks: a subscriber whose buffer is full
-// loses its oldest frame instead.
+// Publish encodes the JSON payload into an SSE frame once and offers
+// it to every JSON subscriber. It never blocks: a subscriber whose
+// buffer is full loses its oldest frame instead.
 func (h *Hub) Publish(id uint64, payload []byte) {
-	frame := buildFrame(id, payload)
+	h.PublishWire(id, payload, nil)
+}
+
+// PublishWire publishes one refresh in both encodings: jsonPayload
+// feeds the SSE subscribers, binPayload (may be nil when the publisher
+// does not produce binary frames) the binary ones. Each frame is built
+// once.
+func (h *Hub) PublishWire(id uint64, jsonPayload, binPayload []byte) {
+	var frames [2][]byte
+	frames[FormatJSON] = buildFrame(id, jsonPayload)
+	if binPayload != nil {
+		frames[FormatBinary] = buildBinaryFrame(binPayload)
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
 		return
 	}
-	h.latest = frame
+	h.latest[FormatJSON] = frames[FormatJSON]
+	if frames[FormatBinary] != nil {
+		h.latest[FormatBinary] = frames[FormatBinary]
+	}
 	for s := range h.subs {
+		frame := frames[s.format]
+		if frame == nil {
+			continue
+		}
 		select {
 		case s.ch <- frame:
 		default:
@@ -85,12 +108,18 @@ func (h *Hub) Publish(id uint64, payload []byte) {
 	}
 }
 
-// Subscribe registers a consumer. The latest published frame (if any)
-// is replayed immediately so a new subscriber renders without waiting a
-// full refresh. cancel unregisters and closes the channel; it is safe
-// to call more than once.
+// Subscribe registers a JSON/SSE consumer. The latest published frame
+// (if any) is replayed immediately so a new subscriber renders without
+// waiting a full refresh. cancel unregisters and closes the channel;
+// it is safe to call more than once.
 func (h *Hub) Subscribe() (<-chan []byte, func()) {
-	s := &subscriber{ch: make(chan []byte, subscriberBuffer)}
+	return h.SubscribeWire(FormatJSON)
+}
+
+// SubscribeWire registers a consumer for one of the hub's frame
+// encodings.
+func (h *Hub) SubscribeWire(format WireFormat) (<-chan []byte, func()) {
+	s := &subscriber{ch: make(chan []byte, subscriberBuffer), format: format}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -98,8 +127,8 @@ func (h *Hub) Subscribe() (<-chan []byte, func()) {
 		close(closed)
 		return closed, func() {}
 	}
-	if h.latest != nil {
-		s.ch <- h.latest
+	if h.latest[format] != nil {
+		s.ch <- h.latest[format]
 	}
 	h.subs[s] = struct{}{}
 	h.mu.Unlock()
@@ -149,21 +178,43 @@ func (h *Hub) Close() {
 	}
 }
 
+// ServeStream streams the hub to one HTTP client in the encoding the
+// request negotiates: SSE JSON by default, length-prefixed binary
+// frames with ?wire=binary (or the binary media type in Accept; the
+// parameter wins). An unknown ?wire= value is a 400 with the API error
+// envelope.
+func (h *Hub) ServeStream(w http.ResponseWriter, r *http.Request) {
+	format, err := WireFormatFor(r)
+	if err != nil {
+		WriteErrorHint(w, http.StatusBadRequest, err.Error(), "pass wire=json or wire=binary")
+		return
+	}
+	if format == FormatBinary {
+		h.serveFrames(w, r, FormatBinary, ContentTypeBinary)
+		return
+	}
+	h.ServeSSE(w, r)
+}
+
 // ServeSSE streams the hub to one HTTP client until the client goes
 // away or the hub closes.
 func (h *Hub) ServeSSE(w http.ResponseWriter, r *http.Request) {
+	h.serveFrames(w, r, FormatJSON, "text/event-stream")
+}
+
+func (h *Hub) serveFrames(w http.ResponseWriter, r *http.Request, format WireFormat, contentType string) {
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		WriteError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("Cache-Control", "no-store")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	ch, cancel := h.Subscribe()
+	ch, cancel := h.SubscribeWire(format)
 	defer cancel()
 	for {
 		select {

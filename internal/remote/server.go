@@ -24,6 +24,7 @@ type Server struct {
 	mu         sync.RWMutex
 	version    uint64
 	latestJSON []byte
+	latestBin  []byte
 	latestETag string
 }
 
@@ -38,8 +39,9 @@ func NewServer(metricsEncode func(io.Writer) error) *Server {
 }
 
 // Publish stamps the sample with the next refresh version, encodes it
-// once, and hands the bytes to the stream hub and the /api/v1/sample
-// cache. It is called from the sampling loop, once per refresh.
+// once per wire format (JSON and binary), and hands the bytes to the
+// stream hub and the /api/v1/sample cache. It is called from the
+// sampling loop, once per refresh.
 func (s *Server) Publish(ws *Sample) error {
 	s.mu.Lock()
 	s.version++
@@ -51,10 +53,12 @@ func (s *Server) Publish(ws *Sample) error {
 		s.mu.Unlock()
 		return err
 	}
+	bin := ws.EncodeBinary()
 	s.latestJSON = data
+	s.latestBin = bin
 	s.latestETag = `"` + strconv.FormatUint(v, 10) + `"`
 	s.mu.Unlock()
-	s.hub.Publish(v, data)
+	s.hub.PublishWire(v, data, bin)
 	return nil
 }
 
@@ -71,18 +75,35 @@ func (s *Server) Hub() *Hub { return s.hub }
 // Close terminates every open stream so the HTTP server can shut down.
 func (s *Server) Close() { s.hub.Close() }
 
-// HandleStream serves the SSE refresh stream.
+// HandleStream serves the refresh stream: SSE JSON by default, binary
+// frames when the request negotiates them (?wire=binary).
 func (s *Server) HandleStream(w http.ResponseWriter, r *http.Request) {
-	s.hub.ServeSSE(w, r)
+	s.hub.ServeStream(w, r)
 }
 
-// HandleSample serves the latest wire sample with ETag revalidation.
+// HandleSample serves the latest wire sample with ETag revalidation,
+// in the encoding the request negotiates. The binary representation
+// gets its own ETag ("N-b") — a strong ETag must identify the exact
+// bytes, not just the refresh.
 func (s *Server) HandleSample(w http.ResponseWriter, r *http.Request) {
+	format, err := WireFormatFor(r)
+	if err != nil {
+		WriteErrorHint(w, http.StatusBadRequest, err.Error(), "pass wire=json or wire=binary")
+		return
+	}
 	s.mu.RLock()
 	body, etag := s.latestJSON, s.latestETag
+	if format == FormatBinary {
+		body = s.latestBin
+	}
 	s.mu.RUnlock()
 	if body == nil {
-		http.Error(w, "no sample yet", http.StatusServiceUnavailable)
+		WriteErrorHint(w, http.StatusServiceUnavailable, "no sample yet",
+			"the daemon has not completed its first refresh; retry shortly")
+		return
+	}
+	if format == FormatBinary {
+		ServeCached(w, r, body, etag[:len(etag)-1]+`-b"`, ContentTypeBinary)
 		return
 	}
 	ServeCached(w, r, body, etag, "application/json")
@@ -99,7 +120,7 @@ func (s *Server) HandleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	body, etag, err := s.metrics.Get(v)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	ServeCached(w, r, body, etag, "text/plain; version=0.0.4; charset=utf-8")

@@ -1,0 +1,405 @@
+package store
+
+// Compaction: rewriting a tier's sealed segments into record-format v2
+// (recordv2.go). The rewrite merges restart-fragmented segments into
+// full-size ones, replaces JSON payloads with the columnar layout, and
+// optionally tombstones series that exited long ago. Query results are
+// unchanged by construction — floats are carried bit-exactly — except
+// that tombstoned rows disappear (the machine roll-up keeps their
+// contribution; it is an aggregate of what happened, not of what is
+// retained).
+//
+// Crash safety follows the name-carries-the-range protocol:
+//
+//  1. the merged output is written to "<tier>-<a>.cmpct" and fsynced;
+//  2. it is renamed (published) to "<tier>-<a>-<b>.cseg", where [a, b]
+//     is the sequence range of the segments it replaces;
+//  3. the in-memory chain is swapped under the store lock;
+//  4. the input files are unlinked.
+//
+// recover() finishes whatever step a crash interrupted: a .cmpct file
+// is deleted (its inputs are intact), a published .cseg supersedes
+// every segment file whose sequence range it contains. Retention is
+// deferred while a rewrite is in flight so inputs cannot vanish
+// mid-read; it catches up on the next append.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"tiptop/internal/hpm"
+)
+
+// CompactOptions tune a compaction pass. The zero value rewrites and
+// merges every sealed segment and keeps every series.
+type CompactOptions struct {
+	// TombstoneAge drops the rows of tasks whose last record is older
+	// than this relative to the newest input record — series that
+	// exited long ago stop costing bytes in every refresh they lived
+	// through. 0 keeps everything (required for byte-identical queries).
+	TombstoneAge time.Duration
+}
+
+// TierCompaction reports one tier's rewrite.
+type TierCompaction struct {
+	Tier             string `json:"tier"`
+	Segments         int    `json:"segments"`
+	Records          int64  `json:"records"`
+	BytesBefore      int64  `json:"bytes_before"`
+	BytesAfter       int64  `json:"bytes_after"`
+	TombstonedSeries int    `json:"tombstoned_series,omitempty"`
+	DroppedRows      int64  `json:"dropped_rows,omitempty"`
+}
+
+// CompactionResult reports a whole compaction pass, one entry per tier
+// that had anything to rewrite.
+type CompactionResult struct {
+	Tiers []TierCompaction `json:"tiers"`
+}
+
+// Compact rewrites every tier's sealed segments into the columnar v2
+// layout, merging them into segments of Options.SegmentBytes. The
+// active segments are untouched — appends and queries run concurrently
+// with the rewrite (queries see the swap atomically). Calling Compact
+// on a store with nothing to rewrite is a cheap no-op.
+func (st *Store) Compact(opt CompactOptions) (*CompactionResult, error) {
+	type job struct {
+		t      *tier
+		inputs []*segment
+	}
+	st.mu.Lock()
+	if st.tiers == nil {
+		st.mu.Unlock()
+		return nil, errors.New("store: closed")
+	}
+	if st.compacting {
+		st.mu.Unlock()
+		return nil, errors.New("store: compaction already running")
+	}
+	var jobs []job
+	for _, t := range st.tiers {
+		inputs := append([]*segment(nil), t.sealed...)
+		plain := 0
+		for _, sg := range inputs {
+			if sg.seqEnd == sg.seq && filepath.Ext(sg.path) == segmentExt {
+				plain++
+			}
+		}
+		// Worth rewriting: any not-yet-compacted segment, or two or more
+		// compacted ones to merge. A single already-compacted segment
+		// would be rewritten into itself.
+		if plain == 0 && len(inputs) < 2 {
+			continue
+		}
+		jobs = append(jobs, job{t: t, inputs: inputs})
+	}
+	st.compacting = len(jobs) > 0
+	st.mu.Unlock()
+	res := &CompactionResult{}
+	if len(jobs) == 0 {
+		return res, nil
+	}
+	defer func() {
+		st.mu.Lock()
+		st.compacting = false
+		st.mu.Unlock()
+	}()
+	for _, j := range jobs {
+		tc, outs, err := st.compactTier(j.t, j.inputs, opt)
+		if err != nil {
+			return res, err
+		}
+		if len(outs) > 0 {
+			st.mu.Lock()
+			if st.tiers == nil {
+				st.mu.Unlock()
+				return res, errors.New("store: closed during compaction")
+			}
+			// Retention was deferred, so the inputs are still the prefix
+			// of the sealed chain; anything sealed since stays behind them.
+			j.t.sealed = append(outs, j.t.sealed[len(j.inputs):]...)
+			st.mu.Unlock()
+			for _, in := range j.inputs {
+				_ = os.Remove(in.path)
+			}
+		}
+		res.Tiers = append(res.Tiers, tc)
+	}
+	return res, nil
+}
+
+// compactTier rewrites one tier's inputs. Two streaming passes: the
+// first builds the string dictionary and the per-series last-seen map,
+// the second encodes. Runs without the store lock — inputs are sealed
+// and retention is deferred.
+func (st *Store) compactTier(t *tier, inputs []*segment, opt CompactOptions) (TierCompaction, []*segment, error) {
+	tc := TierCompaction{Tier: tierNames[t.idx], Segments: len(inputs)}
+	dict := newV2Dict()
+	lastSeen := make(map[hpm.TaskID]time.Duration)
+	var newest time.Duration
+	for _, in := range inputs {
+		tc.BytesBefore += in.size
+		err := forEachRecord(in.path, in.size, func(rec *Record) error {
+			tc.Records++
+			rt := recTime(rec)
+			if rt > newest {
+				newest = rt
+			}
+			for i := range rec.Rows {
+				r := &rec.Rows[i]
+				dict.intern(r.User)
+				dict.intern(r.Command)
+				lastSeen[hpm.TaskID{PID: r.PID, TID: r.TID}] = rt
+			}
+			for _, c := range rec.Cols {
+				dict.intern(c)
+			}
+			return nil
+		})
+		if err != nil {
+			return tc, nil, err
+		}
+	}
+	if tc.Records == 0 {
+		return tc, nil, nil
+	}
+	var dead map[hpm.TaskID]bool
+	if opt.TombstoneAge > 0 {
+		horizon := newest - opt.TombstoneAge
+		dead = make(map[hpm.TaskID]bool)
+		for id, seen := range lastSeen {
+			if seen < horizon {
+				dead[id] = true
+			}
+		}
+		tc.TombstonedSeries = len(dead)
+	}
+	w := &compactWriter{dir: st.dir, tier: tierNames[t.idx], dict: dict}
+	var activeCols, writtenCols []string
+	var filtered []RecordRow
+	for i, in := range inputs {
+		if w.f == nil {
+			if err := w.start(in.seq); err != nil {
+				return tc, nil, err
+			}
+			writtenCols = nil
+		}
+		err := forEachRecord(in.path, in.size, func(rec *Record) error {
+			if len(rec.Cols) > 0 {
+				activeCols = rec.Cols
+			}
+			out := *rec
+			if len(dead) > 0 {
+				filtered = filtered[:0]
+				for i := range rec.Rows {
+					r := &rec.Rows[i]
+					if dead[hpm.TaskID{PID: r.PID, TID: r.TID}] {
+						tc.DroppedRows++
+						continue
+					}
+					filtered = append(filtered, *r)
+				}
+				out.Rows = filtered
+			}
+			// Each output segment's first record carries the columns in
+			// force; mid-segment frames only carry a genuine change.
+			if !sameCols(writtenCols, activeCols) {
+				out.Cols = activeCols
+				writtenCols = activeCols
+			} else {
+				out.Cols = nil
+			}
+			return w.record(&out)
+		})
+		if err != nil {
+			w.abort()
+			return tc, nil, err
+		}
+		w.b = in.seqEnd
+		if w.size >= st.opt.SegmentBytes && i < len(inputs)-1 {
+			if err := w.finish(); err != nil {
+				return tc, nil, err
+			}
+		}
+	}
+	if err := w.finish(); err != nil {
+		return tc, nil, err
+	}
+	for _, o := range w.outs {
+		tc.BytesAfter += o.size
+	}
+	return tc, w.outs, nil
+}
+
+// recTime recovers a record's monotonic store time, through the same
+// float path every prefix parser uses so boundaries agree.
+func recTime(rec *Record) time.Duration {
+	return time.Duration(rec.TimeSeconds * float64(time.Second))
+}
+
+func sameCols(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachRecord streams the records of one segment's valid prefix in
+// order, decoding each frame (dictionary frames fold into decoder
+// state and are not surfaced).
+func forEachRecord(path string, valid int64, fn func(*Record) error) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer fh.Close()
+	fr := newFrameReader(io.LimitReader(fh, valid))
+	var fd frameDecoder
+	for {
+		payload, ok, rerr := fr.next()
+		if rerr != nil {
+			return rerr
+		}
+		if !ok {
+			return nil
+		}
+		fr.accept()
+		rec, derr := fd.decode(payload)
+		if derr != nil {
+			return derr
+		}
+		if rec == nil {
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// compactWriter produces the output segments of one tier's rewrite,
+// one at a time: dictionary frame first, then data frames, finished by
+// fsync + publish rename.
+type compactWriter struct {
+	dir, tier string
+	dict      *v2Dict
+	f         *os.File
+	bw        *bufio.Writer
+	tmpPath   string
+	a, b      int64
+	size      int64
+	n         int64
+	first     time.Duration
+	last      time.Duration
+	buf       []byte
+	outs      []*segment
+}
+
+// start opens the unpublished output covering inputs from sequence a.
+func (w *compactWriter) start(a int64) error {
+	w.tmpPath = filepath.Join(w.dir, fmt.Sprintf("%s-%010d%s", w.tier, a, compactingExt))
+	f, err := os.OpenFile(w.tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w.f, w.bw = f, bufio.NewWriterSize(f, 1<<16)
+	w.a, w.b = a, a
+	w.size, w.n, w.first, w.last = 0, 0, 0, 0
+	w.buf = w.dict.appendDictFrame(w.buf[:0])
+	return w.writeFrame(w.buf)
+}
+
+// record encodes one record as a v2 data frame.
+func (w *compactWriter) record(rec *Record) error {
+	w.buf = appendV2Data(w.buf[:0], rec, w.dict)
+	if err := w.writeFrame(w.buf); err != nil {
+		return err
+	}
+	rt := recTime(rec)
+	if w.n == 0 {
+		w.first = rt
+	}
+	w.last = rt
+	w.n++
+	return nil
+}
+
+func (w *compactWriter) writeFrame(payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w.size += int64(frameHeader + len(payload))
+	return nil
+}
+
+// finish fsyncs and publishes the current output as a .cseg segment.
+func (w *compactWriter) finish() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.abort()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		w.f = nil
+		_ = os.Remove(w.tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	w.f, w.bw = nil, nil
+	final := compactedPath(w.dir, w.tier, w.a, w.b, compactedExt)
+	if err := os.Rename(w.tmpPath, final); err != nil {
+		_ = os.Remove(w.tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	// Make the publish durable before anyone unlinks the inputs.
+	syncDir(w.dir)
+	w.outs = append(w.outs, &segment{
+		path: final, seq: w.a, seqEnd: w.b,
+		size: w.size, n: w.n, first: w.first, last: w.last,
+	})
+	return nil
+}
+
+// abort discards the unpublished output.
+func (w *compactWriter) abort() {
+	if w.f != nil {
+		_ = w.f.Close()
+		w.f, w.bw = nil, nil
+		_ = os.Remove(w.tmpPath)
+	}
+}
+
+// syncDir best-effort fsyncs a directory so a rename is on disk before
+// dependent deletes; not every platform supports it, and recovery is
+// correct either way — this only narrows the window.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

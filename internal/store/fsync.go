@@ -1,0 +1,77 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FsyncPolicy is the store's group-commit durability policy: how much
+// recorded history a kernel crash (power loss, panic) may take with it.
+// The zero policy never syncs — appends land in the page cache and the
+// kernel flushes on its own schedule, exactly the pre-policy behaviour.
+//
+// With a policy set, dirty active segments are flushed in one batch
+// once either bound is reached, so the cost of fsync is amortized over
+// the group ("group commit") while the loss window stays bounded.
+type FsyncPolicy struct {
+	// Interval flushes once this much wall-clock time has passed since
+	// the last flush (checked on append; an idle store has nothing to
+	// lose).
+	Interval time.Duration
+	// Records flushes after this many appended records across all tiers.
+	Records int64
+}
+
+// enabled reports whether any bound is set.
+func (p FsyncPolicy) enabled() bool { return p.Interval > 0 || p.Records > 0 }
+
+// String renders the policy in the syntax ParseFsync accepts.
+func (p FsyncPolicy) String() string {
+	switch {
+	case p.Interval > 0 && p.Records > 0:
+		return fmt.Sprintf("%s,%d-records", p.Interval, p.Records)
+	case p.Interval > 0:
+		return p.Interval.String()
+	case p.Records > 0:
+		return fmt.Sprintf("%d-records", p.Records)
+	}
+	return "off"
+}
+
+// ParseFsync parses the -fsync flag / XML fsync= attribute: "off" (or
+// empty) for no syncing, a duration ("2s", "500ms") for a wall-clock
+// group-commit window, or a record count ("100" or "100-records") to
+// flush every N appends. A comma combines both bounds ("2s,1000-records"
+// flushes at whichever comes first).
+func ParseFsync(s string) (FsyncPolicy, error) {
+	var p FsyncPolicy
+	t := strings.TrimSpace(s)
+	if t == "" || strings.EqualFold(t, "off") || strings.EqualFold(t, "none") {
+		return p, nil
+	}
+	for _, part := range strings.Split(t, ",") {
+		part = strings.TrimSpace(part)
+		num := strings.TrimSuffix(strings.TrimSuffix(part, "-records"), "-record")
+		if n, err := strconv.ParseInt(num, 10, 64); err == nil {
+			if n <= 0 {
+				return FsyncPolicy{}, fmt.Errorf("store: fsync record count must be positive in %q", s)
+			}
+			if p.Records != 0 {
+				return FsyncPolicy{}, fmt.Errorf("store: duplicate fsync record bound in %q", s)
+			}
+			p.Records = n
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil || d <= 0 {
+			return FsyncPolicy{}, fmt.Errorf("store: bad fsync policy %q (want off, an interval like 2s, or N-records)", s)
+		}
+		if p.Interval != 0 {
+			return FsyncPolicy{}, fmt.Errorf("store: duplicate fsync interval in %q", s)
+		}
+		p.Interval = d
+	}
+	return p, nil
+}

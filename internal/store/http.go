@@ -14,6 +14,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"tiptop/internal/remote"
 )
 
 // Handler serves range queries over the store:
@@ -28,13 +30,18 @@ func Handler(st *Store) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		q, format, err := parseQuery(r.URL.Query())
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err.Error())
+			remote.WriteError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		res, err := st.Query(q)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
+			remote.WriteError(w, http.StatusInternalServerError, err.Error())
 			return
+		}
+		if format == "" && remote.WantsOpenMetrics(r) {
+			// Content negotiation: the ?format= parameter wins, the
+			// Accept header decides otherwise.
+			format = "openmetrics"
 		}
 		switch format {
 		case "openmetrics", "om":
@@ -98,14 +105,6 @@ func floatParam(v url.Values, name string) (float64, error) {
 		return 0, fmt.Errorf("bad %s %q", name, s)
 	}
 	return f, nil
-}
-
-func httpError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-	}{msg})
 }
 
 // WriteQueryOpenMetrics renders a query result as OpenMetrics text with
@@ -198,11 +197,13 @@ func (c *Client) Get(path string, v url.Values) ([]byte, error) {
 		return nil, fmt.Errorf("store: query: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			return nil, fmt.Errorf("store: query: %s (HTTP %d)", e.Error, resp.StatusCode)
+		var e remote.APIError
+		if json.Unmarshal(body, &e) == nil && e.Message != "" {
+			msg := e.Message
+			if e.Hint != "" {
+				msg += " (" + e.Hint + ")"
+			}
+			return nil, fmt.Errorf("store: query: %s (HTTP %d)", msg, resp.StatusCode)
 		}
 		return nil, fmt.Errorf("store: query: HTTP %d", resp.StatusCode)
 	}

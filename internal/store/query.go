@@ -211,11 +211,13 @@ func (st *Store) snapshotTier(step time.Duration) (*queryView, time.Duration, er
 var colsKey = []byte(`,"cols":[`)
 
 // scanQueryFile walks one segment's valid prefix, streaming the
-// records inside the range through fn. Records before the range are
-// normally skipped undecoded, but ones carrying column names (each
-// segment's first record, and any screen change) are decoded so *cols
-// tracks the columns in force where the range starts — not an older
-// screen's.
+// records inside the range through fn. Frames are version-sniffed
+// individually (a recovered tail segment can hold v1 JSON appended
+// after a v2 rewrite). Records before the range are normally skipped
+// undecoded, but v2 dictionary frames always fold into the decoder
+// state, and records carrying column names (each segment's first
+// record, and any screen change) surface them so *cols tracks the
+// columns in force where the range starts — not an older screen's.
 func scanQueryFile(f queryFile, from, to time.Duration, cols *[]string, fn func(rec *Record, cols []string) error) error {
 	fh, err := os.Open(f.path)
 	if err != nil {
@@ -226,6 +228,7 @@ func scanQueryFile(f queryFile, from, to time.Duration, cols *[]string, fn func(
 	}
 	defer fh.Close()
 	fr := newFrameReader(io.LimitReader(fh, f.valid))
+	var fd frameDecoder
 	for {
 		payload, ok, err := fr.next()
 		if err != nil {
@@ -235,22 +238,35 @@ func scanQueryFile(f queryFile, from, to time.Duration, cols *[]string, fn func(
 			return nil
 		}
 		fr.accept()
-		t, _, pok := recordPrefix(payload)
+		t, v, kind, pok := framePrefix(payload)
 		if !pok {
 			return nil
+		}
+		if v > RecordVersion {
+			return fmt.Errorf("store: record version %d not supported (this build reads <= %d)", v, RecordVersion)
+		}
+		if kind == frameKindMeta {
+			if _, err := fd.decode(payload); err != nil {
+				return err
+			}
+			continue
 		}
 		if t > to {
 			return nil // records are time-ordered; nothing further matches
 		}
 		if t < from {
-			if bytes.Contains(payload, colsKey) {
-				if rec, derr := DecodeRecord(payload); derr == nil && len(rec.Cols) > 0 {
-					*cols = rec.Cols
+			if payload[0] == '{' {
+				if bytes.Contains(payload, colsKey) {
+					if rec, derr := DecodeRecord(payload); derr == nil && len(rec.Cols) > 0 {
+						*cols = rec.Cols
+					}
 				}
+			} else if c, derr := v2PeekCols(payload, fd.dict); derr == nil && len(c) > 0 {
+				*cols = c
 			}
 			continue
 		}
-		rec, err := DecodeRecord(payload)
+		rec, err := fd.decode(payload)
 		if err != nil {
 			return err
 		}

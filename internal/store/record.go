@@ -96,7 +96,7 @@ func (e *encoder) beginRecord(now, res time.Duration, cols []string) {
 	}
 	e.buf = e.buf[:frameHeader]
 	e.buf = append(e.buf, `{"v":`...)
-	e.buf = strconv.AppendInt(e.buf, RecordVersion, 10)
+	e.buf = strconv.AppendInt(e.buf, recordVersionJSON, 10)
 	e.buf = append(e.buf, `,"time_s":`...)
 	e.buf = appendSeconds(e.buf, now)
 	if res > 0 {

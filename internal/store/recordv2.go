@@ -1,0 +1,396 @@
+package store
+
+// Record format v2: the columnar layout compaction rewrites sealed
+// segments into. The framing (length/CRC header, torn-tail clipping)
+// is unchanged; only the payload differs. Version sniffing is by first
+// payload byte — '{' (0x7b) opens a v1 JSON document, 0x02 a v2 binary
+// frame, and anything else in 0x02..0x1f is a newer binary version this
+// build rejects loudly, mirroring the JSON "v" field contract.
+//
+// A v2 segment holds two payload kinds:
+//
+//	0x02 0x00  dictionary: uvarint count, then length-prefixed strings.
+//	           Cumulative — entries append to the segment's table; user,
+//	           command and column names in data frames are indices into
+//	           it, so a name repeated across thousands of records is
+//	           stored once per segment.
+//	0x02 0x01  data: one record, column-major. Header (uvarint time and
+//	           resolution in ms, a flags byte, optional column-name
+//	           indices), then per-field arrays over the rows: PIDs
+//	           zigzag-delta encoded, TIDs as zigzag(tid-pid), string
+//	           fields as dictionary indices, counters as uvarints, and
+//	           floats XOR'd against the previous row (binenc.AppendFloat)
+//	           so they round-trip bit-exactly — the compaction golden
+//	           test diffs Query output pre/post rewrite byte-for-byte.
+//
+// Dictionary frames are not records: scans skip them when counting and
+// when tracking first/last times, and queries fold them into the
+// decoder state even when they precede the queried range.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"tiptop/internal/binenc"
+)
+
+const (
+	// recordVersionJSON stamps the JSON payloads the live append path
+	// writes; RecordVersion (2) is the ceiling readers accept.
+	recordVersionJSON = 1
+	recordVersionV2   = 2
+
+	v2KindDict = 0x00
+	v2KindData = 0x01
+
+	v2FlagCols = 0x01
+)
+
+// Frame kinds as classified by framePrefix.
+const (
+	frameKindRecord = iota
+	frameKindMeta
+)
+
+// framePrefix classifies a frame payload and extracts its version and
+// (for records) its time without a full decode — the v2 counterpart of
+// recordPrefix, dispatching on the first payload byte.
+func framePrefix(p []byte) (t time.Duration, v int, kind int, ok bool) {
+	if len(p) == 0 {
+		return 0, 0, 0, false
+	}
+	if p[0] == '{' {
+		t, v, jok := recordPrefix(p)
+		return t, v, frameKindRecord, jok
+	}
+	if p[0] < 0x02 || p[0] >= 0x20 {
+		return 0, 0, 0, false
+	}
+	v = int(p[0])
+	if v != recordVersionV2 {
+		// A newer binary version: classify as a record so the caller's
+		// version gate rejects it loudly instead of clipping it silently.
+		return 0, v, frameKindRecord, true
+	}
+	if len(p) < 2 {
+		return 0, 0, 0, false
+	}
+	switch p[1] {
+	case v2KindDict:
+		return 0, v, frameKindMeta, true
+	case v2KindData:
+		ms, n := binary.Uvarint(p[2:])
+		if n <= 0 {
+			return 0, 0, 0, false
+		}
+		// The same float path recordPrefix takes for v1, so a record
+		// carries one timestamp regardless of which format holds it.
+		secs := float64(ms) / 1000
+		return time.Duration(secs * float64(time.Second)), v, frameKindRecord, true
+	}
+	return 0, 0, 0, false
+}
+
+// v2Dict interns the strings of one compaction output segment.
+type v2Dict struct {
+	index map[string]uint64
+	strs  []string
+}
+
+func newV2Dict() *v2Dict {
+	return &v2Dict{index: make(map[string]uint64)}
+}
+
+func (d *v2Dict) intern(s string) uint64 {
+	if i, ok := d.index[s]; ok {
+		return i
+	}
+	i := uint64(len(d.strs))
+	d.index[s] = i
+	d.strs = append(d.strs, s)
+	return i
+}
+
+// appendDictFrame renders the table as one dictionary payload.
+func (d *v2Dict) appendDictFrame(buf []byte) []byte {
+	buf = append(buf, recordVersionV2, v2KindDict)
+	buf = binenc.AppendUvarint(buf, uint64(len(d.strs)))
+	for _, s := range d.strs {
+		buf = binenc.AppendString(buf, s)
+	}
+	return buf
+}
+
+// appendV2Data encodes one record as a v2 data payload. Every string it
+// references must already be interned in d (compaction's first pass).
+func appendV2Data(buf []byte, rec *Record, d *v2Dict) []byte {
+	buf = append(buf, recordVersionV2, v2KindData)
+	buf = binenc.AppendUvarint(buf, uint64(math.Round(rec.TimeSeconds*1000)))
+	buf = binenc.AppendUvarint(buf, uint64(math.Round(rec.ResSeconds*1000)))
+	var flags byte
+	if len(rec.Cols) > 0 {
+		flags |= v2FlagCols
+	}
+	buf = append(buf, flags)
+	if flags&v2FlagCols != 0 {
+		buf = binenc.AppendUvarint(buf, uint64(len(rec.Cols)))
+		for _, c := range rec.Cols {
+			buf = binenc.AppendUvarint(buf, d.intern(c))
+		}
+	}
+	rows := rec.Rows
+	buf = binenc.AppendUvarint(buf, uint64(len(rows)))
+	prevPID := int64(0)
+	for i := range rows {
+		pid := int64(rows[i].PID)
+		buf = binenc.AppendVarint(buf, pid-prevPID)
+		prevPID = pid
+	}
+	for i := range rows {
+		buf = binenc.AppendVarint(buf, int64(rows[i].TID)-int64(rows[i].PID))
+	}
+	for i := range rows {
+		buf = binenc.AppendUvarint(buf, d.intern(rows[i].User))
+	}
+	for i := range rows {
+		buf = binenc.AppendUvarint(buf, d.intern(rows[i].Command))
+	}
+	prev := 0.0
+	for i := range rows {
+		buf = binenc.AppendFloat(buf, prev, rows[i].CPUPct)
+		prev = rows[i].CPUPct
+	}
+	prev = 0.0
+	for i := range rows {
+		buf = binenc.AppendFloat(buf, prev, rows[i].IPC)
+		prev = rows[i].IPC
+	}
+	maxVals := 0
+	for i := range rows {
+		buf = binenc.AppendUvarint(buf, uint64(len(rows[i].Values)))
+		if len(rows[i].Values) > maxVals {
+			maxVals = len(rows[i].Values)
+		}
+	}
+	// Values column-major, each column XOR'd down the rows that have it.
+	for j := 0; j < maxVals; j++ {
+		prev = 0.0
+		for i := range rows {
+			if j < len(rows[i].Values) {
+				buf = binenc.AppendFloat(buf, prev, rows[i].Values[j])
+				prev = rows[i].Values[j]
+			}
+		}
+	}
+	for i := range rows {
+		buf = binenc.AppendUvarint(buf, rows[i].Instr)
+	}
+	for i := range rows {
+		buf = binenc.AppendUvarint(buf, rows[i].Cycles)
+	}
+	for i := range rows {
+		buf = binenc.AppendUvarint(buf, rows[i].Misses)
+	}
+	buf = binenc.AppendUvarint(buf, uint64(rec.Machine.Tasks))
+	buf = binenc.AppendFloat(buf, 0, rec.Machine.CPUPct)
+	buf = binenc.AppendUvarint(buf, rec.Machine.Instr)
+	buf = binenc.AppendUvarint(buf, rec.Machine.Cycles)
+	buf = binenc.AppendUvarint(buf, rec.Machine.Misses)
+	return buf
+}
+
+// decodeV2Dict appends a dictionary payload's entries to dict.
+func decodeV2Dict(p []byte, dict []string) ([]string, error) {
+	r := binenc.NewReader(p[2:])
+	n := r.Uvarint()
+	if n > uint64(len(p)) {
+		return nil, fmt.Errorf("store: corrupt v2 dictionary (%d entries in %d bytes)", n, len(p))
+	}
+	for i := uint64(0); i < n; i++ {
+		dict = append(dict, r.String())
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("store: corrupt v2 dictionary: %w", err)
+	}
+	return dict, nil
+}
+
+// decodeV2Record decodes one v2 data payload against the segment's
+// dictionary. It mirrors appendV2Data exactly; trailing bytes are an
+// error, not ignored.
+func decodeV2Record(p []byte, dict []string) (*Record, error) {
+	r := binenc.NewReader(p[2:])
+	rec := &Record{V: recordVersionV2}
+	rec.TimeSeconds = float64(r.Uvarint()) / 1000
+	if resMs := r.Uvarint(); resMs > 0 {
+		rec.ResSeconds = float64(resMs) / 1000
+	}
+	flags := r.Byte()
+	dictAt := func(idx uint64) (string, error) {
+		if err := r.Err(); err != nil {
+			return "", err
+		}
+		if idx >= uint64(len(dict)) {
+			return "", fmt.Errorf("store: v2 record references dictionary entry %d of %d", idx, len(dict))
+		}
+		return dict[idx], nil
+	}
+	if flags&v2FlagCols != 0 {
+		n := r.Uvarint()
+		if n > uint64(len(p)) {
+			return nil, fmt.Errorf("store: corrupt v2 record (cols)")
+		}
+		rec.Cols = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			c, err := dictAt(r.Uvarint())
+			if err != nil {
+				return nil, err
+			}
+			rec.Cols = append(rec.Cols, c)
+		}
+	}
+	nrows := r.Uvarint()
+	if nrows > uint64(len(p)) {
+		return nil, fmt.Errorf("store: corrupt v2 record (%d rows in %d bytes)", nrows, len(p))
+	}
+	rows := make([]RecordRow, nrows)
+	prevPID := int64(0)
+	for i := range rows {
+		prevPID += r.Varint()
+		rows[i].PID = int(prevPID)
+	}
+	for i := range rows {
+		rows[i].TID = int(int64(rows[i].PID) + r.Varint())
+	}
+	for i := range rows {
+		s, err := dictAt(r.Uvarint())
+		if err != nil {
+			return nil, err
+		}
+		rows[i].User = s
+	}
+	for i := range rows {
+		s, err := dictAt(r.Uvarint())
+		if err != nil {
+			return nil, err
+		}
+		rows[i].Command = s
+	}
+	prev := 0.0
+	for i := range rows {
+		rows[i].CPUPct = r.Float(prev)
+		prev = rows[i].CPUPct
+	}
+	prev = 0.0
+	for i := range rows {
+		rows[i].IPC = r.Float(prev)
+		prev = rows[i].IPC
+	}
+	maxVals, total := 0, uint64(0)
+	for i := range rows {
+		n := r.Uvarint()
+		total += n
+		if total > uint64(len(p)) {
+			return nil, fmt.Errorf("store: corrupt v2 record (values)")
+		}
+		// Non-nil even when empty, matching encoding/json's decode of
+		// the v1 "values":[] field.
+		rows[i].Values = make([]float64, n)
+		if int(n) > maxVals {
+			maxVals = int(n)
+		}
+	}
+	for j := 0; j < maxVals; j++ {
+		prev = 0.0
+		for i := range rows {
+			if j < len(rows[i].Values) {
+				rows[i].Values[j] = r.Float(prev)
+				prev = rows[i].Values[j]
+			}
+		}
+	}
+	for i := range rows {
+		rows[i].Instr = r.Uvarint()
+	}
+	for i := range rows {
+		rows[i].Cycles = r.Uvarint()
+	}
+	for i := range rows {
+		rows[i].Misses = r.Uvarint()
+	}
+	rec.Rows = rows
+	rec.Machine.Tasks = int(r.Uvarint())
+	rec.Machine.CPUPct = r.Float(0)
+	rec.Machine.Instr = r.Uvarint()
+	rec.Machine.Cycles = r.Uvarint()
+	rec.Machine.Misses = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("store: corrupt v2 record: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("store: v2 record has %d trailing bytes", r.Len())
+	}
+	return rec, nil
+}
+
+// v2PeekCols extracts just the column names of a v2 data payload (nil
+// when the frame carries none) so pre-range records can keep the column
+// tracking honest without decoding their rows.
+func v2PeekCols(p []byte, dict []string) ([]string, error) {
+	r := binenc.NewReader(p[2:])
+	r.Uvarint() // time
+	r.Uvarint() // res
+	flags := r.Byte()
+	if r.Err() != nil || flags&v2FlagCols == 0 {
+		return nil, r.Err()
+	}
+	n := r.Uvarint()
+	if n > uint64(len(p)) {
+		return nil, fmt.Errorf("store: corrupt v2 record (cols)")
+	}
+	cols := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		idx := r.Uvarint()
+		if r.Err() != nil {
+			break
+		}
+		if idx >= uint64(len(dict)) {
+			return nil, fmt.Errorf("store: v2 record references dictionary entry %d of %d", idx, len(dict))
+		}
+		cols = append(cols, dict[idx])
+	}
+	return cols, r.Err()
+}
+
+// frameDecoder decodes a segment's frames in order, carrying the
+// dictionary state dictionary frames establish. One decoder per file —
+// dictionaries never span segments.
+type frameDecoder struct {
+	dict []string
+}
+
+// decode turns one frame payload into a record. rec is nil (with no
+// error) for meta frames, which only update decoder state.
+func (d *frameDecoder) decode(payload []byte) (*Record, error) {
+	_, v, kind, ok := framePrefix(payload)
+	if !ok {
+		return nil, fmt.Errorf("store: unparseable record payload")
+	}
+	if v > RecordVersion {
+		return nil, fmt.Errorf("store: record version %d not supported (this build reads <= %d)", v, RecordVersion)
+	}
+	if kind == frameKindMeta {
+		dict, err := decodeV2Dict(payload, d.dict)
+		if err != nil {
+			return nil, err
+		}
+		d.dict = dict
+		return nil, nil
+	}
+	if payload[0] == '{' {
+		return DecodeRecord(payload)
+	}
+	return decodeV2Record(payload, d.dict)
+}

@@ -19,6 +19,12 @@ import (
 
 const (
 	segmentExt = ".seg"
+	// compactedExt marks a segment the compactor produced: a merged,
+	// columnar (record v2) rewrite of the sequence range its name
+	// carries. compactingExt is the same file before it is published —
+	// recovery deletes those (the originals are still intact).
+	compactedExt  = ".cseg"
+	compactingExt = ".cmpct"
 	// frameHeader is the per-record framing overhead.
 	frameHeader = 8
 	// maxRecordBytes bounds a single record's payload; anything larger
@@ -28,21 +34,31 @@ const (
 
 // segment is one on-disk segment file. The writer appends through f
 // (nil once sealed); size, n and the record-time bounds are maintained
-// in memory and rebuilt by scanning on open.
+// in memory and rebuilt by scanning on open. A compacted segment spans
+// the sequence range [seq, seqEnd] of the segments it replaced; plain
+// segments have seqEnd == seq.
 type segment struct {
-	path  string
-	seq   int64
-	f     *os.File
-	size  int64
-	n     int64
-	first time.Duration
-	last  time.Duration
+	path   string
+	seq    int64
+	seqEnd int64
+	f      *os.File
+	size   int64
+	n      int64
+	first  time.Duration
+	last   time.Duration
 }
 
 // segmentPath names a segment file: "<tier>-<seq>.seg", zero-padded so
 // lexical order is chain order.
 func segmentPath(dir, tier string, seq int64) string {
 	return filepath.Join(dir, fmt.Sprintf("%s-%010d%s", tier, seq, segmentExt))
+}
+
+// compactedPath names a compacted segment: "<tier>-<a>-<b>.cseg". The
+// name carries the replaced range so recovery can finish an interrupted
+// compaction (a published .cseg supersedes every segment it covers).
+func compactedPath(dir, tier string, a, b int64, ext string) string {
+	return filepath.Join(dir, fmt.Sprintf("%s-%010d-%010d%s", tier, a, b, ext))
 }
 
 // createSegment starts an empty active segment.
@@ -52,7 +68,19 @@ func createSegment(dir, tier string, seq int64) (*segment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &segment{path: path, seq: seq, f: f}, nil
+	return &segment{path: path, seq: seq, seqEnd: seq, f: f}, nil
+}
+
+// sync flushes the segment's file to stable storage (group-commit
+// fsync); a no-op once sealed.
+func (sg *segment) sync() error {
+	if sg.f == nil {
+		return nil
+	}
+	if err := sg.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", filepath.Base(sg.path), err)
+	}
+	return nil
 }
 
 // append writes one framed record. The frame slice already carries the
@@ -86,8 +114,8 @@ func (sg *segment) seal() error {
 // clipping a torn or corrupt tail: logically always (size/n/first/last
 // reflect only the valid prefix), physically when writable is set (the
 // newest segment of a tier, which reopens for appending).
-func openSegment(path string, seq int64, writable bool) (*segment, error) {
-	sg := &segment{path: path, seq: seq}
+func openSegment(path string, seq, seqEnd int64, writable bool) (*segment, error) {
+	sg := &segment{path: path, seq: seq, seqEnd: seqEnd}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
@@ -120,6 +148,9 @@ func openSegment(path string, seq int64, writable bool) (*segment, error) {
 // scanFrames walks the segment from the start, returning the byte
 // length of the valid prefix, the record count, and the first/last
 // record times. It stops (without error) at the first invalid frame.
+// Frames are version-sniffed individually (v1 JSON and v2 columnar mix
+// freely); v2 dictionary frames join the valid prefix but are not
+// records, so they never count or move the time bounds.
 func scanFrames(r io.Reader) (valid, n int64, first, last time.Duration, err error) {
 	br := newFrameReader(r)
 	for {
@@ -130,7 +161,7 @@ func scanFrames(r io.Reader) (valid, n int64, first, last time.Duration, err err
 		if !ok {
 			return br.valid, n, first, last, nil
 		}
-		t, v, ok := recordPrefix(payload)
+		t, v, kind, ok := framePrefix(payload)
 		if !ok {
 			// Structurally sound frame with an unparseable payload:
 			// treat as corruption, clip here.
@@ -140,6 +171,9 @@ func scanFrames(r io.Reader) (valid, n int64, first, last time.Duration, err err
 			return 0, 0, 0, 0, fmt.Errorf("store: record version %d not supported (this build reads <= %d)", v, RecordVersion)
 		}
 		br.accept()
+		if kind == frameKindMeta {
+			continue
+		}
 		if n == 0 {
 			first = t
 		}

@@ -54,10 +54,13 @@ import (
 	"tiptop/internal/hpm"
 )
 
-// RecordVersion is the version stamped into every record payload. A
-// reader accepts documents up to its own version and rejects newer
-// ones, mirroring the remote wire contract.
-const RecordVersion = 1
+// RecordVersion is the newest record format this build reads and
+// writes: 1 is the JSON layout the live append path produces, 2 the
+// columnar layout compaction rewrites sealed segments into (recordv2.go).
+// Readers sniff the version per frame, accept documents up to this
+// ceiling and reject newer ones loudly, mirroring the remote wire
+// contract.
+const RecordVersion = 2
 
 // Resolutions are the store's downsampling tiers: raw refreshes, then
 // 10-second averages, then 1-minute averages. Index 0 is the raw tier.
@@ -92,6 +95,10 @@ type Options struct {
 	// NoDownsample disables the 10s/1m tiers (raw records only); used
 	// by benchmarks isolating the append path.
 	NoDownsample bool
+	// Fsync bounds the window a kernel crash can lose (group-commit
+	// durability). The zero policy never syncs — durability is the page
+	// cache's, as before.
+	Fsync FsyncPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +137,12 @@ type Store struct {
 	lastTime time.Duration
 	records  int64 // appended + recovered, all tiers
 	enc      encoder
+	// group-commit fsync bookkeeping (zero policy: never touched).
+	unsynced int64
+	lastSync time.Time
+	// compacting serializes Compact calls and defers retention while a
+	// rewrite is in flight (compact.go).
+	compacting bool
 }
 
 // tier is one resolution's segment chain plus the accumulator folding
@@ -143,6 +156,9 @@ type tier struct {
 	// colsWritten tracks whether the active segment already carries the
 	// column names (each segment is self-describing).
 	colsWritten bool
+	// dirty marks the active segment as having unsynced appends (only
+	// maintained when a fsync policy is set).
+	dirty bool
 }
 
 // Open creates or recovers the store in dir. A torn tail record —
@@ -340,7 +356,44 @@ func (st *Store) appendLocked(s *core.Sample) error {
 		}
 	}
 	st.lastTime = now
+	if err := st.maybeSyncLocked(); err != nil {
+		return err
+	}
 	return st.enforceLocked(now)
+}
+
+// maybeSyncLocked applies the group-commit fsync policy: once enough
+// records or wall-clock time have accumulated since the last sync,
+// every dirty active segment is flushed to stable storage in one batch.
+func (st *Store) maybeSyncLocked() error {
+	p := st.opt.Fsync
+	if !p.enabled() {
+		return nil
+	}
+	st.unsynced++
+	due := p.Records > 0 && st.unsynced >= p.Records
+	if !due && p.Interval > 0 {
+		if st.lastSync.IsZero() {
+			st.lastSync = time.Now()
+		} else if time.Since(st.lastSync) >= p.Interval {
+			due = true
+		}
+	}
+	if !due {
+		return nil
+	}
+	for _, t := range st.tiers {
+		if !t.dirty || t.active == nil {
+			continue
+		}
+		if err := t.active.sync(); err != nil {
+			return err
+		}
+		t.dirty = false
+	}
+	st.unsynced = 0
+	st.lastSync = time.Now()
+	return nil
 }
 
 // colsFor returns the column names to embed in the next record of t:
@@ -367,6 +420,9 @@ func (st *Store) writeRecord(t *tier, now time.Duration, agg *rollup, emit func(
 	st.enc.endRecord(agg)
 	if err := t.active.append(st.enc.frame()); err != nil {
 		return err
+	}
+	if st.opt.Fsync.enabled() {
+		t.dirty = true
 	}
 	t.colsWritten = t.colsWritten || len(st.cols) > 0
 	if t.active.n == 1 {
@@ -428,6 +484,15 @@ func (st *Store) flushBucket(t *tier, b *bucket) error {
 // rotateLocked seals the tier's active segment and starts the next one.
 func (st *Store) rotateLocked(t *tier) error {
 	if t.active != nil {
+		if st.opt.Fsync.enabled() && t.dirty {
+			// The durability bound must survive the rotation: flush the
+			// outgoing segment before it is sealed away from the policy's
+			// reach.
+			if err := t.active.sync(); err != nil {
+				return err
+			}
+			t.dirty = false
+		}
 		if err := t.active.seal(); err != nil {
 			return err
 		}
@@ -439,9 +504,9 @@ func (st *Store) rotateLocked(t *tier) error {
 	}
 	seq := int64(1)
 	if t.active != nil {
-		seq = t.active.seq + 1
+		seq = t.active.seqEnd + 1
 	} else if n := len(t.sealed); n > 0 {
-		seq = t.sealed[n-1].seq + 1
+		seq = t.sealed[n-1].seqEnd + 1
 	}
 	sg, err := createSegment(st.dir, tierNames[t.idx], seq)
 	if err != nil {
@@ -456,6 +521,12 @@ func (st *Store) rotateLocked(t *tier) error {
 // then the byte budget (oldest sealed segments, rawest tier first,
 // preferring the tier most over its budget share).
 func (st *Store) enforceLocked(now time.Duration) error {
+	if st.compacting {
+		// Retention is deferred while a compaction rewrite is reading
+		// sealed segments; it resumes (and catches up) on the first
+		// append after the rewrite finishes.
+		return nil
+	}
 	if st.opt.Retention > 0 {
 		horizon := now - st.opt.Retention
 		for _, t := range st.tiers {
@@ -558,49 +629,107 @@ func (st *Store) Close() error {
 // recover scans the directory, rebuilding each tier's segment chain and
 // clipping torn tails. The newest record time becomes the base offset
 // for subsequent appends.
+//
+// Interrupted compactions resolve here: an unpublished rewrite
+// (*.cmpct) is deleted — its inputs are intact — while a published one
+// (*.cseg, only renamed into place after a full write and fsync)
+// supersedes every segment inside the sequence range its name carries,
+// finishing the unlink step the crash cut short.
 func (st *Store) recover() error {
 	entries, err := os.ReadDir(st.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	type named struct {
-		tier int
-		seq  int64
-		path string
+		tier      int
+		seq, end  int64
+		compacted bool
+		path      string
 	}
 	var files []named
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), segmentExt) {
+		if e.IsDir() {
 			continue
 		}
-		base := strings.TrimSuffix(e.Name(), segmentExt)
-		dash := strings.LastIndexByte(base, '-')
-		if dash < 0 {
+		if strings.HasSuffix(e.Name(), compactingExt) {
+			// Crash before publish: the originals are still authoritative.
+			_ = os.Remove(filepath.Join(st.dir, e.Name()))
 			continue
 		}
-		ti := -1
+		f := named{path: filepath.Join(st.dir, e.Name())}
+		base := e.Name()
+		switch {
+		case strings.HasSuffix(base, compactedExt):
+			f.compacted = true
+			base = strings.TrimSuffix(base, compactedExt)
+		case strings.HasSuffix(base, segmentExt):
+			base = strings.TrimSuffix(base, segmentExt)
+		default:
+			continue
+		}
+		f.tier = -1
 		for i, n := range tierNames {
-			if base[:dash] == n {
-				ti = i
+			if strings.HasPrefix(base, n+"-") {
+				f.tier = i
+				base = base[len(n)+1:]
 				break
 			}
 		}
-		seq, err := strconv.ParseInt(base[dash+1:], 10, 64)
-		if ti < 0 || err != nil || seq <= 0 {
+		if f.tier < 0 {
 			continue
 		}
-		files = append(files, named{tier: ti, seq: seq, path: filepath.Join(st.dir, e.Name())})
-	}
-	sort.Slice(files, func(i, j int) bool {
-		if files[i].tier != files[j].tier {
-			return files[i].tier < files[j].tier
+		if f.compacted {
+			a, b, ok := strings.Cut(base, "-")
+			if !ok {
+				continue
+			}
+			start, err1 := strconv.ParseInt(a, 10, 64)
+			end, err2 := strconv.ParseInt(b, 10, 64)
+			if err1 != nil || err2 != nil || start <= 0 || end < start {
+				continue
+			}
+			f.seq, f.end = start, end
+		} else {
+			seq, err := strconv.ParseInt(base, 10, 64)
+			if err != nil || seq <= 0 {
+				continue
+			}
+			f.seq, f.end = seq, seq
 		}
-		return files[i].seq < files[j].seq
+		files = append(files, f)
+	}
+	// Chain order; on a shared start the wider (compacted) range first,
+	// so the containment sweep below sees it before what it replaced.
+	sort.Slice(files, func(i, j int) bool {
+		a, b := files[i], files[j]
+		if a.tier != b.tier {
+			return a.tier < b.tier
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		if a.end != b.end {
+			return a.end > b.end
+		}
+		return a.compacted && !b.compacted
 	})
+	// Containment sweep: a file whose range lies inside an earlier kept
+	// file's range was replaced by that compaction — remove it.
+	kept := files[:0]
+	for _, f := range files {
+		if n := len(kept); n > 0 && kept[n-1].tier == f.tier && f.end <= kept[n-1].end {
+			_ = os.Remove(f.path)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	files = kept
 	for i, f := range files {
 		t := st.tiers[f.tier]
-		lastOfTier := i == len(files)-1 || files[i+1].tier != f.tier
-		sg, err := openSegment(f.path, f.seq, lastOfTier)
+		// Only a plain tail segment reopens for appending; a compacted
+		// tail stays sealed and the next append starts a fresh segment.
+		lastOfTier := (i == len(files)-1 || files[i+1].tier != f.tier) && !f.compacted
+		sg, err := openSegment(f.path, f.seq, f.end, lastOfTier)
 		if err != nil {
 			return err
 		}

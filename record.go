@@ -7,7 +7,6 @@ import (
 	"tiptop/internal/core"
 	"tiptop/internal/export"
 	"tiptop/internal/history"
-	"tiptop/internal/query"
 )
 
 // RecorderOptions tune a Recorder; the zero value gives a 600-point
@@ -92,12 +91,11 @@ func (r *Recorder) WriteOpenMetrics(w io.Writer) error {
 // served as series. Semantics match Store.QueryExpr on the same
 // observations; counters (INSTRUCTIONS, CYCLES, CACHE_MISSES) sum per
 // bucket while columns and CPU_PCT average.
+//
+// Deprecated: use Querier().QueryExpr, the variadic contract shared
+// with Store and QueryClient. This delegate remains for compatibility.
 func (r *Recorder) QueryExpr(expr string, opt QueryOptions) (*QueryResult, error) {
-	c, err := query.Compile(expr, query.KnownNames(r.h.Columns()))
-	if err != nil {
-		return nil, err
-	}
-	return query.QueryHistory(r.h, c, opt)
+	return r.Querier().QueryExpr(expr, opt)
 }
 
 // Validate reports configuration errors a Monitor constructor would
@@ -123,6 +121,9 @@ func (c Config) Validate() error {
 	}
 	if c.StoreBudget < 0 {
 		return fmt.Errorf("tiptop: negative store budget %d", c.StoreBudget)
+	}
+	if c.StoreCompact < 0 {
+		return fmt.Errorf("tiptop: negative store compaction period %v", c.StoreCompact)
 	}
 	return nil
 }

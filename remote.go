@@ -121,7 +121,16 @@ type RemoteMonitor struct {
 // NewRemoteMonitor attaches to a tiptopd at url ("host:port" or a full
 // URL, as served by tiptopd -addr).
 func NewRemoteMonitor(url string) (*RemoteMonitor, error) {
-	c, err := remote.Dial(url)
+	return NewRemoteMonitorWire(url, "")
+}
+
+// NewRemoteMonitorWire attaches like NewRemoteMonitor and selects the
+// stream encoding: "binary" negotiates the length-prefixed binary
+// frame (tiptop -connect -wire binary), transparently falling back to
+// SSE + JSON against daemons that predate it; "json" or "" keeps the
+// default.
+func NewRemoteMonitorWire(url, wire string) (*RemoteMonitor, error) {
+	c, err := remote.DialWith(url, remote.DialOptions{Wire: wire})
 	if err != nil {
 		return nil, err
 	}

@@ -47,10 +47,12 @@ manifest="
 tiptop:b tiptop:d tiptop:n tiptop:screen tiptop:sort tiptop:rows
 tiptop:u tiptop:j tiptop:o tiptop:record tiptop:connect tiptop:sim
 tiptop:scale tiptop:list tiptop:list-events tiptop:dump-config
-tiptop:config tiptop:system-wide tiptop:counters
+tiptop:config tiptop:system-wide tiptop:counters tiptop:wire
+tiptop:fsync
 tiptopd:addr tiptopd:d tiptopd:n tiptopd:history tiptopd:window
 tiptopd:sim tiptopd:config tiptopd:join tiptopd:store
 tiptopd:retention tiptopd:budget tiptopd:system-wide tiptopd:counters
+tiptopd:fsync tiptopd:compact tiptopd:wire
 tipbench:run tipbench:scale tipbench:out tipbench:list
 tipbench:bench-refresh tipbench:bench-daemon tipbench:bench-store
 tipbench:bench-query tipbench:query-records tipbench:bench-mux

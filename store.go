@@ -99,12 +99,12 @@ func (st *Store) Query(q StoreQuery) (*StoreResult, error) { return st.s.Query(q
 // `topk(3, rate(CYCLES)) by user`, `avg_over_time(ipc)` and friends,
 // bucketed to opt.StepSeconds. The same engine answers live recorders
 // (Recorder.QueryExpr) and fleet aggregators.
+//
+// Deprecated: use Querier().QueryExpr, the variadic contract shared
+// with Recorder and QueryClient. This delegate remains for
+// compatibility.
 func (st *Store) QueryExpr(expr string, opt QueryOptions) (*QueryResult, error) {
-	c, err := query.Compile(expr, query.KnownNames(st.s.Columns()))
-	if err != nil {
-		return nil, err
-	}
-	return query.QueryStore(st.s, c, opt)
+	return st.Querier().QueryExpr(expr, opt)
 }
 
 // Handler serves the store's range queries over HTTP — the same
@@ -164,6 +164,32 @@ func (st *Store) RecordSample(s *Sample) error {
 // Close seals the store. Partial downsample buckets are discarded (the
 // raw tier holds their data); reopening resumes where the log ends.
 func (st *Store) Close() error { return st.s.Close() }
+
+// FsyncPolicy is the store's group-commit durability policy: an
+// interval and/or record-count bound after which dirty segments are
+// flushed in one batch. The zero policy never syncs (the kernel
+// flushes on its own schedule). Set it via StoreOptions.Fsync.
+type FsyncPolicy = store.FsyncPolicy
+
+// ParseFsync parses the -fsync flag / fsync= attribute syntax: "off",
+// an interval ("2s"), a record count ("1000-records"), or both
+// comma-combined.
+func ParseFsync(s string) (FsyncPolicy, error) { return store.ParseFsync(s) }
+
+// CompactOptions tune Store.Compact.
+type CompactOptions = store.CompactOptions
+
+// CompactionResult reports what a compaction pass rewrote, per tier.
+type CompactionResult = store.CompactionResult
+
+// Compact rewrites the store's sealed segments into the columnar
+// record format v2: delta/varint columns, a per-segment string
+// dictionary, restart-fragmented segments merged, and series of
+// long-exited tasks tombstoned. Queries keep answering (and appends
+// keep landing) during the pass, and read v1 and v2 segments
+// transparently afterwards. tiptopd runs this periodically with
+// -compact; archival users call it after bulk loads.
+func (st *Store) Compact(opt CompactOptions) (*CompactionResult, error) { return st.s.Compact(opt) }
 
 // QueryOptions select the time range and step of an expression query.
 type QueryOptions = query.Options

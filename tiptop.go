@@ -112,12 +112,20 @@ type Config struct {
 	// 64 MiB default). Oldest segments are retired first, raw tier
 	// before the downsampled ones.
 	StoreBudget int64
+	// StoreFsync is the store's group-commit durability policy
+	// (tiptopd -fsync, <options fsync=>): how far behind a kernel
+	// crash may leave durable history. The zero policy never syncs.
+	StoreFsync FsyncPolicy
+	// StoreCompact, when positive, is the period at which a daemon
+	// compacts its store into the columnar record format v2 (tiptopd
+	// -compact, <options compact=>). 0 never compacts automatically.
+	StoreCompact time.Duration
 }
 
 // StoreOptions translates the Config's store fields into options for
 // OpenStore — the one place the commands build them.
 func (cfg Config) StoreOptions() StoreOptions {
-	return StoreOptions{Retention: cfg.StoreRetention, Budget: cfg.StoreBudget}
+	return StoreOptions{Retention: cfg.StoreRetention, Budget: cfg.StoreBudget, Fsync: cfg.StoreFsync}
 }
 
 // EventDef defines one user event: Name is the identifier metric
