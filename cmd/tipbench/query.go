@@ -32,6 +32,14 @@ type queryReport struct {
 	// Query1mTier1hSeconds mirrors the QueryExpr1mTier1h benchmark in
 	// seconds per evaluation — the number CI gates on.
 	Query1mTier1hSeconds float64 `json:"query_1m_tier_1h_seconds"`
+	// The scan benchmarks compare one full pass over the compacted 1m
+	// tier: the serial full-decode baseline (the pre-vectorized path)
+	// against the parallel, projected scan the query engine now rides.
+	// CI gates the speedup and the per-record allocation rate.
+	ScanRecords          int64   `json:"scan_records"`
+	ScanAllocsPerOp      int64   `json:"scan_allocs_per_op"`
+	ScanAllocsPerRecord  float64 `json:"scan_allocs_per_record"`
+	QueryParallelSpeedup float64 `json:"query_parallel_speedup"`
 }
 
 // mustCompileBench compiles one benchmark expression against the
@@ -41,8 +49,9 @@ func mustCompileBench(src string) (*query.Compiled, error) {
 }
 
 // benchQuery measures the expression engine and writes
-// <outDir>/BENCH_query.json.
-func benchQuery(outDir string, records int64) error {
+// <outDir>/BENCH_query.json. workers sizes the parallel scan pool
+// (0 = one per CPU).
+func benchQuery(outDir string, records int64, workers int) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -72,12 +81,17 @@ func benchQuery(outDir string, records int64) error {
 		return err
 	}
 	defer os.RemoveAll(dir)
-	st, err := store.Open(dir, store.Options{Budget: 1 << 40})
+	// Small segments so the compacted 1m tier spans enough files for the
+	// parallel scan to divide.
+	st, err := store.Open(dir, store.Options{Budget: 1 << 40, SegmentBytes: 64 << 10})
 	if err != nil {
 		return err
 	}
 	st.SetColumns([]string{"mcycle", "minst", "ipc", "dmis"})
-	one := benchSample(0, 1)
+	// 8 tasks per refresh: value and counter columns must be real
+	// chains, not single floats, for the scan measurements to resemble
+	// a monitored machine.
+	one := benchSample(0, 8)
 	now := time.Duration(0)
 	for st.Records() < records {
 		now += time.Second
@@ -87,6 +101,12 @@ func benchQuery(outDir string, records int64) error {
 		}
 	}
 	report.StoreRecords = st.Records()
+	// Compact to the columnar v2 layout — projection only pays off on
+	// columnar frames, and a long-lived store is compacted in practice.
+	fmt.Println("== compacting to record format v2")
+	if _, err := st.Compact(store.CompactOptions{}); err != nil {
+		return err
+	}
 	end := st.LastTime().Seconds()
 	window := query.Options{FromSeconds: end - 3600, ToSeconds: end}
 
@@ -134,6 +154,56 @@ func benchQuery(outDir string, records int64) error {
 	if err := runSolo("QueryExprTopKByUser1m", ranked, oneMin); err != nil {
 		return err
 	}
+
+	// One full pass over the compacted 1m tier, serial full-decode
+	// (every field of every record materialized fresh — the path every
+	// query took before vectorized execution) versus the parallel,
+	// projected scan decoding only what the IPC expression references
+	// into per-worker scratch.
+	runScan := func(name string, opts store.ScanOptions) (testing.BenchmarkResult, error) {
+		fmt.Println("== bench " + name)
+		var failed error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := 0
+				if _, err := st.ScanWith(opts, func(rec *store.Record, cols []string) error {
+					n++
+					return nil
+				}); err != nil {
+					failed = err
+					b.Fatal(err)
+				}
+				if n == 0 {
+					failed = fmt.Errorf("%s: empty scan", name)
+					b.Fatal(failed)
+				}
+				report.ScanRecords = int64(n)
+			}
+		})
+		add(name, res)
+		return res, failed
+	}
+	tierScan := store.QueryOptions{PID: -1, StepSeconds: 60}
+	serialRes, err := runScan("Scan1mTierSerialFull",
+		store.ScanOptions{QueryOptions: tierScan, Workers: 1})
+	if err != nil {
+		return err
+	}
+	parallelRes, err := runScan("Scan1mTierParallelProjected", store.ScanOptions{
+		QueryOptions: tierScan,
+		Workers:      workers,
+		Project:      true,
+		Columns:      ipc.References(),
+	})
+	if err != nil {
+		return err
+	}
+	report.ScanAllocsPerOp = parallelRes.AllocsPerOp()
+	report.ScanAllocsPerRecord = float64(parallelRes.AllocsPerOp()) / float64(report.ScanRecords)
+	report.QueryParallelSpeedup = float64(serialRes.NsPerOp()) / float64(parallelRes.NsPerOp())
+	fmt.Printf("   %d-record 1m tier: parallel projected scan %.2fx over serial full decode, %.3f allocs/record\n",
+		report.ScanRecords, report.QueryParallelSpeedup, report.ScanAllocsPerRecord)
 
 	// The same hour-at-1m query merged across a 3-agent fleet, each
 	// agent holding its own hour of records — the aggregator's

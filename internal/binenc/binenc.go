@@ -166,3 +166,42 @@ func (r *Reader) Float(prev float64) float64 {
 	r.off += n
 	return math.Float64frombits(math.Float64bits(prev) ^ x<<(8*lo))
 }
+
+// SkipFloat advances past one AppendFloat encoding without
+// reconstructing the value. The control byte alone carries the width,
+// so a reader can step over a whole XOR chain it does not need — the
+// store's projected scan skips unreferenced columns this way. Skipping
+// loses the chain's previous-value state, so it is only valid when
+// every value of the chain is skipped.
+func (r *Reader) SkipFloat() {
+	r.SkipFloats(1)
+}
+
+// SkipFloats advances past count consecutive AppendFloat encodings —
+// a whole chain in one call, without per-value call overhead.
+func (r *Reader) SkipFloats(count int) {
+	if r.err != nil {
+		return
+	}
+	b, off := r.b, r.off
+	for ; count > 0; count-- {
+		if off >= len(b) {
+			r.off = off
+			r.fail("float")
+			return
+		}
+		ctrl := b[off]
+		off++
+		if ctrl == 0 {
+			continue
+		}
+		lo, n := int(ctrl>>4), int(ctrl&0xf)
+		if n == 0 || n > 8 || lo > 7 || off+n > len(b) {
+			r.off = off
+			r.fail("float")
+			return
+		}
+		off += n
+	}
+	r.off = off
+}

@@ -111,3 +111,36 @@ func TestReaderLatchesErrors(t *testing.T) {
 		t.Fatal("no error for truncated float")
 	}
 }
+
+// TestSkipFloat confirms skipping advances exactly as far as decoding:
+// a skipped chain leaves the reader positioned on the data that
+// follows, and truncated encodings still fail loudly.
+func TestSkipFloat(t *testing.T) {
+	vals := []float64{0, 1.5, 1.5, -97.25, 3e300, math.Pi, 0.1}
+	var b []byte
+	prev := 0.0
+	for _, v := range vals {
+		b = AppendFloat(b, prev, v)
+		prev = v
+	}
+	b = AppendUvarint(b, 424242)
+	r := NewReader(b)
+	for range vals {
+		r.SkipFloat()
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Uvarint(); got != 424242 {
+		t.Fatalf("skip misaligned: trailing uvarint decoded to %d", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left over", r.Len())
+	}
+
+	r2 := NewReader([]byte{0x18}) // control byte promises 8 bytes, none follow
+	r2.SkipFloat()
+	if r2.Err() == nil {
+		t.Fatal("no error for truncated skip")
+	}
+}

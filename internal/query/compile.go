@@ -104,6 +104,15 @@ func Compile(src string, known []string) (*Compiled, error) {
 	return c, nil
 }
 
+// References returns the distinct identifiers the compiled per-bucket
+// expression reads — the projection a storage backend can restrict its
+// decode to. Counter and context names (BaseNames) appear alongside
+// screen column names; a backend matches what it recognizes and
+// ignores the rest.
+func (c *Compiled) References() []string {
+	return c.Expr.Identifiers()
+}
+
 func knownName(id string, known []string) bool {
 	for _, k := range known {
 		if k == id {

@@ -34,6 +34,15 @@ type Options struct {
 	// StepSeconds is the bucket width; 0 evaluates at the serving
 	// resolution (one bucket per record/point).
 	StepSeconds float64
+	// Workers sizes the store-scan worker pool: 0 uses one worker per
+	// CPU, 1 forces the serial path. An execution knob, not a query
+	// parameter — it never changes the result.
+	Workers int
+	// FullDecode disables column projection, materializing every field
+	// of every scanned record — the benchmark baseline and a debugging
+	// escape hatch. Projection never changes the result either: the
+	// engine only reads what the expression references.
+	FullDecode bool
 }
 
 // Point is one evaluated value of a query series.
@@ -253,6 +262,50 @@ func (e *Engine) fold(key seriesKey, r *FrameRow, bt, dtNS float64) {
 			cpu: r.CPUPct, dtNS: dtNS,
 			vals: append([]float64(nil), r.Values...), cols: e.colIdx,
 		})
+	}
+}
+
+// Merge folds another engine's accumulated state into e, as if o's
+// frames had been pushed after e's own. Sources that partition their
+// input — fleet queries scanning agents concurrently into per-agent
+// partials — merge the partials in a fixed order, so the result does
+// not depend on scan interleaving: bucket sums append in merge order,
+// and o wins the last-writer fields (series labels, bucket intervals,
+// columns), exactly as its frames would have arriving last.
+func (e *Engine) Merge(o *Engine) {
+	if o.cols != nil {
+		e.cols, e.colIdx = o.cols, o.colIdx
+	}
+	e.SetResolution(o.res)
+	for key, oacc := range o.series {
+		acc := e.series[key]
+		if acc == nil {
+			e.series[key] = oacc
+			continue
+		}
+		acc.user, acc.comm = oacc.user, oacc.comm
+		for bt, ob := range oacc.buckets {
+			b := acc.buckets[bt]
+			if b == nil {
+				acc.buckets[bt] = ob
+				continue
+			}
+			b.n += ob.n
+			b.instr += ob.instr
+			b.cycles += ob.cycles
+			b.misses += ob.misses
+			b.cpu += ob.cpu
+			b.dtNS = ob.dtNS
+			if len(b.vals) < len(ob.vals) {
+				grown := make([]float64, len(ob.vals))
+				copy(grown, b.vals)
+				b.vals = grown
+			}
+			for i, v := range ob.vals {
+				b.vals[i] += v
+			}
+			b.points = append(b.points, ob.points...)
+		}
 	}
 }
 

@@ -43,11 +43,19 @@ func TestErrorEnvelope(t *testing.T) {
 			"/api/v1/query?expr=" + url.QueryEscape("delta(CYCLE)"),
 			http.StatusBadRequest, `unknown event or column "CYCLE"`, "did you mean CYCLES", intp(6)},
 		{"bad step", solo, "/api/v1/query?expr=CYCLES&step=never",
-			http.StatusBadRequest, "step", "", nil},
+			http.StatusBadRequest, "step", "30s, 1m, 1h", nil},
+		{"negative step", solo, "/api/v1/query?expr=CYCLES&step=-10",
+			http.StatusBadRequest, "step", "never negative", nil},
 		{"bad from", solo, "/api/v1/query?expr=CYCLES&from=soon",
 			http.StatusBadRequest, `bad from "soon"`, "", nil},
 		{"inverted range", solo, "/api/v1/query?expr=CYCLES&from=100&to=50",
-			http.StatusBadRequest, "ends (50s) before it starts (100s)", "", nil},
+			http.StatusBadRequest, "ends (50s) before it starts (100s)", "want from <= to", nil},
+		{"raw negative step", solo, "/api/v1/query?pid=100&step=-10",
+			http.StatusBadRequest, "negative step -10", "bucket width", nil},
+		{"raw inverted range", solo, "/api/v1/query?pid=100&from=100&to=50",
+			http.StatusBadRequest, "ends (50s) before it starts (100s)", "want from <= to", nil},
+		{"fleet raw negative step", fleet, "/api/v1/query?pid=100&agent=a:1&step=-10",
+			http.StatusBadRequest, "negative step -10", "bucket width", nil},
 		{"unknown format", solo, "/api/v1/query?expr=CYCLES&format=yaml",
 			http.StatusBadRequest, `unknown format "yaml"`, "", nil},
 		{"unknown source", solo, "/api/v1/query?expr=CYCLES&source=tape",

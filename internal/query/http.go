@@ -11,6 +11,7 @@ package query
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -47,7 +48,7 @@ func Handler(st *store.Store, rec *history.Recorder) http.Handler {
 		}
 		opt, format, live, err := parseExprQuery(r.URL.Query())
 		if err != nil {
-			remote.WriteError(w, http.StatusBadRequest, err.Error())
+			writeParamError(w, err)
 			return
 		}
 		format = negotiateFormat(format, r)
@@ -100,7 +101,7 @@ func FleetHandler(stores map[string]*store.Store, labels func() []string) http.H
 		}
 		opt, format, _, err := parseExprQuery(r.URL.Query())
 		if err != nil {
-			remote.WriteError(w, http.StatusBadRequest, err.Error())
+			writeParamError(w, err)
 			return
 		}
 		format = negotiateFormat(format, r)
@@ -176,6 +177,14 @@ func serveExpr(w http.ResponseWriter, expr, format string, known []string, run f
 	}
 	res, err := run(c)
 	if err != nil {
+		// A bad range or step surfaced by the store is still the
+		// request's fault: 400 with the hint, like every other
+		// validation failure — only real I/O maps to 500.
+		var re *store.RangeError
+		if errors.As(err, &re) {
+			remote.WriteErrorHint(w, http.StatusBadRequest, re.Msg, re.Hint)
+			return
+		}
 		status := http.StatusBadRequest
 		if _, ok := err.(*metrics.SyntaxError); !ok {
 			if _, ok := err.(*metrics.EvalError); !ok {
@@ -211,10 +220,16 @@ func parseExprQuery(v url.Values) (Options, string, bool, error) {
 		return opt, "", false, err
 	}
 	if opt.StepSeconds, err = metrics.ParseStep(v.Get("step")); err != nil {
-		return opt, "", false, err
+		return opt, "", false, &store.RangeError{
+			Msg:  err.Error(),
+			Hint: "steps are bare seconds or duration suffixes (30s, 1m, 1h), never negative",
+		}
 	}
 	if opt.ToSeconds > 0 && opt.ToSeconds < opt.FromSeconds {
-		return opt, "", false, fmt.Errorf("range ends (%gs) before it starts (%gs)", opt.ToSeconds, opt.FromSeconds)
+		return opt, "", false, &store.RangeError{
+			Msg:  fmt.Sprintf("range ends (%gs) before it starts (%gs)", opt.ToSeconds, opt.FromSeconds),
+			Hint: "want from <= to; omit to (or pass 0) to query to the end",
+		}
 	}
 	format := v.Get("format")
 	switch format {
@@ -244,6 +259,17 @@ func floatParam(v url.Values, name string) (float64, error) {
 		return 0, fmt.Errorf("bad %s %q", name, s)
 	}
 	return f, nil
+}
+
+// writeParamError writes one request-parameter failure as a 400,
+// carrying a range error's hint structurally in the envelope.
+func writeParamError(w http.ResponseWriter, err error) {
+	var re *store.RangeError
+	if errors.As(err, &re) {
+		remote.WriteErrorHint(w, http.StatusBadRequest, re.Msg, re.Hint)
+		return
+	}
+	remote.WriteError(w, http.StatusBadRequest, err.Error())
 }
 
 // negotiateFormat resolves the response format: the ?format= parameter

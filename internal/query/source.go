@@ -4,12 +4,23 @@ package query
 // and fleet mode's per-agent stores merged on aligned steps. Each
 // adapts its records into engine frames; the bucketing, grouping and
 // evaluation semantics live in the engine alone.
+//
+// Store-backed queries run vectorized: the scan decodes segments on a
+// worker pool and projects v2 records down to the columns the compiled
+// expression references (plus CPU_PCT when referenced — IPC is always
+// recomputed from counters, so the stored per-row ratio is never
+// needed). Fleet queries scan agents concurrently into per-agent
+// engines merged in sorted label order, so the result is independent
+// of scan interleaving.
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"tiptop/internal/history"
+	"tiptop/internal/metrics"
 	"tiptop/internal/store"
 )
 
@@ -17,23 +28,37 @@ import (
 // streaming the records of the selected tier through the engine.
 func QueryStore(st *store.Store, c *Compiled, opt Options) (*Result, error) {
 	eng := NewEngine(c, opt)
-	if err := scanInto(eng, st, "", opt); err != nil {
+	if err := scanInto(eng, st, "", c, opt); err != nil {
 		return nil, err
 	}
 	return eng.Finish()
 }
 
 // scanInto streams one store's records into an engine, labelling the
-// frames with the agent name (empty solo).
-func scanInto(eng *Engine, st *store.Store, agent string, opt Options) error {
-	q := store.QueryOptions{
-		PID:         -1,
-		FromSeconds: opt.FromSeconds,
-		ToSeconds:   opt.ToSeconds,
-		StepSeconds: opt.StepSeconds,
+// frames with the agent name (empty solo). The scan projects the
+// decode down to what the expression references unless opt asks for a
+// full decode.
+func scanInto(eng *Engine, st *store.Store, agent string, c *Compiled, opt Options) error {
+	so := store.ScanOptions{
+		QueryOptions: store.QueryOptions{
+			PID:         -1,
+			FromSeconds: opt.FromSeconds,
+			ToSeconds:   opt.ToSeconds,
+			StepSeconds: opt.StepSeconds,
+		},
+		Workers: opt.Workers,
+	}
+	if !opt.FullDecode {
+		so.Project = true
+		so.Columns = c.References()
+		for _, name := range so.Columns {
+			if name == metrics.VarCPUPct {
+				so.NeedCPUPct = true
+			}
+		}
 	}
 	frame := Frame{Agent: agent}
-	res, err := st.Scan(q, func(rec *store.Record, cols []string) error {
+	res, err := st.ScanWith(so, func(rec *store.Record, cols []string) error {
 		eng.SetColumns(cols)
 		frame.TimeSeconds = rec.TimeSeconds
 		frame.DTNanos = rec.ResSeconds * 1e9
@@ -71,8 +96,13 @@ func QueryHistory(rec *history.Recorder, c *Compiled, opt Options) (*Result, err
 		dtNS float64
 		row  FrameRow
 	}
-	var all []obs
-	for _, s := range rec.AllSeries() {
+	series := rec.AllSeries()
+	total := 0
+	for _, s := range series {
+		total += len(s.Points)
+	}
+	all := make([]obs, 0, total)
+	for _, s := range series {
 		prev := -1.0
 		for i := range s.Points {
 			p := &s.Points[i]
@@ -95,24 +125,42 @@ func QueryHistory(rec *history.Recorder, c *Compiled, opt Options) (*Result, err
 	// times, so observations must arrive time-ordered; each carries
 	// its own interval here, computed per ring above.
 	sort.SliceStable(all, func(i, j int) bool { return all[i].t < all[j].t })
+	// Consecutive observations sharing a timestamp and interval ride
+	// one shared frame instead of a single-row frame each — the rings
+	// observe every task at the same refresh instants, so this folds a
+	// whole refresh into one push. The frame struct and its row slice
+	// are reused across pushes (Push does not retain them); the stable
+	// sort keeps fold order, and so every float sum, identical to the
+	// one-row-per-frame path.
+	var frame Frame
 	for i := range all {
-		eng.Push(&Frame{
-			TimeSeconds: all[i].t,
-			DTNanos:     all[i].dtNS,
-			Rows:        []FrameRow{all[i].row},
-		})
+		o := &all[i]
+		if len(frame.Rows) > 0 && (o.t != frame.TimeSeconds || o.dtNS != frame.DTNanos) {
+			eng.Push(&frame)
+			frame.Rows = frame.Rows[:0]
+		}
+		frame.TimeSeconds = o.t
+		frame.DTNanos = o.dtNS
+		frame.Rows = append(frame.Rows, o.row)
+	}
+	if len(frame.Rows) > 0 {
+		eng.Push(&frame)
 	}
 	return eng.Finish()
 }
 
 // QueryFleet evaluates a compiled expression across several agents'
-// stores, merging their scans in one engine: per-task series stay
-// labelled by agent, grouped roll-ups (`by user`, `by agent`) and the
-// total sum across the fleet on aligned step buckets, with ratios
-// recomputed from the summed counters — the same Σinstr/Σcycles
-// semantics as the fleet's /api/v1/snapshot. Merging across agents
-// aligns bucket ends on each store's own monotonic clock, so a step is
-// required when more than one agent is queried.
+// stores: per-task series stay labelled by agent, grouped roll-ups
+// (`by user`, `by agent`) and the total sum across the fleet on
+// aligned step buckets, with ratios recomputed from the summed
+// counters — the same Σinstr/Σcycles semantics as the fleet's
+// /api/v1/snapshot. Merging across agents aligns bucket ends on each
+// store's own monotonic clock, so a step is required when more than
+// one agent is queried.
+//
+// Agents scan concurrently, each into its own engine; the partials
+// merge in sorted label order, so serial and concurrent execution
+// produce identical results.
 func QueryFleet(stores map[string]*store.Store, c *Compiled, opt Options) (*Result, error) {
 	if len(stores) == 0 {
 		return nil, fmt.Errorf("query: no agent stores to query")
@@ -125,11 +173,46 @@ func QueryFleet(stores map[string]*store.Store, c *Compiled, opt Options) (*Resu
 		labels = append(labels, label)
 	}
 	sort.Strings(labels)
-	eng := NewEngine(c, opt)
-	for _, label := range labels {
-		if err := scanInto(eng, stores[label], label, opt); err != nil {
+	// Divide the scan pool across the concurrent agent scans so a
+	// fleet query uses the same total parallelism as a solo one.
+	agentOpt := opt
+	pool := opt.Workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if agentOpt.Workers = pool / len(labels); agentOpt.Workers < 1 {
+		agentOpt.Workers = 1
+	}
+	engines := make([]*Engine, len(labels))
+	errs := make([]error, len(labels))
+	scan := func(i int) {
+		eng := NewEngine(c, agentOpt)
+		errs[i] = scanInto(eng, stores[labels[i]], labels[i], c, agentOpt)
+		engines[i] = eng
+	}
+	if opt.Workers == 1 || len(labels) == 1 {
+		for i := range labels {
+			scan(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range labels {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				scan(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
+	}
+	eng := engines[0]
+	for _, o := range engines[1:] {
+		eng.Merge(o)
 	}
 	return eng.Finish()
 }

@@ -126,8 +126,18 @@ func (st *Store) Compact(opt CompactOptions) (*CompactionResult, error) {
 			// of the sealed chain; anything sealed since stays behind them.
 			j.t.sealed = append(outs, j.t.sealed[len(j.inputs):]...)
 			st.mu.Unlock()
+			// An output spanning exactly one already-compacted input is
+			// published over the input's own path (the name encodes the
+			// sequence range) — that path now holds the output, so it
+			// must survive the input cleanup.
+			kept := make(map[string]bool, len(outs))
+			for _, o := range outs {
+				kept[o.path] = true
+			}
 			for _, in := range j.inputs {
-				_ = os.Remove(in.path)
+				if !kept[in.path] {
+					_ = os.Remove(in.path)
+				}
 			}
 		}
 		res.Tiers = append(res.Tiers, tc)
@@ -265,7 +275,7 @@ func forEachRecord(path string, valid int64, fn func(*Record) error) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	defer fh.Close()
-	fr := newFrameReader(io.LimitReader(fh, valid))
+	fr := newFrameReader(bufio.NewReaderSize(io.LimitReader(fh, valid), 1<<16))
 	var fd frameDecoder
 	for {
 		payload, ok, rerr := fr.next()

@@ -8,6 +8,7 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -30,11 +31,18 @@ func Handler(st *Store) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		q, format, err := parseQuery(r.URL.Query())
 		if err != nil {
-			remote.WriteError(w, http.StatusBadRequest, err.Error())
+			writeQueryError(w, http.StatusBadRequest, err)
 			return
 		}
 		res, err := st.Query(q)
 		if err != nil {
+			// A bad range or step is the request's fault, not the
+			// store's: 400 with the hint, never 500.
+			var re *RangeError
+			if errors.As(err, &re) {
+				remote.WriteErrorHint(w, http.StatusBadRequest, re.Msg, re.Hint)
+				return
+			}
 			remote.WriteError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
@@ -81,10 +89,16 @@ func parseQuery(v url.Values) (QueryOptions, string, error) {
 		return q, "", err
 	}
 	if q.StepSeconds < 0 {
-		return q, "", fmt.Errorf("negative step %g", q.StepSeconds)
+		return q, "", &RangeError{
+			Msg:  fmt.Sprintf("negative step %g", q.StepSeconds),
+			Hint: "the step is a bucket width in seconds; omit it (or pass 0) for the serving tier's native resolution",
+		}
 	}
 	if q.ToSeconds > 0 && q.ToSeconds < q.FromSeconds {
-		return q, "", fmt.Errorf("range ends (%gs) before it starts (%gs)", q.ToSeconds, q.FromSeconds)
+		return q, "", &RangeError{
+			Msg:  fmt.Sprintf("range ends (%gs) before it starts (%gs)", q.ToSeconds, q.FromSeconds),
+			Hint: "want from <= to; omit to (or pass 0) to query to the end",
+		}
 	}
 	format := v.Get("format")
 	switch format {
@@ -105,6 +119,17 @@ func floatParam(v url.Values, name string) (float64, error) {
 		return 0, fmt.Errorf("bad %s %q", name, s)
 	}
 	return f, nil
+}
+
+// writeQueryError writes one request-level failure, carrying a range
+// error's hint structurally in the envelope.
+func writeQueryError(w http.ResponseWriter, status int, err error) {
+	var re *RangeError
+	if errors.As(err, &re) {
+		remote.WriteErrorHint(w, status, re.Msg, re.Hint)
+		return
+	}
+	remote.WriteError(w, status, err.Error())
 }
 
 // WriteQueryOpenMetrics renders a query result as OpenMetrics text with

@@ -9,6 +9,7 @@ package store
 // with appends.
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -105,33 +106,13 @@ func TierFor(step time.Duration) time.Duration {
 // record carries the columns; a range can start after the carrying
 // record). Scan does not filter rows by PID — consumers that care
 // filter per row. It returns the serving tier's resolution.
+//
+// Scan decodes segments on a worker pool (see ScanWith): the record
+// passed to fn is reused scratch, valid only for the duration of the
+// call — fn must copy anything it keeps. Invalid ranges (to before
+// from, a negative step) fail with a *RangeError.
 func (st *Store) Scan(q QueryOptions, fn func(rec *Record, cols []string) error) (time.Duration, error) {
-	from := time.Duration(q.FromSeconds * float64(time.Second))
-	to := time.Duration(q.ToSeconds * float64(time.Second))
-	if q.ToSeconds <= 0 {
-		to = 1<<63 - 1
-	}
-	if to < from {
-		return 0, fmt.Errorf("store: query range ends (%gs) before it starts (%gs)", q.ToSeconds, q.FromSeconds)
-	}
-	step := time.Duration(q.StepSeconds * float64(time.Second))
-	if step < 0 {
-		return 0, fmt.Errorf("store: negative query step %gs", q.StepSeconds)
-	}
-	view, res, err := st.snapshotTier(step)
-	if err != nil {
-		return 0, err
-	}
-	cols := view.cols
-	for _, f := range view.files {
-		if f.last < from || f.first > to {
-			continue
-		}
-		if err := scanQueryFile(f, from, to, &cols, fn); err != nil {
-			return 0, err
-		}
-	}
-	return res, nil
+	return st.ScanWith(ScanOptions{QueryOptions: q}, fn)
 }
 
 // Query scans the selected tier and returns every matching series,
@@ -227,7 +208,7 @@ func scanQueryFile(f queryFile, from, to time.Duration, cols *[]string, fn func(
 		return fmt.Errorf("store: %w", err)
 	}
 	defer fh.Close()
-	fr := newFrameReader(io.LimitReader(fh, f.valid))
+	fr := newFrameReader(bufio.NewReaderSize(io.LimitReader(fh, f.valid), 1<<16))
 	var fd frameDecoder
 	for {
 		payload, ok, err := fr.next()

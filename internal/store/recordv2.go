@@ -217,45 +217,125 @@ func decodeV2Dict(p []byte, dict []string) ([]string, error) {
 	return dict, nil
 }
 
+// projection restricts a v2 record decode to the value columns a query
+// references, plus the fixed CPU/IPC row fields when asked for.
+// Columns are matched by the names in force at each record, so the keep
+// set follows screen changes mid-scan; until a segment has named its
+// columns the projection decodes every value column — a projected scan
+// never drops data it cannot prove is unreferenced.
+type projection struct {
+	names    map[string]bool
+	cpu, ipc bool
+	// cols is an owned copy of the column names the keep set reflects
+	// (decoded Cols live in reused scratch, so they cannot be retained).
+	cols  []string
+	known bool
+	keep  []bool
+}
+
+func newProjection(columns []string, cpu, ipc bool) *projection {
+	p := &projection{names: make(map[string]bool, len(columns)), cpu: cpu, ipc: ipc}
+	for _, c := range columns {
+		p.names[c] = true
+	}
+	return p
+}
+
+// reset forgets the columns in force — the state is per segment file,
+// like the dictionary.
+func (p *projection) reset() {
+	p.known = false
+	p.cols = p.cols[:0]
+	p.keep = p.keep[:0]
+}
+
+// update recomputes the keep set for the columns now in force.
+func (p *projection) update(cols []string) {
+	if len(cols) == 0 {
+		return
+	}
+	if p.known && sameCols(p.cols, cols) {
+		return
+	}
+	p.known = true
+	p.cols = append(p.cols[:0], cols...)
+	p.keep = p.keep[:0]
+	for _, c := range cols {
+		p.keep = append(p.keep, p.names[c])
+	}
+}
+
+// keepCol reports whether value column j must be decoded. Columns
+// beyond the known names cannot be referenced by name, so they skip.
+func (p *projection) keepCol(j int) bool {
+	if !p.known {
+		return true
+	}
+	return j < len(p.keep) && p.keep[j]
+}
+
 // decodeV2Record decodes one v2 data payload against the segment's
 // dictionary. It mirrors appendV2Data exactly; trailing bytes are an
 // error, not ignored.
 func decodeV2Record(p []byte, dict []string) (*Record, error) {
+	rec := &Record{}
+	if err := decodeV2RecordInto(rec, p, dict, nil); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// decodeV2RecordInto decodes one v2 data payload into rec, reusing its
+// row, value and column buffers — the zero-steady-state-allocation
+// decode the scan workers run. Strings are shared with the segment
+// dictionary, never re-allocated. A nil proj decodes every field
+// (decodeV2Record's behavior); otherwise unreferenced value columns and
+// unrequested CPU/IPC fields are stepped over via their control bytes
+// and their slots left zero, keeping Values index-aligned with the
+// columns in force.
+func decodeV2RecordInto(rec *Record, p []byte, dict []string, proj *projection) error {
 	r := binenc.NewReader(p[2:])
-	rec := &Record{V: recordVersionV2}
+	rec.V = recordVersionV2
 	rec.TimeSeconds = float64(r.Uvarint()) / 1000
+	rec.ResSeconds = 0
 	if resMs := r.Uvarint(); resMs > 0 {
 		rec.ResSeconds = float64(resMs) / 1000
 	}
 	flags := r.Byte()
-	dictAt := func(idx uint64) (string, error) {
-		if err := r.Err(); err != nil {
-			return "", err
-		}
-		if idx >= uint64(len(dict)) {
-			return "", fmt.Errorf("store: v2 record references dictionary entry %d of %d", idx, len(dict))
-		}
-		return dict[idx], nil
-	}
+	rec.Cols = rec.Cols[:0]
 	if flags&v2FlagCols != 0 {
 		n := r.Uvarint()
 		if n > uint64(len(p)) {
-			return nil, fmt.Errorf("store: corrupt v2 record (cols)")
+			return fmt.Errorf("store: corrupt v2 record (cols)")
 		}
-		rec.Cols = make([]string, 0, n)
 		for i := uint64(0); i < n; i++ {
-			c, err := dictAt(r.Uvarint())
-			if err != nil {
-				return nil, err
+			idx := r.Uvarint()
+			if err := r.Err(); err != nil {
+				return err
 			}
-			rec.Cols = append(rec.Cols, c)
+			if idx >= uint64(len(dict)) {
+				return fmt.Errorf("store: v2 record references dictionary entry %d of %d", idx, len(dict))
+			}
+			rec.Cols = append(rec.Cols, dict[idx])
+		}
+		if proj != nil {
+			// The record's own values are laid out under its new columns.
+			proj.update(rec.Cols)
 		}
 	}
 	nrows := r.Uvarint()
 	if nrows > uint64(len(p)) {
-		return nil, fmt.Errorf("store: corrupt v2 record (%d rows in %d bytes)", nrows, len(p))
+		return fmt.Errorf("store: corrupt v2 record (%d rows in %d bytes)", nrows, len(p))
 	}
-	rows := make([]RecordRow, nrows)
+	if uint64(cap(rec.Rows)) < nrows {
+		// Grow keeping the old rows' Values capacity alive in the copied
+		// prefix.
+		grown := make([]RecordRow, nrows)
+		copy(grown, rec.Rows[:cap(rec.Rows)])
+		rec.Rows = grown
+	}
+	rows := rec.Rows[:nrows]
+	rec.Rows = rows
 	prevPID := int64(0)
 	for i := range rows {
 		prevPID += r.Varint()
@@ -265,45 +345,84 @@ func decodeV2Record(p []byte, dict []string) (*Record, error) {
 		rows[i].TID = int(int64(rows[i].PID) + r.Varint())
 	}
 	for i := range rows {
-		s, err := dictAt(r.Uvarint())
-		if err != nil {
-			return nil, err
+		idx := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return err
 		}
-		rows[i].User = s
-	}
-	for i := range rows {
-		s, err := dictAt(r.Uvarint())
-		if err != nil {
-			return nil, err
+		if idx >= uint64(len(dict)) {
+			return fmt.Errorf("store: v2 record references dictionary entry %d of %d", idx, len(dict))
 		}
-		rows[i].Command = s
+		rows[i].User = dict[idx]
 	}
-	prev := 0.0
 	for i := range rows {
-		rows[i].CPUPct = r.Float(prev)
-		prev = rows[i].CPUPct
+		idx := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if idx >= uint64(len(dict)) {
+			return fmt.Errorf("store: v2 record references dictionary entry %d of %d", idx, len(dict))
+		}
+		rows[i].Command = dict[idx]
 	}
-	prev = 0.0
-	for i := range rows {
-		rows[i].IPC = r.Float(prev)
-		prev = rows[i].IPC
+	if proj != nil && !proj.cpu {
+		for i := range rows {
+			rows[i].CPUPct = 0
+		}
+		r.SkipFloats(len(rows))
+	} else {
+		prev := 0.0
+		for i := range rows {
+			rows[i].CPUPct = r.Float(prev)
+			prev = rows[i].CPUPct
+		}
+	}
+	if proj != nil && !proj.ipc {
+		for i := range rows {
+			rows[i].IPC = 0
+		}
+		r.SkipFloats(len(rows))
+	} else {
+		prev := 0.0
+		for i := range rows {
+			rows[i].IPC = r.Float(prev)
+			prev = rows[i].IPC
+		}
 	}
 	maxVals, total := 0, uint64(0)
 	for i := range rows {
 		n := r.Uvarint()
 		total += n
 		if total > uint64(len(p)) {
-			return nil, fmt.Errorf("store: corrupt v2 record (values)")
+			return fmt.Errorf("store: corrupt v2 record (values)")
 		}
-		// Non-nil even when empty, matching encoding/json's decode of
-		// the v1 "values":[] field.
-		rows[i].Values = make([]float64, n)
+		v := rows[i].Values
+		if cap(v) < int(n) {
+			// Non-nil even when empty, matching encoding/json's decode
+			// of the v1 "values":[] field.
+			v = make([]float64, n)
+		} else {
+			v = v[:n]
+			for k := range v {
+				v[k] = 0
+			}
+		}
+		rows[i].Values = v
 		if int(n) > maxVals {
 			maxVals = int(n)
 		}
 	}
 	for j := 0; j < maxVals; j++ {
-		prev = 0.0
+		if proj != nil && !proj.keepCol(j) {
+			chain := 0
+			for i := range rows {
+				if j < len(rows[i].Values) {
+					chain++
+				}
+			}
+			r.SkipFloats(chain)
+			continue
+		}
+		prev := 0.0
 		for i := range rows {
 			if j < len(rows[i].Values) {
 				rows[i].Values[j] = r.Float(prev)
@@ -320,19 +439,18 @@ func decodeV2Record(p []byte, dict []string) (*Record, error) {
 	for i := range rows {
 		rows[i].Misses = r.Uvarint()
 	}
-	rec.Rows = rows
 	rec.Machine.Tasks = int(r.Uvarint())
 	rec.Machine.CPUPct = r.Float(0)
 	rec.Machine.Instr = r.Uvarint()
 	rec.Machine.Cycles = r.Uvarint()
 	rec.Machine.Misses = r.Uvarint()
 	if err := r.Err(); err != nil {
-		return nil, fmt.Errorf("store: corrupt v2 record: %w", err)
+		return fmt.Errorf("store: corrupt v2 record: %w", err)
 	}
 	if r.Len() != 0 {
-		return nil, fmt.Errorf("store: v2 record has %d trailing bytes", r.Len())
+		return fmt.Errorf("store: v2 record has %d trailing bytes", r.Len())
 	}
-	return rec, nil
+	return nil
 }
 
 // v2PeekCols extracts just the column names of a v2 data payload (nil

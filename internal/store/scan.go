@@ -1,0 +1,389 @@
+package store
+
+// The scan engine behind Scan and ScanWith: a projected, parallel walk
+// over the selected tier's segment snapshot. Workers claim whole
+// segment files (segments never overlap in time, so file order is time
+// order), decode them concurrently into per-worker scratch, and an
+// ordered merger on the calling goroutine replays the decoded records
+// file by file — the consumer sees exactly the sequence the serial
+// scan produced, record for record, column change for column change.
+//
+// The determinism contract: for the same snapshot, ScanWith emits the
+// same records with the same column annotations regardless of worker
+// count or projection (projected scans differ only in the fields they
+// leave zero). Errors are reported in file order, after every record
+// that precedes the failure has been delivered.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ScanOptions extend a range query with execution controls: how many
+// workers decode and which fields they materialize.
+type ScanOptions struct {
+	QueryOptions
+	// Workers sizes the decode pool: 0 uses one worker per CPU
+	// (GOMAXPROCS), 1 forces the serial path. Parallelism never exceeds
+	// the number of segment files in range.
+	Workers int
+	// Project restricts v2 decodes to the Columns named below; v1 JSON
+	// frames transparently fall back to a full decode. Unprojected
+	// fields are left zero, with Values index-aligned to the columns in
+	// force.
+	Project bool
+	// Columns are the referenced value-column names when projecting.
+	Columns []string
+	// NeedCPUPct / NeedIPC keep the fixed per-row CPU and IPC fields in
+	// a projected decode.
+	NeedCPUPct bool
+	NeedIPC    bool
+}
+
+// RangeError reports an invalid query range or step — a request error
+// (HTTP handlers map it to 400 with the hint), not a store failure.
+type RangeError struct {
+	Msg  string
+	Hint string
+}
+
+func (e *RangeError) Error() string { return e.Msg }
+
+// ScanWith is Scan with execution controls. The *Record passed to fn
+// is scratch reused across calls — fn must copy anything it keeps
+// (including Cols, Rows and Values); the cols slice is owned by the
+// scan and stable across calls.
+func (st *Store) ScanWith(opts ScanOptions, fn func(rec *Record, cols []string) error) (time.Duration, error) {
+	from := time.Duration(opts.FromSeconds * float64(time.Second))
+	to := time.Duration(opts.ToSeconds * float64(time.Second))
+	if opts.ToSeconds <= 0 {
+		to = 1<<63 - 1
+	}
+	if to < from {
+		return 0, &RangeError{
+			Msg:  fmt.Sprintf("store: query range ends (%gs) before it starts (%gs)", opts.ToSeconds, opts.FromSeconds),
+			Hint: "want from <= to; omit to (or pass 0) to query to the end",
+		}
+	}
+	step := time.Duration(opts.StepSeconds * float64(time.Second))
+	if step < 0 {
+		return 0, &RangeError{
+			Msg:  fmt.Sprintf("store: negative query step %gs", opts.StepSeconds),
+			Hint: "the step is a bucket width in seconds; omit it (or pass 0) for the serving tier's native resolution",
+		}
+	}
+	view, res, err := st.snapshotTier(step)
+	if err != nil {
+		return 0, err
+	}
+	files := make([]queryFile, 0, len(view.files))
+	for _, f := range view.files {
+		if f.last < from || f.first > to {
+			continue
+		}
+		files = append(files, f)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(files) {
+		workers = len(files)
+	}
+	var proj *projection
+	if opts.Project {
+		proj = newProjection(opts.Columns, opts.NeedCPUPct, opts.NeedIPC)
+	}
+	if workers <= 1 {
+		if proj == nil {
+			// The original serial loop: fresh records, full decode — the
+			// reference the parallel path is tested against, and the
+			// benchmark baseline.
+			cols := view.cols
+			for _, f := range files {
+				if err := scanQueryFile(f, from, to, &cols, fn); err != nil {
+					return 0, err
+				}
+			}
+			return res, nil
+		}
+		return res, scanSerialProjected(files, view.cols, from, to, proj, fn)
+	}
+	mk := func() *projection { return nil }
+	if opts.Project {
+		mk = func() *projection { return newProjection(opts.Columns, opts.NeedCPUPct, opts.NeedIPC) }
+	}
+	return res, scanParallel(files, view.cols, from, to, workers, mk, fn)
+}
+
+// scanSerialProjected is the one-worker projected path: a single
+// scratch record reused across every file.
+func scanSerialProjected(files []queryFile, startCols []string, from, to time.Duration, proj *projection, fn func(rec *Record, cols []string) error) error {
+	sc := segScanner{proj: proj}
+	scratch := &Record{}
+	cols := startCols
+	for _, f := range files {
+		err := sc.scanFile(f, from, to,
+			func() *Record { return scratch },
+			func(rec *Record, fileCols []string) error {
+				if fileCols != nil {
+					cols = fileCols
+				}
+				return fn(rec, cols)
+			})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// segScanner walks segment files one at a time, carrying reusable
+// decoder state (the per-file dictionary and projection) and a read
+// buffer — frames are 8-byte headers plus small payloads, so reading
+// them straight off the file descriptor costs two syscalls each.
+type segScanner struct {
+	proj *projection // nil = full decode
+	dict []string
+	br   *bufio.Reader
+}
+
+// scanFile streams one segment's in-range records. next supplies the
+// record each v2 frame decodes into (the caller's scratch policy; v1
+// frames always decode fresh). emit receives each record together with
+// the columns the file has established so far — nil until the file
+// names them, meaning "inherited from earlier files"; non-nil slices
+// are owned by the scan, never aliased to scratch.
+func (s *segScanner) scanFile(f queryFile, from, to time.Duration, next func() *Record, emit func(rec *Record, fileCols []string) error) error {
+	s.dict = s.dict[:0]
+	if s.proj != nil {
+		s.proj.reset()
+	}
+	fh, err := os.Open(f.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // retired by retention or compaction between snapshot and scan
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	defer fh.Close()
+	if s.br == nil {
+		s.br = bufio.NewReaderSize(nil, 1<<16)
+	}
+	s.br.Reset(io.LimitReader(fh, f.valid))
+	fr := newFrameReader(s.br)
+	var fileCols []string
+	for {
+		payload, ok, err := fr.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		fr.accept()
+		t, v, kind, pok := framePrefix(payload)
+		if !pok {
+			return nil
+		}
+		if v > RecordVersion {
+			return fmt.Errorf("store: record version %d not supported (this build reads <= %d)", v, RecordVersion)
+		}
+		if kind == frameKindMeta {
+			dict, err := decodeV2Dict(payload, s.dict)
+			if err != nil {
+				return err
+			}
+			s.dict = dict
+			continue
+		}
+		if t > to {
+			return nil // records are time-ordered; nothing further matches
+		}
+		if t < from {
+			if payload[0] == '{' {
+				if bytes.Contains(payload, colsKey) {
+					if rec, derr := DecodeRecord(payload); derr == nil && len(rec.Cols) > 0 {
+						fileCols = rec.Cols
+					}
+				}
+			} else if c, derr := v2PeekCols(payload, s.dict); derr == nil && len(c) > 0 {
+				fileCols = c
+			}
+			if s.proj != nil {
+				s.proj.update(fileCols)
+			}
+			continue
+		}
+		var rec *Record
+		if payload[0] == '{' {
+			rec, err = DecodeRecord(payload)
+			if err != nil {
+				return err
+			}
+		} else {
+			rec = next()
+			if err := decodeV2RecordInto(rec, payload, s.dict, s.proj); err != nil {
+				return err
+			}
+		}
+		if len(rec.Cols) > 0 {
+			fileCols = append([]string(nil), rec.Cols...)
+			if s.proj != nil {
+				s.proj.update(fileCols)
+			}
+		}
+		if err := emit(rec, fileCols); err != nil {
+			return err
+		}
+	}
+}
+
+// scanBatchSize is how many records ride one channel send from a
+// worker to the merger — large enough to amortize the handoff, small
+// enough to keep the pipeline moving.
+const scanBatchSize = 64
+
+type scanItem struct {
+	rec *Record
+	// cols is the file's column state at this record; nil inherits from
+	// earlier files.
+	cols []string
+}
+
+type scanBatch struct {
+	items []scanItem
+}
+
+// errScanAborted signals a worker that the merger has stopped reading;
+// it never escapes to a caller.
+var errScanAborted = fmt.Errorf("store: scan aborted")
+
+// scanParallel fans the file list out to a worker pool and merges the
+// decoded streams back in file (= time) order on the calling
+// goroutine. Scratch records and batches recycle through free lists,
+// so a steady-state scan allocates O(workers), not O(records).
+func scanParallel(files []queryFile, startCols []string, from, to time.Duration, workers int, mk func() *projection, fn func(rec *Record, cols []string) error) error {
+	outs := make([]chan *scanBatch, len(files))
+	for i := range outs {
+		outs[i] = make(chan *scanBatch, 2)
+	}
+	errs := make([]error, len(files))
+	done := make(chan struct{})
+	var stop sync.Once
+	abort := func() { stop.Do(func() { close(done) }) }
+	free := make(chan *Record, workers*scanBatchSize*4)
+	batchFree := make(chan *scanBatch, workers*4)
+	var nextFile int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := segScanner{proj: mk()}
+			for {
+				i := int(atomic.AddInt64(&nextFile, 1)) - 1
+				if i >= len(files) {
+					return
+				}
+				errs[i] = runScanFile(&sc, files[i], from, to, outs[i], free, batchFree, done)
+				close(outs[i])
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	defer func() {
+		abort()
+		wg.Wait()
+	}()
+	cols := startCols
+	for i := range files {
+		for b := range outs[i] {
+			for _, it := range b.items {
+				if it.cols != nil {
+					cols = it.cols
+				}
+				if err := fn(it.rec, cols); err != nil {
+					return err
+				}
+				select {
+				case free <- it.rec:
+				default:
+				}
+			}
+			b.items = b.items[:0]
+			select {
+			case batchFree <- b:
+			default:
+			}
+		}
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}
+
+// runScanFile scans one file into out, batching records and recycling
+// scratch through the free lists. The error it returns is the file's
+// own scan failure; an aborted merge returns nil (nobody is listening).
+// Records decoded before a failure are still flushed — the merger
+// delivers them before surfacing the error, exactly like the serial
+// scan.
+func runScanFile(sc *segScanner, f queryFile, from, to time.Duration, out chan<- *scanBatch, free chan *Record, batchFree chan *scanBatch, done <-chan struct{}) error {
+	getBatch := func() *scanBatch {
+		select {
+		case b := <-batchFree:
+			return b
+		default:
+			return &scanBatch{items: make([]scanItem, 0, scanBatchSize)}
+		}
+	}
+	batch := getBatch()
+	flush := func() error {
+		if len(batch.items) == 0 {
+			return nil
+		}
+		select {
+		case out <- batch:
+			batch = getBatch()
+			return nil
+		case <-done:
+			return errScanAborted
+		}
+	}
+	err := sc.scanFile(f, from, to,
+		func() *Record {
+			select {
+			case r := <-free:
+				return r
+			default:
+				return &Record{}
+			}
+		},
+		func(rec *Record, fileCols []string) error {
+			batch.items = append(batch.items, scanItem{rec: rec, cols: fileCols})
+			if len(batch.items) >= scanBatchSize {
+				return flush()
+			}
+			return nil
+		})
+	if err == errScanAborted {
+		return nil
+	}
+	if ferr := flush(); ferr == nil && err == nil {
+		return nil
+	}
+	return err
+}

@@ -8,6 +8,7 @@ package store
 // prefix, and everything after it is clipped.
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -120,7 +121,7 @@ func openSegment(path string, seq, seqEnd int64, writable bool) (*segment, error
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	valid, n, first, last, scanErr := scanFrames(f)
+	valid, n, first, last, scanErr := scanFrames(bufio.NewReaderSize(f, 1<<16))
 	closeErr := f.Close()
 	if scanErr != nil {
 		return nil, scanErr

@@ -55,7 +55,8 @@ tiptopd:retention tiptopd:budget tiptopd:system-wide tiptopd:counters
 tiptopd:fsync tiptopd:compact tiptopd:wire
 tipbench:run tipbench:scale tipbench:out tipbench:list
 tipbench:bench-refresh tipbench:bench-daemon tipbench:bench-store
-tipbench:bench-query tipbench:query-records tipbench:bench-mux
+tipbench:bench-query tipbench:query-records tipbench:query-workers
+tipbench:bench-mux
 "
 for entry in $manifest; do
     cmd=${entry%%:*}
