@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify fmt build vet test race bench fuzz docs
+.PHONY: verify fmt build vet test race bench fuzz docs validate
 
 verify: fmt build vet race docs
 
@@ -20,11 +20,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on randomizes test (and subtest) execution order each run,
+# so order-dependent tests fail here instead of flaking later.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # The docs gate: flags and endpoints named in README.md and
 # ARCHITECTURE.md must exist in the source (stale docs fail the build).
@@ -33,13 +35,26 @@ race:
 docs:
 	./scripts/check-docs.sh
 
-# Short coverage-guided passes over the metric-expression parser and
-# the query-layer compiler; CI runs them so a grammar change that
-# panics, breaks the canonical rendering fixpoint, or lets a
-# non-finite value through the totality rule is caught before it lands.
+# Short coverage-guided passes over the metric-expression parser, the
+# query-layer compiler and the v2 columnar frame decoder; CI runs them
+# so a grammar change that panics, breaks the canonical rendering
+# fixpoint, lets a non-finite value through the totality rule, or makes
+# the store's frame reader panic/over-read on corrupt bytes is caught
+# before it lands.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseExpr$$' -fuzztime 15s ./internal/metrics/
 	$(GO) test -run '^$$' -fuzz '^FuzzCompileQuery$$' -fuzztime 15s ./internal/query/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 15s ./internal/store/
+
+# The counter-validation oracle (§2.4): every ukernel.ValidationSuite
+# micro-kernel runs live on all four machine models and its measured
+# counts are asserted layer by layer (session deltas, mux extrapolation,
+# store round-trip, derived query expressions) against the analytic
+# expectations. Writes results/VALIDATE.json; exits non-zero when any
+# muxed layer is off by more than 5% or any unconstrained count is
+# inexact.
+validate:
+	$(GO) run ./cmd/tipbench -validate -out results
 
 # Serial vs sharded sampling on the many-task stress scenario, plus the
 # machine-readable trajectory files:

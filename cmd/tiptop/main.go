@@ -61,7 +61,7 @@ func run(args []string, stdout io.Writer) error {
 		connect    = fs.String("connect", "", "monitor a remote tiptopd (host:port or URL) instead of this machine")
 		wireFormat = fs.String("wire", "", "stream encoding for -connect: json or binary (default json; binary falls back against older daemons)")
 		fsyncStr   = fs.String("fsync", "", "store -record durability: off, an interval (2s), a record count (1000-records), or both comma-combined (default off)")
-		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist, steady")
+		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist, steady, validate")
 		systemWide = fs.Bool("system-wide", false, "monitor logical CPUs instead of tasks (perf's -a; one row per CPU)")
 		counters   = fs.Int("counters", 0, "PMU counter capacity for the real backend: rotate events beyond it in userland (0 = kernel multiplexing)")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios (1.0 = paper length)")
@@ -300,7 +300,7 @@ func scenarioMachine(simName string) tiptop.MachineName {
 	switch simName {
 	case "datacenter":
 		return tiptop.MachineE5640
-	case "steady":
+	case "steady", "validate":
 		return tiptop.MachineCortexA7
 	}
 	return tiptop.MachineXeonW3550

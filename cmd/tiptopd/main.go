@@ -77,7 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		sortBy     = fs.String("sort", "cpu", "sort key: cpu, pid, or a column name")
 		user       = fs.String("u", "", "only monitor this user's tasks")
 		parallel   = fs.Int("j", 0, "sampling shards (0 = one per CPU, 1 = serial)")
-		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist, steady")
+		simName    = fs.String("sim", "", "monitor a simulated scenario: spec, revolution, conflict, datacenter, assist, steady, validate")
 		scale      = fs.Float64("scale", 0.01, "workload scale for simulated scenarios")
 		systemWide = fs.Bool("system-wide", false, "monitor logical CPUs instead of tasks (perf's -a; one row per CPU)")
 		counters   = fs.Int("counters", 0, "PMU counter capacity for the real backend: rotate events beyond it in userland (0 = kernel multiplexing)")

@@ -268,28 +268,48 @@ func (sh *shard) sampleTask(st *taskState, info TaskInfo, now time.Duration, val
 }
 
 // coverageOf computes the refresh's counter coverage: the mean over
-// events of the interval's Running/Enabled ratio. An event whose
-// Enabled time did not advance (a stopped task, or a backend that does
-// not track scheduling time) counts as fully covered — only positive
-// evidence of descheduling lowers the figure.
+// events of the interval's Running/Enabled ratio. When no event's
+// Enabled time advanced the task was off-CPU for the whole interval
+// (or the backend tracks no scheduling time) and nothing was missed —
+// that counts as fully covered. But when the task demonstrably ran
+// (some event's Enabled advanced), an event whose own Enabled stood
+// still is a rotated counter whose group sat detached: zero coverage
+// this interval, not full. The mux credits a group's Enabled only at
+// its harvest, so between harvests this is the honest reading.
 func coverageOf(prev, cur []hpm.Count) float64 {
 	if len(cur) == 0 {
 		return 1
 	}
+	enabledDelta := func(i int) uint64 {
+		d := cur[i].Enabled
+		if i < len(prev) && prev[i].Enabled <= d {
+			// A reset counter (cur below prev) restarts the baseline
+			// at zero, mirroring hpm.DeltasInto's clamp.
+			d -= prev[i].Enabled
+		}
+		return d
+	}
+	anyRan := false
+	for i := range cur {
+		if enabledDelta(i) > 0 {
+			anyRan = true
+			break
+		}
+	}
 	sum := 0.0
 	for i := range cur {
-		// A reset counter (cur below prev) restarts the baseline at
-		// zero, mirroring hpm.DeltasInto's clamp.
-		dEn, dRun := cur[i].Enabled, cur[i].Running
-		if i < len(prev) {
-			if p := prev[i].Enabled; p <= dEn {
-				dEn -= p
-			}
-			if p := prev[i].Running; p <= dRun {
-				dRun -= p
-			}
+		dEn := enabledDelta(i)
+		dRun := cur[i].Running
+		if i < len(prev) && prev[i].Running <= dRun {
+			dRun -= prev[i].Running
 		}
-		if dEn == 0 || dRun >= dEn {
+		if dEn == 0 {
+			if !anyRan {
+				sum++
+			}
+			continue
+		}
+		if dRun >= dEn {
 			sum++
 			continue
 		}

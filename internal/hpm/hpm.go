@@ -172,10 +172,20 @@ type Backend interface {
 }
 
 // Deltas computes per-event deltas between two readings taken from the
-// same TaskCounter, applying multiplex scaling to both endpoints. A
-// negative delta (counter re-created, task died and pid reused) is clamped
-// to zero: the tool displays occurrences since the previous refresh and
-// must never show garbage.
+// same TaskCounter. Each delta is the interval's raw increment scaled by
+// the interval's own Enabled/Running ratio — the multiplex correction is
+// applied to the refresh window itself, not by differencing cumulative
+// Scaled() estimates. Differencing cumulative estimates is subtly wrong
+// under counter rotation: the cumulative Enabled/Running ratio
+// oscillates with the rotation phase, so the estimate of the *total* can
+// legitimately revise downward between reads, and clamping those
+// revisions to zero rectifies the oscillation into counts that never
+// happened. Interval scaling has no such phase: a window in which the
+// event counted the whole time contributes its raw increment exactly,
+// and a window in which it counted part of the time is extrapolated by
+// that window's coverage alone. A negative delta (counter re-created,
+// task died and pid reused) is clamped to zero: the tool displays
+// occurrences since the previous refresh and must never show garbage.
 func Deltas(prev, cur []Count) []uint64 {
 	return DeltasInto(nil, prev, cur)
 }
@@ -194,15 +204,42 @@ func DeltasInto(dst []uint64, prev, cur []Count) []uint64 {
 		n = len(prev)
 	}
 	for i := 0; i < n; i++ {
-		p, c := prev[i].Scaled(), cur[i].Scaled()
-		if c > p {
-			dst[i] = c - p
-		} else {
-			dst[i] = 0
-		}
+		dst[i] = intervalDelta(prev[i], cur[i])
 	}
 	for i := n; i < len(cur); i++ {
-		dst[i] = cur[i].Scaled()
+		// Event appended since the previous read: its whole reading is
+		// the interval.
+		dst[i] = intervalDelta(Count{}, cur[i])
 	}
 	return dst
+}
+
+// intervalDelta extrapolates one event's increment over a read interval
+// by the interval's own coverage.
+func intervalDelta(p, c Count) uint64 {
+	if c.Raw < p.Raw {
+		return 0
+	}
+	dRaw := c.Raw - p.Raw
+	var dEn, dRun uint64
+	if c.Enabled > p.Enabled {
+		dEn = c.Enabled - p.Enabled
+	}
+	if c.Running > p.Running {
+		dRun = c.Running - p.Running
+	}
+	if dRun == 0 {
+		if dEn > 0 {
+			// Enabled but never scheduled onto a counter: nothing was
+			// counted and there is no coverage to extrapolate from.
+			return 0
+		}
+		// Backend without scheduling-time tracking: trust the raw
+		// increment.
+		return dRaw
+	}
+	if dRun >= dEn {
+		return dRaw
+	}
+	return uint64(float64(dRaw) * float64(dEn) / float64(dRun))
 }

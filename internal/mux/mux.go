@@ -16,11 +16,18 @@
 // next one.
 //
 // The result is reported through the existing hpm.Count mechanism —
-// Raw/Running grow only while an event's group is live, Enabled grows
-// every refresh — so hpm.Count.Scaled() performs the same
+// Raw/Running grow only while an event's group is live, and the window
+// time of idle turns is banked and credited to Enabled when the group is
+// next harvested — so hpm.Count.Scaled() performs the same
 // Raw*Enabled/Running extrapolation the kernel's own multiplexing
 // relies on, and every layer above the backend (engine shards, history,
-// store, query, wire) works unchanged. The Running/Enabled ratio is the
+// store, query, wire) works unchanged. Crediting Enabled at harvest time
+// rather than every refresh keeps each event's Raw, Enabled and Running
+// advancing together, which makes the Scaled() totals monotonic across
+// reads: crediting idle windows immediately would inflate the estimate
+// between harvests and deflate it again at the next harvest, and the
+// engine's clamped per-refresh deltas would rectify that oscillation
+// into counts that never happened. The Running/Enabled ratio is the
 // per-event coverage fraction the UI surfaces as %SMPL.
 package mux
 
@@ -117,6 +124,7 @@ func (b *Backend) Attach(task hpm.TaskID, events []hpm.EventDesc) (hpm.TaskCount
 	if len(group) > 0 {
 		c.groups = append(c.groups, group)
 	}
+	c.pending = make([]uint64, len(c.groups))
 
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -189,10 +197,15 @@ type counter struct {
 	// live group can report it.
 	freeEnabled uint64
 
-	cur    int // index of the live group
-	live   []liveGroup
-	acc    []hpm.Count // accumulated totals per event, in attach order
-	closed bool
+	cur  int // index of the live group
+	live []liveGroup
+	acc  []hpm.Count // accumulated totals per event, in attach order
+	// pending banks each group's schedulable-but-idle window time; it is
+	// credited to the group's Enabled when the group is next harvested,
+	// so Raw/Enabled/Running advance together and Scaled() stays
+	// monotonic.
+	pending []uint64
+	closed  bool
 }
 
 var _ hpm.TaskCounter = (*counter)(nil)
@@ -290,12 +303,17 @@ func (c *counter) ReadInto(dst []hpm.Count) ([]hpm.Count, error) {
 		}
 	}
 	// Every rotated event was schedulable during the window, live or
-	// not: that is what makes Scaled() extrapolate the idle groups.
-	for _, g := range c.groups {
-		for _, idx := range g {
-			c.acc[idx].Enabled += windowNS
-		}
+	// not: that is what makes Scaled() extrapolate the idle groups. The
+	// idle groups' window time is banked and credited when each group is
+	// next harvested, so an event's Enabled/Running ratio only moves
+	// when its Raw can move with it — see the package comment.
+	for g := range c.groups {
+		c.pending[g] += windowNS
 	}
+	for _, idx := range c.groups[c.cur] {
+		c.acc[idx].Enabled += c.pending[c.cur]
+	}
+	c.pending[c.cur] = 0
 	c.cur = (c.cur + 1) % len(c.groups)
 	// A failure here (task died, transient EBUSY) leaves this turn
 	// uncounted; the next Read simply tries the following group. The

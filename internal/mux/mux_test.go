@@ -198,21 +198,28 @@ func TestRotationCoversAllEventsAndExtrapolates(t *testing.T) {
 	}
 	totalNS := uint64(ticks * uint64(time.Second))
 	truth := uint64(rate) * ticks
+	// Enabled is credited when a group is harvested, so an event's total
+	// lags wall time by at most one rotation period (here 3 windows),
+	// and the cumulative estimate is stale by the same bound.
+	const groups = 3
+	lagNS := uint64(groups * uint64(time.Second))
+	staleness := float64(groups) / float64(ticks)
 	for i, cnt := range counts {
 		if cnt.Exact() {
 			t.Fatalf("event %d claims exact despite rotation", i)
 		}
-		if cnt.Enabled != totalNS {
-			t.Fatalf("event %d Enabled = %d, want %d", i, cnt.Enabled, totalNS)
+		if cnt.Enabled > totalNS || cnt.Enabled < totalNS-lagNS {
+			t.Fatalf("event %d Enabled = %d, want within one rotation of %d", i, cnt.Enabled, totalNS)
 		}
 		// Each of 3 groups is live 1/3 of the time.
 		cov := float64(cnt.Running) / float64(cnt.Enabled)
 		if cov < 0.25 || cov > 0.42 {
 			t.Fatalf("event %d coverage = %.3f, want ~1/3", i, cov)
 		}
-		// Extrapolation converges on the true rate.
+		// Extrapolation converges on the true rate, up to the staleness
+		// of the event's last harvest.
 		got := float64(cnt.Scaled())
-		if rel := (got - float64(truth)) / float64(truth); rel < -0.05 || rel > 0.05 {
+		if rel := (got - float64(truth)) / float64(truth); rel < -(0.05+staleness) || rel > 0.05 {
 			t.Fatalf("event %d Scaled = %.0f, truth %d (rel err %.3f)", i, got, truth, rel)
 		}
 	}

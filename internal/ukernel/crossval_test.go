@@ -4,9 +4,93 @@ import (
 	"math"
 	"testing"
 
+	"tiptop/internal/hpm"
 	"tiptop/internal/sim/cache"
 	"tiptop/internal/sim/machine"
+	"tiptop/internal/sim/pmu"
+	"tiptop/internal/sim/sched"
 )
+
+// conformanceModels are the four machine presets of the §2.4
+// cross-validation matrix: the paper's Nehalem workstation and PowerPC
+// blade, plus the two counter-constrained embedded models that force
+// the multiplexing path.
+func conformanceModels() []struct {
+	name string
+	m    *machine.Machine
+} {
+	return []struct {
+		name string
+		m    *machine.Machine
+	}{
+		{"w3550", machine.XeonW3550()},
+		{"ppc970", machine.PPC970()},
+		{"a7", machine.CortexA7()},
+		{"u74", machine.SiFiveU74()},
+	}
+}
+
+// TestValidationSuiteAcrossModels runs every validation kernel on all
+// four machine models. The retire counts are architectural — the same
+// program retires the same instructions on any model — while cycles and
+// branch misses are microarchitectural, so those are only checked for
+// structural sanity (non-zero, bounded by the retire stream).
+func TestValidationSuiteAcrossModels(t *testing.T) {
+	for _, tc := range conformanceModels() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, k := range ValidationSuite() {
+				vm, err := NewVM(k.Program, tc.m)
+				if err != nil {
+					t.Fatalf("%s: %v", k.Name, err)
+				}
+				k.Inputs.Apply(vm)
+				if _, err := vm.Run(0); err != nil {
+					t.Fatalf("%s: %v", k.Name, err)
+				}
+				c := vm.Counts()
+				if c.Instructions != k.ExpectedInstructions {
+					t.Errorf("%s: instructions = %d, analytic %d",
+						k.Name, c.Instructions, k.ExpectedInstructions)
+				}
+				if c.Cycles == 0 {
+					t.Errorf("%s: zero cycles", k.Name)
+				}
+				if c.Branches == 0 || c.Branches > c.Instructions {
+					t.Errorf("%s: branches = %d retired out of %d instructions",
+						k.Name, c.Branches, c.Instructions)
+				}
+				if c.BranchMisses > c.Branches {
+					t.Errorf("%s: misses = %d > branches = %d",
+						k.Name, c.BranchMisses, c.Branches)
+				}
+			}
+		})
+	}
+}
+
+// TestFPAssistSupportAcrossModels pins the architecture-specific event
+// contract: FP_ASSIST exists only on the Nehalem model. The other three
+// backends must refuse it as unsupported — a missing event is an error
+// at attach, never a silent zero column (the PPC970 has no micro-code
+// assist mechanism at all, and reporting 0 assists there would be a
+// fabricated measurement).
+func TestFPAssistSupportAcrossModels(t *testing.T) {
+	desc, err := hpm.DefaultRegistry().ParseEvent("FP_ASSIST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range conformanceModels() {
+		k, err := sched.New(tc.m, sched.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := pmu.New(k)
+		want := tc.name == "w3550"
+		if got := b.Supported(desc); got != want {
+			t.Errorf("%s: FP_ASSIST supported = %v, want %v", tc.name, got, want)
+		}
+	}
+}
 
 // TestRandomBranchMisprediction checks the §2.4 claim for the random
 // direction kernel: a 2-bit predictor on an LCG-driven branch

@@ -120,7 +120,11 @@ type ValidationKernel struct {
 
 // ValidationSuite returns the micro-kernels used by the §2.4
 // instruction-count validation. Counts are derived from the loop bodies:
-// a k-instruction body executed n times plus setup/teardown.
+// a k-instruction body executed n times plus setup/teardown. By
+// convention every suite kernel takes its loop bound in r1 (the
+// `validate` scenario relies on this to stretch kernel lifetimes
+// without changing the loop bodies the analytic counts are derived
+// from).
 func ValidationSuite() []ValidationKernel {
 	var suite []ValidationKernel
 

@@ -361,7 +361,7 @@ func ScenarioManyTasks(n int) (*Scenario, error) {
 
 // ScenarioNames lists the ready-made scenarios NewNamedScenario builds.
 func ScenarioNames() []string {
-	return []string{"spec", "revolution", "conflict", "datacenter", "assist", "steady"}
+	return []string{"spec", "revolution", "conflict", "datacenter", "assist", "steady", "validate"}
 }
 
 // NewNamedScenario builds one of the ready-made scenarios by name — the
@@ -380,7 +380,12 @@ func ScenarioNames() []string {
 //     Cortex-A7, whose four PMU counters force counter rotation for
 //     any wide screen — the validation bed for internal/mux (steady
 //     rates make Enabled/Running extrapolation converge to the true
-//     counts, which TaskTotal exposes).
+//     counts, which TaskTotal exposes);
+//   - "validate": the §2.4 counter-validation oracle in interactive
+//     form — every ukernel.ValidationSuite micro-kernel running on the
+//     4-counter Cortex-A7, so the screen shows analytically known
+//     counts through the full mux path (the batch twin, asserted on
+//     all four machine models, is tipbench -validate).
 //
 // scale shrinks workload lengths (1.0 = the paper's, 0.01 is a good
 // interactive default; ignored by the endless datacenter jobs).
@@ -464,6 +469,33 @@ func NewNamedScenario(name string, scale float64) (*Scenario, error) {
 			}
 		}
 		return sc, nil
+	case "validate":
+		// The validation suite's micro-kernels as live processes. At
+		// their analytic lengths the kernels halt within a fraction of
+		// a millisecond of simulated time, so the loop bound (in r1 by
+		// suite convention) is stretched with scale to give refreshes
+		// something to observe — the loop bodies, and therefore the
+		// per-iteration event rates the oracle derives, are unchanged.
+		// Use a small delay (-d 0.001) to catch them alive.
+		sc, err := NewScenario(MachineCortexA7)
+		if err != nil {
+			return nil, err
+		}
+		factor := int64(2000 * scale)
+		if factor < 1 {
+			factor = 1
+		}
+		for _, vk := range ukernel.ValidationSuite() {
+			if n, ok := vk.Inputs.IntRegs[1]; ok {
+				vk.Inputs.IntRegs[1] = n * factor
+			}
+			runner, err := ukernel.NewRunner(vk.Name, vk.Program, vk.Inputs, sc.kernel.Machine())
+			if err != nil {
+				return nil, err
+			}
+			sc.kernel.Spawn("oracle", vk.Name, runner, nil)
+		}
+		return sc, nil
 	case "datacenter":
 		sc, err := NewScenario(MachineE5640)
 		if err != nil {
@@ -480,7 +512,7 @@ func NewNamedScenario(name string, scale float64) (*Scenario, error) {
 		}
 		return sc, nil
 	}
-	return nil, fmt.Errorf("tiptop: unknown scenario %q (want spec, revolution, conflict, datacenter, assist or steady)", name)
+	return nil, fmt.Errorf("tiptop: unknown scenario %q (want spec, revolution, conflict, datacenter, assist, steady or validate)", name)
 }
 
 // ScenarioSPEC builds a ready-made scenario: the Nehalem workstation

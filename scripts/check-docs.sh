@@ -56,8 +56,18 @@ tiptopd:fsync tiptopd:compact tiptopd:wire
 tipbench:run tipbench:scale tipbench:out tipbench:list
 tipbench:bench-refresh tipbench:bench-daemon tipbench:bench-store
 tipbench:bench-query tipbench:query-records tipbench:query-workers
-tipbench:bench-mux
+tipbench:bench-mux tipbench:validate
 "
+
+# 2c. Named scenarios the docs mention as `-sim NAME` must exist in
+# ScenarioNames() (scenario.go) — a renamed scenario otherwise leaves
+# the README's walkthroughs pointing at the unknown-scenario error.
+for name in $(grep -ohE -- '-sim +[a-z][a-z-]*' $docs | awk '{print $2}' | sort -u); do
+    if ! grep -qE "\"$name\"" scenario.go; then
+        echo "docs gate: docs show '-sim $name' but scenario.go names no \"$name\" scenario"
+        fail=1
+    fi
+done
 for entry in $manifest; do
     cmd=${entry%%:*}
     flag=${entry#*:}
